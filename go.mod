@@ -1,0 +1,3 @@
+module tpascd
+
+go 1.22

@@ -1,0 +1,67 @@
+// Package atomicf provides lock-free atomic operations on float32 and
+// float64 values stored in plain slices.
+//
+// Modern GPUs expose hardware atomicAdd on 32-bit floats; mainstream CPUs
+// do not, so software implementations fall back to a compare-and-swap loop
+// on the value's bit pattern. Both the A-SCD baseline (Tran et al., KDD'15)
+// and the GPU simulator in this repository use these helpers for their
+// shared-vector updates, which is exactly the mechanism the paper relies on
+// ("floating point atomic additions ... ensure that all updates to the
+// shared vector are applied without any blocking occurring").
+package atomicf
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// AddFloat32 atomically performs *addr += delta and returns the new value.
+// The address must be 4-byte aligned, which holds for all elements of a
+// []float32.
+func AddFloat32(addr *float32, delta float32) float32 {
+	ptr := (*uint32)(unsafe.Pointer(addr))
+	for {
+		oldBits := atomic.LoadUint32(ptr)
+		old := math.Float32frombits(oldBits)
+		newVal := old + delta
+		if atomic.CompareAndSwapUint32(ptr, oldBits, math.Float32bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// LoadFloat32 atomically loads *addr.
+func LoadFloat32(addr *float32) float32 {
+	return math.Float32frombits(atomic.LoadUint32((*uint32)(unsafe.Pointer(addr))))
+}
+
+// StoreFloat32 atomically stores val into *addr.
+func StoreFloat32(addr *float32, val float32) {
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(addr)), math.Float32bits(val))
+}
+
+// AddFloat64 atomically performs *addr += delta and returns the new value.
+// The address must be 8-byte aligned, which holds for all elements of a
+// []float64.
+func AddFloat64(addr *float64, delta float64) float64 {
+	ptr := (*uint64)(unsafe.Pointer(addr))
+	for {
+		oldBits := atomic.LoadUint64(ptr)
+		old := math.Float64frombits(oldBits)
+		newVal := old + delta
+		if atomic.CompareAndSwapUint64(ptr, oldBits, math.Float64bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// LoadFloat64 atomically loads *addr.
+func LoadFloat64(addr *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(addr))))
+}
+
+// StoreFloat64 atomically stores val into *addr.
+func StoreFloat64(addr *float64, val float64) {
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(addr)), math.Float64bits(val))
+}

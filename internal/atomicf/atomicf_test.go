@@ -1,0 +1,165 @@
+package atomicf
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddFloat32Sequential(t *testing.T) {
+	var x float32
+	if got := AddFloat32(&x, 1.5); got != 1.5 {
+		t.Fatalf("AddFloat32 returned %v, want 1.5", got)
+	}
+	if got := AddFloat32(&x, -0.5); got != 1.0 {
+		t.Fatalf("AddFloat32 returned %v, want 1.0", got)
+	}
+	if x != 1.0 {
+		t.Fatalf("x = %v, want 1.0", x)
+	}
+}
+
+func TestAddFloat64Sequential(t *testing.T) {
+	var x float64
+	AddFloat64(&x, math.Pi)
+	AddFloat64(&x, -math.Pi)
+	if x != 0 {
+		t.Fatalf("x = %v, want 0", x)
+	}
+}
+
+// TestAddFloat32Concurrent verifies that no update is ever lost under heavy
+// contention: G goroutines each add 1.0 to the same cell n times.
+func TestAddFloat32Concurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	var x float32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				AddFloat32(&x, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	// 32000 is exactly representable in float32 and every add is atomic,
+	// so the result is exact.
+	if want := float32(goroutines * perG); x != want {
+		t.Fatalf("x = %v, want %v (lost updates)", x, want)
+	}
+}
+
+func TestAddFloat64Concurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var x float64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				AddFloat64(&x, 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := float64(goroutines*perG) * 0.5; x != want {
+		t.Fatalf("x = %v, want %v", x, want)
+	}
+}
+
+func TestLoadStoreFloat32(t *testing.T) {
+	var x float32
+	StoreFloat32(&x, 42.25)
+	if got := LoadFloat32(&x); got != 42.25 {
+		t.Fatalf("LoadFloat32 = %v, want 42.25", got)
+	}
+}
+
+func TestLoadStoreFloat64(t *testing.T) {
+	var x float64
+	StoreFloat64(&x, -1e300)
+	if got := LoadFloat64(&x); got != -1e300 {
+		t.Fatalf("LoadFloat64 = %v, want -1e300", got)
+	}
+}
+
+// Property: a single atomic add agrees exactly with ordinary addition.
+func TestAddMatchesPlainAddition(t *testing.T) {
+	f := func(a, b float32) bool {
+		x := a
+		got := AddFloat32(&x, b)
+		return got == a+b && x == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(a, b float64) bool {
+		x := a
+		got := AddFloat64(&x, b)
+		return got == a+b && x == a+b
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent adds across distinct cells of a slice never interfere.
+func TestSliceCellIndependence(t *testing.T) {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	xs := make([]float32, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				AddFloat32(&xs[i], 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range xs {
+		if v != 1000 {
+			t.Fatalf("xs[%d] = %v, want 1000", i, v)
+		}
+	}
+}
+
+func BenchmarkAddFloat32Uncontended(b *testing.B) {
+	var x float32
+	for i := 0; i < b.N; i++ {
+		AddFloat32(&x, 1)
+	}
+}
+
+func BenchmarkAddFloat32Contended(b *testing.B) {
+	var x float32
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			AddFloat32(&x, 1)
+		}
+	})
+}
+
+func BenchmarkAddFloat64Contended(b *testing.B) {
+	var x float64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			AddFloat64(&x, 1)
+		}
+	})
+}

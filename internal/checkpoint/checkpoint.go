@@ -1,0 +1,162 @@
+// Package checkpoint serializes model state so long-running training can
+// be stopped and resumed. The format is a fixed little-endian binary
+// layout with a CRC-32 trailer:
+//
+//	magic "TPAS" | version u32 | kind-length u32 | kind bytes |
+//	vector count u32 | per vector: length u32, float32 data | crc32(IEEE)
+//
+// Coordinate-descent state is fully captured by the model vector(s): the
+// shared vector is recomputable from the model and data (the repair path
+// the solvers already expose), so checkpoints stay small and transferable
+// between machines of either endianness.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+var magic = [4]byte{'T', 'P', 'A', 'S'}
+
+const version = 1
+
+// ErrCorrupt is returned when the checksum or structure does not verify.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated data")
+
+// Checkpoint is a named bundle of float32 vectors.
+type Checkpoint struct {
+	// Kind is a free-form tag ("ridge-primal", "svm-dual", ...); Load
+	// verifies it when a non-empty expectation is given.
+	Kind string
+	// Vectors holds the model state, e.g. [β] or [α].
+	Vectors [][]float32
+}
+
+// Save writes the checkpoint.
+func Save(w io.Writer, c Checkpoint) error {
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(w, h)
+	if _, err := mw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := writeU32(mw, version); err != nil {
+		return err
+	}
+	if len(c.Kind) > 1<<16 {
+		return fmt.Errorf("checkpoint: kind too long (%d bytes)", len(c.Kind))
+	}
+	if err := writeU32(mw, uint32(len(c.Kind))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(mw, c.Kind); err != nil {
+		return err
+	}
+	if err := writeU32(mw, uint32(len(c.Vectors))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, v := range c.Vectors {
+		if err := writeU32(mw, uint32(len(v))); err != nil {
+			return err
+		}
+		for _, x := range v {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(x))
+			if _, err := mw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	// Trailer: checksum of everything written so far.
+	binary.LittleEndian.PutUint32(buf, h.Sum32())
+	_, err := w.Write(buf)
+	return err
+}
+
+// Load reads and verifies a checkpoint. If expectKind is non-empty the
+// stored kind must match.
+func Load(r io.Reader, expectKind string) (Checkpoint, error) {
+	h := crc32.NewIEEE()
+	tr := io.TeeReader(r, h)
+	var c Checkpoint
+	var hdr [4]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		return c, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if hdr != magic {
+		return c, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr)
+	}
+	ver, err := readU32(tr)
+	if err != nil {
+		return c, err
+	}
+	if ver != version {
+		return c, fmt.Errorf("checkpoint: unsupported version %d", ver)
+	}
+	kindLen, err := readU32(tr)
+	if err != nil {
+		return c, err
+	}
+	if kindLen > 1<<16 {
+		return c, fmt.Errorf("%w: kind length %d", ErrCorrupt, kindLen)
+	}
+	kind := make([]byte, kindLen)
+	if _, err := io.ReadFull(tr, kind); err != nil {
+		return c, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	c.Kind = string(kind)
+	if expectKind != "" && c.Kind != expectKind {
+		return c, fmt.Errorf("checkpoint: kind %q, want %q", c.Kind, expectKind)
+	}
+	nVec, err := readU32(tr)
+	if err != nil {
+		return c, err
+	}
+	if nVec > 1<<16 {
+		return c, fmt.Errorf("%w: vector count %d", ErrCorrupt, nVec)
+	}
+	buf := make([]byte, 4)
+	for v := uint32(0); v < nVec; v++ {
+		n, err := readU32(tr)
+		if err != nil {
+			return c, err
+		}
+		if n > 1<<31 {
+			return c, fmt.Errorf("%w: vector length %d", ErrCorrupt, n)
+		}
+		vec := make([]float32, n)
+		for i := range vec {
+			if _, err := io.ReadFull(tr, buf); err != nil {
+				return c, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+		c.Vectors = append(c.Vectors, vec)
+	}
+	want := h.Sum32() // checksum of all payload bytes read so far
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return c, fmt.Errorf("%w: missing trailer: %v", ErrCorrupt, err)
+	}
+	if got := binary.LittleEndian.Uint32(buf); got != want {
+		return c, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return c, nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

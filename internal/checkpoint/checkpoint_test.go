@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := Checkpoint{
+		Kind:    "ridge-primal",
+		Vectors: [][]float32{{1, 2, 3.5}, {}, {-1e-20, 4}},
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, "ridge-primal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != c.Kind || len(got.Vectors) != 3 {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	for vi := range c.Vectors {
+		if len(got.Vectors[vi]) != len(c.Vectors[vi]) {
+			t.Fatalf("vector %d length changed", vi)
+		}
+		for i := range c.Vectors[vi] {
+			if got.Vectors[vi][i] != c.Vectors[vi][i] {
+				t.Fatalf("vector %d element %d changed", vi, i)
+			}
+		}
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Checkpoint{Kind: "svm"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, "ridge"); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestKindUncheckedWhenEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Checkpoint{Kind: "whatever", Vectors: [][]float32{{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Checkpoint{Kind: "x", Vectors: [][]float32{{1, 2, 3, 4, 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one payload byte.
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)-9] ^= 0xFF
+	if _, err := Load(bytes.NewReader(corrupted), ""); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+	// Truncate.
+	if _, err := Load(bytes.NewReader(data[:len(data)-2]), ""); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncation not detected: %v", err)
+	}
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Load(bytes.NewReader(bad), ""); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic not detected: %v", err)
+	}
+}
+
+func TestEmptyCheckpoint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Checkpoint{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "" || len(got.Vectors) != 0 {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+// Property: arbitrary vectors survive a round trip bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(xs []float32, kind string) bool {
+		if len(kind) > 1000 {
+			kind = kind[:1000]
+		}
+		c := Checkpoint{Kind: kind, Vectors: [][]float32{xs}}
+		var buf bytes.Buffer
+		if err := Save(&buf, c); err != nil {
+			return false
+		}
+		got, err := Load(&buf, "")
+		if err != nil || got.Kind != kind || len(got.Vectors) != 1 || len(got.Vectors[0]) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			// Compare bit patterns so NaNs round-trip too.
+			if !bitsEqual(got.Vectors[0][i], xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bitsEqual(a, b float32) bool {
+	return (a == b) || (a != a && b != b) // equal or both NaN
+}

@@ -1,0 +1,58 @@
+// Package cluster provides the communication substrate for the distributed
+// solvers: an MPI-like communicator with the two collectives the paper's
+// implementation uses (Broadcast and Reduce, as offered by Open MPI), plus
+// a scalar Allreduce for the adaptive-aggregation bookkeeping of
+// Algorithm 4.
+//
+// Two transports are provided:
+//
+//   - InProc: K communicators backed by shared memory and condition
+//     variables, used by the experiment harness to run K workers as
+//     goroutines in one process.
+//   - TCP: a master/worker star over real sockets (net package), proving
+//     the wire path end to end.
+//
+// The transports are functionally identical; simulated network *time* is
+// not attached here — the distributed driver models it from payload sizes
+// with a perfmodel.Link, so the same experiment code can report 10GbE or
+// 100GbE behaviour regardless of transport.
+package cluster
+
+import "errors"
+
+// Comm is the per-worker handle to a collective communication group.
+// All ranks of a group must call the same sequence of collectives with
+// compatible arguments, as in MPI.
+type Comm interface {
+	// Rank returns this worker's rank in [0, Size).
+	Rank() int
+	// Size returns the number of workers in the group.
+	Size() int
+	// Broadcast replaces buf on every rank with root's buf. len(buf) must
+	// agree across ranks.
+	Broadcast(buf []float32, root int) error
+	// Reduce element-wise sums the in buffers of all ranks into out on
+	// root; out is untouched on other ranks (may be nil there).
+	Reduce(in, out []float32, root int) error
+	// Allreduce element-wise sums the in buffers of all ranks into out on
+	// every rank (equivalent to Reduce followed by Broadcast, which is
+	// also how the transports implement it and how the time model prices
+	// it).
+	Allreduce(in, out []float32) error
+	// AllreduceScalars sums a short float64 vector across ranks and
+	// returns the sums on every rank. Used for the few extra scalars per
+	// epoch that adaptive aggregation costs.
+	AllreduceScalars(vals []float64) ([]float64, error)
+	// Barrier blocks until every rank has entered it.
+	Barrier() error
+	// Close releases transport resources. A group should be closed on
+	// all ranks.
+	Close() error
+}
+
+// Errors common to the transports.
+var (
+	ErrSizeMismatch = errors.New("cluster: buffer sizes disagree across ranks")
+	ErrBadRoot      = errors.New("cluster: root rank out of range")
+	ErrClosed       = errors.New("cluster: communicator closed")
+)

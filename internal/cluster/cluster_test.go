@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// runGroup executes fn concurrently on every communicator and returns the
+// first error.
+func runGroup(t *testing.T, comms []Comm, fn func(c Comm) error) {
+	t.Helper()
+	errs := make([]error, len(comms))
+	var wg sync.WaitGroup
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c Comm) {
+			defer wg.Done()
+			errs[i] = fn(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+// transports yields named constructors so every test runs on both.
+func transports(t *testing.T, size int) map[string][]Comm {
+	t.Helper()
+	out := make(map[string][]Comm)
+	inproc, err := InProc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["inproc"] = inproc
+
+	comms := make([]Comm, size)
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, size)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m, addr, err := ListenTCP("127.0.0.1:0", size)
+		if err != nil {
+			errCh <- err
+			addrCh <- ""
+			return
+		}
+		comms[0] = m
+		addrCh <- addr
+	}()
+	addr := <-addrCh
+	if addr == "" {
+		t.Fatal(<-errCh)
+	}
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := DialTCP(addr, r, size)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			comms[r] = c
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	out["tcp"] = comms
+	return out
+}
+
+func TestRankAndSize(t *testing.T) {
+	for name, comms := range transports(t, 4) {
+		for r, c := range comms {
+			if c.Rank() != r || c.Size() != 4 {
+				t.Fatalf("%s: rank/size = %d/%d, want %d/4", name, c.Rank(), c.Size(), r)
+			}
+		}
+		for _, c := range comms {
+			c.Close()
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for name, comms := range transports(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			runGroup(t, comms, func(c Comm) error {
+				buf := make([]float32, 5)
+				if c.Rank() == 0 {
+					for i := range buf {
+						buf[i] = float32(i) + 0.5
+					}
+				}
+				if err := c.Broadcast(buf, 0); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != float32(i)+0.5 {
+						return fmt.Errorf("rank %d: buf[%d] = %v", c.Rank(), i, buf[i])
+					}
+				}
+				return nil
+			})
+			for _, c := range comms {
+				c.Close()
+			}
+		})
+	}
+}
+
+func TestReduce(t *testing.T) {
+	for name, comms := range transports(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			runGroup(t, comms, func(c Comm) error {
+				in := []float32{float32(c.Rank()), 1, 2}
+				var out []float32
+				if c.Rank() == 0 {
+					out = make([]float32, 3)
+				}
+				if err := c.Reduce(in, out, 0); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					want := []float32{0 + 1 + 2 + 3, 4, 8}
+					for i := range want {
+						if out[i] != want[i] {
+							return fmt.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+						}
+					}
+				}
+				return nil
+			})
+			for _, c := range comms {
+				c.Close()
+			}
+		})
+	}
+}
+
+func TestAllreduceScalars(t *testing.T) {
+	for name, comms := range transports(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			runGroup(t, comms, func(c Comm) error {
+				vals := []float64{float64(c.Rank() + 1), 0.5}
+				got, err := c.AllreduceScalars(vals)
+				if err != nil {
+					return err
+				}
+				if math.Abs(got[0]-6) > 1e-12 || math.Abs(got[1]-1.5) > 1e-12 {
+					return fmt.Errorf("rank %d: got %v", c.Rank(), got)
+				}
+				return nil
+			})
+			for _, c := range comms {
+				c.Close()
+			}
+		})
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for name, comms := range transports(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			runGroup(t, comms, func(c Comm) error {
+				for i := 0; i < 5; i++ {
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			for _, c := range comms {
+				c.Close()
+			}
+		})
+	}
+}
+
+func TestRepeatedCollectivesInterleaved(t *testing.T) {
+	// The sequence Reduce → Broadcast → Allreduce repeated is exactly the
+	// per-epoch communication of the distributed solvers.
+	for name, comms := range transports(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			runGroup(t, comms, func(c Comm) error {
+				buf := make([]float32, 8)
+				out := make([]float32, 8)
+				for epoch := 0; epoch < 10; epoch++ {
+					for i := range buf {
+						buf[i] = float32(c.Rank()*epoch + i)
+					}
+					if err := c.Reduce(buf, out, 0); err != nil {
+						return err
+					}
+					if err := c.Broadcast(out, 0); err != nil {
+						return err
+					}
+					want := float32((0 + 1 + 2 + 3) * epoch)
+					if out[0] != want {
+						return fmt.Errorf("epoch %d rank %d: out[0] = %v, want %v", epoch, c.Rank(), out[0], want)
+					}
+					if _, err := c.AllreduceScalars([]float64{1}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			for _, c := range comms {
+				c.Close()
+			}
+		})
+	}
+}
+
+func TestSingleWorkerGroup(t *testing.T) {
+	comms, err := InProc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := comms[0]
+	buf := []float32{1, 2}
+	if err := c.Broadcast(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 2)
+	if err := c.Reduce(buf, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("reduce = %v", out)
+	}
+	s, err := c.AllreduceScalars([]float64{3})
+	if err != nil || s[0] != 3 {
+		t.Fatalf("allreduce = %v err %v", s, err)
+	}
+}
+
+func TestInProcSizeMismatchDetected(t *testing.T) {
+	comms, err := InProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c Comm) {
+			defer wg.Done()
+			buf := make([]float32, 3+i) // mismatched lengths
+			errs[i] = c.Broadcast(buf, 0)
+		}(i, c)
+	}
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("size mismatch not detected")
+	}
+}
+
+func TestInProcBadRoot(t *testing.T) {
+	comms, _ := InProc(2)
+	if err := comms[0].Broadcast(nil, 5); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestInProcCloseUnblocks(t *testing.T) {
+	comms, _ := InProc(2)
+	done := make(chan error, 1)
+	go func() {
+		done <- comms[0].Barrier() // will block: rank 1 never arrives
+	}()
+	comms[1].Close()
+	if err := <-done; err == nil {
+		t.Fatal("blocked barrier survived Close")
+	}
+}
+
+func TestTCPWorkerRankValidation(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1", 0, 4); err == nil {
+		t.Fatal("rank 0 dialing accepted")
+	}
+	if _, err := DialTCP("127.0.0.1:1", 4, 4); err == nil {
+		t.Fatal("rank==size dialing accepted")
+	}
+}
+
+func TestTCPClosedConnErrors(t *testing.T) {
+	for _, comms := range map[string][]Comm{"tcp": nil} {
+		_ = comms
+	}
+	size := 2
+	comms := make([]Comm, size)
+	addrCh := make(chan string, 1)
+	go func() {
+		m, addr, err := ListenTCP("127.0.0.1:0", size)
+		if err != nil {
+			addrCh <- ""
+			return
+		}
+		comms[0] = m
+		addrCh <- addr
+	}()
+	addr := <-addrCh
+	if addr == "" {
+		t.Fatal("listen failed")
+	}
+	w, err := DialTCP(addr, 1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Broadcast(make([]float32, 1), 0); err == nil {
+		t.Fatal("closed comm accepted broadcast")
+	}
+	// Master side now sees a dead peer; a reduce read must error, not hang.
+	if comms[0] != nil {
+		errCh := make(chan error, 1)
+		go func() {
+			out := make([]float32, 1)
+			errCh <- comms[0].Reduce([]float32{1}, out, 0)
+		}()
+		if err := <-errCh; err == nil {
+			t.Fatal("reduce from dead peer succeeded")
+		}
+		comms[0].Close()
+	}
+}
+
+func BenchmarkInProcReduceBroadcast(b *testing.B) {
+	comms, _ := InProc(4)
+	const n = 4096
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for _, c := range comms {
+		wg.Add(1)
+		go func(c Comm) {
+			defer wg.Done()
+			in := make([]float32, n)
+			out := make([]float32, n)
+			for i := 0; i < b.N; i++ {
+				c.Reduce(in, out, 0)
+				c.Broadcast(out, 0)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestAllreduce(t *testing.T) {
+	for name, comms := range transports(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			runGroup(t, comms, func(c Comm) error {
+				in := []float32{float32(c.Rank()), 2}
+				out := make([]float32, 2)
+				if err := c.Allreduce(in, out); err != nil {
+					return err
+				}
+				if out[0] != 6 || out[1] != 8 {
+					return fmt.Errorf("rank %d: allreduce = %v", c.Rank(), out)
+				}
+				return nil
+			})
+			for _, c := range comms {
+				c.Close()
+			}
+		})
+	}
+}
+
+func TestAllreduceSizeMismatch(t *testing.T) {
+	comms, _ := InProc(1)
+	if err := comms[0].Allreduce(make([]float32, 2), make([]float32, 3)); err == nil {
+		t.Fatal("in/out size mismatch accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// hub is the shared state behind a group of in-process communicators.
+type hub struct {
+	size int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	arrived    int
+	generation uint64
+	closed     bool
+
+	// per-collective deposit slots, indexed by rank
+	bufs    [][]float32
+	scalars [][]float64
+	errs    []error
+
+	// per-collective results stashed by the combining rank
+	reduceOut    []float32
+	scalarResult []float64
+}
+
+// InProc returns size communicators sharing one in-process group.
+func InProc(size int) ([]Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("cluster: group size %d", size)
+	}
+	h := &hub{
+		size:    size,
+		bufs:    make([][]float32, size),
+		scalars: make([][]float64, size),
+		errs:    make([]error, size),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	comms := make([]Comm, size)
+	for r := 0; r < size; r++ {
+		comms[r] = &inprocComm{hub: h, rank: r}
+	}
+	return comms, nil
+}
+
+// rendezvous blocks until all ranks have arrived. The last rank to arrive
+// runs combine (with the hub lock held); then every rank runs after (also
+// under the lock) before returning. Either may be nil.
+func (h *hub) rendezvous(combine, after func()) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	h.arrived++
+	gen := h.generation
+	if h.arrived == h.size {
+		if combine != nil {
+			combine()
+		}
+		h.arrived = 0
+		h.generation++
+		h.cond.Broadcast()
+	} else {
+		for gen == h.generation && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed && gen == h.generation {
+			return ErrClosed
+		}
+	}
+	if after != nil {
+		after()
+	}
+	return firstError(h.errs)
+}
+
+func firstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+type inprocComm struct {
+	hub  *hub
+	rank int
+}
+
+func (c *inprocComm) Rank() int { return c.rank }
+func (c *inprocComm) Size() int { return c.hub.size }
+
+func (c *inprocComm) Broadcast(buf []float32, root int) error {
+	h := c.hub
+	if root < 0 || root >= h.size {
+		return ErrBadRoot
+	}
+	h.mu.Lock()
+	h.bufs[c.rank] = buf
+	h.errs[c.rank] = nil
+	h.mu.Unlock()
+	return h.rendezvous(func() {
+		src := h.bufs[root]
+		for r, dst := range h.bufs {
+			if r == root {
+				continue
+			}
+			if len(dst) != len(src) {
+				h.errs[r] = ErrSizeMismatch
+				continue
+			}
+			copy(dst, src)
+		}
+	}, nil)
+}
+
+func (c *inprocComm) Reduce(in, out []float32, root int) error {
+	h := c.hub
+	if root < 0 || root >= h.size {
+		return ErrBadRoot
+	}
+	h.mu.Lock()
+	h.bufs[c.rank] = in
+	h.errs[c.rank] = nil
+	// The combine below runs on whichever rank arrives last, so the root's
+	// out slice must be visible through the hub.
+	if c.rank == root {
+		h.reduceOut = out
+	}
+	h.mu.Unlock()
+	return h.rendezvous(func() {
+		dst := h.reduceOut
+		n := len(h.bufs[0])
+		for r := 1; r < h.size; r++ {
+			if len(h.bufs[r]) != n {
+				h.errs[r] = ErrSizeMismatch
+				return
+			}
+		}
+		if len(dst) != n {
+			h.errs[root] = ErrSizeMismatch
+			return
+		}
+		for i := range dst {
+			dst[i] = 0
+		}
+		// Deterministic rank-order summation.
+		for r := 0; r < h.size; r++ {
+			src := h.bufs[r]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+	}, nil)
+}
+
+func (c *inprocComm) AllreduceScalars(vals []float64) ([]float64, error) {
+	h := c.hub
+	h.mu.Lock()
+	h.scalars[c.rank] = vals
+	h.errs[c.rank] = nil
+	h.mu.Unlock()
+	var result []float64
+	err := h.rendezvous(func() {
+		n := len(h.scalars[0])
+		for r := 1; r < h.size; r++ {
+			if len(h.scalars[r]) != n {
+				h.errs[r] = ErrSizeMismatch
+				return
+			}
+		}
+		sum := make([]float64, n)
+		for r := 0; r < h.size; r++ {
+			for i, v := range h.scalars[r] {
+				sum[i] += v
+			}
+		}
+		h.scalarResult = sum
+	}, func() {
+		result = h.scalarResult
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Return a private copy so ranks cannot alias each other's view.
+	out := make([]float64, len(result))
+	copy(out, result)
+	return out, nil
+}
+
+func (c *inprocComm) Barrier() error {
+	return c.hub.rendezvous(nil, nil)
+}
+
+func (c *inprocComm) Close() error {
+	h := c.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		h.cond.Broadcast()
+	}
+	return nil
+}
+
+func (c *inprocComm) Allreduce(in, out []float32) error {
+	if len(in) != len(out) {
+		return ErrSizeMismatch
+	}
+	if err := c.Reduce(in, out, 0); err != nil {
+		return err
+	}
+	return c.Broadcast(out, 0)
+}

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Wire protocol: every message is a frame
+//
+//	[1 byte kind][4 byte big-endian element count][payload]
+//
+// float32 payloads are 4 bytes per element, float64 payloads 8 bytes.
+// The topology is a master/worker star: rank 0 accepts one connection per
+// worker; collectives route through the master, which is exactly how the
+// payload-size-based network time model in perfmodel prices them.
+const (
+	kindReduce  byte = 1
+	kindBcast   byte = 2
+	kindScalars byte = 3
+	kindBarrier byte = 4
+	kindHello   byte = 5
+)
+
+const dialTimeout = 10 * time.Second
+
+func writeFrame(w *bufio.Writer, kind byte, f32 []float32, f64 []float64) error {
+	if err := w.WriteByte(kind); err != nil {
+		return err
+	}
+	var n int
+	if f64 != nil {
+		n = len(f64)
+	} else {
+		n = len(f32)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	if f64 != nil {
+		for _, v := range f64 {
+			binary.BigEndian.PutUint64(buf[:8], math.Float64bits(v))
+			if _, err := w.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, v := range f32 {
+			binary.BigEndian.PutUint32(buf[:4], math.Float32bits(v))
+			if _, err := w.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader, wantKind byte, f32 []float32, f64 []float64) (int, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if kind != wantKind {
+		return 0, fmt.Errorf("cluster: protocol error: got frame kind %d, want %d", kind, wantKind)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	var buf [8]byte
+	if f64 != nil {
+		if n > len(f64) {
+			return 0, fmt.Errorf("cluster: frame of %d elements exceeds buffer %d", n, len(f64))
+		}
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(r, buf[:8]); err != nil {
+				return 0, err
+			}
+			f64[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[:8]))
+		}
+	} else {
+		if n > len(f32) {
+			return 0, fmt.Errorf("cluster: frame of %d elements exceeds buffer %d", n, len(f32))
+		}
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(r, buf[:4]); err != nil {
+				return 0, err
+			}
+			f32[i] = math.Float32frombits(binary.BigEndian.Uint32(buf[:4]))
+		}
+	}
+	return n, nil
+}
+
+type peer struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func newPeer(conn net.Conn) *peer {
+	return &peer{conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+}
+
+// tcpComm implements Comm over a master/worker star.
+type tcpComm struct {
+	rank, size int
+	// master only: peers[r-1] is the connection to rank r; populated by a
+	// background acceptor, guarded by the ready channel.
+	peers     []*peer
+	ready     chan struct{} // closed once all workers are connected (master)
+	acceptErr error         // valid after ready is closed
+	ln        net.Listener
+	// worker only: connection to the master
+	master *peer
+	closed bool
+}
+
+// awaitReady blocks until the master has accepted every worker (no-op on
+// workers and single-rank groups).
+func (c *tcpComm) awaitReady() error {
+	if c.ready == nil {
+		return nil
+	}
+	<-c.ready
+	return c.acceptErr
+}
+
+// ListenTCP creates the master (rank 0) side of a TCP group. It binds to
+// addr and returns immediately with the bound address (useful with ":0");
+// the size-1 worker connections are accepted in the background, and the
+// master's first collective call waits for them.
+func ListenTCP(addr string, size int) (Comm, string, error) {
+	if size < 1 {
+		return nil, "", fmt.Errorf("cluster: group size %d", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	c := &tcpComm{rank: 0, size: size, peers: make([]*peer, size-1), ln: ln}
+	bound := ln.Addr().String()
+	if size == 1 {
+		ln.Close()
+		return c, bound, nil
+	}
+	c.ready = make(chan struct{})
+	go func() {
+		defer close(c.ready)
+		defer ln.Close()
+		for i := 0; i < size-1; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				c.acceptErr = err
+				return
+			}
+			p := newPeer(conn)
+			// The hello frame carries the worker's rank as a single float32.
+			var rk [1]float32
+			if _, err := readFrame(p.r, kindHello, rk[:], nil); err != nil {
+				conn.Close()
+				c.acceptErr = fmt.Errorf("cluster: handshake: %w", err)
+				return
+			}
+			r := int(rk[0])
+			if r < 1 || r >= size || c.peers[r-1] != nil {
+				conn.Close()
+				c.acceptErr = fmt.Errorf("cluster: bad or duplicate worker rank %d", r)
+				return
+			}
+			c.peers[r-1] = p
+		}
+	}()
+	return c, bound, nil
+}
+
+// DialTCP creates a worker side of a TCP group, connecting to the master.
+func DialTCP(addr string, rank, size int) (Comm, error) {
+	if rank < 1 || rank >= size {
+		return nil, fmt.Errorf("cluster: worker rank %d out of range (1..%d)", rank, size-1)
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	p := newPeer(conn)
+	if err := writeFrame(p.w, kindHello, []float32{float32(rank)}, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &tcpComm{rank: rank, size: size, master: p}, nil
+}
+
+func (c *tcpComm) Rank() int { return c.rank }
+func (c *tcpComm) Size() int { return c.size }
+
+func (c *tcpComm) Broadcast(buf []float32, root int) error {
+	if root != 0 {
+		return fmt.Errorf("cluster: TCP transport requires root 0, got %d: %w", root, ErrBadRoot)
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	if c.rank == 0 {
+		if err := c.awaitReady(); err != nil {
+			return err
+		}
+		for _, p := range c.peers {
+			if err := writeFrame(p.w, kindBcast, buf, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n, err := readFrame(c.master.r, kindBcast, buf, nil)
+	if err != nil {
+		return err
+	}
+	if n != len(buf) {
+		return ErrSizeMismatch
+	}
+	return nil
+}
+
+func (c *tcpComm) Reduce(in, out []float32, root int) error {
+	if root != 0 {
+		return fmt.Errorf("cluster: TCP transport requires root 0, got %d: %w", root, ErrBadRoot)
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	if c.rank != 0 {
+		return writeFrame(c.master.w, kindReduce, in, nil)
+	}
+	if err := c.awaitReady(); err != nil {
+		return err
+	}
+	if len(out) != len(in) {
+		return ErrSizeMismatch
+	}
+	copy(out, in)
+	tmp := make([]float32, len(in))
+	for _, p := range c.peers {
+		n, err := readFrame(p.r, kindReduce, tmp, nil)
+		if err != nil {
+			return err
+		}
+		if n != len(out) {
+			return ErrSizeMismatch
+		}
+		for i := range out {
+			out[i] += tmp[i]
+		}
+	}
+	return nil
+}
+
+func (c *tcpComm) AllreduceScalars(vals []float64) ([]float64, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.rank != 0 {
+		if err := writeFrame(c.master.w, kindScalars, nil, vals); err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(vals))
+		if n, err := readFrame(c.master.r, kindScalars, nil, out); err != nil {
+			return nil, err
+		} else if n != len(out) {
+			return nil, ErrSizeMismatch
+		}
+		return out, nil
+	}
+	if err := c.awaitReady(); err != nil {
+		return nil, err
+	}
+	sum := make([]float64, len(vals))
+	copy(sum, vals)
+	tmp := make([]float64, len(vals))
+	for _, p := range c.peers {
+		n, err := readFrame(p.r, kindScalars, nil, tmp)
+		if err != nil {
+			return nil, err
+		}
+		if n != len(sum) {
+			return nil, ErrSizeMismatch
+		}
+		for i := range sum {
+			sum[i] += tmp[i]
+		}
+	}
+	for _, p := range c.peers {
+		if err := writeFrame(p.w, kindScalars, nil, sum); err != nil {
+			return nil, err
+		}
+	}
+	return sum, nil
+}
+
+func (c *tcpComm) Barrier() error {
+	if c.closed {
+		return ErrClosed
+	}
+	var empty [0]float32
+	if c.rank != 0 {
+		if err := writeFrame(c.master.w, kindBarrier, empty[:], nil); err != nil {
+			return err
+		}
+		_, err := readFrame(c.master.r, kindBarrier, empty[:], nil)
+		return err
+	}
+	if err := c.awaitReady(); err != nil {
+		return err
+	}
+	for _, p := range c.peers {
+		if _, err := readFrame(p.r, kindBarrier, empty[:], nil); err != nil {
+			return err
+		}
+	}
+	for _, p := range c.peers {
+		if err := writeFrame(p.w, kindBarrier, empty[:], nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *tcpComm) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	if c.ready != nil {
+		<-c.ready // wait for the acceptor to finish before closing peers
+	}
+	var firstErr error
+	if c.master != nil {
+		firstErr = c.master.conn.Close()
+	}
+	for _, p := range c.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (c *tcpComm) Allreduce(in, out []float32) error {
+	if len(in) != len(out) {
+		return ErrSizeMismatch
+	}
+	if err := c.Reduce(in, out, 0); err != nil {
+		return err
+	}
+	return c.Broadcast(out, 0)
+}

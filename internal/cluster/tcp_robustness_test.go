@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Frame-level robustness: malformed input must error, never hang or panic.
+
+func TestReadFrameWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, kindBcast, []float32{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	if _, err := readFrame(r, kindReduce, make([]float32, 1), nil); err == nil {
+		t.Fatal("wrong frame kind accepted")
+	}
+}
+
+func TestReadFrameOversizedCount(t *testing.T) {
+	// kind + huge element count, no payload
+	raw := []byte{kindBcast, 0xFF, 0xFF, 0xFF, 0xFF}
+	r := bufio.NewReader(bytes.NewReader(raw))
+	if _, err := readFrame(r, kindBcast, make([]float32, 4), nil); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, kindBcast, []float32{1, 2, 3, 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-5] // cut mid-payload
+	r := bufio.NewReader(bytes.NewReader(raw))
+	if _, err := readFrame(r, kindBcast, make([]float32, 4), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestReadFrameEmptyInput(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader(nil))
+	if _, err := readFrame(r, kindBcast, make([]float32, 1), nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadFrameGarbage(t *testing.T) {
+	// Random garbage streams must produce an error (or a benign short
+	// read) quickly, whatever the bytes are.
+	for seed := 0; seed < 32; seed++ {
+		raw := make([]byte, 64)
+		x := uint32(seed*2654435761 + 1)
+		for i := range raw {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			raw[i] = byte(x)
+		}
+		r := bufio.NewReader(bytes.NewReader(raw))
+		// Any outcome except a hang/panic is fine; with 64 random bytes and
+		// a 16-element budget most streams must error.
+		_, _ = readFrame(r, raw[0], make([]float32, 16), nil)
+	}
+}
+
+// Handshake robustness: a client that sends garbage instead of a hello
+// frame must not wedge the master's acceptor.
+func TestMasterRejectsGarbageHandshake(t *testing.T) {
+	m, addr, err := ListenTCP("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	conn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Broadcast(make([]float32, 1), 0)
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("garbage handshake produced a working group")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("master hung on garbage handshake")
+	}
+	m.Close()
+}
+
+// A worker announcing an invalid rank must be rejected.
+func TestMasterRejectsBadRank(t *testing.T) {
+	m, addr, err := ListenTCP("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPeer(conn)
+	if err := writeFrame(p.w, kindHello, []float32{99}, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Barrier() }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "rank") {
+			t.Fatalf("bad rank not diagnosed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("master hung on bad rank")
+	}
+	conn.Close()
+	m.Close()
+}

@@ -1,0 +1,265 @@
+// Package coords provides a direction-agnostic "coordinate view" of a
+// ridge-regression problem: the compressed non-zero pattern, curvature and
+// linear terms needed to perform exact coordinate updates, independent of
+// whether the coordinates are features (primal form, CSC storage) or
+// examples (dual form, CSR storage), and independent of whether the view
+// covers the whole problem or one worker's partition of it.
+//
+// Both the TPA-SCD GPU kernel and the distributed workers operate on this
+// view, so the same update code serves the single-device experiments
+// (Figs. 1-2), the distributed CPU experiments (Figs. 3-6) and the
+// distributed GPU experiments (Figs. 8-10).
+package coords
+
+import (
+	"fmt"
+
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+)
+
+// View describes a set of coordinates of a ridge-regression problem.
+//
+// For coordinate c, the non-zero entries are Idx/Val[Ptr[c]:Ptr[c+1]]; the
+// indices address the shared vector (length SharedLen). Norms[c] holds
+// ‖a_c‖². For the primal form YShared holds the labels indexed like the
+// shared vector (length N); for the dual form YCoord holds the labels of
+// the local coordinates (examples).
+type View struct {
+	Form      perfmodel.Form
+	Num       int // number of coordinates in this view
+	SharedLen int // length of the shared vector (N primal, M dual)
+	NGlobal   int // global number of examples (the N in the update rules)
+	Lambda    float64
+
+	Ptr   []int
+	Idx   []int32
+	Val   []float32
+	Norms []float64
+
+	YShared []float32 // primal only: labels indexed by shared index
+	YCoord  []float32 // dual only: labels indexed by local coordinate
+
+	// UnitValues marks a pattern-only view: every stored value is exactly
+	// 1 and Val is not materialized. This is the memory optimization of
+	// the paper's footnote 2 for the criteo data ("the values in the
+	// training data matrix are always 1 and so one could halve the memory
+	// usage by re-writing the code to explicitly assume this"). CoordNZ
+	// hands out slices of the small shared ones buffer, so consumers need
+	// no branches.
+	UnitValues bool
+	ones       []float32
+}
+
+// DropUnitValues converts the view to pattern-only storage when every
+// stored value is exactly 1, releasing the value array. It reports whether
+// the conversion happened. FromProblem and Subset apply it automatically.
+func (v *View) DropUnitValues() bool {
+	if v.UnitValues {
+		return true
+	}
+	maxLen := 0
+	for c := 0; c < v.Num; c++ {
+		if n := v.Ptr[c+1] - v.Ptr[c]; n > maxLen {
+			maxLen = n
+		}
+	}
+	for _, x := range v.Val {
+		if x != 1 {
+			return false
+		}
+	}
+	v.ones = make([]float32, maxLen)
+	for i := range v.ones {
+		v.ones[i] = 1
+	}
+	v.Val = nil
+	v.UnitValues = true
+	return true
+}
+
+// NNZ returns the number of stored matrix entries in the view.
+func (v *View) NNZ() int64 { return int64(len(v.Idx)) }
+
+// CoordNZ returns the non-zero pattern of coordinate c. For unit-value
+// views the value slice aliases a shared all-ones buffer.
+func (v *View) CoordNZ(c int) ([]int32, []float32) {
+	lo, hi := v.Ptr[c], v.Ptr[c+1]
+	if v.UnitValues {
+		return v.Idx[lo:hi], v.ones[:hi-lo]
+	}
+	return v.Idx[lo:hi], v.Val[lo:hi]
+}
+
+// Delta computes the exact coordinate step (eq. 2 primal / eq. 4 dual)
+// for coordinate c given a shared-vector accessor and the current weight.
+func (v *View) Delta(c int, get func(i int32) float32, cur float32) float32 {
+	return v.DeltaSigma(c, get, cur, 1)
+}
+
+// DeltaSigma is Delta with the CoCoA+ subproblem-safety parameter σ′ ≥ 1
+// scaling the data-curvature term (Ma et al., the "adding vs. averaging"
+// work the paper compares its scaling against): the local step becomes
+//
+//	Δ = (gradient terms) / (σ′·‖a_c‖² + Nλ).
+//
+// σ′ = 1 recovers the exact coordinate step of Algorithm 1 (the paper's
+// CoCoA-with-σ=1 configuration); σ′ = K damps local steps enough that the
+// aggregated updates can be *added* (γ = 1) without overshooting.
+func (v *View) DeltaSigma(c int, get func(i int32) float32, cur float32, sigma float64) float32 {
+	idx, val := v.CoordNZ(c)
+	nl := float64(v.NGlobal) * v.Lambda
+	var dp float64
+	if v.Form == perfmodel.Primal {
+		for k := range idx {
+			i := idx[k]
+			dp += float64(val[k]) * (float64(v.YShared[i]) - float64(get(i)))
+		}
+		return float32((dp - nl*float64(cur)) / (sigma*v.Norms[c] + nl))
+	}
+	for k := range idx {
+		dp += float64(val[k]) * float64(get(idx[k]))
+	}
+	return float32((v.Lambda*float64(v.YCoord[c]) - dp - nl*float64(cur)) / (nl + sigma*v.Norms[c]))
+}
+
+// Validate checks the structural invariants of the view.
+func (v *View) Validate() error {
+	if len(v.Ptr) != v.Num+1 {
+		return fmt.Errorf("coords: Ptr length %d for %d coordinates", len(v.Ptr), v.Num)
+	}
+	if v.Ptr[v.Num] != len(v.Idx) {
+		return fmt.Errorf("coords: storage lengths inconsistent")
+	}
+	if !v.UnitValues && len(v.Idx) != len(v.Val) {
+		return fmt.Errorf("coords: %d indices for %d values", len(v.Idx), len(v.Val))
+	}
+	if len(v.Norms) != v.Num {
+		return fmt.Errorf("coords: %d norms for %d coordinates", len(v.Norms), v.Num)
+	}
+	for _, i := range v.Idx {
+		if i < 0 || int(i) >= v.SharedLen {
+			return fmt.Errorf("coords: shared index %d out of range %d", i, v.SharedLen)
+		}
+	}
+	if v.Form == perfmodel.Primal {
+		if len(v.YShared) != v.SharedLen {
+			return fmt.Errorf("coords: primal YShared length %d, want %d", len(v.YShared), v.SharedLen)
+		}
+	} else if len(v.YCoord) != v.Num {
+		return fmt.Errorf("coords: dual YCoord length %d, want %d", len(v.YCoord), v.Num)
+	}
+	return nil
+}
+
+// FromProblem builds a view over all coordinates of the problem.
+func FromProblem(p *ridge.Problem, form perfmodel.Form) *View {
+	if form == perfmodel.Primal {
+		v := &View{
+			Form:      form,
+			Num:       p.M,
+			SharedLen: p.N,
+			NGlobal:   p.N,
+			Lambda:    p.Lambda,
+			Ptr:       p.ACols.ColPtr,
+			Idx:       p.ACols.RowIdx,
+			Val:       p.ACols.Val,
+			Norms:     colNorms(p),
+			YShared:   p.Y,
+		}
+		v.DropUnitValues()
+		return v
+	}
+	v := &View{
+		Form:      form,
+		Num:       p.N,
+		SharedLen: p.M,
+		NGlobal:   p.N,
+		Lambda:    p.Lambda,
+		Ptr:       p.A.RowPtr,
+		Idx:       p.A.ColIdx,
+		Val:       p.A.Val,
+		Norms:     rowNorms(p),
+		YCoord:    p.Y,
+	}
+	v.DropUnitValues()
+	return v
+}
+
+// Subset builds a view over the given coordinate indices of the problem
+// (features for the primal form, examples for the dual form). This is the
+// per-worker partition used by the distributed algorithms.
+func Subset(p *ridge.Problem, form perfmodel.Form, ids []int) *View {
+	if form == perfmodel.Primal {
+		sub := p.ACols.SelectCols(ids)
+		norms := make([]float64, len(ids))
+		for k, id := range ids {
+			norms[k] = p.ColNormSq(id)
+		}
+		v := &View{
+			Form:      form,
+			Num:       len(ids),
+			SharedLen: p.N,
+			NGlobal:   p.N,
+			Lambda:    p.Lambda,
+			Ptr:       sub.ColPtr,
+			Idx:       sub.RowIdx,
+			Val:       sub.Val,
+			Norms:     norms,
+			YShared:   p.Y,
+		}
+		v.DropUnitValues()
+		return v
+	}
+	sub := p.A.SelectRows(ids)
+	norms := make([]float64, len(ids))
+	y := make([]float32, len(ids))
+	for k, id := range ids {
+		norms[k] = p.RowNormSq(id)
+		y[k] = p.Y[id]
+	}
+	v := &View{
+		Form:      form,
+		Num:       len(ids),
+		SharedLen: p.M,
+		NGlobal:   p.N,
+		Lambda:    p.Lambda,
+		Ptr:       sub.RowPtr,
+		Idx:       sub.ColIdx,
+		Val:       sub.Val,
+		Norms:     norms,
+		YCoord:    y,
+	}
+	v.DropUnitValues()
+	return v
+}
+
+func colNorms(p *ridge.Problem) []float64 {
+	out := make([]float64, p.M)
+	for j := range out {
+		out[j] = p.ColNormSq(j)
+	}
+	return out
+}
+
+func rowNorms(p *ridge.Problem) []float64 {
+	out := make([]float64, p.N)
+	for i := range out {
+		out[i] = p.RowNormSq(i)
+	}
+	return out
+}
+
+// Bytes returns the approximate device-memory footprint of the view's data
+// (pointers, indices, values, norms, labels). Unit-value views carry no
+// value array — the footnote-2 memory halving for all-ones data.
+func (v *View) Bytes() int64 {
+	b := int64(len(v.Ptr))*8 + int64(len(v.Idx))*4 + int64(len(v.Norms))*8
+	if v.UnitValues {
+		b += int64(len(v.ones)) * 4
+	} else {
+		b += int64(len(v.Val)) * 4
+	}
+	b += int64(len(v.YShared))*4 + int64(len(v.YCoord))*4
+	return b
+}

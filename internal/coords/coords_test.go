@@ -1,0 +1,276 @@
+package coords
+
+import (
+	"math"
+	"testing"
+
+	"tpascd/internal/datasets"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/rng"
+	"tpascd/internal/sparse"
+)
+
+func testProblem(t testing.TB, seed uint64, n, m, nnzPerRow int, lambda float64) *ridge.Problem {
+	t.Helper()
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, m, n*nnzPerRow)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			coo.Append(i, r.Intn(m), float32(r.NormFloat64()))
+		}
+	}
+	y := make([]float32, n)
+	for i := range y {
+		y[i] = float32(r.NormFloat64())
+	}
+	p, err := ridge.NewProblem(coo.ToCSR(), y, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromProblemValid(t *testing.T) {
+	p := testProblem(t, 1, 30, 20, 4, 0.1)
+	for _, form := range []perfmodel.Form{perfmodel.Primal, perfmodel.Dual} {
+		v := FromProblem(p, form)
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%v view invalid: %v", form, err)
+		}
+		if form == perfmodel.Primal && (v.Num != p.M || v.SharedLen != p.N) {
+			t.Fatalf("primal dims wrong: %d %d", v.Num, v.SharedLen)
+		}
+		if form == perfmodel.Dual && (v.Num != p.N || v.SharedLen != p.M) {
+			t.Fatalf("dual dims wrong: %d %d", v.Num, v.SharedLen)
+		}
+		if v.NNZ() != int64(p.A.NNZ()) {
+			t.Fatalf("NNZ = %d, want %d", v.NNZ(), p.A.NNZ())
+		}
+	}
+}
+
+// Delta through the view must equal Delta through the ridge package.
+func TestDeltaMatchesRidge(t *testing.T) {
+	p := testProblem(t, 2, 40, 25, 5, 0.05)
+	r := rng.New(3)
+	w := make([]float32, p.N)
+	beta := make([]float32, p.M)
+	for i := range w {
+		w[i] = float32(r.NormFloat64())
+	}
+	for j := range beta {
+		beta[j] = float32(r.NormFloat64())
+	}
+	v := FromProblem(p, perfmodel.Primal)
+	get := func(i int32) float32 { return w[i] }
+	for m := 0; m < p.M; m++ {
+		want := p.PrimalDelta(m, w, beta[m])
+		got := v.Delta(m, get, beta[m])
+		if math.Abs(float64(got-want)) > 1e-6 {
+			t.Fatalf("primal delta %d: %v vs %v", m, got, want)
+		}
+	}
+	wbar := make([]float32, p.M)
+	alpha := make([]float32, p.N)
+	for i := range wbar {
+		wbar[i] = float32(r.NormFloat64())
+	}
+	dv := FromProblem(p, perfmodel.Dual)
+	getW := func(i int32) float32 { return wbar[i] }
+	for n := 0; n < p.N; n++ {
+		want := p.DualDelta(n, wbar, alpha[n])
+		got := dv.Delta(n, getW, alpha[n])
+		if math.Abs(float64(got-want)) > 1e-6 {
+			t.Fatalf("dual delta %d: %v vs %v", n, got, want)
+		}
+	}
+}
+
+// A subset view must produce the same deltas as the full view for the
+// coordinates it contains.
+func TestSubsetDeltasMatchFull(t *testing.T) {
+	p := testProblem(t, 4, 35, 22, 4, 0.05)
+	r := rng.New(5)
+	ids := []int{3, 7, 11, 19}
+	w := make([]float32, p.N)
+	for i := range w {
+		w[i] = float32(r.NormFloat64())
+	}
+	get := func(i int32) float32 { return w[i] }
+	full := FromProblem(p, perfmodel.Primal)
+	sub := Subset(p, perfmodel.Primal, ids)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, id := range ids {
+		want := full.Delta(id, get, 0.25)
+		got := sub.Delta(k, get, 0.25)
+		if math.Abs(float64(got-want)) > 1e-6 {
+			t.Fatalf("subset delta %d: %v vs %v", k, got, want)
+		}
+	}
+
+	wbar := make([]float32, p.M)
+	for i := range wbar {
+		wbar[i] = float32(r.NormFloat64())
+	}
+	getW := func(i int32) float32 { return wbar[i] }
+	fullD := FromProblem(p, perfmodel.Dual)
+	rows := []int{0, 5, 17, 34}
+	subD := Subset(p, perfmodel.Dual, rows)
+	if err := subD.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, id := range rows {
+		want := fullD.Delta(id, getW, -0.5)
+		got := subD.Delta(k, getW, -0.5)
+		if math.Abs(float64(got-want)) > 1e-6 {
+			t.Fatalf("dual subset delta %d: %v vs %v", k, got, want)
+		}
+	}
+}
+
+// Subsets over a partition must cover all non-zeros exactly once.
+func TestSubsetsCoverProblem(t *testing.T) {
+	p := testProblem(t, 6, 40, 24, 4, 0.1)
+	partA := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22}
+	partB := []int{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23}
+	a := Subset(p, perfmodel.Primal, partA)
+	b := Subset(p, perfmodel.Primal, partB)
+	if a.NNZ()+b.NNZ() != int64(p.A.NNZ()) {
+		t.Fatalf("partition lost non-zeros: %d + %d != %d", a.NNZ(), b.NNZ(), p.A.NNZ())
+	}
+}
+
+func TestValidateCatchesBadViews(t *testing.T) {
+	p := testProblem(t, 7, 20, 10, 3, 0.1)
+	v := FromProblem(p, perfmodel.Primal)
+	bad := *v
+	bad.Norms = bad.Norms[:2]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short norms accepted")
+	}
+	bad2 := *v
+	bad2.SharedLen = 1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range indices accepted")
+	}
+	bad3 := *v
+	bad3.YShared = nil
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("missing labels accepted")
+	}
+}
+
+func TestBytesPositive(t *testing.T) {
+	p := testProblem(t, 8, 20, 10, 3, 0.1)
+	if FromProblem(p, perfmodel.Primal).Bytes() <= 0 {
+		t.Fatal("Bytes must be positive")
+	}
+}
+
+// onesProblem builds an all-ones (one-hot-style) problem.
+func onesProblem(t testing.TB, n, m, nnzPerRow int) *ridge.Problem {
+	t.Helper()
+	r := rng.New(99)
+	coo := sparse.NewCOO(n, m, n*nnzPerRow)
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{}
+		for len(seen) < nnzPerRow {
+			j := r.Intn(m)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			coo.Append(i, j, 1)
+		}
+	}
+	y := make([]float32, n)
+	for i := range y {
+		y[i] = float32(2*(i%2) - 1)
+	}
+	p, err := ridge.NewProblem(coo.ToCSR(), y, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Unit-value views (the paper's footnote-2 memory optimization for criteo)
+// must behave identically to explicit-value views and be smaller.
+func TestUnitValueViewEquivalence(t *testing.T) {
+	p := onesProblem(t, 60, 30, 4)
+	for _, form := range []perfmodel.Form{perfmodel.Primal, perfmodel.Dual} {
+		auto := FromProblem(p, form)
+		if !auto.UnitValues {
+			t.Fatalf("%v: all-ones view not converted to pattern storage", form)
+		}
+		if err := auto.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild an explicit view by suppressing the conversion.
+		explicit := FromProblem(p, form)
+		explicit.UnitValues = false
+		if form == perfmodel.Primal {
+			explicit.Val = p.ACols.Val
+		} else {
+			explicit.Val = p.A.Val
+		}
+		shared := make([]float32, auto.SharedLen)
+		r := rng.New(5)
+		for i := range shared {
+			shared[i] = float32(r.NormFloat64())
+		}
+		get := func(i int32) float32 { return shared[i] }
+		for c := 0; c < auto.Num; c++ {
+			da := auto.Delta(c, get, 0.3)
+			de := explicit.Delta(c, get, 0.3)
+			if da != de {
+				t.Fatalf("%v coordinate %d: pattern delta %v != explicit %v", form, c, da, de)
+			}
+		}
+		if auto.Bytes() >= explicit.Bytes() {
+			t.Fatalf("%v: pattern view (%d B) not smaller than explicit (%d B)", form, auto.Bytes(), explicit.Bytes())
+		}
+		if auto.NNZ() != explicit.NNZ() {
+			t.Fatalf("NNZ changed: %d vs %d", auto.NNZ(), explicit.NNZ())
+		}
+	}
+}
+
+func TestNonUnitViewStaysExplicit(t *testing.T) {
+	p := testProblem(t, 30, 30, 20, 4, 0.1)
+	v := FromProblem(p, perfmodel.Primal)
+	if v.UnitValues {
+		t.Fatal("random-valued view wrongly converted")
+	}
+	if v.Val == nil {
+		t.Fatal("value array dropped for non-unit data")
+	}
+}
+
+// The criteo-like generator produces all-ones data, so its views must
+// auto-convert to pattern-only storage (the paper's footnote-2 memory
+// optimization) and shrink accordingly.
+func TestCriteoViewsUsePatternStorage(t *testing.T) {
+	a, y, err := datasets.Criteo(datasets.CriteoConfig{
+		N: 2000, Fields: 8, CardinalityBase: 400, PositiveRate: 0.25, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ridge.NewProblem(a, y, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := FromProblem(p, perfmodel.Dual)
+	if !v.UnitValues {
+		t.Fatal("criteo-like view not pattern-only")
+	}
+	// The index array (4 B/nnz) should dominate; the dropped value array
+	// would have added another 4 B/nnz.
+	if v.Bytes() > int64(len(v.Idx))*4+int64(len(v.Ptr))*8+int64(v.Num)*8+int64(v.Num)*4+4096 {
+		t.Fatalf("pattern view unexpectedly large: %d bytes", v.Bytes())
+	}
+}

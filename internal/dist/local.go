@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"runtime"
+	"sync"
+
+	"tpascd/internal/atomicf"
+	"tpascd/internal/coords"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/rng"
+	"tpascd/internal/tpascd"
+)
+
+// Local is the per-worker local solver plugged into the distributed
+// algorithms: one call performs a full permuted pass over the worker's
+// coordinates, updating the local model and the (worker-local copy of the)
+// global shared vector in place.
+type Local interface {
+	// Epoch mutates model (length = number of local coordinates) and
+	// shared (global shared-vector length) in place.
+	Epoch(model, shared []float32)
+	// EpochTimes returns the modeled per-epoch cost of this local solver:
+	// compute seconds and PCIe staging seconds (zero for CPU solvers).
+	EpochTimes() (compute, pcie float64)
+	// NumCoords returns the number of local coordinates.
+	NumCoords() int
+}
+
+// CPUMode selects the local CPU solver variant.
+type CPUMode int
+
+// The CPU local-solver variants evaluated in the paper.
+const (
+	// Sequential is single-threaded Algorithm 1, the local solver of the
+	// Fig. 3-6 experiments.
+	Sequential CPUMode = iota
+	// Atomic is A-SCD with lossless atomic shared-vector updates.
+	Atomic
+	// Wild is PASSCoDe-Wild with racy updates, the strongest CPU baseline
+	// in the Fig. 10 comparison.
+	Wild
+)
+
+// CPULocal runs a coordinate-descent epoch over a coords.View on the host.
+type CPULocal struct {
+	view    *coords.View
+	mode    CPUMode
+	threads int
+	profile perfmodel.CPUProfile
+	rng     *rng.Xoshiro256
+	perm    []int
+	sigma   float64 // CoCoA+ subproblem-safety σ′ (1 = exact steps)
+	scratch []float32
+}
+
+// SetSigma sets the CoCoA+ σ′ damping of the local steps (values < 1 are
+// clamped to 1).
+func (l *CPULocal) SetSigma(sigma float64) {
+	if sigma < 1 {
+		sigma = 1
+	}
+	l.sigma = sigma
+}
+
+// NewCPULocal builds a CPU local solver. threads is ignored for Sequential.
+func NewCPULocal(view *coords.View, mode CPUMode, threads int, profile perfmodel.CPUProfile, seed uint64) *CPULocal {
+	if mode == Sequential {
+		threads = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return &CPULocal{view: view, mode: mode, threads: threads, profile: profile, rng: rng.New(seed), sigma: 1}
+}
+
+// Epoch performs one permuted pass over the local coordinates.
+//
+// With σ′ > 1 the pass solves the CoCoA+ local subproblem: the working
+// shared vector carries the local updates scaled by σ′ (the subproblem's
+// quadratic term is σ′/(2N)·‖A_kΔβ_k‖²), and the unscaled delta is handed
+// back at the end so the driver aggregates true A_kΔβ_k contributions.
+func (l *CPULocal) Epoch(model, shared []float32) {
+	v := l.view
+	l.perm = l.rng.Perm(v.Num, l.perm)
+	sigma32 := float32(l.sigma)
+	damped := l.sigma > 1
+	if damped {
+		if cap(l.scratch) < len(shared) {
+			l.scratch = make([]float32, len(shared))
+		}
+		copy(l.scratch[:len(shared)], shared)
+	}
+	finish := func() {
+		if !damped {
+			return
+		}
+		// shared currently holds w + σ′·A_kΔβ_k; rescale to w + A_kΔβ_k.
+		prev := l.scratch[:len(shared)]
+		for i := range shared {
+			shared[i] = prev[i] + (shared[i]-prev[i])/sigma32
+		}
+	}
+	if l.mode == Sequential || l.threads == 1 {
+		get := func(i int32) float32 { return shared[i] }
+		for _, c := range l.perm {
+			d := v.DeltaSigma(c, get, model[c], l.sigma)
+			model[c] += d
+			idx, val := v.CoordNZ(c)
+			for k := range idx {
+				shared[idx[k]] += sigma32 * val[k] * d
+			}
+		}
+		finish()
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (v.Num + l.threads - 1) / l.threads
+	for t := 0; t < l.threads; t++ {
+		lo := t * chunk
+		if lo >= v.Num {
+			break
+		}
+		hi := lo + chunk
+		if hi > v.Num {
+			hi = v.Num
+		}
+		wg.Add(1)
+		go func(cs []int) {
+			defer wg.Done()
+			get := func(i int32) float32 { return atomicf.LoadFloat32(&shared[i]) }
+			var stores uint
+			for _, c := range cs {
+				d := v.DeltaSigma(c, get, model[c], l.sigma)
+				model[c] += d
+				idx, val := v.CoordNZ(c)
+				if l.mode == Wild {
+					// Racy read-modify-write with the same few-core yield
+					// as scd.Async (see scd.wildYieldMask).
+					for k := range idx {
+						cur := atomicf.LoadFloat32(&shared[idx[k]])
+						if stores&1023 == 0 {
+							runtime.Gosched()
+						}
+						stores++
+						atomicf.StoreFloat32(&shared[idx[k]], cur+sigma32*val[k]*d)
+					}
+				} else {
+					for k := range idx {
+						atomicf.AddFloat32(&shared[idx[k]], sigma32*val[k]*d)
+					}
+				}
+			}
+		}(l.perm[lo:hi])
+	}
+	wg.Wait()
+	finish()
+}
+
+// EpochTimes returns the modeled CPU seconds per local epoch.
+func (l *CPULocal) EpochTimes() (float64, float64) {
+	return l.profile.EpochSeconds(l.view.NNZ(), int64(l.view.Num)), 0
+}
+
+// NumCoords returns the number of local coordinates.
+func (l *CPULocal) NumCoords() int { return l.view.Num }
+
+// GPULocal runs TPA-SCD on a simulated GPU as the local solver, staging the
+// shared vector over PCIe each epoch exactly as the Fig. 7 architecture
+// describes (dataset resident on the device; shared-vector updates copied
+// device→host for the network aggregation, new shared vector copied back).
+type GPULocal struct {
+	kernel *tpascd.Kernel
+}
+
+// NewGPULocal wraps a TPA-SCD kernel as a distributed local solver.
+func NewGPULocal(kernel *tpascd.Kernel) *GPULocal {
+	return &GPULocal{kernel: kernel}
+}
+
+// Epoch uploads the aggregated shared vector and current model, launches
+// one TPA-SCD epoch and downloads the results.
+func (l *GPULocal) Epoch(model, shared []float32) {
+	l.kernel.SetModel(model)
+	l.kernel.UploadShared(shared)
+	l.kernel.Epoch()
+	copy(model, l.kernel.Model())
+	l.kernel.DownloadShared(shared)
+}
+
+// EpochTimes returns the modeled kernel seconds and the PCIe seconds for
+// staging the shared vector on and off the device once each.
+func (l *GPULocal) EpochTimes() (float64, float64) {
+	bytes := int64(l.kernel.View().SharedLen) * 4
+	pcie := l.kernel.Device().TransferSeconds(bytes, true) * 2
+	return l.kernel.EpochSeconds(), pcie
+}
+
+// NumCoords returns the number of local coordinates.
+func (l *GPULocal) NumCoords() int { return l.kernel.View().Num }
+
+// Close releases the kernel's device memory.
+func (l *GPULocal) Close() { l.kernel.Close() }

@@ -1,0 +1,89 @@
+package elasticnet
+
+import (
+	"testing"
+
+	"tpascd/internal/ridge"
+)
+
+func TestPathBasicShape(t *testing.T) {
+	base := testProblem(t, 20, 200, 80, 8, 0.05, 0) // lambda placeholder
+	points, err := Path(base.Problem, 0.9, 10, 0.01, 1e-4, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("path has %d points, want 10", len(points))
+	}
+	// λ strictly decreasing along the path.
+	for i := 1; i < len(points); i++ {
+		if points[i].Lambda >= points[i-1].Lambda {
+			t.Fatalf("lambda not decreasing at %d: %v >= %v", i, points[i].Lambda, points[i-1].Lambda)
+		}
+	}
+	// At λ_max the solution is (essentially) all zero.
+	if points[0].NNZ > base.M/20 {
+		t.Fatalf("λ_max solution has %d non-zeros", points[0].NNZ)
+	}
+	// Sparsity relaxes (weakly) as λ shrinks, comparing path ends.
+	if points[len(points)-1].NNZ <= points[0].NNZ {
+		t.Fatalf("path end (%d nnz) not denser than start (%d nnz)",
+			points[len(points)-1].NNZ, points[0].NNZ)
+	}
+}
+
+func TestPathWarmStartsSaveEpochs(t *testing.T) {
+	base := testProblem(t, 21, 150, 60, 6, 0.05, 0)
+	points, err := Path(base.Problem, 0.8, 8, 0.05, 1e-4, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later points, warm-started, should converge in far fewer epochs than
+	// the budget.
+	for i := 2; i < len(points); i++ {
+		if points[i].Epochs >= 500 {
+			t.Fatalf("point %d (λ=%v) exhausted the epoch budget", i, points[i].Lambda)
+		}
+	}
+}
+
+func TestPathSolutionsAreOptimal(t *testing.T) {
+	base := testProblem(t, 22, 120, 50, 5, 0.05, 0)
+	points, err := Path(base.Problem, 1.0, 6, 0.05, 1e-5, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-verify each KKT certificate independently.
+	for i, pt := range points {
+		lp, err := newRidge(t, base, pt.Lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProblem(lp, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := p.OptimalityViolation(pt.Beta); v > 1e-4 {
+			t.Fatalf("path point %d (λ=%v) violates KKT by %v", i, pt.Lambda, v)
+		}
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	base := testProblem(t, 23, 30, 15, 3, 0.05, 0)
+	if _, err := Path(base.Problem, 0, 5, 0.1, 1e-4, 10, 1); err == nil {
+		t.Fatal("alpha=0 accepted (no L1 term, λ_max undefined)")
+	}
+	if _, err := Path(base.Problem, 0.5, 1, 0.1, 1e-4, 10, 1); err == nil {
+		t.Fatal("single-point path accepted")
+	}
+	if _, err := Path(base.Problem, 0.5, 5, 1.5, 1e-4, 10, 1); err == nil {
+		t.Fatal("lambdaMinRatio > 1 accepted")
+	}
+}
+
+// newRidge rebuilds a ridge problem at a given lambda from an existing one.
+func newRidge(t *testing.T, p *Problem, lambda float64) (*ridge.Problem, error) {
+	t.Helper()
+	return ridge.NewProblem(p.A, p.Y, lambda)
+}

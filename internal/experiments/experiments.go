@@ -1,0 +1,146 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (the paper has no tables). Each FigN function runs the corresponding
+// experiment end to end — dataset generation, training with real solvers,
+// honest duality-gap measurement, simulated-time accounting — and returns
+// the figure's series, ready to print or write as CSV.
+//
+// Figure index (see DESIGN.md for the full mapping):
+//
+//	Fig1  primal convergence: SCD / A-SCD / PASSCoDe-Wild / TPA-SCD ×2 GPUs
+//	Fig2  the same for the dual form
+//	Fig3  distributed SCD vs worker count (primal & dual)
+//	Fig4  averaging vs adaptive aggregation, K=8 (primal & dual)
+//	Fig5  evolution of the optimal aggregation parameter γ
+//	Fig6  time to reach duality gap ε vs workers (primal & dual)
+//	Fig8  distributed TPA-SCD vs distributed SCD on two GPU clusters
+//	Fig9  computation vs communication breakdown on the M4000 cluster
+//	Fig10 large-scale criteo-like comparison, K=4
+//
+// (Fig. 7 of the paper is an architecture schematic, not an experiment.)
+package experiments
+
+import (
+	"fmt"
+
+	"tpascd/internal/datasets"
+	"tpascd/internal/ridge"
+	"tpascd/internal/trace"
+)
+
+// Scale sizes the experiments. The real datasets need hundreds of gigabytes
+// and a GPU cluster; Default() reproduces every figure's shape at laptop
+// scale in minutes, Quick() is a smoke-test scale used by the test suite.
+type Scale struct {
+	Webspam datasets.WebspamConfig
+	Criteo  datasets.CriteoConfig
+	// Lambda is the regularization constant; the paper uses 0.001
+	// everywhere.
+	Lambda float64
+	// Threads is the thread count of the asynchronous CPU solvers (16 in
+	// the paper).
+	Threads int
+	// BlockSize is the TPA-SCD threads-per-block.
+	BlockSize int
+	// Epoch budgets per figure family.
+	SingleDeviceEpochs int // Figs. 1-2
+	DistPrimalEpochs   int // Figs. 3-6 primal
+	DistDualEpochs     int // Figs. 3-6 dual
+	GPUClusterEpochs   int // Figs. 8-9
+	LargeScaleEpochs   int // Fig. 10
+	// Epsilons are the time-to-accuracy targets of Figs. 6 and 8.
+	Epsilons []float64
+	// Fig9Target is the duality gap the Fig. 9 breakdown trains to.
+	Fig9Target float64
+	Seed       uint64
+}
+
+// Default reproduces the figures at laptop scale.
+func Default() Scale {
+	return Scale{
+		Webspam:            datasets.WebspamDefault(),
+		Criteo:             datasets.CriteoDefault(),
+		Lambda:             0.001,
+		Threads:            16,
+		BlockSize:          64,
+		SingleDeviceEpochs: 120,
+		DistPrimalEpochs:   300,
+		DistDualEpochs:     120,
+		GPUClusterEpochs:   150,
+		LargeScaleEpochs:   120,
+		Epsilons:           []float64{3e-3, 3e-4, 3e-5},
+		Fig9Target:         1e-5,
+		Seed:               1702,
+	}
+}
+
+// Quick is a down-scaled configuration for tests and smoke runs.
+func Quick() Scale {
+	s := Default()
+	s.Webspam = datasets.WebspamConfig{N: 1024, M: 512, AvgNNZPerRow: 16, Skew: 1, NoiseRate: 0.05, Seed: 20170222}
+	s.Criteo = datasets.CriteoConfig{N: 4000, Fields: 10, CardinalityBase: 800, PositiveRate: 0.25, Seed: 20151101}
+	s.SingleDeviceEpochs = 30
+	s.DistPrimalEpochs = 60
+	s.DistDualEpochs = 120
+	s.GPUClusterEpochs = 50
+	s.LargeScaleEpochs = 40
+	s.Epsilons = []float64{3e-2, 3e-3, 3e-4}
+	s.Fig9Target = 1e-3
+	return s
+}
+
+// webspamProblem builds the webspam-like ridge problem once per experiment.
+func (s Scale) webspamProblem() (*ridge.Problem, error) {
+	a, y, err := datasets.Webspam(s.Webspam)
+	if err != nil {
+		return nil, err
+	}
+	return ridge.NewProblem(a, y, s.Lambda)
+}
+
+// criteoProblem builds the criteo-like ridge problem.
+func (s Scale) criteoProblem() (*ridge.Problem, error) {
+	a, y, err := datasets.Criteo(s.Criteo)
+	if err != nil {
+		return nil, err
+	}
+	return ridge.NewProblem(a, y, s.Lambda)
+}
+
+// Runner regenerates one figure.
+type Runner func(Scale) ([]trace.Figure, error)
+
+// extraRunners holds the ablation experiments registered from
+// ablations.go.
+var extraRunners = map[string]Runner{}
+
+// Registry maps figure identifiers ("1", "2", ... "10") and ablation names
+// to their runners.
+func Registry() map[string]Runner {
+	reg := map[string]Runner{
+		"1":  Fig1,
+		"2":  Fig2,
+		"3":  Fig3,
+		"4":  Fig4,
+		"5":  Fig5,
+		"6":  Fig6,
+		"8":  Fig8,
+		"9":  Fig9,
+		"10": Fig10,
+	}
+	for k, v := range extraRunners {
+		reg[k] = v
+	}
+	return reg
+}
+
+// FigureIDs lists the registry keys in presentation order.
+func FigureIDs() []string { return []string{"1", "2", "3", "4", "5", "6", "8", "9", "10"} }
+
+// Run invokes the runner for the given figure id.
+func Run(id string, s Scale) ([]trace.Figure, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	return r(s)
+}

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"tpascd/internal/trace"
+)
+
+// All experiment tests run at Quick scale; the Default scale is exercised
+// by cmd/repro and the benchmark harness.
+
+func findSeries(t *testing.T, fig trace.Figure, label string) trace.Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q (have %v)", fig.Name, label, labels(fig))
+	return trace.Series{}
+}
+
+func labels(fig trace.Figure) []string {
+	out := make([]string, len(fig.Series))
+	for i, s := range fig.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range FigureIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("figure %s missing from registry", id)
+		}
+	}
+	if _, err := Run("7", Quick()); err == nil {
+		t.Fatal("figure 7 (schematic) should not be runnable")
+	}
+}
+
+func TestFig1ShapeHolds(t *testing.T) {
+	figs, err := Fig1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	if len(fig.Series) != 5 {
+		t.Fatalf("Fig1 has %d series, want 5 (%v)", len(fig.Series), labels(fig))
+	}
+	seq := findSeries(t, fig, "SCD (1 thread)")
+	seqFinal, _ := seq.Final()
+
+	// Atomic and GPU solvers track the sequential gap-vs-epoch curve.
+	for _, lbl := range []string{"TPA-SCD (M4000)", "TPA-SCD (Titan X)"} {
+		s := findSeries(t, fig, lbl)
+		f, _ := s.Final()
+		if f.Gap > 100*seqFinal.Gap+1e-7 {
+			t.Errorf("%s final gap %v far from sequential %v", lbl, f.Gap, seqFinal.Gap)
+		}
+	}
+
+	// Time-axis ordering at a common reachable accuracy: Titan X < M4000 <
+	// sequential.
+	eps := 1e-2
+	tSeq, ok1 := seq.TimeToGap(eps)
+	tM, ok2 := findSeries(t, fig, "TPA-SCD (M4000)").TimeToGap(eps)
+	tT, ok3 := findSeries(t, fig, "TPA-SCD (Titan X)").TimeToGap(eps)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("ε=%v not reached by all solvers", eps)
+	}
+	if !(tT < tM && tM < tSeq) {
+		t.Errorf("time ordering wrong: TitanX=%v M4000=%v seq=%v", tT, tM, tSeq)
+	}
+	// Speed-up factor should be an order of magnitude, not marginal.
+	if tSeq/tM < 5 {
+		t.Errorf("M4000 speed-up %v too small", tSeq/tM)
+	}
+}
+
+func TestFig2DualShapeHolds(t *testing.T) {
+	figs, err := Fig2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	seq := findSeries(t, fig, "SCD (1 thread)")
+	titan := findSeries(t, fig, "TPA-SCD (Titan X)")
+	eps := 1e-2
+	tSeq, ok1 := seq.TimeToGap(eps)
+	tT, ok2 := titan.TimeToGap(eps)
+	if !ok1 || !ok2 {
+		t.Fatalf("ε=%v not reached", eps)
+	}
+	if tSeq/tT < 10 {
+		t.Errorf("dual Titan X speed-up %v, expected large (paper: 35x)", tSeq/tT)
+	}
+}
+
+func TestFig3SlowdownWithWorkers(t *testing.T) {
+	figs, err := Fig3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("Fig3 panels = %d", len(figs))
+	}
+	for _, fig := range figs {
+		one := findSeries(t, fig, "1 Worker(s)")
+		eight := findSeries(t, fig, "8 Worker(s)")
+		f1, _ := one.Final()
+		f8, _ := eight.Final()
+		if f8.Gap <= f1.Gap {
+			t.Errorf("%s: 8 workers gap %v not slower than 1 worker %v", fig.Name, f8.Gap, f1.Gap)
+		}
+	}
+}
+
+func TestFig4AdaptiveWins(t *testing.T) {
+	figs, err := Fig4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primal panel: adaptive strictly better at the end (paper: ≈2x).
+	fig := figs[0]
+	avg, _ := findSeries(t, fig, "Averaging Aggregation").Final()
+	adp, _ := findSeries(t, fig, "Adaptive Aggregation").Final()
+	if adp.Gap >= avg.Gap {
+		t.Errorf("primal adaptive %v not better than averaging %v", adp.Gap, avg.Gap)
+	}
+}
+
+func TestFig5GammaAboveOneOverK(t *testing.T) {
+	figs, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range figs {
+		s := findSeries(t, fig, "8 Worker(s)")
+		f, ok := s.Final()
+		if !ok {
+			t.Fatal("empty gamma series")
+		}
+		if f.Gamma <= 1.0/8 {
+			t.Errorf("%s: settled γ=%v not above 1/8", fig.Name, f.Gamma)
+		}
+	}
+}
+
+func TestFig6AdaptiveScalesFlat(t *testing.T) {
+	figs, err := Fig6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primal: for the loosest ε, adaptive time at K=8 should not blow up
+	// versus K=1 by more than ~4x (paper: roughly flat).
+	fig := figs[0]
+	s := findSeries(t, fig, "Adaptive ε=3e-02")
+	var t1, t8 float64
+	var ok1, ok8 bool
+	for _, p := range s.Points {
+		if p.Epoch == 1 {
+			t1, ok1 = p.Seconds, true
+		}
+		if p.Epoch == 8 {
+			t8, ok8 = p.Seconds, true
+		}
+	}
+	if !ok1 || !ok8 {
+		t.Skipf("ε not reached at all worker counts (K=1 %v, K=8 %v)", ok1, ok8)
+	}
+	if t8 > 6*t1 {
+		t.Errorf("adaptive scaling broke: t(K=8)=%v vs t(K=1)=%v", t8, t1)
+	}
+}
+
+func TestFig8GPUMuchFasterThanCPU(t *testing.T) {
+	figs, err := Fig8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("Fig8 panels = %d", len(figs))
+	}
+	for _, fig := range figs {
+		// Compare at the loosest ε, K=4.
+		eps := "3e-02"
+		scd := findSeries(t, fig, "SCD ε="+eps)
+		gpu := findSeries(t, fig, "TPA-SCD ε="+eps)
+		var tCPU, tGPU float64
+		for _, p := range scd.Points {
+			if p.Epoch == 4 {
+				tCPU = p.Seconds
+			}
+		}
+		for _, p := range gpu.Points {
+			if p.Epoch == 4 {
+				tGPU = p.Seconds
+			}
+		}
+		if tCPU == 0 || tGPU == 0 {
+			t.Fatalf("%s: ε=%s not reached at K=4 (cpu %v gpu %v)", fig.Name, eps, tCPU, tGPU)
+		}
+		if tCPU/tGPU < 3 {
+			t.Errorf("%s: GPU speed-up %v too small", fig.Name, tCPU/tGPU)
+		}
+	}
+}
+
+func TestFig9BreakdownShape(t *testing.T) {
+	figs, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	gpu := findSeries(t, fig, "Comp. Time (GPU)")
+	net := findSeries(t, fig, "Comm. Time (Network)")
+	if len(gpu.Points) != 4 || len(net.Points) != 4 {
+		t.Fatalf("breakdown points: gpu %d net %d", len(gpu.Points), len(net.Points))
+	}
+	// GPU compute dominates network at K=1; network share grows with K.
+	if gpu.Points[0].Seconds <= net.Points[0].Seconds {
+		t.Errorf("network (%v) dominates GPU (%v) at K=1", net.Points[0].Seconds, gpu.Points[0].Seconds)
+	}
+	shareAt := func(i int) float64 {
+		total := 0.0
+		for _, s := range fig.Series {
+			total += s.Points[i].Seconds
+		}
+		if total == 0 {
+			return 0
+		}
+		return net.Points[i].Seconds / total
+	}
+	if !(shareAt(3) > shareAt(0)) {
+		t.Errorf("network share did not grow with K: %v vs %v", shareAt(3), shareAt(0))
+	}
+}
+
+func TestFig10LargeScaleOrdering(t *testing.T) {
+	figs, err := Fig10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	if len(fig.Series) != 3 {
+		t.Fatalf("Fig10 series = %v", labels(fig))
+	}
+	// At a common reachable gap, TPA-SCD must be fastest.
+	scd := fig.Series[0]
+	gpu := fig.Series[2]
+	eps := math.Max(scd.MinGap(), gpu.MinGap()) * 2
+	tCPU, ok1 := scd.TimeToGap(eps)
+	tGPU, ok2 := gpu.TimeToGap(eps)
+	if !ok1 || !ok2 {
+		t.Fatalf("common ε=%v not reached (cpu %v gpu %v)", eps, ok1, ok2)
+	}
+	if tCPU/tGPU < 5 {
+		t.Errorf("large-scale GPU speed-up %v too small (paper: ≈40x)", tCPU/tGPU)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short mode")
+	}
+	for _, id := range AblationIDs() {
+		figs, err := Run(id, Quick())
+		if err != nil {
+			t.Fatalf("ablation %s: %v", id, err)
+		}
+		if len(figs) == 0 || len(figs[0].Series) == 0 {
+			t.Fatalf("ablation %s produced no data", id)
+		}
+	}
+}
+
+func TestAblationGammaOrdering(t *testing.T) {
+	figs, err := AblationGamma(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	adaptive := findSeries(t, fig, "γ* (adaptive)")
+	averaging := findSeries(t, fig, "γ = 1/K (averaging)")
+	fa, _ := adaptive.Final()
+	fv, _ := averaging.Final()
+	if fa.Gap >= fv.Gap {
+		t.Fatalf("adaptive gap %v not better than averaging %v", fa.Gap, fv.Gap)
+	}
+}
+
+func TestAblationSGDSCDWins(t *testing.T) {
+	figs, err := AblationSGD(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	scdFinal, _ := findSeries(t, fig, "SCD (exact coordinate steps)").Final()
+	for _, s := range fig.Series[1:] {
+		f, _ := s.Final()
+		if scdFinal.Gap >= f.Gap {
+			t.Fatalf("SCD gap %v not better than %s gap %v", scdFinal.Gap, s.Label, f.Gap)
+		}
+	}
+}

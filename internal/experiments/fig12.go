@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tpascd/internal/gpusim"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/scd"
+	"tpascd/internal/tpascd"
+	"tpascd/internal/trace"
+)
+
+// epochSolver is the common surface of the single-device solvers.
+type epochSolver interface {
+	RunEpoch()
+	Gap() float64
+	Name() string
+	EpochWork() (nnz, coords int64)
+}
+
+// runSolver trains for the given number of epochs, recording the honest gap
+// and cumulative simulated seconds (secondsPerEpoch is constant for every
+// solver family: work per epoch does not change).
+func runSolver(s epochSolver, epochs int, secondsPerEpoch float64) trace.Series {
+	series := trace.Series{Label: s.Name()}
+	var elapsed float64
+	for e := 1; e <= epochs; e++ {
+		s.RunEpoch()
+		elapsed += secondsPerEpoch
+		series.Append(trace.Point{Epoch: e, Seconds: elapsed, Gap: s.Gap()})
+	}
+	return series
+}
+
+// singleDeviceFigure runs the five solver configurations of Fig. 1 / Fig. 2
+// on the webspam-like dataset for the given formulation.
+func singleDeviceFigure(s Scale, form perfmodel.Form, name, title string) ([]trace.Figure, error) {
+	p, err := s.webspamProblem()
+	if err != nil {
+		return nil, err
+	}
+	sc := webspamScaling(p, form)
+	nnz := int64(p.A.NNZ())
+	coords := int64(p.M)
+	if form == perfmodel.Dual {
+		coords = int64(p.N)
+	}
+	epochs := s.SingleDeviceEpochs
+
+	fig := trace.Figure{
+		Name:   name,
+		Title:  title,
+		XLabel: "epochs / time (s, simulated)",
+		YLabel: "duality gap",
+	}
+
+	// CPU solvers.
+	seq := scd.NewSequential(p, form, s.Seed)
+	fig.Add(runSolver(seq, epochs, sc.cpu(perfmodel.CPUSequential).EpochSeconds(nnz, coords)))
+
+	atom := scd.NewAtomic(p, form, s.Threads, s.Seed)
+	fig.Add(runSolver(atom, epochs, sc.cpu(perfmodel.CPUAtomic16).EpochSeconds(nnz, coords)))
+
+	wild := scd.NewWild(p, form, s.Threads, s.Seed)
+	fig.Add(runSolver(wild, epochs, sc.cpu(perfmodel.CPUWild16).EpochSeconds(nnz, coords)))
+
+	// GPU solvers.
+	for _, gp := range []perfmodel.GPUProfile{perfmodel.GPUM4000, perfmodel.GPUTitanX} {
+		dev := gpusim.NewDevice(sc.gpu(gp))
+		solver, err := tpascd.NewSolver(p, form, dev, s.BlockSize, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", gp.Name, err)
+		}
+		fig.Add(runSolver(solver, epochs, solver.EpochSeconds()))
+		solver.Close()
+	}
+
+	fig.Remarks = append(fig.Remarks,
+		"panel (a): gap vs epochs — read the Epoch column",
+		"panel (b): gap vs time — read the Seconds column (simulated; see perfmodel)")
+	return []trace.Figure{fig}, nil
+}
+
+// Fig1 reproduces Fig. 1: convergence in duality gap of the SCD variants
+// for the primal form of ridge regression on the webspam-like dataset,
+// as a function of epochs (1a) and simulated time (1b).
+func Fig1(s Scale) ([]trace.Figure, error) {
+	return singleDeviceFigure(s, perfmodel.Primal, "fig1",
+		"Primal SCD convergence (webspam-like, λ=0.001)")
+}
+
+// Fig2 reproduces Fig. 2: the same comparison for the dual form.
+func Fig2(s Scale) ([]trace.Figure, error) {
+	return singleDeviceFigure(s, perfmodel.Dual, "fig2",
+		"Dual SCD convergence (webspam-like, λ=0.001)")
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tpascd/internal/dist"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/trace"
+)
+
+// workerCounts are the cluster sizes swept in Figs. 3, 5, 6 and 8.
+var workerCounts = []int{1, 2, 4, 8}
+
+// runGroup trains a distributed group, recording the collective gap, the
+// aggregation parameter and cumulative simulated seconds. Training stops
+// early once the gap reaches stopAt (0 disables early stopping).
+func runGroup(g *dist.Group, label string, epochs int, stopAt float64) (trace.Series, perfmodel.Breakdown, error) {
+	series := trace.Series{Label: label}
+	var total perfmodel.Breakdown
+	for e := 1; e <= epochs; e++ {
+		bd, err := g.RunEpoch()
+		if err != nil {
+			return series, total, err
+		}
+		total.Add(bd)
+		gap, err := g.Gap()
+		if err != nil {
+			return series, total, err
+		}
+		series.Append(trace.Point{Epoch: e, Seconds: total.Total(), Gap: gap, Gamma: g.Gamma()})
+		if stopAt > 0 && gap <= stopAt {
+			break
+		}
+	}
+	return series, total, nil
+}
+
+// cpuGroup builds a K-worker in-process cluster with sequential local
+// solvers over a 10GbE link model (the Figs. 3-6 configuration), with the
+// scale transformation applied (see scaling.go).
+func cpuGroup(p *ridge.Problem, form perfmodel.Form, k int, agg dist.Aggregation, seed uint64) (*dist.Group, error) {
+	sc := webspamScaling(p, form)
+	cfg := dist.Config{
+		Aggregation:     agg,
+		Link:            sc.link(perfmodel.Link10GbE),
+		HostFlopsPerSec: sc.hostFlops(),
+	}
+	return dist.NewCPUGroup(p, form, k, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential), cfg, seed)
+}
+
+func epochsFor(s Scale, form perfmodel.Form) int {
+	if form == perfmodel.Primal {
+		return s.DistPrimalEpochs
+	}
+	return s.DistDualEpochs
+}
+
+// Fig3 reproduces Fig. 3: convergence in duality gap of distributed SCD
+// (averaging aggregation) for 1, 2, 4 and 8 workers, primal (3a) and dual
+// (3b) forms.
+func Fig3(s Scale) ([]trace.Figure, error) {
+	p, err := s.webspamProblem()
+	if err != nil {
+		return nil, err
+	}
+	var figs []trace.Figure
+	for _, form := range []perfmodel.Form{perfmodel.Primal, perfmodel.Dual} {
+		fig := trace.Figure{
+			Name:   "fig3" + panel(form),
+			Title:  fmt.Sprintf("Distributed SCD, %s form (averaging)", form),
+			XLabel: "epochs",
+			YLabel: "duality gap",
+		}
+		for _, k := range workerCounts {
+			g, err := cpuGroup(p, form, k, dist.Averaging, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			series, _, err := runGroup(g, fmt.Sprintf("%d Worker(s)", k), epochsFor(s, form), 0)
+			g.Close()
+			if err != nil {
+				return nil, err
+			}
+			fig.Add(series)
+		}
+		fig.Remarks = append(fig.Remarks, "expect an approximately linear per-epoch slow-down with K")
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig4 reproduces Fig. 4: averaging vs adaptive aggregation with K=8
+// workers, primal (4a) and dual (4b) forms.
+func Fig4(s Scale) ([]trace.Figure, error) {
+	p, err := s.webspamProblem()
+	if err != nil {
+		return nil, err
+	}
+	const k = 8
+	var figs []trace.Figure
+	for _, form := range []perfmodel.Form{perfmodel.Primal, perfmodel.Dual} {
+		fig := trace.Figure{
+			Name:   "fig4" + panel(form),
+			Title:  fmt.Sprintf("Effect of adaptive aggregation, %s form, K=%d", form, k),
+			XLabel: "epochs",
+			YLabel: "duality gap",
+		}
+		for _, agg := range []dist.Aggregation{dist.Averaging, dist.Adaptive} {
+			g, err := cpuGroup(p, form, k, agg, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			label := "Averaging Aggregation"
+			if agg == dist.Adaptive {
+				label = "Adaptive Aggregation"
+			}
+			series, _, err := runGroup(g, label, epochsFor(s, form), 0)
+			g.Close()
+			if err != nil {
+				return nil, err
+			}
+			fig.Add(series)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig5 reproduces Fig. 5: evolution of the optimal aggregation parameter γ
+// over epochs for 1, 2, 4 and 8 workers (read the Gamma column).
+func Fig5(s Scale) ([]trace.Figure, error) {
+	p, err := s.webspamProblem()
+	if err != nil {
+		return nil, err
+	}
+	var figs []trace.Figure
+	for _, form := range []perfmodel.Form{perfmodel.Primal, perfmodel.Dual} {
+		fig := trace.Figure{
+			Name:   "fig5" + panel(form),
+			Title:  fmt.Sprintf("Evolution of optimal γ, %s form", form),
+			XLabel: "epochs",
+			YLabel: "aggregation parameter γ (Gamma column)",
+		}
+		for _, k := range workerCounts {
+			g, err := cpuGroup(p, form, k, dist.Adaptive, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			series, _, err := runGroup(g, fmt.Sprintf("%d Worker(s)", k), epochsFor(s, form)/2, 0)
+			g.Close()
+			if err != nil {
+				return nil, err
+			}
+			fig.Add(series)
+		}
+		fig.Remarks = append(fig.Remarks, "γ starts low, grows, settles well above 1/K")
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig6 reproduces Fig. 6: time to reach duality gap ε as a function of the
+// number of workers, averaging vs adaptive, primal (6a) and dual (6b).
+// Each series point has Epoch = worker count and Seconds = simulated time
+// to the series' ε.
+func Fig6(s Scale) ([]trace.Figure, error) {
+	p, err := s.webspamProblem()
+	if err != nil {
+		return nil, err
+	}
+	var figs []trace.Figure
+	for _, form := range []perfmodel.Form{perfmodel.Primal, perfmodel.Dual} {
+		fig := trace.Figure{
+			Name:   "fig6" + panel(form),
+			Kind:   trace.PerWorker,
+			Title:  fmt.Sprintf("Time to reach duality gap ε, %s form", form),
+			XLabel: "number of workers (Epoch column)",
+			YLabel: "time to ε (s, simulated)",
+		}
+		minEps := s.Epsilons[len(s.Epsilons)-1]
+		type run struct {
+			agg    dist.Aggregation
+			k      int
+			series trace.Series
+		}
+		var runs []run
+		for _, agg := range []dist.Aggregation{dist.Averaging, dist.Adaptive} {
+			for _, k := range workerCounts {
+				g, err := cpuGroup(p, form, k, agg, s.Seed)
+				if err != nil {
+					return nil, err
+				}
+				// Generous epoch budget: stop once the tightest ε is hit.
+				series, _, err := runGroup(g, "", epochsFor(s, form)*4, minEps)
+				g.Close()
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, run{agg, k, series})
+			}
+		}
+		for _, agg := range []dist.Aggregation{dist.Averaging, dist.Adaptive} {
+			for _, eps := range s.Epsilons {
+				label := fmt.Sprintf("%s ε=%.0e", aggLabel(agg), eps)
+				series := trace.Series{Label: label}
+				for _, r := range runs {
+					if r.agg != agg {
+						continue
+					}
+					if t, ok := r.series.TimeToGap(eps); ok {
+						series.Append(trace.Point{Epoch: r.k, Seconds: t, Gap: eps})
+					}
+				}
+				fig.Add(series)
+			}
+		}
+		fig.Remarks = append(fig.Remarks,
+			"with adaptive aggregation the time to a fixed ε stays roughly flat in K")
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+func panel(form perfmodel.Form) string {
+	if form == perfmodel.Primal {
+		return "a"
+	}
+	return "b"
+}
+
+func aggLabel(a dist.Aggregation) string {
+	if a == dist.Adaptive {
+		return "Adaptive"
+	}
+	return "Averaging"
+}

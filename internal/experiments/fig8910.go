@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tpascd/internal/dist"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/trace"
+)
+
+// gpuCluster describes one of the two GPU clusters of Fig. 8.
+type gpuCluster struct {
+	profile perfmodel.GPUProfile
+	link    perfmodel.Link
+	name    string
+}
+
+func fig8Clusters() []gpuCluster {
+	return []gpuCluster{
+		// Eight M4000s connected via 10 Gbit Ethernet (Fig. 8a).
+		{perfmodel.GPUM4000, perfmodel.Link10GbE, "M4000 cluster (10GbE)"},
+		// Four Titan X cards in one machine over the PCIe fabric (Fig. 8b).
+		{perfmodel.GPUTitanX, perfmodel.LinkPCIePeer, "Titan X cluster (PCIe)"},
+	}
+}
+
+func gpuGroup(p *ridge.Problem, form perfmodel.Form, k int, c gpuCluster, sc scaling, blockSize int, agg dist.Aggregation, seed uint64) (*dist.Group, error) {
+	cfg := dist.Config{
+		Aggregation:     agg,
+		Link:            sc.link(c.link),
+		PCIe:            sc.link(perfmodel.LinkPCIe3Pinned),
+		HostFlopsPerSec: sc.hostFlops(),
+	}
+	return dist.NewGPUGroup(p, form, k, sc.gpu(c.profile), blockSize, cfg, seed)
+}
+
+// Fig8 reproduces Fig. 8: time to reach duality gap ε for distributed
+// ridge regression in its dual form, comparing sequential-SCD local solvers
+// against TPA-SCD local solvers, on the M4000/10GbE cluster (8a) and the
+// Titan X/PCIe cluster (8b). Averaging aggregation, as in the paper
+// ("we have not applied the adaptive aggregation technique" there).
+// Each series point has Epoch = worker count and Seconds = time to ε.
+func Fig8(s Scale) ([]trace.Figure, error) {
+	p, err := s.webspamProblem()
+	if err != nil {
+		return nil, err
+	}
+	form := perfmodel.Dual
+	sc := webspamScaling(p, form)
+	minEps := s.Epsilons[len(s.Epsilons)-1]
+	var figs []trace.Figure
+	for ci, c := range fig8Clusters() {
+		fig := trace.Figure{
+			Name:   "fig8" + string(rune('a'+ci)),
+			Kind:   trace.PerWorker,
+			Title:  "Scaling out dual ridge regression: " + c.name,
+			XLabel: "number of workers (Epoch column)",
+			YLabel: "time to ε (s, simulated)",
+		}
+		type result struct {
+			label  string
+			k      int
+			series trace.Series
+		}
+		var results []result
+		for _, k := range workerCounts {
+			// CPU reference: sequential SCD locals over the same link.
+			gcpu, err := dist.NewCPUGroup(p, form, k, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential),
+				dist.Config{Aggregation: dist.Averaging, Link: sc.link(c.link), HostFlopsPerSec: sc.hostFlops()}, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			series, _, err := runGroup(gcpu, "", s.GPUClusterEpochs*4, minEps)
+			gcpu.Close()
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, result{"SCD", k, series})
+
+			ggpu, err := gpuGroup(p, form, k, c, sc, s.BlockSize, dist.Averaging, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			series, _, err = runGroup(ggpu, "", s.GPUClusterEpochs*4, minEps)
+			ggpu.Close()
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, result{"TPA-SCD", k, series})
+		}
+		for _, solver := range []string{"SCD", "TPA-SCD"} {
+			for _, eps := range s.Epsilons {
+				series := trace.Series{Label: fmt.Sprintf("%s ε=%.0e", solver, eps)}
+				for _, r := range results {
+					if r.label != solver {
+						continue
+					}
+					if t, ok := r.series.TimeToGap(eps); ok {
+						series.Append(trace.Point{Epoch: r.k, Seconds: t, Gap: eps})
+					}
+				}
+				fig.Add(series)
+			}
+		}
+		fig.Remarks = append(fig.Remarks,
+			"TPA-SCD locals should sit roughly an order of magnitude below SCD locals at every K")
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig9 reproduces Fig. 9: the simulated execution-time breakdown
+// (GPU compute / host compute / PCIe / network) of distributed dual
+// TPA-SCD on the M4000 cluster, trained to the target gap, for 1, 2, 4 and
+// 8 workers. Each category is one series with Epoch = worker count and
+// Seconds = accumulated category time.
+func Fig9(s Scale) ([]trace.Figure, error) {
+	p, err := s.webspamProblem()
+	if err != nil {
+		return nil, err
+	}
+	c := fig8Clusters()[0] // M4000 over 10GbE
+	sc := webspamScaling(p, perfmodel.Dual)
+	fig := trace.Figure{
+		Name:   "fig9",
+		Kind:   trace.PerWorker,
+		Title:  fmt.Sprintf("Computation vs communication to gap %.0e (M4000 cluster, dual)", s.Fig9Target),
+		XLabel: "number of workers (Epoch column)",
+		YLabel: "time (s, simulated)",
+	}
+	categories := []string{"Comp. Time (GPU)", "Comp. Time (Host)", "Comm. Time (PCIe)", "Comm. Time (Network)"}
+	series := make([]trace.Series, len(categories))
+	for i, name := range categories {
+		series[i] = trace.Series{Label: name}
+	}
+	for _, k := range workerCounts {
+		g, err := gpuGroup(p, perfmodel.Dual, k, c, sc, s.BlockSize, dist.Adaptive, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		_, bd, err := runGroup(g, "", s.GPUClusterEpochs*4, s.Fig9Target)
+		g.Close()
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range []float64{bd.GPUComp, bd.HostComp, bd.PCIe, bd.Network} {
+			series[i].Append(trace.Point{Epoch: k, Seconds: v})
+		}
+	}
+	for _, sr := range series {
+		fig.Add(sr)
+	}
+	fig.Remarks = append(fig.Remarks,
+		"GPU compute should dominate; the network share grows with K (≈17% at K=8 in the paper)")
+	return []trace.Figure{fig}, nil
+}
+
+// Fig10 reproduces Fig. 10: convergence in duality gap as a function of
+// time on the large criteo-like dataset with K=4 workers, comparing
+// distributed SCD with single-threaded locals, distributed PASSCoDe-Wild
+// with multi-threaded locals, and distributed TPA-SCD on Titan X devices
+// with adaptive aggregation.
+func Fig10(s Scale) ([]trace.Figure, error) {
+	p, err := s.criteoProblem()
+	if err != nil {
+		return nil, err
+	}
+	const k = 4
+	form := perfmodel.Dual // data distributed by training example
+	sc := criteoScaling(p)
+	fig := trace.Figure{
+		Name:   "fig10",
+		Title:  fmt.Sprintf("Large-scale criteo-like dataset (%d×%d, K=%d, dual)", p.N, p.M, k),
+		XLabel: "time (s, simulated)",
+		YLabel: "duality gap",
+	}
+
+	// Distributed SCD, 1-thread locals.
+	g1, err := dist.NewCPUGroup(p, form, k, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential),
+		dist.Config{Aggregation: dist.Averaging, Link: sc.link(perfmodel.Link10GbE), HostFlopsPerSec: sc.hostFlops()}, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	series, _, err := runGroup(g1, "SCD (1 thread)", s.LargeScaleEpochs, 0)
+	g1.Close()
+	if err != nil {
+		return nil, err
+	}
+	fig.Add(series)
+
+	// Distributed PASSCoDe-Wild, multi-threaded locals.
+	g2, err := dist.NewCPUGroup(p, form, k, dist.Wild, s.Threads, sc.cpu(perfmodel.CPUWild16),
+		dist.Config{Aggregation: dist.Averaging, Link: sc.link(perfmodel.Link10GbE), HostFlopsPerSec: sc.hostFlops()}, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	series, _, err = runGroup(g2, fmt.Sprintf("PASSCoDe (%d threads)", s.Threads), s.LargeScaleEpochs, 0)
+	g2.Close()
+	if err != nil {
+		return nil, err
+	}
+	fig.Add(series)
+
+	// Distributed TPA-SCD on Titan X devices, adaptive aggregation.
+	g3, err := dist.NewGPUGroup(p, form, k, sc.gpu(perfmodel.GPUTitanX), s.BlockSize,
+		dist.Config{Aggregation: dist.Adaptive, Link: sc.link(perfmodel.LinkPCIePeer),
+			PCIe: sc.link(perfmodel.LinkPCIe3Pinned), HostFlopsPerSec: sc.hostFlops()}, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	series, _, err = runGroup(g3, "TPA-SCD (Titan X)", s.LargeScaleEpochs, 0)
+	g3.Close()
+	if err != nil {
+		return nil, err
+	}
+	fig.Add(series)
+
+	fig.Remarks = append(fig.Remarks,
+		"expect TPA-SCD ≈40× faster than 1-thread locals and ≈20× faster than the wild locals at matched gap")
+	return []trace.Figure{fig}, nil
+}

@@ -1,0 +1,277 @@
+// Package gpusim is a structural simulator of the GPU execution model that
+// TPA-SCD (Algorithm 2 of the paper) is designed for.
+//
+// What is real: kernels are executed as a grid of thread blocks; only as
+// many blocks are resident at once as the device has SM slots
+// (NumSMs × BlocksPerSM), exactly like hardware block scheduling; resident
+// blocks run concurrently as goroutines and race on global-memory buffers
+// through genuine lock-free float32 atomic additions. The asynchronous
+// interleaving that determines TPA-SCD's convergence behaviour is therefore
+// emergent, not modeled.
+//
+// What is modeled: wall-clock time. The simulator counts work (elements
+// touched, atomic operations, blocks launched) and device-memory footprint;
+// the perfmodel package converts those counts into simulated seconds using
+// published device parameters. PCIe transfers are likewise accounted by a
+// latency + bandwidth model, distinguishing pinned from pageable staging
+// buffers as the paper's implementation does.
+//
+// Intra-block semantics: a block program runs phase-by-phase inside one
+// goroutine. The Block API (ParallelFor, ReduceSum, AtomicAdd) mirrors the
+// strided-loop + shared-memory tree-reduction structure of Algorithm 2, and
+// ReduceSum reproduces GPU numerics by accumulating per-lane partial sums
+// in float32 and combining them with a binary tree reduction in float32.
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tpascd/internal/atomicf"
+	"tpascd/internal/perfmodel"
+)
+
+// Device is a simulated GPU: a memory capacity, an SM configuration taken
+// from a perfmodel profile, and a PCIe endpoint.
+type Device struct {
+	Profile perfmodel.GPUProfile
+	// PinnedLink and PageableLink model the PCIe path for staging data
+	// between host and device memory.
+	PinnedLink, PageableLink perfmodel.Link
+
+	mu        sync.Mutex
+	allocated int64
+}
+
+// NewDevice returns a device with the given profile and the default PCIe
+// gen3 links.
+func NewDevice(profile perfmodel.GPUProfile) *Device {
+	return &Device{
+		Profile:      profile,
+		PinnedLink:   perfmodel.LinkPCIe3Pinned,
+		PageableLink: perfmodel.LinkPCIe3Pageable,
+	}
+}
+
+// Buffer is a device-resident float32 buffer. Concurrent blocks must access
+// it through the Block or atomic accessors.
+type Buffer struct {
+	data []float32
+	dev  *Device
+}
+
+// Len returns the number of elements.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Host returns the underlying storage for host-side (non-kernel) access.
+// Callers must not use it while a kernel is running.
+func (b *Buffer) Host() []float32 { return b.data }
+
+// Alloc reserves a float32 buffer in device memory.
+func (d *Device) Alloc(n int) (*Buffer, error) {
+	if err := d.reserve(int64(n) * 4); err != nil {
+		return nil, err
+	}
+	return &Buffer{data: make([]float32, n), dev: d}, nil
+}
+
+// Free releases a buffer's device memory.
+func (d *Device) Free(b *Buffer) {
+	if b == nil || b.dev != d {
+		return
+	}
+	d.release(int64(len(b.data)) * 4)
+	b.data, b.dev = nil, nil
+}
+
+// ReserveBytes accounts an opaque allocation (for example the CSR/CSC data
+// matrix transferred to the device once at start-up). It fails when the
+// device memory capacity would be exceeded — the constraint that motivates
+// the entire distributed part of the paper.
+func (d *Device) ReserveBytes(n int64) error { return d.reserve(n) }
+
+// ReleaseBytes returns an opaque allocation.
+func (d *Device) ReleaseBytes(n int64) { d.release(n) }
+
+// Allocated returns the current device-memory footprint in bytes.
+func (d *Device) Allocated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocated
+}
+
+func (d *Device) reserve(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.allocated+n > d.Profile.MemBytes {
+		return fmt.Errorf("gpusim: out of device memory on %s: %d + %d > %d",
+			d.Profile.Name, d.allocated, n, d.Profile.MemBytes)
+	}
+	d.allocated += n
+	return nil
+}
+
+func (d *Device) release(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.allocated -= n
+	if d.allocated < 0 {
+		d.allocated = 0
+	}
+}
+
+// TransferSeconds returns the modeled PCIe time for moving n bytes between
+// host and device.
+func (d *Device) TransferSeconds(bytes int64, pinned bool) float64 {
+	if pinned {
+		return d.PinnedLink.TransferSeconds(bytes)
+	}
+	return d.PageableLink.TransferSeconds(bytes)
+}
+
+// CopyToDevice copies host data into a device buffer and returns the
+// modeled PCIe seconds.
+func (d *Device) CopyToDevice(dst *Buffer, src []float32, pinned bool) float64 {
+	copy(dst.data, src)
+	return d.TransferSeconds(int64(len(src))*4, pinned)
+}
+
+// CopyFromDevice copies a device buffer into host memory and returns the
+// modeled PCIe seconds.
+func (d *Device) CopyFromDevice(dst []float32, src *Buffer, pinned bool) float64 {
+	copy(dst, src.data)
+	return d.TransferSeconds(int64(len(dst))*4, pinned)
+}
+
+// KernelStats reports the work a kernel launch performed; feed it to
+// perfmodel to obtain simulated time.
+type KernelStats struct {
+	// Blocks is the grid size (number of thread blocks executed).
+	Blocks int64
+	// Elements counts strided-loop element visits (ParallelFor and
+	// ReduceSum iterations).
+	Elements int64
+	// Atomics counts atomic global-memory operations.
+	Atomics int64
+	// BlockSize is the number of threads per block.
+	BlockSize int
+}
+
+// Block is the execution context handed to a block program. It is valid
+// only for the duration of the program call and must not be retained.
+type Block struct {
+	idx, dim int
+	elements int64
+	atomics  int64
+	scratch  []float32 // simulated shared memory for reductions
+}
+
+// Idx returns the block index within the grid (blockIdx.x).
+func (b *Block) Idx() int { return b.idx }
+
+// Dim returns the number of threads per block (blockDim.x).
+func (b *Block) Dim() int { return b.dim }
+
+// ParallelFor visits k = 0..n-1, modeling the canonical strided loop
+// ("i = u; while i < N: ...; i += nthreads"). fn runs sequentially within
+// the block's goroutine; concurrency exists between blocks, as on the GPU,
+// where the per-block work here is divided among warps whose relative
+// order within a block has no observable effect in Algorithm 2.
+func (b *Block) ParallelFor(n int, fn func(k int)) {
+	for k := 0; k < n; k++ {
+		fn(k)
+	}
+	b.elements += int64(n)
+}
+
+// ReduceSum computes sum_{k=0}^{n-1} term(k) the way Algorithm 2 does:
+// each of the Dim() lanes accumulates a strided partial sum in float32
+// ("dp_u"), the partials are cached in shared memory, and a binary tree
+// reduction in float32 combines them. The float32 rounding behaviour of
+// the hardware reduction is therefore reproduced.
+func (b *Block) ReduceSum(n int, term func(k int) float32) float32 {
+	if cap(b.scratch) < b.dim {
+		b.scratch = make([]float32, b.dim)
+	}
+	lanes := b.scratch[:b.dim]
+	for u := range lanes {
+		lanes[u] = 0
+	}
+	for k := 0; k < n; k++ {
+		lanes[k%b.dim] += term(k)
+	}
+	b.elements += int64(n)
+	// Tree reduction: v = dim/2, dim/4, ... as in the paper's listing.
+	for v := b.dim / 2; v > 0; v /= 2 {
+		for u := 0; u < v; u++ {
+			lanes[u] += lanes[u+v]
+		}
+	}
+	return lanes[0]
+}
+
+// AtomicAdd performs a hardware-style atomic float addition on a global
+// buffer element. Concurrent blocks may target the same element; no update
+// is ever lost.
+func (b *Block) AtomicAdd(buf *Buffer, i int32, v float32) {
+	atomicf.AddFloat32(&buf.data[i], v)
+	b.atomics++
+}
+
+// Read performs an atomic global-memory load. Other resident blocks may be
+// writing the same element concurrently; the value observed is whichever
+// update order the race produces, exactly the asynchrony TPA-SCD tolerates.
+func (b *Block) Read(buf *Buffer, i int32) float32 {
+	return atomicf.LoadFloat32(&buf.data[i])
+}
+
+// Write performs an atomic global-memory store.
+func (b *Block) Write(buf *Buffer, i int32, v float32) {
+	atomicf.StoreFloat32(&buf.data[i], v)
+	b.atomics++
+}
+
+// Launch executes a kernel: grid thread blocks of blockSize threads running
+// prog. Blocks are scheduled onto NumSMs×BlocksPerSM concurrent SM slots in
+// non-deterministic order, mirroring hardware block dispatch. Launch
+// returns when all blocks have completed (stream-synchronize semantics).
+func (d *Device) Launch(grid, blockSize int, prog func(b *Block)) KernelStats {
+	if grid <= 0 {
+		return KernelStats{BlockSize: blockSize}
+	}
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("gpusim: block size %d must be a positive power of two", blockSize))
+	}
+	slots := d.Profile.NumSMs * d.Profile.BlocksPerSM
+	if slots > grid {
+		slots = grid
+	}
+	var next int64 = -1
+	var elements, atomics int64
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blk := Block{dim: blockSize}
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i >= int64(grid) {
+					break
+				}
+				blk.idx = int(i)
+				prog(&blk)
+			}
+			atomic.AddInt64(&elements, blk.elements)
+			atomic.AddInt64(&atomics, blk.atomics)
+		}()
+	}
+	wg.Wait()
+	return KernelStats{
+		Blocks:    int64(grid),
+		Elements:  elements,
+		Atomics:   atomics,
+		BlockSize: blockSize,
+	}
+}

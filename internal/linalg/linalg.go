@@ -1,0 +1,212 @@
+// Package linalg provides the small set of dense vector and iterative-solver
+// primitives needed by the ridge-regression reference solutions and the
+// duality-gap computations.
+//
+// Model weights and the data matrix are float32 (as in the paper); all
+// reductions here accumulate in float64 so that duality gaps down to 1e-7
+// remain meaningful.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned by CG when the residual target is not met
+// within the iteration budget.
+var ErrNoConvergence = errors.New("linalg: conjugate gradient did not converge")
+
+// Dot returns the float64-accumulated inner product of two float32 vectors.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// Dot64 returns the inner product of two float64 vectors.
+func Dot64(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot64 length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// NormSq returns ‖a‖² accumulated in float64.
+func NormSq(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// NormSq64 returns ‖a‖² for a float64 vector.
+func NormSq64(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Sub computes dst = a - b.
+func Sub(dst, a, b []float32) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("linalg: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Copy32to64 widens a float32 vector.
+func Copy32to64(dst []float64, src []float32) {
+	for i := range src {
+		dst[i] = float64(src[i])
+	}
+}
+
+// Copy64to32 narrows a float64 vector.
+func Copy64to32(dst []float32, src []float64) {
+	for i := range src {
+		dst[i] = float32(src[i])
+	}
+}
+
+// MulVecFn is a matrix-free linear operator y = Op(x) on float64 vectors.
+type MulVecFn func(y, x []float64)
+
+// CG solves the symmetric positive-definite system Op(x) = b by the
+// conjugate-gradient method, starting from the zero vector. It returns the
+// number of iterations performed. tol is relative to ‖b‖.
+//
+// The experiment harness uses CG on the regularized normal equations
+// (AᵀA + NλI)β = Aᵀy to obtain reference optima P(β*) for small problems,
+// against which solver trajectories and duality gaps are cross-checked.
+func CG(op MulVecFn, b []float64, x []float64, tol float64, maxIter int) (int, error) {
+	n := len(b)
+	if len(x) != n {
+		panic("linalg: CG dimension mismatch")
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	r := make([]float64, n)
+	copy(r, b)
+	p := make([]float64, n)
+	copy(p, b)
+	ap := make([]float64, n)
+	rsOld := NormSq64(r)
+	bNorm := math.Sqrt(rsOld)
+	if bNorm == 0 {
+		return 0, nil
+	}
+	target := tol * bNorm
+	for it := 1; it <= maxIter; it++ {
+		op(ap, p)
+		pap := Dot64(p, ap)
+		if pap <= 0 {
+			return it, errors.New("linalg: operator not positive definite")
+		}
+		alpha := rsOld / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := NormSq64(r)
+		if math.Sqrt(rsNew) <= target {
+			return it, nil
+		}
+		beta := rsNew / rsOld
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rsOld = rsNew
+	}
+	return maxIter, ErrNoConvergence
+}
+
+// CholeskySolve solves the symmetric positive-definite system A·x = b by
+// an in-place Cholesky factorization of a copy of A (row-major dense).
+// It is the second, independent reference-solution path: the ridge tests
+// cross-check it against CG on the regularized normal equations, so a bug
+// in either solver cannot silently corrupt the reference optima the
+// experiment suite validates against.
+func CholeskySolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("linalg: CholeskySolve dimension mismatch")
+	}
+	// Copy the lower triangle.
+	l := make([][]float64, n)
+	for i := range l {
+		if len(a[i]) != n {
+			return nil, errors.New("linalg: CholeskySolve needs a square matrix")
+		}
+		l[i] = make([]float64, i+1)
+		copy(l[i], a[i][:i+1])
+	}
+	// Factorize: L·Lᵀ = A.
+	for j := 0; j < n; j++ {
+		d := l[j][j]
+		for k := 0; k < j; k++ {
+			d -= l[j][k] * l[j][k]
+		}
+		if d <= 0 {
+			return nil, errors.New("linalg: matrix not positive definite")
+		}
+		l[j][j] = math.Sqrt(d)
+		for i := j + 1; i < n; i++ {
+			s := l[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			l[i][j] = s / l[j][j]
+		}
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i][k] * y[k]
+		}
+		y[i] = s / l[i][i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k][i] * x[k]
+		}
+		x[i] = s / l[i][i]
+	}
+	return x, nil
+}

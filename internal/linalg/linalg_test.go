@@ -1,0 +1,311 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpascd/internal/rng"
+)
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestNormSq(t *testing.T) {
+	if got := NormSq([]float32{3, 4}); got != 25 {
+		t.Fatalf("NormSq = %v, want 25", got)
+	}
+	if got := NormSq64([]float64{3, 4}); got != 25 {
+		t.Fatalf("NormSq64 = %v, want 25", got)
+	}
+}
+
+func TestAxpyScaleSub(t *testing.T) {
+	x := []float32{1, 2}
+	y := []float32{10, 20}
+	Axpy(2, x, y)
+	if y[0] != 12 || y[1] != 24 {
+		t.Fatalf("Axpy result %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 6 || y[1] != 12 {
+		t.Fatalf("Scale result %v", y)
+	}
+	dst := make([]float32, 2)
+	Sub(dst, y, x)
+	if dst[0] != 5 || dst[1] != 10 {
+		t.Fatalf("Sub result %v", dst)
+	}
+}
+
+func TestWideningRoundTrip(t *testing.T) {
+	src := []float32{1.5, -2.25, 0}
+	wide := make([]float64, 3)
+	Copy32to64(wide, src)
+	narrow := make([]float32, 3)
+	Copy64to32(narrow, wide)
+	for i := range src {
+		if src[i] != narrow[i] {
+			t.Fatalf("round trip changed element %d", i)
+		}
+	}
+}
+
+// Property: Dot is bilinear in its first argument.
+func TestDotLinearity(t *testing.T) {
+	r := rng.New(1)
+	f := func(alphaRaw float32) bool {
+		// Clamp the generated scalar into a numerically sane range; the
+		// property is about bilinearity, not float32 overflow behaviour.
+		alpha := float32(math.Mod(float64(alphaRaw), 16))
+		if math.IsNaN(float64(alpha)) {
+			alpha = 0
+		}
+		n := 16
+		a := make([]float32, n)
+		b := make([]float32, n)
+		c := make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = float32(r.NormFloat64())
+			b[i] = float32(r.NormFloat64())
+			c[i] = float32(r.NormFloat64())
+		}
+		// ⟨a + αb, c⟩ == ⟨a,c⟩ + α⟨b,c⟩
+		sum := make([]float32, n)
+		for i := range sum {
+			sum[i] = a[i] + alpha*b[i]
+		}
+		lhs := Dot(sum, c)
+		rhs := Dot(a, c) + float64(alpha)*Dot(b, c)
+		return math.Abs(lhs-rhs) <= 1e-3*(1+math.Abs(lhs)+math.Abs(rhs))
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCGSolvesSPDSystem(t *testing.T) {
+	// 3x3 SPD matrix.
+	a := [3][3]float64{
+		{4, 1, 0},
+		{1, 3, 1},
+		{0, 1, 5},
+	}
+	op := func(y, x []float64) {
+		for i := 0; i < 3; i++ {
+			y[i] = 0
+			for j := 0; j < 3; j++ {
+				y[i] += a[i][j] * x[j]
+			}
+		}
+	}
+	b := []float64{1, 2, 3}
+	x := make([]float64, 3)
+	it, err := CG(op, b, x, 1e-12, 100)
+	if err != nil {
+		t.Fatalf("CG failed after %d iters: %v", it, err)
+	}
+	// Verify residual.
+	r := make([]float64, 3)
+	op(r, x)
+	for i := range r {
+		if math.Abs(r[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual[%d] = %v", i, r[i]-b[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	op := func(y, x []float64) { copy(y, x) }
+	x := []float64{99}
+	it, err := CG(op, []float64{0}, x, 1e-10, 10)
+	if err != nil || it != 0 {
+		t.Fatalf("CG on zero rhs: it=%d err=%v", it, err)
+	}
+	if x[0] != 0 {
+		t.Fatalf("x = %v, want 0", x[0])
+	}
+}
+
+func TestCGDiagnosesIndefinite(t *testing.T) {
+	op := func(y, x []float64) {
+		y[0] = -x[0]
+	}
+	x := make([]float64, 1)
+	if _, err := CG(op, []float64{1}, x, 1e-10, 10); err == nil {
+		t.Fatal("indefinite operator accepted")
+	}
+}
+
+func TestCGReportsNonConvergence(t *testing.T) {
+	// Identity needs exactly 1 iteration; give it 0 max iterations is not
+	// allowed, so use a harder random SPD system with maxIter=1.
+	r := rng.New(2)
+	const n = 40
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	// m = I + GGᵀ/n for random G gives spread eigenvalues.
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+		for j := range g[i] {
+			g[i][j] = r.NormFloat64()
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += g[i][k] * g[j][k]
+			}
+			m[i][j] = s / n
+		}
+		m[i][i] += 1
+	}
+	op := func(y, x []float64) {
+		for i := 0; i < n; i++ {
+			y[i] = 0
+			for j := 0; j < n; j++ {
+				y[i] += m[i][j] * x[j]
+			}
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x := make([]float64, n)
+	if _, err := CG(op, b, x, 1e-14, 1); err == nil {
+		t.Fatal("expected non-convergence with maxIter=1")
+	}
+}
+
+func BenchmarkDot4096(b *testing.B) {
+	x := make([]float32, 4096)
+	y := make([]float32, 4096)
+	for i := range x {
+		x[i], y[i] = 1, 2
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func TestCholeskySolveKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{4, 1, 0},
+		{1, 3, 1},
+		{0, 1, 5},
+	}
+	b := []float64{1, 2, 3}
+	x, err := CholeskySolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var s float64
+		for j := 0; j < 3; j++ {
+			s += a[i][j] * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-12 {
+			t.Fatalf("residual[%d] = %v", i, s-b[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, err := CholeskySolve([][]float64{{-1}}, []float64{1}); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	if _, err := CholeskySolve([][]float64{{1, 2}, {2, 1}}, []float64{1, 1}); err == nil {
+		t.Fatal("indefinite 2x2 accepted")
+	}
+}
+
+func TestCholeskyValidation(t *testing.T) {
+	if _, err := CholeskySolve(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := CholeskySolve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := CholeskySolve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+// Cross-validation of the two independent solvers: CG and Cholesky must
+// agree on random SPD systems.
+func TestCGMatchesCholesky(t *testing.T) {
+	r := rng.New(7)
+	const n = 25
+	for trial := 0; trial < 5; trial++ {
+		// A = GᵀG + I is SPD.
+		g := make([][]float64, n)
+		for i := range g {
+			g[i] = make([]float64, n)
+			for j := range g[i] {
+				g[i][j] = r.NormFloat64()
+			}
+		}
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := 0; j <= i; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += g[k][i] * g[k][j]
+				}
+				if i == j {
+					s += 1
+				}
+				a[i][j], a[j][i] = s, s
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		xChol, err := CholeskySolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := func(y, x []float64) {
+			for i := 0; i < n; i++ {
+				y[i] = 0
+				for j := 0; j < n; j++ {
+					y[i] += a[i][j] * x[j]
+				}
+			}
+		}
+		xCG := make([]float64, n)
+		if _, err := CG(op, b, xCG, 1e-13, 500); err != nil {
+			t.Fatal(err)
+		}
+		for i := range xChol {
+			if math.Abs(xChol[i]-xCG[i]) > 1e-8*(1+math.Abs(xChol[i])) {
+				t.Fatalf("trial %d: solvers disagree at %d: %v vs %v", trial, i, xChol[i], xCG[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package logistic
+
+import (
+	"math"
+	"testing"
+
+	"tpascd/internal/gpusim"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/rng"
+	"tpascd/internal/sparse"
+)
+
+func separableProblem(t testing.TB, seed uint64, n, m, nnzPerRow int, lambda float64) *Problem {
+	t.Helper()
+	r := rng.New(seed)
+	truth := make([]float64, m)
+	for j := range truth {
+		truth[j] = r.NormFloat64()
+	}
+	coo := sparse.NewCOO(n, m, n*nnzPerRow)
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var logit float64
+		for k := 0; k < nnzPerRow; k++ {
+			j := r.Intn(m)
+			v := float32(r.NormFloat64())
+			coo.Append(i, j, v)
+			logit += truth[j] * float64(v)
+		}
+		if logit >= 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	p, err := NewProblem(coo.ToCSR(), y, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	p := separableProblem(t, 1, 20, 10, 3, 0.1)
+	if _, err := NewProblem(nil, nil, 1); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := NewProblem(p.A, p.Y[:1], 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := NewProblem(p.A, p.Y, 0); err == nil {
+		t.Fatal("lambda=0 accepted")
+	}
+	bad := make([]float32, p.N)
+	if _, err := NewProblem(p.A, bad, 0.1); err == nil {
+		t.Fatal("zero labels accepted")
+	}
+}
+
+func TestLogOnePlusExp(t *testing.T) {
+	cases := []float64{-100, -35.5, -1, 0, 1, 35.5, 100}
+	for _, x := range cases {
+		got := logOnePlusExp(x)
+		var want float64
+		if x > 300 {
+			want = x
+		} else {
+			want = math.Log1p(math.Exp(x))
+		}
+		if math.IsInf(want, 1) {
+			want = x
+		}
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("logOnePlusExp(%v) = %v, want %v", x, got, want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("logOnePlusExp(%v) overflowed: %v", x, got)
+		}
+	}
+}
+
+func TestXlogx(t *testing.T) {
+	if xlogx(0) != 0 {
+		t.Fatal("0 log 0 != 0")
+	}
+	if math.Abs(xlogx(1)) > 1e-15 {
+		t.Fatal("1 log 1 != 0")
+	}
+	if math.Abs(xlogx(math.E)-math.E) > 1e-12 {
+		t.Fatalf("e log e = %v", xlogx(math.E))
+	}
+}
+
+func TestSolve1DIsRoot(t *testing.T) {
+	for _, tc := range []struct{ c, q float64 }{
+		{0, 0}, {3, 0}, {-3, 0}, {0, 5}, {2, 10}, {-7, 1}, {15, 0.5},
+	} {
+		a := solve1D(tc.c, tc.q)
+		if a <= 0 || a >= 1 {
+			t.Fatalf("root %v outside (0,1) for c=%v q=%v", a, tc.c, tc.q)
+		}
+		g := math.Log(a/(1-a)) + tc.c + tc.q*a
+		if math.Abs(g) > 1e-6 {
+			t.Fatalf("g(root) = %v for c=%v q=%v", g, tc.c, tc.q)
+		}
+	}
+}
+
+func TestWeakDuality(t *testing.T) {
+	p := separableProblem(t, 2, 50, 25, 5, 0.05)
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		alpha := make([]float32, p.N)
+		for i := range alpha {
+			alpha[i] = float32(r.Float64())
+		}
+		w := p.SharedFromAlpha(alpha)
+		if pv, dv := p.PrimalValue(w), p.DualValue(alpha, w); pv < dv-1e-9 {
+			t.Fatalf("weak duality violated: P=%v < D=%v", pv, dv)
+		}
+	}
+}
+
+// Each exact coordinate step increases (never decreases) the dual.
+func TestStepsIncreaseDual(t *testing.T) {
+	p := separableProblem(t, 4, 60, 30, 5, 0.05)
+	alpha := make([]float32, p.N)
+	// Dual is −∞-safe only on [0,1]; start from the interior.
+	for i := range alpha {
+		alpha[i] = 0.5
+	}
+	w := p.SharedFromAlpha(alpha)
+	r := rng.New(5)
+	scale := 1 / (p.Lambda * float64(p.N))
+	prev := p.DualValue(alpha, w)
+	for step := 0; step < 150; step++ {
+		i := r.Intn(p.N)
+		d := p.Delta(i, w, alpha[i])
+		if d == 0 {
+			continue
+		}
+		alpha[i] += d
+		c := float32(float64(d) * float64(p.Y[i]) * scale)
+		idx, val := p.A.Row(i)
+		for k := range idx {
+			w[idx[k]] += val[k] * c
+		}
+		cur := p.DualValue(alpha, w)
+		if cur < prev-1e-6 {
+			t.Fatalf("step %d decreased dual: %v -> %v", step, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestConverges(t *testing.T) {
+	p := separableProblem(t, 6, 200, 60, 8, 0.01)
+	s := NewSolver(p, 7)
+	g0 := s.Gap()
+	for e := 0; e < 60; e++ {
+		s.RunEpoch()
+	}
+	g := s.Gap()
+	if g >= g0 {
+		t.Fatalf("gap did not decrease: %v -> %v", g0, g)
+	}
+	if g > 1e-3 {
+		t.Fatalf("gap after 60 epochs = %v", g)
+	}
+}
+
+func TestAccuracyOnSeparableData(t *testing.T) {
+	p := separableProblem(t, 8, 300, 50, 10, 0.001)
+	s := NewSolver(p, 9)
+	for e := 0; e < 40; e++ {
+		s.RunEpoch()
+	}
+	if acc := s.Accuracy(); acc < 0.9 {
+		t.Fatalf("accuracy %v on separable data", acc)
+	}
+}
+
+func TestIteratesStayInOpenBox(t *testing.T) {
+	p := separableProblem(t, 10, 100, 40, 6, 0.01)
+	s := NewSolver(p, 11)
+	for e := 0; e < 15; e++ {
+		s.RunEpoch()
+		for i, a := range s.Alpha() {
+			if a < 0 || a > 1 {
+				t.Fatalf("alpha[%d] = %v outside [0,1]", i, a)
+			}
+		}
+	}
+}
+
+func TestSharedVectorConsistency(t *testing.T) {
+	p := separableProblem(t, 12, 80, 30, 6, 0.05)
+	s := NewSolver(p, 13)
+	for e := 0; e < 10; e++ {
+		s.RunEpoch()
+	}
+	fresh := p.SharedFromAlpha(s.Alpha())
+	for j := range fresh {
+		if math.Abs(float64(fresh[j]-s.Weights()[j])) > 1e-3 {
+			t.Fatalf("shared drift at %d: %v vs %v", j, s.Weights()[j], fresh[j])
+		}
+	}
+}
+
+func BenchmarkLogisticEpoch(b *testing.B) {
+	p := separableProblem(b, 1, 2048, 512, 16, 0.01)
+	s := NewSolver(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpoch()
+	}
+}
+
+func TestGPUMatchesCPU(t *testing.T) {
+	p := separableProblem(t, 40, 150, 50, 8, 0.01)
+	cpu := NewSolver(p, 15)
+	dev := gpusim.NewDevice(perfmodel.GPUTitanX)
+	gpu, err := NewGPU(p, dev, 32, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	for e := 0; e < 40; e++ {
+		cpu.RunEpoch()
+		gpu.RunEpoch()
+	}
+	gc, gg := cpu.Gap(), gpu.Gap()
+	if gg > 100*gc+1e-5 {
+		t.Fatalf("GPU gap %v far from CPU %v", gg, gc)
+	}
+	for i, a := range gpu.Alpha() {
+		if a < 0 || a > 1 {
+			t.Fatalf("GPU alpha[%d] = %v outside [0,1]", i, a)
+		}
+	}
+}
+
+func TestGPUValidationAndCleanup(t *testing.T) {
+	p := separableProblem(t, 41, 30, 15, 3, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	if _, err := NewGPU(p, dev, 3, 1); err == nil {
+		t.Fatal("bad block size accepted")
+	}
+	g, err := NewGPU(p, dev, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if dev.Allocated() != 0 {
+		t.Fatalf("Close leaked %d bytes", dev.Allocated())
+	}
+}

@@ -1,0 +1,131 @@
+// Package metrics provides train/test evaluation for the learned models:
+// regression error, classification accuracy and ROC AUC. The paper's
+// webspam experiments use a 75%/25% train/test split of this kind
+// ("obtained by sampling the training examples uniformly at random to
+// create a 75%/25% train/test split").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tpascd/internal/rng"
+	"tpascd/internal/sparse"
+)
+
+// Split partitions (a, y) by example into train and test sets, sampling
+// uniformly at random; trainFrac is the fraction routed to the training
+// set.
+func Split(a *sparse.CSR, y []float32, trainFrac float64, seed uint64) (trainA *sparse.CSR, trainY []float32, testA *sparse.CSR, testY []float32, err error) {
+	if len(y) != a.NumRows {
+		return nil, nil, nil, nil, fmt.Errorf("metrics: %d labels for %d rows", len(y), a.NumRows)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("metrics: trainFrac %g outside (0,1)", trainFrac)
+	}
+	r := rng.New(seed)
+	perm := r.Perm(a.NumRows, nil)
+	nTrain := int(trainFrac * float64(a.NumRows))
+	if nTrain == 0 || nTrain == a.NumRows {
+		return nil, nil, nil, nil, fmt.Errorf("metrics: split leaves an empty side (%d rows, frac %g)", a.NumRows, trainFrac)
+	}
+	trainIdx := append([]int(nil), perm[:nTrain]...)
+	testIdx := append([]int(nil), perm[nTrain:]...)
+	sort.Ints(trainIdx)
+	sort.Ints(testIdx)
+	trainA = a.SelectRows(trainIdx)
+	testA = a.SelectRows(testIdx)
+	trainY = make([]float32, len(trainIdx))
+	testY = make([]float32, len(testIdx))
+	for i, id := range trainIdx {
+		trainY[i] = y[id]
+	}
+	for i, id := range testIdx {
+		testY[i] = y[id]
+	}
+	return trainA, trainY, testA, testY, nil
+}
+
+// Scores computes ŷ = A·β.
+func Scores(a *sparse.CSR, beta []float32) []float32 {
+	out := make([]float32, a.NumRows)
+	a.MulVec(out, beta)
+	return out
+}
+
+// MSE returns the mean squared error between predictions and labels.
+func MSE(pred, y []float32) float64 {
+	if len(pred) != len(y) {
+		panic("metrics: MSE length mismatch")
+	}
+	var s float64
+	for i := range pred {
+		d := float64(pred[i]) - float64(y[i])
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// RMSE returns sqrt(MSE).
+func RMSE(pred, y []float32) float64 { return math.Sqrt(MSE(pred, y)) }
+
+// Accuracy returns the fraction of examples whose predicted sign matches
+// the ±1 label.
+func Accuracy(pred, y []float32) float64 {
+	if len(pred) != len(y) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	correct := 0
+	for i := range pred {
+		if (pred[i] >= 0) == (y[i] > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// AUC returns the area under the ROC curve for scores against ±1 labels,
+// computed by the rank statistic (ties contribute half). It returns NaN
+// when one class is empty.
+func AUC(scores, y []float32) float64 {
+	if len(scores) != len(y) {
+		panic("metrics: AUC length mismatch")
+	}
+	type pair struct {
+		s   float32
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	nPos, nNeg := 0, 0
+	for i := range scores {
+		pos := y[i] > 0
+		ps[i] = pair{scores[i], pos}
+		if pos {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Sum of ranks of positives, averaging ranks over tied scores.
+	var rankSum float64
+	i := 0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			if ps[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	return (rankSum - float64(nPos)*(float64(nPos)+1)/2) / (float64(nPos) * float64(nNeg))
+}

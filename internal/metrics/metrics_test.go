@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"tpascd/internal/rng"
+	"tpascd/internal/sparse"
+)
+
+func testMatrix(t testing.TB, seed uint64, n, m, nnzPerRow int) (*sparse.CSR, []float32) {
+	t.Helper()
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, m, n*nnzPerRow)
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			coo.Append(i, r.Intn(m), float32(r.NormFloat64()))
+		}
+		if r.Float64() < 0.5 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	return coo.ToCSR(), y
+}
+
+func TestSplitSizesAndCoverage(t *testing.T) {
+	a, y := testMatrix(t, 1, 100, 20, 5)
+	trA, trY, teA, teY, err := Split(a, y, 0.75, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trA.NumRows != 75 || teA.NumRows != 25 {
+		t.Fatalf("split sizes %d/%d", trA.NumRows, teA.NumRows)
+	}
+	if len(trY) != 75 || len(teY) != 25 {
+		t.Fatalf("label sizes %d/%d", len(trY), len(teY))
+	}
+	if trA.NNZ()+teA.NNZ() != a.NNZ() {
+		t.Fatalf("split lost non-zeros: %d + %d != %d", trA.NNZ(), teA.NNZ(), a.NNZ())
+	}
+	if trA.NumCols != a.NumCols || teA.NumCols != a.NumCols {
+		t.Fatal("split changed feature space")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	a, y := testMatrix(t, 2, 10, 5, 2)
+	if _, _, _, _, err := Split(a, y[:3], 0.5, 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, _, _, _, err := Split(a, y, 0, 1); err == nil {
+		t.Fatal("frac=0 accepted")
+	}
+	if _, _, _, _, err := Split(a, y, 1, 1); err == nil {
+		t.Fatal("frac=1 accepted")
+	}
+	if _, _, _, _, err := Split(a, y, 0.01, 1); err == nil {
+		t.Fatal("empty train side accepted")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a, y := testMatrix(t, 3, 60, 10, 3)
+	_, trY1, _, _, err := Split(a, y, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trY2, _, _, err := Split(a, y, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trY1 {
+		if trY1[i] != trY2[i] {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+}
+
+func TestMSEAndRMSE(t *testing.T) {
+	pred := []float32{1, 2, 3}
+	y := []float32{1, 2, 5}
+	if got := MSE(pred, y); math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := RMSE(pred, y); math.Abs(got-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	pred := []float32{0.5, -0.2, 0.1, -3}
+	y := []float32{1, 1, -1, -1}
+	if got := Accuracy(pred, y); got != 0.5 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	// Perfect ranking.
+	scores := []float32{0.9, 0.8, 0.2, 0.1}
+	y := []float32{1, 1, -1, -1}
+	if got := AUC(scores, y); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Inverted ranking.
+	if got := AUC(scores, []float32{-1, -1, 1, 1}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// Ties get half credit.
+	tied := []float32{0.5, 0.5}
+	if got := AUC(tied, []float32{1, -1}); got != 0.5 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if !math.IsNaN(AUC([]float32{1, 2}, []float32{1, 1})) {
+		t.Fatal("single-class AUC should be NaN")
+	}
+}
+
+func TestAUCMatchesBruteForce(t *testing.T) {
+	r := rng.New(5)
+	n := 60
+	scores := make([]float32, n)
+	y := make([]float32, n)
+	for i := range scores {
+		scores[i] = float32(r.Intn(10)) // intentional ties
+		if r.Float64() < 0.4 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	var num, den float64
+	for i := range scores {
+		if y[i] != 1 {
+			continue
+		}
+		for j := range scores {
+			if y[j] != -1 {
+				continue
+			}
+			den++
+			if scores[i] > scores[j] {
+				num++
+			} else if scores[i] == scores[j] {
+				num += 0.5
+			}
+		}
+	}
+	want := num / den
+	if got := AUC(scores, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AUC = %v, brute force %v", got, want)
+	}
+}
+
+func TestScores(t *testing.T) {
+	a, _ := testMatrix(t, 6, 10, 5, 2)
+	beta := make([]float32, 5)
+	for i := range beta {
+		beta[i] = 1
+	}
+	s := Scores(a, beta)
+	want := make([]float32, 10)
+	a.MulVec(want, beta)
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("Scores mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// Webspam-sample dimensions from Section III-D of the paper: 262,938
+// examples, 680,715 features, ~7.3 GB in CSC at 8 bytes per stored entry.
+const (
+	webspamN   = 262938
+	webspamM   = 680715
+	webspamNNZ = 912e6
+)
+
+func TestCPUEpochSecondsMonotone(t *testing.T) {
+	small := CPUSequential.EpochSeconds(1000, 100)
+	big := CPUSequential.EpochSeconds(10000, 100)
+	if big <= small {
+		t.Fatalf("more work not slower: %v vs %v", big, small)
+	}
+	if small <= 0 {
+		t.Fatalf("non-positive epoch time %v", small)
+	}
+}
+
+func TestEffectiveParallelismFloor(t *testing.T) {
+	p := CPUProfile{Threads: 1, Efficiency: 0.01}
+	if got := p.EffectiveParallelism(); got != 1 {
+		t.Fatalf("parallelism floored at %v, want 1", got)
+	}
+	if got := CPUAtomic16.EffectiveParallelism(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("A-SCD parallelism = %v, want 2", got)
+	}
+	if got := CPUWild16.EffectiveParallelism(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("wild parallelism = %v, want 4", got)
+	}
+}
+
+// TestCalibrationAgainstPaper pins the modeled single-device speed-ups on
+// the webspam dimensions to the values the paper reports in Section III-D:
+// M4000 14x (primal) / 10x (dual), Titan X 25x (primal) / 35x (dual),
+// A-SCD ~2x, PASSCoDe-Wild ~4x, all relative to sequential SCD.
+func TestCalibrationAgainstPaper(t *testing.T) {
+	seq := CPUSequential.EpochSeconds(webspamNNZ, webspamM)
+	check := func(name string, got, want, tolFrac float64) {
+		t.Helper()
+		if math.Abs(got-want) > tolFrac*want {
+			t.Errorf("%s speed-up = %.2f, want %.1f (±%.0f%%)", name, got, want, tolFrac*100)
+		}
+	}
+	check("A-SCD", seq/CPUAtomic16.EpochSeconds(webspamNNZ, webspamM), 2, 0.15)
+	check("Wild", seq/CPUWild16.EpochSeconds(webspamNNZ, webspamM), 4, 0.15)
+	check("M4000 primal", seq/GPUM4000.EpochSeconds(Primal, webspamNNZ, webspamM, 256), 14, 0.15)
+	check("M4000 dual", seq/GPUM4000.EpochSeconds(Dual, webspamNNZ, webspamN, 256), 10, 0.15)
+	check("TitanX primal", seq/GPUTitanX.EpochSeconds(Primal, webspamNNZ, webspamM, 256), 25, 0.15)
+	check("TitanX dual", seq/GPUTitanX.EpochSeconds(Dual, webspamNNZ, webspamN, 256), 35, 0.15)
+}
+
+func TestSequentialEpochNearFiveSeconds(t *testing.T) {
+	// The paper's sequential webspam epochs take roughly 5s (Fig. 1b:
+	// ~200 epochs in ~1000s).
+	got := CPUSequential.EpochSeconds(webspamNNZ, webspamM)
+	if got < 3 || got > 7 {
+		t.Fatalf("sequential webspam epoch = %vs, want ~5s", got)
+	}
+}
+
+func TestGPUComputeFloorDominatesForTinyWork(t *testing.T) {
+	// With millions of empty coordinates the block-scheduling floor must
+	// dominate the (zero) memory traffic.
+	tWithBlocks := GPUM4000.EpochSeconds(Primal, 0, 50e6, 256)
+	tNoBlocks := GPUM4000.EpochSeconds(Primal, 0, 1, 256)
+	if tWithBlocks <= tNoBlocks {
+		t.Fatalf("block overhead not modeled: %v <= %v", tWithBlocks, tNoBlocks)
+	}
+}
+
+func TestGPUDualSlowerOnM4000FasterOnTitanX(t *testing.T) {
+	// The measured asymmetry the profiles encode.
+	m4000P := GPUM4000.EpochSeconds(Primal, webspamNNZ, webspamM, 256)
+	m4000D := GPUM4000.EpochSeconds(Dual, webspamNNZ, webspamN, 256)
+	if m4000D <= m4000P {
+		t.Fatalf("M4000 dual (%v) should be slower than primal (%v)", m4000D, m4000P)
+	}
+	txP := GPUTitanX.EpochSeconds(Primal, webspamNNZ, webspamM, 256)
+	txD := GPUTitanX.EpochSeconds(Dual, webspamNNZ, webspamN, 256)
+	if txD >= txP {
+		t.Fatalf("TitanX dual (%v) should be faster than primal (%v)", txD, txP)
+	}
+}
+
+func TestFormString(t *testing.T) {
+	if Primal.String() != "primal" || Dual.String() != "dual" {
+		t.Fatal("Form.String broken")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{LatencySec: 1e-3, BytesPerSec: 1e6}
+	if got := l.TransferSeconds(0); got != 1e-3 {
+		t.Fatalf("zero-byte transfer = %v", got)
+	}
+	if got := l.TransferSeconds(1e6); math.Abs(got-1.001) > 1e-9 {
+		t.Fatalf("1MB transfer = %v, want 1.001", got)
+	}
+}
+
+func TestCollectivesScaleWithWorkers(t *testing.T) {
+	l := Link10GbE
+	r4 := l.ReduceSeconds(4, 1<<20)
+	r8 := l.ReduceSeconds(8, 1<<20)
+	if r8 <= r4 {
+		t.Fatalf("reduce time must grow with workers: %v <= %v", r8, r4)
+	}
+	if l.ReduceSeconds(1, 1<<20) != 0 {
+		t.Fatal("single-worker reduce should be free")
+	}
+	if l.BroadcastSeconds(1, 1<<20) != 0 {
+		t.Fatal("single-worker broadcast should be free")
+	}
+	b2 := l.BroadcastSeconds(2, 1<<20)
+	if b2 <= 0 {
+		t.Fatalf("broadcast time %v", b2)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(Breakdown{GPUComp: 1, HostComp: 2, PCIe: 3, Network: 4})
+	b.Add(Breakdown{GPUComp: 1})
+	if b.Total() != 11 {
+		t.Fatalf("Total = %v, want 11", b.Total())
+	}
+	s := b.Scale(0.5)
+	if s.GPUComp != 1 || s.Network != 2 {
+		t.Fatalf("Scale wrong: %+v", s)
+	}
+}
+
+func TestDatasetFitsDeviceMemory(t *testing.T) {
+	// webspam (~7.3 GB) fits an 8 GB M4000; the criteo sample (~40 GB)
+	// does not fit a 12 GB Titan X — the motivating fact for Section V.
+	webspamBytes := int64(7.3e9)
+	criteoBytes := int64(40e9)
+	if webspamBytes > GPUM4000.MemBytes {
+		t.Fatal("webspam should fit the M4000")
+	}
+	if criteoBytes <= GPUTitanX.MemBytes {
+		t.Fatal("criteo sample should NOT fit a single Titan X")
+	}
+	if criteoBytes > 4*GPUTitanX.MemBytes {
+		t.Fatal("criteo sample should fit 4 Titan X cards")
+	}
+}
+
+func Test100GbEFasterThan10GbE(t *testing.T) {
+	if Link100GbE.ReduceSeconds(8, 4<<20) >= Link10GbE.ReduceSeconds(8, 4<<20) {
+		t.Fatal("100GbE should beat 10GbE")
+	}
+}

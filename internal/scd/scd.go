@@ -1,0 +1,341 @@
+// Package scd implements the CPU-based stochastic coordinate descent
+// solvers of Section III of the paper:
+//
+//   - Sequential SCD (Algorithm 1), for both the primal and the dual
+//     formulation of ridge regression;
+//   - A-SCD (Tran et al.): the inner loop over shuffled coordinates is
+//     parallelized across threads whose shared-vector updates use atomic
+//     float additions, so no update is ever lost;
+//   - PASSCoDe-Wild (Hsieh et al.): the same parallel structure but with
+//     non-atomic read-modify-write shared-vector updates, so concurrent
+//     updates can overwrite each other. The algorithm is faster per epoch
+//     but converges to a point that violates the optimality conditions —
+//     its duality gap plateaus instead of reaching zero.
+//
+// The asynchronous solvers run real goroutines racing on a real shared
+// vector; the convergence behaviour in the experiments is emergent, not
+// simulated. (Individual loads/stores are implemented with atomic
+// operations even in the "wild" solver, so the lost-update races it is
+// defined by are exercised without undefined behaviour under the Go memory
+// model; whole read-modify-write sequences are still unsynchronized.)
+package scd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tpascd/internal/atomicf"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/rng"
+)
+
+// wildYieldMask controls how often a wild writer yields the processor in
+// the middle of its read-modify-write window (once per ~1024 stores). On a
+// machine with many cores the hardware interleaves the racy windows of
+// PASSCoDe-Wild by itself; with few cores Go's cooperative scheduler would
+// otherwise serialize them and the algorithm would degenerate into exact
+// sequential behaviour, hiding the lost-update convergence floor the paper
+// demonstrates. The yield emulates preemptive hardware thread interleaving
+// at a low, fixed rate regardless of GOMAXPROCS.
+const wildYieldMask = 1023
+
+// Solver is one configured coordinate-descent solver bound to a problem.
+// Implementations are not safe for concurrent use by multiple callers, but
+// internally they may use many goroutines.
+type Solver interface {
+	// RunEpoch performs one epoch: a full permuted pass over the
+	// coordinates (features in the primal, examples in the dual).
+	RunEpoch()
+	// Model returns the current model weights (β for the primal form,
+	// α for the dual). The returned slice aliases solver state.
+	Model() []float32
+	// SharedVector returns the maintained shared vector (w = Aβ primal,
+	// w̄ = Aᵀα dual). It may be inconsistent for the wild solver.
+	SharedVector() []float32
+	// Gap returns the duality gap computed honestly from the model alone
+	// (the shared vector is recomputed from scratch), so drift in the
+	// maintained shared vector cannot mask a violated optimality
+	// condition.
+	Gap() float64
+	// Form reports which formulation the solver optimizes.
+	Form() perfmodel.Form
+	// Name returns a short human-readable identifier.
+	Name() string
+	// EpochWork returns the work counted per epoch: total non-zeros
+	// touched and coordinate updates performed. Feed these to a
+	// perfmodel profile to obtain simulated time.
+	EpochWork() (nnz, coords int64)
+}
+
+// view adapts a ridge.Problem to a direction-agnostic coordinate
+// interface so one epoch loop serves both formulations.
+type view struct {
+	problem *ridge.Problem
+	form    perfmodel.Form
+	// numCoords is M (primal) or N (dual); sharedLen is N (primal) or M
+	// (dual).
+	numCoords, sharedLen int
+	nnz                  int64
+}
+
+func newView(p *ridge.Problem, form perfmodel.Form) view {
+	v := view{problem: p, form: form}
+	if form == perfmodel.Primal {
+		v.numCoords, v.sharedLen = p.M, p.N
+	} else {
+		v.numCoords, v.sharedLen = p.N, p.M
+	}
+	v.nnz = int64(p.A.NNZ())
+	return v
+}
+
+// coordNZ returns the non-zero pattern of coordinate c: the column a_c in
+// the primal, the row ā_c in the dual.
+func (v *view) coordNZ(c int) ([]int32, []float32) {
+	if v.form == perfmodel.Primal {
+		return v.problem.ACols.Col(c)
+	}
+	return v.problem.A.Row(c)
+}
+
+// delta computes the exact coordinate step given the current shared vector
+// and current weight. The shared vector is read through get so callers
+// choose plain, atomic or device reads.
+func (v *view) delta(c int, get func(i int32) float32, cur float32) float32 {
+	idx, val := v.coordNZ(c)
+	p := v.problem
+	var dp float64
+	if v.form == perfmodel.Primal {
+		for k := range idx {
+			i := idx[k]
+			dp += float64(val[k]) * (float64(p.Y[i]) - float64(get(i)))
+		}
+		nl := float64(p.N) * p.Lambda
+		return float32((dp - nl*float64(cur)) / (p.ColNormSq(c) + nl))
+	}
+	for k := range idx {
+		dp += float64(val[k]) * float64(get(idx[k]))
+	}
+	ln := p.Lambda * float64(p.N)
+	return float32((p.Lambda*float64(p.Y[c]) - dp - ln*float64(cur)) / (ln + p.RowNormSq(c)))
+}
+
+// gap computes the honest duality gap from the model alone.
+func (v *view) gap(model []float32) float64 {
+	if v.form == perfmodel.Primal {
+		return v.problem.GapPrimal(model)
+	}
+	return v.problem.GapDual(model)
+}
+
+// Sequential implements Algorithm 1 of the paper: one thread, exact
+// coordinate minimization over a fresh random permutation each epoch, with
+// an incrementally maintained shared vector.
+type Sequential struct {
+	view
+	model  []float32
+	shared []float32
+	rng    *rng.Xoshiro256
+	perm   []int
+}
+
+// NewSequential returns a sequential SCD solver for the given formulation.
+func NewSequential(p *ridge.Problem, form perfmodel.Form, seed uint64) *Sequential {
+	v := newView(p, form)
+	return &Sequential{
+		view:   v,
+		model:  make([]float32, v.numCoords),
+		shared: make([]float32, v.sharedLen),
+		rng:    rng.New(seed),
+	}
+}
+
+// RunEpoch performs one permuted pass over all coordinates.
+func (s *Sequential) RunEpoch() {
+	s.perm = s.rng.Perm(s.numCoords, s.perm)
+	for _, c := range s.perm {
+		d := s.delta(c, func(i int32) float32 { return s.shared[i] }, s.model[c])
+		s.model[c] += d
+		idx, val := s.coordNZ(c)
+		for k := range idx {
+			s.shared[idx[k]] += val[k] * d
+		}
+	}
+}
+
+// Model returns the current weights.
+func (s *Sequential) Model() []float32 { return s.model }
+
+// SharedVector returns the maintained shared vector.
+func (s *Sequential) SharedVector() []float32 { return s.shared }
+
+// Gap returns the honest duality gap.
+func (s *Sequential) Gap() float64 { return s.view.gap(s.model) }
+
+// Form reports the formulation.
+func (s *Sequential) Form() perfmodel.Form { return s.form }
+
+// Name identifies the solver.
+func (s *Sequential) Name() string { return "SCD (1 thread)" }
+
+// EpochWork returns per-epoch work counts.
+func (s *Sequential) EpochWork() (int64, int64) { return s.nnz, int64(s.numCoords) }
+
+// Async is the shared implementation of the two multi-threaded solvers.
+// Each epoch the permutation is split into contiguous chunks, one per
+// thread; threads update disjoint model coordinates but race on the shared
+// vector.
+type Async struct {
+	view
+	model   []float32
+	shared  []float32
+	rng     *rng.Xoshiro256
+	perm    []int
+	threads int
+	wild    bool
+
+	// recomputeEvery, when positive, rebuilds the shared vector from the
+	// model every that many epochs — the drift-repair scheme proposed for
+	// A-SCD by Tran et al. (reference [13]: "a scheme for occasionally
+	// re-computing the shared vector").
+	recomputeEvery int
+	epochsRun      int
+}
+
+// SetRecomputeEvery enables periodic shared-vector recomputation every n
+// epochs (n <= 0 disables it, the default).
+func (s *Async) SetRecomputeEvery(n int) { s.recomputeEvery = n }
+
+// NewAtomic returns an A-SCD solver: threads goroutines, atomic (lossless)
+// shared-vector updates.
+func NewAtomic(p *ridge.Problem, form perfmodel.Form, threads int, seed uint64) *Async {
+	return newAsync(p, form, threads, seed, false)
+}
+
+// NewWild returns a PASSCoDe-Wild solver: threads goroutines, racy
+// read-modify-write shared-vector updates in which concurrent updates may
+// be lost.
+func NewWild(p *ridge.Problem, form perfmodel.Form, threads int, seed uint64) *Async {
+	return newAsync(p, form, threads, seed, true)
+}
+
+func newAsync(p *ridge.Problem, form perfmodel.Form, threads int, seed uint64, wild bool) *Async {
+	if threads < 1 {
+		panic("scd: threads must be >= 1")
+	}
+	v := newView(p, form)
+	return &Async{
+		view:    v,
+		model:   make([]float32, v.numCoords),
+		shared:  make([]float32, v.sharedLen),
+		rng:     rng.New(seed),
+		threads: threads,
+		wild:    wild,
+	}
+}
+
+// RunEpoch performs one permuted pass over all coordinates, parallelized
+// across the configured number of goroutines.
+func (s *Async) RunEpoch() {
+	s.perm = s.rng.Perm(s.numCoords, s.perm)
+	var wg sync.WaitGroup
+	chunk := (s.numCoords + s.threads - 1) / s.threads
+	for t := 0; t < s.threads; t++ {
+		lo := t * chunk
+		if lo >= s.numCoords {
+			break
+		}
+		hi := lo + chunk
+		if hi > s.numCoords {
+			hi = s.numCoords
+		}
+		wg.Add(1)
+		go func(coords []int) {
+			defer wg.Done()
+			get := func(i int32) float32 { return atomicf.LoadFloat32(&s.shared[i]) }
+			var stores uint
+			for _, c := range coords {
+				d := s.delta(c, get, s.model[c])
+				s.model[c] += d
+				idx, val := s.coordNZ(c)
+				if s.wild {
+					// Lost-update semantics: the load and store are
+					// individually atomic but the increment is not, and
+					// the occasional yield keeps the racy window open
+					// even on few-core machines (see wildYieldMask).
+					for k := range idx {
+						cur := atomicf.LoadFloat32(&s.shared[idx[k]])
+						if stores&wildYieldMask == 0 {
+							runtime.Gosched()
+						}
+						stores++
+						atomicf.StoreFloat32(&s.shared[idx[k]], cur+val[k]*d)
+					}
+				} else {
+					for k := range idx {
+						atomicf.AddFloat32(&s.shared[idx[k]], val[k]*d)
+					}
+				}
+			}
+		}(s.perm[lo:hi])
+	}
+	wg.Wait()
+	s.epochsRun++
+	if s.recomputeEvery > 0 && s.epochsRun%s.recomputeEvery == 0 {
+		s.RecomputeShared()
+	}
+}
+
+// RecomputeShared rebuilds the shared vector from the model, the repair
+// step proposed for A-SCD when drift accumulates.
+func (s *Async) RecomputeShared() {
+	if s.form == perfmodel.Primal {
+		s.problem.A.MulVec(s.shared, s.model)
+	} else {
+		s.problem.A.MulTVec(s.shared, s.model)
+	}
+}
+
+// SharedDrift returns ‖shared − recomputed‖² / (1 + ‖recomputed‖²), a
+// measure of how inconsistent the maintained shared vector has become with
+// the model. Zero for lossless solvers (up to float accumulation order).
+func (s *Async) SharedDrift() float64 {
+	fresh := make([]float32, s.sharedLen)
+	if s.form == perfmodel.Primal {
+		s.problem.A.MulVec(fresh, s.model)
+	} else {
+		s.problem.A.MulTVec(fresh, s.model)
+	}
+	var num, den float64
+	for i := range fresh {
+		d := float64(s.shared[i]) - float64(fresh[i])
+		num += d * d
+		den += float64(fresh[i]) * float64(fresh[i])
+	}
+	return num / (1 + den)
+}
+
+// Model returns the current weights.
+func (s *Async) Model() []float32 { return s.model }
+
+// SharedVector returns the maintained (possibly drifted) shared vector.
+func (s *Async) SharedVector() []float32 { return s.shared }
+
+// Gap returns the honest duality gap.
+func (s *Async) Gap() float64 { return s.view.gap(s.model) }
+
+// Form reports the formulation.
+func (s *Async) Form() perfmodel.Form { return s.form }
+
+// Name identifies the solver.
+func (s *Async) Name() string {
+	if s.wild {
+		return fmt.Sprintf("PASSCoDe-Wild (%d threads)", s.threads)
+	}
+	return fmt.Sprintf("A-SCD (%d threads)", s.threads)
+}
+
+// EpochWork returns per-epoch work counts.
+func (s *Async) EpochWork() (int64, int64) { return s.nnz, int64(s.numCoords) }

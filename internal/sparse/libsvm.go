@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadLibSVM parses a dataset in LIBSVM text format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based in the file and converted to 0-based. Lines starting
+// with '#' and blank lines are skipped. numCols may be 0, in which case the
+// column count is inferred as the maximum index seen. Both the webspam and
+// criteo datasets used by the paper are distributed in this format.
+func ReadLibSVM(r io.Reader, numCols int) (*COO, []float32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	coo := NewCOO(0, numCols, 0)
+	var labels []float32
+	maxCol := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sparse: line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		row := len(labels)
+		labels = append(labels, float32(label))
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, nil, fmt.Errorf("sparse: line %d: malformed feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil {
+				return nil, nil, fmt.Errorf("sparse: line %d: bad index %q: %w", lineNo, f[:colon], err)
+			}
+			if idx < 1 {
+				return nil, nil, fmt.Errorf("sparse: line %d: index %d < 1", lineNo, idx)
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sparse: line %d: bad value %q: %w", lineNo, f[colon+1:], err)
+			}
+			col := idx - 1
+			if col > maxCol {
+				maxCol = col
+			}
+			if numCols > 0 && col >= numCols {
+				return nil, nil, fmt.Errorf("sparse: line %d: index %d exceeds declared columns %d", lineNo, idx, numCols)
+			}
+			coo.Append(row, col, float32(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("sparse: read: %w", err)
+	}
+	coo.NumRows = len(labels)
+	if numCols == 0 {
+		coo.NumCols = maxCol + 1
+	}
+	return coo, labels, nil
+}
+
+// WriteLibSVM writes a CSR matrix and labels in LIBSVM text format with
+// 1-based indices.
+func WriteLibSVM(w io.Writer, m *CSR, labels []float32) error {
+	if len(labels) != m.NumRows {
+		return fmt.Errorf("%w: %d labels for %d rows", ErrDims, len(labels), m.NumRows)
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.NumRows; i++ {
+		if _, err := fmt.Fprintf(bw, "%g", labels[i]); err != nil {
+			return err
+		}
+		idx, val := m.Row(i)
+		for k := range idx {
+			if _, err := fmt.Fprintf(bw, " %d:%g", idx[k]+1, val[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,116 @@
+package sparse
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+const sampleLibSVM = `# comment line
+1 1:0.5 3:2
+-1 2:1.25
+
+1 1:3 2:4 3:5
+`
+
+func TestReadLibSVM(t *testing.T) {
+	coo, labels, err := ReadLibSVM(strings.NewReader(sampleLibSVM), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[0] != 1 || labels[1] != -1 || labels[2] != 1 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if coo.NumRows != 3 || coo.NumCols != 3 {
+		t.Fatalf("shape = %dx%d", coo.NumRows, coo.NumCols)
+	}
+	if coo.NNZ() != 6 {
+		t.Fatalf("NNZ = %d", coo.NNZ())
+	}
+	csr := coo.ToCSR()
+	idx, val := csr.Row(0)
+	if idx[0] != 0 || val[0] != 0.5 || idx[1] != 2 || val[1] != 2 {
+		t.Fatalf("row 0 = %v %v", idx, val)
+	}
+}
+
+func TestReadLibSVMDeclaredCols(t *testing.T) {
+	coo, _, err := ReadLibSVM(strings.NewReader("1 1:1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coo.NumCols != 10 {
+		t.Fatalf("NumCols = %d, want 10", coo.NumCols)
+	}
+	if _, _, err := ReadLibSVM(strings.NewReader("1 11:1\n"), 10); err == nil {
+		t.Fatal("index beyond declared columns accepted")
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	cases := []string{
+		"notanumber 1:1\n",
+		"1 abc\n",
+		"1 x:1\n",
+		"1 1:xyz\n",
+		"1 0:1\n", // 1-based indices required
+	}
+	for _, c := range cases {
+		if _, _, err := ReadLibSVM(strings.NewReader(c), 0); err == nil {
+			t.Fatalf("malformed input %q accepted", c)
+		}
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestReadLibSVMReaderFailure(t *testing.T) {
+	if _, _, err := ReadLibSVM(io.Reader(failingReader{}), 0); err == nil {
+		t.Fatal("reader failure swallowed")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	csr := refCOO().ToCSR()
+	labels := []float32{1, -1, 1, -1}
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, csr, labels); err != nil {
+		t.Fatal(err)
+	}
+	coo, gotLabels, err := ReadLibSVM(&buf, csr.NumCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := coo.ToCSR()
+	if back.NNZ() != csr.NNZ() {
+		t.Fatalf("NNZ changed: %d -> %d", csr.NNZ(), back.NNZ())
+	}
+	for i := range labels {
+		if labels[i] != gotLabels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+	for i := 0; i < csr.NumRows; i++ {
+		ai, av := csr.Row(i)
+		bi, bv := back.Row(i)
+		for k := range ai {
+			if ai[k] != bi[k] || av[k] != bv[k] {
+				t.Fatalf("row %d changed after round trip", i)
+			}
+		}
+	}
+}
+
+func TestWriteLibSVMLabelMismatch(t *testing.T) {
+	csr := refCOO().ToCSR()
+	if err := WriteLibSVM(io.Discard, csr, []float32{1}); err == nil {
+		t.Fatal("label/row mismatch accepted")
+	}
+}

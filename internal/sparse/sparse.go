@@ -1,0 +1,260 @@
+// Package sparse implements the sparse-matrix formats and kernels that the
+// stochastic learning system is built on.
+//
+// The paper represents the training data matrix A (N examples × M features)
+// in 32-bit floating point, stored as compressed sparse column (CSC) when
+// solving the primal ridge-regression problem (coordinate updates walk
+// columns a_m) and compressed sparse row (CSR) when solving the dual
+// (updates walk rows ā_n). COO is used as the interchange and I/O format.
+//
+// All value data is float32 to match the paper; reductions that feed the
+// objective/duality-gap computations accumulate in float64 to keep the
+// convergence metric trustworthy.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by format validation.
+var (
+	ErrDims        = errors.New("sparse: dimension mismatch")
+	ErrUnsorted    = errors.New("sparse: indices not sorted within a major slice")
+	ErrIndexRange  = errors.New("sparse: index out of range")
+	ErrPtrMonotone = errors.New("sparse: pointer array not monotone")
+)
+
+// COO is a coordinate-list sparse matrix. Duplicate entries are permitted
+// until Dedup is called; most constructors and converters require
+// deduplicated, in-range entries.
+type COO struct {
+	NumRows, NumCols int
+	Row, Col         []int32
+	Val              []float32
+}
+
+// NewCOO returns an empty COO with the given shape and capacity hint.
+func NewCOO(rows, cols, nnzHint int) *COO {
+	return &COO{
+		NumRows: rows,
+		NumCols: cols,
+		Row:     make([]int32, 0, nnzHint),
+		Col:     make([]int32, 0, nnzHint),
+		Val:     make([]float32, 0, nnzHint),
+	}
+}
+
+// Append adds a single entry. It does not check for duplicates.
+func (m *COO) Append(row, col int, val float32) {
+	m.Row = append(m.Row, int32(row))
+	m.Col = append(m.Col, int32(col))
+	m.Val = append(m.Val, val)
+}
+
+// NNZ returns the number of stored entries.
+func (m *COO) NNZ() int { return len(m.Val) }
+
+// Validate checks index ranges and internal slice-length consistency.
+func (m *COO) Validate() error {
+	if len(m.Row) != len(m.Col) || len(m.Row) != len(m.Val) {
+		return fmt.Errorf("%w: row/col/val lengths %d/%d/%d", ErrDims, len(m.Row), len(m.Col), len(m.Val))
+	}
+	for k := range m.Row {
+		if m.Row[k] < 0 || int(m.Row[k]) >= m.NumRows {
+			return fmt.Errorf("%w: row %d at entry %d (NumRows=%d)", ErrIndexRange, m.Row[k], k, m.NumRows)
+		}
+		if m.Col[k] < 0 || int(m.Col[k]) >= m.NumCols {
+			return fmt.Errorf("%w: col %d at entry %d (NumCols=%d)", ErrIndexRange, m.Col[k], k, m.NumCols)
+		}
+	}
+	return nil
+}
+
+// CSR is a compressed-sparse-row matrix: row i occupies
+// ColIdx[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]],
+// with column indices strictly increasing within a row.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int
+	ColIdx           []int32
+	Val              []float32
+}
+
+// CSC is a compressed-sparse-column matrix: column j occupies
+// RowIdx[ColPtr[j]:ColPtr[j+1]] / Val[ColPtr[j]:ColPtr[j+1]],
+// with row indices strictly increasing within a column.
+type CSC struct {
+	NumRows, NumCols int
+	ColPtr           []int
+	RowIdx           []int32
+	Val              []float32
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.Val) }
+
+// Row returns the index and value slices of row i. The slices alias the
+// matrix storage and must not be modified.
+func (m *CSR) Row(i int) (idx []int32, val []float32) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// Col returns the index and value slices of column j. The slices alias the
+// matrix storage and must not be modified.
+func (m *CSC) Col(j int) (idx []int32, val []float32) {
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	return m.RowIdx[lo:hi], m.Val[lo:hi]
+}
+
+// Validate checks structural invariants: monotone pointers, sorted unique
+// minor indices, in-range indices.
+func (m *CSR) Validate() error {
+	return validateCompressed(m.NumRows, m.NumCols, m.RowPtr, m.ColIdx, len(m.Val))
+}
+
+// Validate checks structural invariants.
+func (m *CSC) Validate() error {
+	return validateCompressed(m.NumCols, m.NumRows, m.ColPtr, m.RowIdx, len(m.Val))
+}
+
+func validateCompressed(major, minor int, ptr []int, idx []int32, nval int) error {
+	if len(ptr) != major+1 {
+		return fmt.Errorf("%w: ptr length %d, want %d", ErrDims, len(ptr), major+1)
+	}
+	if ptr[0] != 0 {
+		return fmt.Errorf("%w: ptr[0] = %d", ErrPtrMonotone, ptr[0])
+	}
+	if ptr[major] != len(idx) || len(idx) != nval {
+		return fmt.Errorf("%w: ptr end %d, idx %d, val %d", ErrDims, ptr[major], len(idx), nval)
+	}
+	for i := 0; i < major; i++ {
+		if ptr[i] > ptr[i+1] {
+			return fmt.Errorf("%w: ptr[%d]=%d > ptr[%d]=%d", ErrPtrMonotone, i, ptr[i], i+1, ptr[i+1])
+		}
+		for k := ptr[i]; k < ptr[i+1]; k++ {
+			if idx[k] < 0 || int(idx[k]) >= minor {
+				return fmt.Errorf("%w: index %d in slice %d", ErrIndexRange, idx[k], i)
+			}
+			if k > ptr[i] && idx[k] <= idx[k-1] {
+				return fmt.Errorf("%w: slice %d has %d after %d", ErrUnsorted, i, idx[k], idx[k-1])
+			}
+		}
+	}
+	return nil
+}
+
+// MulVec computes y = A·x for a CSR matrix. len(x) must be NumCols and
+// len(y) must be NumRows.
+func (m *CSR) MulVec(y, x []float32) {
+	if len(x) != m.NumCols || len(y) != m.NumRows {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.NumRows; i++ {
+		var sum float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += float64(m.Val[k]) * float64(x[m.ColIdx[k]])
+		}
+		y[i] = float32(sum)
+	}
+}
+
+// MulTVec computes y = Aᵀ·x for a CSR matrix. len(x) must be NumRows and
+// len(y) must be NumCols.
+func (m *CSR) MulTVec(y, x []float32) {
+	if len(x) != m.NumRows || len(y) != m.NumCols {
+		panic("sparse: MulTVec dimension mismatch")
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m.NumRows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			y[m.ColIdx[k]] += m.Val[k] * xi
+		}
+	}
+}
+
+// MulVec computes y = A·x for a CSC matrix.
+func (m *CSC) MulVec(y, x []float32) {
+	if len(x) != m.NumCols || len(y) != m.NumRows {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < m.NumCols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			y[m.RowIdx[k]] += m.Val[k] * xj
+		}
+	}
+}
+
+// MulTVec computes y = Aᵀ·x for a CSC matrix.
+func (m *CSC) MulTVec(y, x []float32) {
+	if len(x) != m.NumRows || len(y) != m.NumCols {
+		panic("sparse: MulTVec dimension mismatch")
+	}
+	for j := 0; j < m.NumCols; j++ {
+		var sum float64
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			sum += float64(m.Val[k]) * float64(x[m.RowIdx[k]])
+		}
+		y[j] = float32(sum)
+	}
+}
+
+// RowNormsSq returns ‖ā_i‖² for every row of a CSR matrix, accumulated in
+// float64. These are the per-coordinate curvature terms of the dual update
+// rule (eq. 4).
+func (m *CSR) RowNormsSq() []float64 {
+	out := make([]float64, m.NumRows)
+	for i := 0; i < m.NumRows; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			v := float64(m.Val[k])
+			s += v * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColNormsSq returns ‖a_j‖² for every column of a CSC matrix. These are the
+// per-coordinate curvature terms of the primal update rule (eq. 2).
+func (m *CSC) ColNormsSq() []float64 {
+	out := make([]float64, m.NumCols)
+	for j := 0; j < m.NumCols; j++ {
+		var s float64
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			v := float64(m.Val[k])
+			s += v * v
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// Bytes returns the approximate in-memory footprint of the matrix in bytes
+// (index + pointer + value storage). Used by the capacity checks that decide
+// whether a partition fits in simulated device memory.
+func (m *CSR) Bytes() int64 {
+	return int64(len(m.RowPtr))*8 + int64(len(m.ColIdx))*4 + int64(len(m.Val))*4
+}
+
+// Bytes returns the approximate in-memory footprint of the matrix in bytes.
+func (m *CSC) Bytes() int64 {
+	return int64(len(m.ColPtr))*8 + int64(len(m.RowIdx))*4 + int64(len(m.Val))*4
+}

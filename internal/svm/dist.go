@@ -1,0 +1,244 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"tpascd/internal/cluster"
+	"tpascd/internal/rng"
+	"tpascd/internal/sparse"
+)
+
+// Distributed SDCA for SVMs. This is the problem CoCoA — reference [7] of
+// the paper, "communication-efficient distributed dual coordinate ascent"
+// — was originally built for: examples partitioned across K workers, one
+// local SDCA epoch per round, shared weight-vector deltas aggregated
+// synchronously. The adaptive aggregation below extends the paper's
+// Algorithm 4 idea to the SVM dual: D(α+γΔα) is a concave quadratic in γ
+// with the closed-form maximizer
+//
+//	γ* = (ΣᵢΔαᵢ/N − λ⟨w, Δw⟩) / (λ‖Δw‖²),
+//
+// clamped to the box-feasible range so every αᵢ stays in [0,1].
+
+// DistWorker is one rank of distributed SVM training. All ranks must call
+// RunEpoch collectively.
+type DistWorker struct {
+	comm cluster.Comm
+
+	a      *sparse.CSR // local rows, global columns
+	y      []float32   // local labels
+	norms  []float64
+	lambda float64
+	nGlob  int
+
+	alpha []float32 // local dual variables
+	w     []float32 // global weight vector (consistent across ranks)
+
+	prevAlpha, prevW, deltaSum []float32
+
+	adaptive bool
+	gamma    float64
+
+	rng  *rng.Xoshiro256
+	perm []int
+}
+
+// NewDistWorker builds one rank over its partition of the examples.
+// nGlobal is the total example count across all ranks.
+func NewDistWorker(comm cluster.Comm, localA *sparse.CSR, localY []float32, lambda float64, nGlobal int, adaptive bool, seed uint64) (*DistWorker, error) {
+	if len(localY) != localA.NumRows {
+		return nil, fmt.Errorf("svm: %d labels for %d local rows", len(localY), localA.NumRows)
+	}
+	for i, v := range localY {
+		if v != 1 && v != -1 {
+			return nil, fmt.Errorf("svm: label %v at local example %d is not ±1", v, i)
+		}
+	}
+	if lambda <= 0 || nGlobal <= 0 {
+		return nil, fmt.Errorf("svm: bad lambda %g or N %d", lambda, nGlobal)
+	}
+	return &DistWorker{
+		comm:      comm,
+		a:         localA,
+		y:         localY,
+		norms:     localA.RowNormsSq(),
+		lambda:    lambda,
+		nGlob:     nGlobal,
+		alpha:     make([]float32, localA.NumRows),
+		w:         make([]float32, localA.NumCols),
+		prevAlpha: make([]float32, localA.NumRows),
+		prevW:     make([]float32, localA.NumCols),
+		deltaSum:  make([]float32, localA.NumCols),
+		adaptive:  adaptive,
+		rng:       rng.New(seed),
+		gamma:     1,
+	}, nil
+}
+
+// Alpha returns the local dual variables (aliases worker state).
+func (d *DistWorker) Alpha() []float32 { return d.alpha }
+
+// Weights returns the global weight vector (aliases worker state).
+func (d *DistWorker) Weights() []float32 { return d.w }
+
+// Gamma returns the aggregation parameter applied in the last epoch.
+func (d *DistWorker) Gamma() float64 { return d.gamma }
+
+// localDelta computes the box-clipped SDCA step for local example i.
+func (d *DistWorker) localDelta(i int) float32 {
+	if d.norms[i] == 0 {
+		return 0
+	}
+	idx, val := d.a.Row(i)
+	var dp float64
+	for k := range idx {
+		dp += float64(val[k]) * float64(d.w[idx[k]])
+	}
+	next := float64(d.alpha[i]) + (1-float64(d.y[i])*dp)*d.lambda*float64(d.nGlob)/d.norms[i]
+	if next < 0 {
+		next = 0
+	} else if next > 1 {
+		next = 1
+	}
+	return float32(next - float64(d.alpha[i]))
+}
+
+// RunEpoch executes one synchronous round.
+func (d *DistWorker) RunEpoch() error {
+	copy(d.prevAlpha, d.alpha)
+	copy(d.prevW, d.w)
+	scale := 1 / (d.lambda * float64(d.nGlob))
+
+	// Local SDCA pass.
+	d.perm = d.rng.Perm(d.a.NumRows, d.perm)
+	for _, i := range d.perm {
+		delta := d.localDelta(i)
+		if delta == 0 {
+			continue
+		}
+		d.alpha[i] += delta
+		c := float32(float64(delta) * float64(d.y[i]) * scale)
+		idx, val := d.a.Row(i)
+		for k := range idx {
+			d.w[idx[k]] += val[k] * c
+		}
+	}
+
+	// Aggregate Δw across ranks.
+	for j := range d.w {
+		d.w[j] -= d.prevW[j] // w now holds the local delta
+	}
+	if err := d.comm.Allreduce(d.w, d.deltaSum); err != nil {
+		return err
+	}
+
+	gamma := 1.0 / float64(d.comm.Size())
+	if d.adaptive {
+		g, err := d.adaptiveGamma()
+		if err != nil {
+			return err
+		}
+		gamma = g
+	}
+	d.gamma = gamma
+
+	g32 := float32(gamma)
+	for j := range d.w {
+		d.w[j] = d.prevW[j] + g32*d.deltaSum[j]
+	}
+	for i := range d.alpha {
+		d.alpha[i] = d.prevAlpha[i] + g32*(d.alpha[i]-d.prevAlpha[i])
+	}
+	return nil
+}
+
+// adaptiveGamma maximizes D(α + γΔα) over γ, clamped to box feasibility.
+func (d *DistWorker) adaptiveGamma() (float64, error) {
+	// Local scalars: ΣΔα and the largest feasible γ for the local box.
+	var deltaSumAlpha float64
+	gmax := math.Inf(1)
+	for i := range d.alpha {
+		da := float64(d.alpha[i]) - float64(d.prevAlpha[i])
+		deltaSumAlpha += da
+		if da > 0 {
+			if lim := (1 - float64(d.prevAlpha[i])) / da; lim < gmax {
+				gmax = lim
+			}
+		} else if da < 0 {
+			if lim := -float64(d.prevAlpha[i]) / da; lim < gmax {
+				gmax = lim
+			}
+		}
+	}
+	// Global min of gmax via per-rank slots (sum-allreduce, K small).
+	k := d.comm.Size()
+	slots := make([]float64, k+1)
+	slots[d.comm.Rank()] = gmax
+	slots[k] = deltaSumAlpha
+	sums, err := d.comm.AllreduceScalars(slots)
+	if err != nil {
+		return 0, err
+	}
+	globalGmax := math.Inf(1)
+	for r := 0; r < k; r++ {
+		if sums[r] < globalGmax {
+			globalGmax = sums[r]
+		}
+	}
+	deltaSumAlpha = sums[k]
+
+	// Shared-side scalars from globally identical vectors.
+	var wDot, dSq float64
+	for j := range d.deltaSum {
+		dj := float64(d.deltaSum[j])
+		wDot += float64(d.prevW[j]) * dj
+		dSq += dj * dj
+	}
+	den := d.lambda * dSq
+	if den <= 0 {
+		return 1.0 / float64(k), nil
+	}
+	gamma := (deltaSumAlpha/float64(d.nGlob) - d.lambda*wDot) / den
+	if math.IsNaN(gamma) || gamma <= 0 {
+		return 1.0 / float64(k), nil
+	}
+	if gamma > globalGmax {
+		gamma = globalGmax
+	}
+	return gamma, nil
+}
+
+// Gap computes the global duality gap collectively: hinge losses and Σα
+// are summed across ranks; the weight-vector terms are global already.
+func (d *DistWorker) Gap() (float64, error) {
+	var hinge, alphaSum float64
+	for i := 0; i < d.a.NumRows; i++ {
+		idx, val := d.a.Row(i)
+		var dp float64
+		for k := range idx {
+			dp += float64(val[k]) * float64(d.w[idx[k]])
+		}
+		if m := 1 - float64(d.y[i])*dp; m > 0 {
+			hinge += m
+		}
+		alphaSum += float64(d.alpha[i])
+	}
+	sums, err := d.comm.AllreduceScalars([]float64{hinge, alphaSum})
+	if err != nil {
+		return 0, err
+	}
+	hinge, alphaSum = sums[0], sums[1]
+	var wsq float64
+	for _, v := range d.w {
+		wsq += float64(v) * float64(v)
+	}
+	n := float64(d.nGlob)
+	p := d.lambda/2*wsq + hinge/n
+	dd := alphaSum/n - d.lambda/2*wsq
+	g := p - dd
+	if g < 0 {
+		g = -g
+	}
+	return g, nil
+}

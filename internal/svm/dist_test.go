@@ -1,0 +1,217 @@
+package svm
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tpascd/internal/cluster"
+	"tpascd/internal/dist"
+)
+
+// runSVMCluster trains K distributed SDCA workers in-process and returns
+// the collective gap (identical across ranks) and rank 0's gamma.
+func runSVMCluster(t *testing.T, p *Problem, k, epochs int, adaptive bool, seed uint64) (float64, float64) {
+	t.Helper()
+	comms, err := cluster.InProc(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := dist.PartitionRandom(p.N, k, seed)
+	workers := make([]*DistWorker, k)
+	for r := 0; r < k; r++ {
+		localA := p.A.SelectRows(parts[r])
+		localY := make([]float32, len(parts[r]))
+		for i, id := range parts[r] {
+			localY[i] = p.Y[id]
+		}
+		w, err := NewDistWorker(comms[r], localA, localY, p.Lambda, p.N, adaptive, seed+uint64(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[r] = w
+	}
+	gaps := make([]float64, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for e := 0; e < epochs; e++ {
+				if err := workers[r].RunEpoch(); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+			}
+			g, err := workers[r].Gap()
+			if err != nil {
+				t.Errorf("rank %d gap: %v", r, err)
+				return
+			}
+			gaps[r] = g
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for r := 1; r < k; r++ {
+		if gaps[r] != gaps[0] {
+			t.Fatalf("ranks disagree on the gap: %v vs %v", gaps[r], gaps[0])
+		}
+	}
+	for _, c := range comms {
+		c.Close()
+	}
+	return gaps[0], workers[0].Gamma()
+}
+
+func TestDistSVMSingleWorkerMatchesSequential(t *testing.T) {
+	p := separableProblem(t, 30, 200, 60, 8, 0.01)
+	gap, _ := runSVMCluster(t, p, 1, 30, false, 5)
+	seq := NewSequential(p, 5)
+	for e := 0; e < 30; e++ {
+		seq.RunEpoch()
+	}
+	gs := seq.Gap()
+	if gap > 100*gs+1e-6 {
+		t.Fatalf("K=1 distributed gap %v far from sequential %v", gap, gs)
+	}
+}
+
+func TestDistSVMConvergesK4(t *testing.T) {
+	p := separableProblem(t, 31, 300, 60, 8, 0.01)
+	gap, _ := runSVMCluster(t, p, 4, 80, false, 7)
+	if gap > 1e-2 {
+		t.Fatalf("distributed SVM gap after 80 epochs = %v", gap)
+	}
+}
+
+func TestDistSVMAdaptiveBeatsAveraging(t *testing.T) {
+	p := separableProblem(t, 32, 300, 60, 8, 0.01)
+	const epochs = 40
+	avg, _ := runSVMCluster(t, p, 8, epochs, false, 9)
+	adp, gamma := runSVMCluster(t, p, 8, epochs, true, 9)
+	if adp >= avg {
+		t.Fatalf("adaptive gap %v not better than averaging %v", adp, avg)
+	}
+	if gamma <= 1.0/8 {
+		t.Fatalf("adaptive γ=%v not above 1/K", gamma)
+	}
+}
+
+func TestDistSVMIteratesStayFeasible(t *testing.T) {
+	p := separableProblem(t, 33, 150, 40, 6, 0.01)
+	comms, err := cluster.InProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := dist.PartitionRandom(p.N, 2, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			localA := p.A.SelectRows(parts[r])
+			localY := make([]float32, len(parts[r]))
+			for i, id := range parts[r] {
+				localY[i] = p.Y[id]
+			}
+			w, err := NewDistWorker(comms[r], localA, localY, p.Lambda, p.N, true, uint64(r))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for e := 0; e < 20; e++ {
+				if err := w.RunEpoch(); err != nil {
+					t.Error(err)
+					return
+				}
+				if v := Box(w.Alpha()); v > 1e-6 {
+					t.Errorf("epoch %d rank %d: box violation %v (γ=%v)", e, r, v, w.Gamma())
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, c := range comms {
+		c.Close()
+	}
+}
+
+func TestDistWorkerValidation(t *testing.T) {
+	p := separableProblem(t, 34, 20, 10, 3, 0.1)
+	comms, _ := cluster.InProc(1)
+	if _, err := NewDistWorker(comms[0], p.A, p.Y[:3], p.Lambda, p.N, false, 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := NewDistWorker(comms[0], p.A, p.Y, 0, p.N, false, 1); err == nil {
+		t.Fatal("lambda=0 accepted")
+	}
+	bad := make([]float32, p.N)
+	if _, err := NewDistWorker(comms[0], p.A, bad, p.Lambda, p.N, false, 1); err == nil {
+		t.Fatal("zero labels accepted")
+	}
+}
+
+func TestDistSVMGapMatchesCentralized(t *testing.T) {
+	p := separableProblem(t, 35, 120, 40, 6, 0.05)
+	const k = 3
+	comms, err := cluster.InProc(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := dist.PartitionRandom(p.N, k, 11)
+	workers := make([]*DistWorker, k)
+	for r := 0; r < k; r++ {
+		localA := p.A.SelectRows(parts[r])
+		localY := make([]float32, len(parts[r]))
+		for i, id := range parts[r] {
+			localY[i] = p.Y[id]
+		}
+		w, err := NewDistWorker(comms[r], localA, localY, p.Lambda, p.N, false, 13+uint64(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[r] = w
+	}
+	gaps := make([]float64, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for e := 0; e < 10; e++ {
+				if err := workers[r].RunEpoch(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			g, err := workers[r].Gap()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			gaps[r] = g
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Assemble the global α and cross-check against the centralized gap.
+	global := make([]float32, p.N)
+	for r := 0; r < k; r++ {
+		for li, gi := range parts[r] {
+			global[gi] = workers[r].Alpha()[li]
+		}
+	}
+	central := p.Gap(global)
+	if math.Abs(gaps[0]-central) > 1e-5*(1+central) {
+		t.Fatalf("distributed gap %v vs centralized %v", gaps[0], central)
+	}
+	for _, c := range comms {
+		c.Close()
+	}
+}

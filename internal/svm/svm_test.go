@@ -1,0 +1,250 @@
+package svm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tpascd/internal/gpusim"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/rng"
+	"tpascd/internal/sparse"
+)
+
+// separableProblem generates a linearly separable-ish classification task.
+func separableProblem(t testing.TB, seed uint64, n, m, nnzPerRow int, lambda float64) *Problem {
+	t.Helper()
+	r := rng.New(seed)
+	truth := make([]float64, m)
+	for j := range truth {
+		truth[j] = r.NormFloat64()
+	}
+	coo := sparse.NewCOO(n, m, n*nnzPerRow)
+	y := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var logit float64
+		for k := 0; k < nnzPerRow; k++ {
+			j := r.Intn(m)
+			v := float32(r.NormFloat64())
+			coo.Append(i, j, v)
+			logit += truth[j] * float64(v)
+		}
+		if logit >= 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	p, err := NewProblem(coo.ToCSR(), y, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	p := separableProblem(t, 1, 20, 10, 3, 0.1)
+	if _, err := NewProblem(nil, nil, 1); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := NewProblem(p.A, p.Y[:2], 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := NewProblem(p.A, p.Y, 0); err == nil {
+		t.Fatal("lambda=0 accepted")
+	}
+	badY := make([]float32, p.N)
+	badY[0] = 0.5
+	if _, err := NewProblem(p.A, badY, 0.1); err == nil {
+		t.Fatal("non-±1 label accepted")
+	}
+}
+
+func TestWeakDuality(t *testing.T) {
+	p := separableProblem(t, 2, 50, 25, 5, 0.05)
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		alpha := make([]float32, p.N)
+		for i := range alpha {
+			alpha[i] = float32(r.Float64()) // feasible in [0,1]
+		}
+		w := p.SharedFromAlpha(alpha)
+		if pv, dv := p.PrimalValue(w), p.DualValue(alpha, w); pv < dv-1e-9 {
+			t.Fatalf("weak duality violated: P=%v < D=%v", pv, dv)
+		}
+	}
+}
+
+// Each SDCA step never decreases the dual objective.
+func TestStepsIncreaseDual(t *testing.T) {
+	p := separableProblem(t, 4, 60, 30, 5, 0.05)
+	alpha := make([]float32, p.N)
+	w := make([]float32, p.M)
+	r := rng.New(5)
+	scale := p.sharedScale()
+	prev := p.DualValue(alpha, w)
+	for step := 0; step < 200; step++ {
+		i := r.Intn(p.N)
+		d := p.Delta(i, w, alpha[i])
+		if d == 0 {
+			continue
+		}
+		alpha[i] += d
+		c := float32(float64(d) * float64(p.Y[i]) * scale)
+		idx, val := p.A.Row(i)
+		for k := range idx {
+			w[idx[k]] += val[k] * c
+		}
+		cur := p.DualValue(alpha, w)
+		if cur < prev-1e-6 {
+			t.Fatalf("step %d decreased dual: %v -> %v", step, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// Iterates stay in the box [0,1].
+func TestIteratesStayFeasible(t *testing.T) {
+	p := separableProblem(t, 6, 100, 40, 6, 0.01)
+	s := NewSequential(p, 7)
+	for e := 0; e < 20; e++ {
+		s.RunEpoch()
+		if v := Box(s.Alpha()); v > 0 {
+			t.Fatalf("epoch %d: box violation %v", e, v)
+		}
+	}
+}
+
+func TestSDCAConverges(t *testing.T) {
+	p := separableProblem(t, 8, 200, 60, 8, 0.01)
+	s := NewSequential(p, 9)
+	g0 := s.Gap()
+	for e := 0; e < 80; e++ {
+		s.RunEpoch()
+	}
+	g := s.Gap()
+	if g >= g0 {
+		t.Fatalf("gap did not decrease: %v -> %v", g0, g)
+	}
+	if g > 1e-3 {
+		t.Fatalf("gap after 80 epochs = %v", g)
+	}
+}
+
+func TestHighAccuracyOnSeparableData(t *testing.T) {
+	p := separableProblem(t, 10, 300, 50, 10, 0.001)
+	s := NewSequential(p, 11)
+	for e := 0; e < 60; e++ {
+		s.RunEpoch()
+	}
+	if acc := s.Accuracy(); acc < 0.9 {
+		t.Fatalf("training accuracy %v on separable data", acc)
+	}
+}
+
+// The maintained shared vector stays consistent with α.
+func TestSharedVectorConsistency(t *testing.T) {
+	p := separableProblem(t, 12, 80, 30, 6, 0.05)
+	s := NewSequential(p, 13)
+	for e := 0; e < 10; e++ {
+		s.RunEpoch()
+	}
+	fresh := p.SharedFromAlpha(s.Alpha())
+	for j := range fresh {
+		if math.Abs(float64(fresh[j]-s.Weights()[j])) > 1e-3 {
+			t.Fatalf("shared vector drift at %d: %v vs %v", j, s.Weights()[j], fresh[j])
+		}
+	}
+}
+
+func TestGPUMatchesCPUConvergence(t *testing.T) {
+	p := separableProblem(t, 14, 150, 50, 8, 0.01)
+	cpu := NewSequential(p, 15)
+	dev := gpusim.NewDevice(perfmodel.GPUTitanX)
+	gpu, err := NewGPU(p, dev, 32, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	for e := 0; e < 50; e++ {
+		cpu.RunEpoch()
+		gpu.RunEpoch()
+	}
+	gc, gg := cpu.Gap(), gpu.Gap()
+	if gg > 100*gc+1e-6 {
+		t.Fatalf("GPU gap %v far from CPU %v", gg, gc)
+	}
+	if v := Box(gpu.Alpha()); v > 0 {
+		t.Fatalf("GPU iterate violates the box: %v", v)
+	}
+}
+
+func TestGPUValidationAndCleanup(t *testing.T) {
+	p := separableProblem(t, 16, 30, 15, 3, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	if _, err := NewGPU(p, dev, 0, 1); err == nil {
+		t.Fatal("bad block size accepted")
+	}
+	g, err := NewGPU(p, dev, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if dev.Allocated() != 0 {
+		t.Fatalf("Close leaked %d bytes", dev.Allocated())
+	}
+}
+
+// Property: Delta never moves α outside [0,1].
+func TestDeltaRespectsBox(t *testing.T) {
+	p := separableProblem(t, 18, 40, 20, 4, 0.05)
+	r := rng.New(19)
+	f := func(raw float32) bool {
+		a := float32(math.Mod(math.Abs(float64(raw)), 1))
+		w := make([]float32, p.M)
+		for j := range w {
+			w[j] = float32(r.NormFloat64())
+		}
+		i := r.Intn(p.N)
+		next := a + p.Delta(i, w, a)
+		return next >= 0 && next <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHingeLoss(t *testing.T) {
+	if HingeLoss(2) != 0 {
+		t.Fatal("margin 2 should have zero loss")
+	}
+	if HingeLoss(0) != 1 {
+		t.Fatal("margin 0 should have loss 1")
+	}
+	if HingeLoss(-1) != 2 {
+		t.Fatal("margin -1 should have loss 2")
+	}
+}
+
+func TestEmptyRowIsNoop(t *testing.T) {
+	coo := sparse.NewCOO(3, 2, 2)
+	coo.Append(0, 0, 1)
+	coo.Append(2, 1, 1)
+	p, err := NewProblem(coo.ToCSR(), []float32{1, -1, 1}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float32, 2)
+	if d := p.Delta(1, w, 0); d != 0 {
+		t.Fatalf("empty row produced step %v", d)
+	}
+}
+
+func BenchmarkSDCAEpoch(b *testing.B) {
+	p := separableProblem(b, 1, 2048, 512, 16, 0.01)
+	s := NewSequential(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpoch()
+	}
+}

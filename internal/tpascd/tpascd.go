@@ -1,0 +1,261 @@
+// Package tpascd implements TPA-SCD, the twice-parallel asynchronous
+// stochastic coordinate descent of Algorithm 2 in the paper, on the gpusim
+// device simulator.
+//
+// The two levels of parallelism map as follows:
+//
+//   - First level: every coordinate of an epoch is processed by its own
+//     thread block; blocks are dispatched asynchronously onto the SM slots
+//     of the simulated device and race on the shared vector in global
+//     memory through atomic float additions (gpusim executes this with real
+//     concurrent goroutines and CAS-loop atomics).
+//   - Second level: inside each block the partial inner product is computed
+//     by strided lanes, reduced with a shared-memory binary tree in float32,
+//     and the shared-vector update is written back by all lanes via atomic
+//     additions (Block.ReduceSum / Block.ParallelFor / Block.AtomicAdd).
+//
+// The kernel works on a coords.View, so the same code powers the
+// single-device solvers of Figs. 1-2 and the per-worker local solvers of
+// the distributed experiments in Figs. 8-10.
+package tpascd
+
+import (
+	"fmt"
+
+	"tpascd/internal/coords"
+	"tpascd/internal/gpusim"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/rng"
+)
+
+// Kernel is a TPA-SCD execution context bound to one device and one
+// coordinate view. The data matrix, model and shared vector are
+// device-resident; only the shared vector is staged over PCIe between
+// epochs in distributed operation, as in the paper.
+type Kernel struct {
+	dev       *gpusim.Device
+	view      *coords.View
+	blockSize int
+
+	model  *gpusim.Buffer // one weight per coordinate in the view
+	shared *gpusim.Buffer // full shared vector
+
+	rng  *rng.Xoshiro256
+	perm []int
+
+	reservedBytes int64
+
+	// accumulated counters
+	epochs      int64
+	totalStats  gpusim.KernelStats
+	pcieSeconds float64
+}
+
+// NewKernel places the view's data on the device and allocates the model
+// and shared-vector buffers. It fails if the device memory capacity would
+// be exceeded — the constraint that forces multi-GPU distribution for the
+// large datasets of Section V.
+func NewKernel(dev *gpusim.Device, view *coords.View, blockSize int, seed uint64) (*Kernel, error) {
+	if err := view.Validate(); err != nil {
+		return nil, fmt.Errorf("tpascd: %w", err)
+	}
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("tpascd: block size %d must be a positive power of two", blockSize)
+	}
+	dataBytes := view.Bytes() + int64(view.Num)*4 // matrix + permutation
+	if err := dev.ReserveBytes(dataBytes); err != nil {
+		return nil, err
+	}
+	model, err := dev.Alloc(view.Num)
+	if err != nil {
+		dev.ReleaseBytes(dataBytes)
+		return nil, err
+	}
+	shared, err := dev.Alloc(view.SharedLen)
+	if err != nil {
+		dev.Free(model)
+		dev.ReleaseBytes(dataBytes)
+		return nil, err
+	}
+	return &Kernel{
+		dev:           dev,
+		view:          view,
+		blockSize:     blockSize,
+		model:         model,
+		shared:        shared,
+		rng:           rng.New(seed),
+		reservedBytes: dataBytes,
+	}, nil
+}
+
+// Close releases all device memory held by the kernel.
+func (k *Kernel) Close() {
+	k.dev.Free(k.model)
+	k.dev.Free(k.shared)
+	k.dev.ReleaseBytes(k.reservedBytes)
+	k.reservedBytes = 0
+}
+
+// Device returns the device the kernel runs on.
+func (k *Kernel) Device() *gpusim.Device { return k.dev }
+
+// View returns the coordinate view the kernel optimizes.
+func (k *Kernel) View() *coords.View { return k.view }
+
+// BlockSize returns the configured threads-per-block.
+func (k *Kernel) BlockSize() int { return k.blockSize }
+
+// Epoch launches Algorithm 2 once: a fresh random permutation of the
+// view's coordinates, one thread block per coordinate. Model and shared
+// vector stay on the device.
+func (k *Kernel) Epoch() gpusim.KernelStats {
+	v := k.view
+	k.perm = k.rng.Perm(v.Num, k.perm)
+	model, shared := k.model, k.shared
+	nl := float64(v.NGlobal) * v.Lambda
+	primal := v.Form == perfmodel.Primal
+
+	stats := k.dev.Launch(v.Num, k.blockSize, func(b *gpusim.Block) {
+		c := k.perm[b.Idx()] // "Get shuffled coordinate" (thread u=0 in the listing)
+		idx, val := v.CoordNZ(c)
+
+		// Phase 1: partial inner products + tree reduction.
+		var dp float32
+		if primal {
+			dp = b.ReduceSum(len(idx), func(e int) float32 {
+				i := idx[e]
+				return val[e] * (v.YShared[i] - b.Read(shared, i))
+			})
+		} else {
+			dp = b.ReduceSum(len(idx), func(e int) float32 {
+				return val[e] * b.Read(shared, idx[e])
+			})
+		}
+
+		// Phase 2 (thread 0): exact coordinate step.
+		cur := b.Read(model, int32(c))
+		var delta float32
+		if primal {
+			delta = float32((float64(dp) - nl*float64(cur)) / (v.Norms[c] + nl))
+		} else {
+			delta = float32((v.Lambda*float64(v.YCoord[c]) - float64(dp) - nl*float64(cur)) / (nl + v.Norms[c]))
+		}
+		b.Write(model, int32(c), cur+delta)
+
+		// Phase 3: all lanes write the shared-vector update atomically.
+		b.ParallelFor(len(idx), func(e int) {
+			b.AtomicAdd(shared, idx[e], val[e]*delta)
+		})
+	})
+
+	k.epochs++
+	k.totalStats.Blocks += stats.Blocks
+	k.totalStats.Elements += stats.Elements
+	k.totalStats.Atomics += stats.Atomics
+	k.totalStats.BlockSize = stats.BlockSize
+	return stats
+}
+
+// EpochSeconds returns the modeled device time of one epoch.
+func (k *Kernel) EpochSeconds() float64 {
+	return k.dev.Profile.EpochSeconds(k.view.Form, k.view.NNZ(), int64(k.view.Num), k.blockSize)
+}
+
+// Model returns a host copy of the device-resident model weights.
+func (k *Kernel) Model() []float32 {
+	out := make([]float32, k.model.Len())
+	copy(out, k.model.Host())
+	return out
+}
+
+// SetModel uploads model weights to the device (used when the distributed
+// driver rescales the local model after aggregation).
+func (k *Kernel) SetModel(m []float32) {
+	copy(k.model.Host(), m)
+}
+
+// DownloadShared copies the device shared vector into dst and returns the
+// modeled PCIe seconds (pinned staging, as in the paper).
+func (k *Kernel) DownloadShared(dst []float32) float64 {
+	sec := k.dev.CopyFromDevice(dst, k.shared, true)
+	k.pcieSeconds += sec
+	return sec
+}
+
+// UploadShared copies a host shared vector to the device and returns the
+// modeled PCIe seconds.
+func (k *Kernel) UploadShared(src []float32) float64 {
+	sec := k.dev.CopyToDevice(k.shared, src, true)
+	k.pcieSeconds += sec
+	return sec
+}
+
+// SharedHost exposes the device shared vector for host-side reads between
+// kernel launches (no transfer accounting; use DownloadShared for the
+// modeled PCIe path).
+func (k *Kernel) SharedHost() []float32 { return k.shared.Host() }
+
+// PCIeSeconds returns the accumulated modeled PCIe staging time.
+func (k *Kernel) PCIeSeconds() float64 { return k.pcieSeconds }
+
+// Solver wraps a Kernel over a full problem so it satisfies the same
+// interface as the CPU solvers in package scd, for the single-GPU
+// comparisons of Figs. 1 and 2.
+type Solver struct {
+	kernel  *Kernel
+	problem *ridge.Problem
+	name    string
+}
+
+// NewSolver builds a single-device TPA-SCD solver for the whole problem.
+// The dataset is transferred to the device once, up front, as in the paper
+// ("the dataset ... is transferred into the GPU memory once at the
+// beginning of operation and does not move").
+func NewSolver(p *ridge.Problem, form perfmodel.Form, dev *gpusim.Device, blockSize int, seed uint64) (*Solver, error) {
+	view := coords.FromProblem(p, form)
+	kernel, err := NewKernel(dev, view, blockSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{
+		kernel:  kernel,
+		problem: p,
+		name:    fmt.Sprintf("TPA-SCD (%s)", dev.Profile.Name),
+	}, nil
+}
+
+// RunEpoch launches one TPA-SCD epoch.
+func (s *Solver) RunEpoch() { s.kernel.Epoch() }
+
+// Model returns a host copy of the current weights.
+func (s *Solver) Model() []float32 { return s.kernel.Model() }
+
+// SharedVector returns the device shared vector (host view).
+func (s *Solver) SharedVector() []float32 { return s.kernel.SharedHost() }
+
+// Gap returns the honest duality gap recomputed from the model alone.
+func (s *Solver) Gap() float64 {
+	m := s.kernel.Model()
+	if s.kernel.view.Form == perfmodel.Primal {
+		return s.problem.GapPrimal(m)
+	}
+	return s.problem.GapDual(m)
+}
+
+// Form reports the formulation.
+func (s *Solver) Form() perfmodel.Form { return s.kernel.view.Form }
+
+// Name identifies the solver and device.
+func (s *Solver) Name() string { return s.name }
+
+// EpochWork returns per-epoch work counts.
+func (s *Solver) EpochWork() (int64, int64) {
+	return s.kernel.view.NNZ(), int64(s.kernel.view.Num)
+}
+
+// EpochSeconds returns the modeled device seconds per epoch.
+func (s *Solver) EpochSeconds() float64 { return s.kernel.EpochSeconds() }
+
+// Close releases device memory.
+func (s *Solver) Close() { s.kernel.Close() }

@@ -1,0 +1,277 @@
+package tpascd
+
+import (
+	"math"
+	"testing"
+
+	"tpascd/internal/coords"
+	"tpascd/internal/gpusim"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/rng"
+	"tpascd/internal/scd"
+	"tpascd/internal/sparse"
+)
+
+func testProblem(t testing.TB, seed uint64, n, m, nnzPerRow int, lambda float64) *ridge.Problem {
+	t.Helper()
+	r := rng.New(seed)
+	coo := sparse.NewCOO(n, m, n*nnzPerRow)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			coo.Append(i, r.Intn(m), float32(r.NormFloat64()))
+		}
+	}
+	y := make([]float32, n)
+	for i := range y {
+		y[i] = float32(r.NormFloat64())
+	}
+	p, err := ridge.NewProblem(coo.ToCSR(), y, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSolverPrimalConverges(t *testing.T) {
+	p := testProblem(t, 1, 300, 150, 8, 0.01)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	s, err := NewSolver(p, perfmodel.Primal, dev, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for e := 0; e < 50; e++ {
+		s.RunEpoch()
+	}
+	if g := s.Gap(); g > 1e-5 {
+		t.Fatalf("primal gap after 50 epochs = %v", g)
+	}
+}
+
+func TestSolverDualConverges(t *testing.T) {
+	p := testProblem(t, 2, 250, 150, 8, 0.01)
+	dev := gpusim.NewDevice(perfmodel.GPUTitanX)
+	s, err := NewSolver(p, perfmodel.Dual, dev, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for e := 0; e < 40; e++ {
+		s.RunEpoch()
+	}
+	if g := s.Gap(); g > 1e-5 {
+		t.Fatalf("dual gap after 40 epochs = %v", g)
+	}
+}
+
+// The paper's key single-device claim: TPA-SCD converges per epoch like the
+// sequential algorithm (atomic updates keep model and shared vector
+// consistent). Compare gap trajectories.
+func TestConvergencePerEpochMatchesSequential(t *testing.T) {
+	p := testProblem(t, 3, 400, 200, 10, 0.005)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	gpu, err := NewSolver(p, perfmodel.Primal, dev, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	seq := scd.NewSequential(p, perfmodel.Primal, 7)
+	for e := 0; e < 25; e++ {
+		gpu.RunEpoch()
+		seq.RunEpoch()
+	}
+	gg, gs := gpu.Gap(), seq.Gap()
+	if gg > 100*gs+1e-8 {
+		t.Fatalf("TPA-SCD per-epoch convergence %v much worse than sequential %v", gg, gs)
+	}
+}
+
+// Shared vector must remain consistent with the model (unlike wild): after
+// training, recomputing Aβ from the model matches the device shared vector.
+func TestSharedVectorConsistency(t *testing.T) {
+	p := testProblem(t, 4, 200, 100, 8, 0.01)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	s, err := NewSolver(p, perfmodel.Primal, dev, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for e := 0; e < 10; e++ {
+		s.RunEpoch()
+	}
+	fresh := make([]float32, p.N)
+	p.A.MulVec(fresh, s.Model())
+	var drift float64
+	for i := range fresh {
+		d := float64(fresh[i] - s.SharedVector()[i])
+		drift += d * d
+	}
+	if drift > 1e-6 {
+		t.Fatalf("shared vector drift = %v", drift)
+	}
+}
+
+func TestKernelRejectsBadBlockSize(t *testing.T) {
+	p := testProblem(t, 5, 50, 30, 4, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	v := coords.FromProblem(p, perfmodel.Primal)
+	if _, err := NewKernel(dev, v, 63, 1); err == nil {
+		t.Fatal("non-power-of-two block size accepted")
+	}
+	if _, err := NewKernel(dev, v, 0, 1); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestKernelOutOfMemory(t *testing.T) {
+	p := testProblem(t, 6, 100, 60, 5, 0.1)
+	profile := perfmodel.GPUM4000
+	profile.MemBytes = 100 // absurdly small
+	dev := gpusim.NewDevice(profile)
+	v := coords.FromProblem(p, perfmodel.Primal)
+	if _, err := NewKernel(dev, v, 64, 1); err == nil {
+		t.Fatal("kernel fit into 100 bytes of device memory")
+	}
+	if dev.Allocated() != 0 {
+		t.Fatalf("failed construction leaked %d bytes", dev.Allocated())
+	}
+}
+
+func TestCloseReleasesMemory(t *testing.T) {
+	p := testProblem(t, 7, 100, 60, 5, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	s, err := NewSolver(p, perfmodel.Primal, dev, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Allocated() == 0 {
+		t.Fatal("nothing allocated")
+	}
+	s.Close()
+	if got := dev.Allocated(); got != 0 {
+		t.Fatalf("Close leaked %d bytes", got)
+	}
+}
+
+func TestPCIeStaging(t *testing.T) {
+	p := testProblem(t, 8, 100, 60, 5, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	v := coords.FromProblem(p, perfmodel.Dual)
+	k, err := NewKernel(dev, v, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	host := make([]float32, v.SharedLen)
+	for i := range host {
+		host[i] = float32(i)
+	}
+	up := k.UploadShared(host)
+	down := k.DownloadShared(host)
+	if up <= 0 || down <= 0 {
+		t.Fatalf("PCIe times not positive: %v %v", up, down)
+	}
+	if got := k.PCIeSeconds(); math.Abs(got-(up+down)) > 1e-12 {
+		t.Fatalf("PCIe accumulation = %v, want %v", got, up+down)
+	}
+	for i := range host {
+		if host[i] != float32(i) {
+			t.Fatalf("staging corrupted element %d", i)
+		}
+	}
+}
+
+func TestEpochStatsCountWork(t *testing.T) {
+	p := testProblem(t, 9, 80, 40, 5, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	v := coords.FromProblem(p, perfmodel.Primal)
+	k, err := NewKernel(dev, v, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	stats := k.Epoch()
+	if stats.Blocks != int64(v.Num) {
+		t.Fatalf("blocks = %d, want %d", stats.Blocks, v.Num)
+	}
+	// Each coordinate's nnz is visited twice (dot product + write-back).
+	if stats.Elements != 2*v.NNZ() {
+		t.Fatalf("elements = %d, want %d", stats.Elements, 2*v.NNZ())
+	}
+	// One atomic per nnz in write-back plus one model Write per coordinate.
+	if stats.Atomics != v.NNZ()+int64(v.Num) {
+		t.Fatalf("atomics = %d, want %d", stats.Atomics, v.NNZ()+int64(v.Num))
+	}
+}
+
+func TestEpochSecondsPositiveAndFasterOnTitanX(t *testing.T) {
+	p := testProblem(t, 10, 200, 100, 8, 0.01)
+	m4000 := gpusim.NewDevice(perfmodel.GPUM4000)
+	titan := gpusim.NewDevice(perfmodel.GPUTitanX)
+	a, err := NewSolver(p, perfmodel.Dual, m4000, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewSolver(p, perfmodel.Dual, titan, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.EpochSeconds() <= 0 {
+		t.Fatal("non-positive epoch time")
+	}
+	if b.EpochSeconds() >= a.EpochSeconds() {
+		t.Fatalf("Titan X (%v) not faster than M4000 (%v)", b.EpochSeconds(), a.EpochSeconds())
+	}
+}
+
+func TestSetModelRoundTrip(t *testing.T) {
+	p := testProblem(t, 11, 60, 30, 4, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	v := coords.FromProblem(p, perfmodel.Primal)
+	k, err := NewKernel(dev, v, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	m := make([]float32, v.Num)
+	for i := range m {
+		m[i] = float32(i) * 0.5
+	}
+	k.SetModel(m)
+	got := k.Model()
+	for i := range m {
+		if got[i] != m[i] {
+			t.Fatalf("SetModel/Model mismatch at %d", i)
+		}
+	}
+}
+
+func TestSolverName(t *testing.T) {
+	p := testProblem(t, 12, 40, 20, 3, 0.1)
+	dev := gpusim.NewDevice(perfmodel.GPUTitanX)
+	s, err := NewSolver(p, perfmodel.Primal, dev, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Name() != "TPA-SCD (Titan X)" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func BenchmarkTPASCDEpoch(b *testing.B) {
+	p := testProblem(b, 1, 2048, 1024, 16, 0.001)
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	s, err := NewSolver(p, perfmodel.Primal, dev, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpoch()
+	}
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plot glyphs, one per series, cycled.
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '~', '^'}
+
+// FprintChart renders the figure as an ASCII chart: Trajectory figures are
+// drawn as log-gap vs epoch curves, PerWorker figures as grouped columns
+// of seconds per worker count. width and height size the plotting area in
+// character cells (sane minimums are enforced).
+func (f *Figure) FprintChart(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.Name, f.Title); err != nil {
+		return err
+	}
+	if f.Kind == PerWorker {
+		return f.perWorkerChart(w, width)
+	}
+	return f.trajectoryChart(w, width, height)
+}
+
+// trajectoryChart draws gap (log scale, y) against epoch (linear, x).
+func (f *Figure) trajectoryChart(w io.Writer, width, height int) error {
+	minGap, maxGap := math.Inf(1), math.Inf(-1)
+	maxEpoch := 1
+	any := false
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Gap <= 0 || math.IsNaN(p.Gap) {
+				continue
+			}
+			any = true
+			if p.Gap < minGap {
+				minGap = p.Gap
+			}
+			if p.Gap > maxGap {
+				maxGap = p.Gap
+			}
+			if p.Epoch > maxEpoch {
+				maxEpoch = p.Epoch
+			}
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintln(w, "(no positive gap values to plot)")
+		return err
+	}
+	logMin, logMax := math.Log10(minGap), math.Log10(maxGap)
+	if logMax-logMin < 1e-9 {
+		logMax = logMin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			if p.Gap <= 0 || math.IsNaN(p.Gap) {
+				continue
+			}
+			col := int(float64(p.Epoch-1) / float64(maxEpoch) * float64(width-1))
+			row := int((logMax - math.Log10(p.Gap)) / (logMax - logMin) * float64(height-1))
+			if col < 0 {
+				col = 0
+			}
+			if col >= width {
+				col = width - 1
+			}
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.0e", maxGap)
+		case height - 1:
+			label = fmt.Sprintf("%8.0e", minGap)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  1 epoch%sepoch %d\n", strings.Repeat(" ", 8),
+		strings.Repeat(" ", max(1, width-8-len(fmt.Sprintf("epoch %d", maxEpoch)))), maxEpoch); err != nil {
+		return err
+	}
+	for si, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", glyphs[si%len(glyphs)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// perWorkerChart draws horizontal bars of Seconds per (series, K) pair on
+// a log scale.
+func (f *Figure) perWorkerChart(w io.Writer, width int) error {
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Seconds <= 0 {
+				continue
+			}
+			if p.Seconds < minV {
+				minV = p.Seconds
+			}
+			if p.Seconds > maxV {
+				maxV = p.Seconds
+			}
+		}
+	}
+	if math.IsInf(minV, 1) {
+		_, err := fmt.Fprintln(w, "(no positive values to plot)")
+		return err
+	}
+	logMin, logMax := math.Log10(minV), math.Log10(maxV)
+	if logMax-logMin < 1e-9 {
+		logMax = logMin + 1
+	}
+	barWidth := width - 2
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Seconds <= 0 {
+				continue
+			}
+			n := int((math.Log10(p.Seconds) - logMin) / (logMax - logMin) * float64(barWidth-1))
+			if n < 0 {
+				n = 0
+			}
+			bar := strings.Repeat("=", n+1)
+			if _, err := fmt.Fprintf(w, "%-32s K=%d |%-*s| %.4gs\n", s.Label, p.Epoch, barWidth, bar, p.Seconds); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func trajectoryFigure() Figure {
+	f := Figure{Name: "figX", Title: "test trajectory"}
+	a := Series{Label: "fast"}
+	b := Series{Label: "slow"}
+	for e := 1; e <= 50; e++ {
+		a.Append(Point{Epoch: e, Seconds: float64(e), Gap: 1.0 / float64(e*e*e)})
+		b.Append(Point{Epoch: e, Seconds: float64(e), Gap: 1.0 / float64(e)})
+	}
+	f.Add(a)
+	f.Add(b)
+	return f
+}
+
+func TestTrajectoryChart(t *testing.T) {
+	f := trajectoryFigure()
+	var buf bytes.Buffer
+	if err := f.FprintChart(&buf, 60, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "fast", "slow", "*", "+", "epoch 50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// 12 grid rows plus frame, title and legend lines.
+	if lines := strings.Count(out, "\n"); lines < 15 {
+		t.Fatalf("chart too short: %d lines", lines)
+	}
+}
+
+func TestChartEnforcesMinimumSize(t *testing.T) {
+	f := trajectoryFigure()
+	var buf bytes.Buffer
+	if err := f.FprintChart(&buf, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output for tiny chart")
+	}
+}
+
+func TestChartEmptyFigure(t *testing.T) {
+	f := Figure{Name: "empty", Title: "nothing"}
+	f.Add(Series{Label: "void"})
+	var buf bytes.Buffer
+	if err := f.FprintChart(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no positive gap values") {
+		t.Fatalf("empty figure not reported: %s", buf.String())
+	}
+}
+
+func TestChartIgnoresNonPositiveGaps(t *testing.T) {
+	f := Figure{Name: "f", Title: "t"}
+	s := Series{Label: "s"}
+	s.Append(Point{Epoch: 1, Gap: 0})
+	s.Append(Point{Epoch: 2, Gap: -1})
+	s.Append(Point{Epoch: 3, Gap: 0.5})
+	f.Add(s)
+	var buf bytes.Buffer
+	if err := f.FprintChart(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("positive point not plotted")
+	}
+}
+
+func TestPerWorkerChart(t *testing.T) {
+	f := Figure{Name: "fig6a", Title: "time to eps", Kind: PerWorker}
+	s := Series{Label: "Adaptive ε=3e-05"}
+	for _, k := range []int{1, 2, 4, 8} {
+		s.Append(Point{Epoch: k, Seconds: 0.01 * float64(k)})
+	}
+	f.Add(s)
+	var buf bytes.Buffer
+	if err := f.FprintChart(&buf, 50, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"K=1", "K=8", "=", "0.08s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("per-worker chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerWorkerChartEmpty(t *testing.T) {
+	f := Figure{Name: "f", Title: "t", Kind: PerWorker}
+	f.Add(Series{Label: "s"})
+	var buf bytes.Buffer
+	if err := f.FprintChart(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no positive values") {
+		t.Fatal("empty per-worker figure not reported")
+	}
+}

@@ -1,0 +1,184 @@
+// Package trace records convergence trajectories — duality gap against
+// epochs and simulated seconds — and answers the time-to-accuracy queries
+// the paper's figures are built from.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Point is one epoch's measurement.
+type Point struct {
+	// Epoch counts completed epochs (1-based after the first epoch).
+	Epoch int
+	// Seconds is the cumulative simulated training time.
+	Seconds float64
+	// Gap is the duality gap after the epoch.
+	Gap float64
+	// Gamma is the aggregation parameter used in the epoch (0 when not
+	// applicable).
+	Gamma float64
+}
+
+// Series is a labeled trajectory, e.g. one solver or one worker count.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Append records one epoch.
+func (s *Series) Append(p Point) { s.Points = append(s.Points, p) }
+
+// Final returns the last recorded point; ok is false for an empty series.
+func (s Series) Final() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// TimeToGap returns the cumulative seconds at which the gap first reached
+// eps; ok is false when the series never got there.
+func (s Series) TimeToGap(eps float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Gap <= eps {
+			return p.Seconds, true
+		}
+	}
+	return math.NaN(), false
+}
+
+// EpochsToGap returns the epoch at which the gap first reached eps.
+func (s Series) EpochsToGap(eps float64) (int, bool) {
+	for _, p := range s.Points {
+		if p.Gap <= eps {
+			return p.Epoch, true
+		}
+	}
+	return 0, false
+}
+
+// MinGap returns the smallest gap observed (the floor a non-convergent
+// solver plateaus at).
+func (s Series) MinGap() float64 {
+	min := math.Inf(1)
+	for _, p := range s.Points {
+		if p.Gap < min {
+			min = p.Gap
+		}
+	}
+	return min
+}
+
+// Kind selects how a figure's series are rendered in text summaries.
+type Kind int
+
+// Figure kinds.
+const (
+	// Trajectory series record (epoch, time, gap) convergence curves.
+	Trajectory Kind = iota
+	// PerWorker series record one point per cluster size: Epoch holds
+	// the worker count and Seconds the measurement (Figs. 6, 8, 9).
+	PerWorker
+)
+
+// Figure groups the series of one reproduced paper figure.
+type Figure struct {
+	Name    string // e.g. "fig1a"
+	Title   string
+	XLabel  string
+	YLabel  string
+	Kind    Kind
+	Series  []Series
+	Remarks []string // free-form notes emitted with the figure
+}
+
+// Add appends a series.
+func (f *Figure) Add(s Series) { f.Series = append(f.Series, s) }
+
+// WriteCSV emits the figure in long form: series,epoch,seconds,gap,gamma.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "epoch", "seconds", "gap", "gamma"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label,
+				strconv.Itoa(p.Epoch),
+				strconv.FormatFloat(p.Seconds, 'g', 10, 64),
+				strconv.FormatFloat(p.Gap, 'g', 10, 64),
+				strconv.FormatFloat(p.Gamma, 'g', 10, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fprint writes a human-readable summary. For Trajectory figures it
+// prints, per series, the final gap plus time/epochs to a few reference
+// accuracies; for PerWorker figures it prints the worker-count → seconds
+// points directly.
+func (f *Figure) Fprint(w io.Writer, epsilons ...float64) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.Name, f.Title); err != nil {
+		return err
+	}
+	if f.Kind == PerWorker {
+		for _, s := range f.Series {
+			if _, err := fmt.Fprintf(w, "%-36s", s.Label); err != nil {
+				return err
+			}
+			for _, p := range s.Points {
+				if _, err := fmt.Fprintf(w, "  K=%d: %.4gs", p.Epoch, p.Seconds); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		for _, r := range f.Remarks {
+			if _, err := fmt.Fprintf(w, "note: %s\n", r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range f.Series {
+		final, ok := s.Final()
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-36s final gap %.3e after %d epochs (%.3gs)\n",
+			s.Label, final.Gap, final.Epoch, final.Seconds); err != nil {
+			return err
+		}
+		for _, eps := range epsilons {
+			if t, ok := s.TimeToGap(eps); ok {
+				e, _ := s.EpochsToGap(eps)
+				if _, err := fmt.Fprintf(w, "%-36s   gap ≤ %.0e at epoch %d, t=%.4gs\n", "", eps, e, t); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(w, "%-36s   gap ≤ %.0e not reached\n", "", eps); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, r := range f.Remarks {
+		if _, err := fmt.Fprintf(w, "note: %s\n", r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleSeries() Series {
+	s := Series{Label: "solver"}
+	s.Append(Point{Epoch: 1, Seconds: 1, Gap: 1e-1})
+	s.Append(Point{Epoch: 2, Seconds: 2, Gap: 1e-3})
+	s.Append(Point{Epoch: 3, Seconds: 3, Gap: 1e-5})
+	return s
+}
+
+func TestTimeToGap(t *testing.T) {
+	s := sampleSeries()
+	if sec, ok := s.TimeToGap(1e-3); !ok || sec != 2 {
+		t.Fatalf("TimeToGap(1e-3) = %v,%v", sec, ok)
+	}
+	if sec, ok := s.TimeToGap(5e-3); !ok || sec != 2 {
+		t.Fatalf("TimeToGap(5e-3) = %v,%v; must find the first epoch at or below", sec, ok)
+	}
+	if _, ok := s.TimeToGap(1e-9); ok {
+		t.Fatal("unreached accuracy reported as reached")
+	}
+}
+
+func TestEpochsToGap(t *testing.T) {
+	s := sampleSeries()
+	if e, ok := s.EpochsToGap(1e-5); !ok || e != 3 {
+		t.Fatalf("EpochsToGap = %v,%v", e, ok)
+	}
+}
+
+func TestFinalAndMinGap(t *testing.T) {
+	s := sampleSeries()
+	f, ok := s.Final()
+	if !ok || f.Epoch != 3 {
+		t.Fatalf("Final = %+v,%v", f, ok)
+	}
+	if s.MinGap() != 1e-5 {
+		t.Fatalf("MinGap = %v", s.MinGap())
+	}
+	var empty Series
+	if _, ok := empty.Final(); ok {
+		t.Fatal("empty series has a final point")
+	}
+	if !math.IsInf(empty.MinGap(), 1) {
+		t.Fatal("empty MinGap should be +Inf")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f := Figure{Name: "fig1a", Title: "t", XLabel: "x", YLabel: "y"}
+	f.Add(sampleSeries())
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "series,epoch,seconds,gap,gamma" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "solver,1,1,0.1") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestFprint(t *testing.T) {
+	f := Figure{Name: "fig1a", Title: "convergence", Remarks: []string{"shape matches"}}
+	f.Add(sampleSeries())
+	var buf bytes.Buffer
+	if err := f.Fprint(&buf, 1e-3, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1a", "solver", "not reached", "shape matches"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

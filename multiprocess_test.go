@@ -1,0 +1,102 @@
+package tpascd_test
+
+import (
+	"bufio"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMultiProcessCluster builds cmd/distworker and runs a real 3-process
+// training cluster over TCP on loopback — the paper's deployment shape
+// (one OS process per worker) end to end. All ranks must agree on the
+// collective duality gap.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "distworker")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/distworker")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	const (
+		size   = 3
+		epochs = "15"
+	)
+	common := []string{"-size", fmt.Sprint(size), "-epochs", epochs,
+		"-n", "1024", "-m", "512", "-nnz", "12", "-seed", "7"}
+
+	master := exec.Command(bin, append([]string{"-rank", "0", "-listen", "127.0.0.1:0"}, common...)...)
+	stdout, err := master.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Stderr = nil
+	if err := master.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatal("master produced no output")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 2 || fields[0] != "LISTENING" {
+		t.Fatalf("unexpected master banner %q", sc.Text())
+	}
+	addr := fields[1]
+
+	results := make([]string, size)
+	var wg sync.WaitGroup
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w := exec.Command(bin, append([]string{"-rank", fmt.Sprint(r), "-addr", addr}, common...)...)
+			out, err := w.CombinedOutput()
+			if err != nil {
+				t.Errorf("rank %d: %v\n%s", r, err, out)
+				return
+			}
+			results[r] = strings.TrimSpace(string(out))
+		}(r)
+	}
+
+	// Master's result line.
+	if !sc.Scan() {
+		t.Fatal("master produced no result line")
+	}
+	results[0] = sc.Text()
+	wg.Wait()
+	if err := master.Wait(); err != nil {
+		t.Fatalf("master exited: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// All ranks report the same collective gap.
+	gap := func(line string) string {
+		for _, f := range strings.Fields(line) {
+			if strings.HasPrefix(f, "gap=") {
+				return f
+			}
+		}
+		return "?"
+	}
+	g0 := gap(results[0])
+	if g0 == "?" {
+		t.Fatalf("no gap in master result %q", results[0])
+	}
+	for r := 1; r < size; r++ {
+		if gap(results[r]) != g0 {
+			t.Fatalf("rank %d gap %s != master %s (lines: %q vs %q)", r, gap(results[r]), g0, results[r], results[0])
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package tpascd is a pure-Go reproduction of "Large-Scale Stochastic
+// Learning using GPUs" (Parnell, Dünner, Atasu, Sifalakis, Pozidis; IBM
+// Research – Zurich, 2017, arXiv:1702.07005).
+//
+// It provides:
+//
+//   - ridge regression in its primal and dual formulations, solved by
+//     stochastic coordinate descent (SCD) with exact per-coordinate
+//     minimization and duality-gap convergence certificates;
+//   - the CPU solver family of the paper: sequential SCD, asynchronous
+//     A-SCD (atomic shared-vector updates) and PASSCoDe-Wild (racy
+//     updates) running on real goroutines;
+//   - TPA-SCD, the paper's twice-parallel asynchronous GPU algorithm,
+//     executing on a structural GPU simulator (real racing thread blocks
+//     and float atomics; modeled wall-clock — see the perfmodel and gpusim
+//     documentation for the substitution contract);
+//   - distributed training across K workers with data partitioned by
+//     feature (primal) or example (dual), with averaging aggregation
+//     (Algorithm 3) or the paper's adaptive aggregation (Algorithm 4),
+//     over in-process or TCP communicators;
+//   - synthetic generators for webspam-like and criteo-like datasets, and
+//     a harness regenerating every figure of the paper's evaluation.
+//
+// The quickest way in:
+//
+//	a, y, _ := tpascd.GenerateWebspam(tpascd.WebspamDefaults())
+//	p, _ := tpascd.NewProblem(a, y, 0.001)
+//	solver := tpascd.NewSequentialSolver(p, tpascd.Primal, 42)
+//	tpascd.Train(solver, 50, func(epoch int, gap float64) bool {
+//		return gap > 1e-6 // keep going while true
+//	})
+package tpascd
+
+import (
+	"io"
+
+	"tpascd/internal/datasets"
+	"tpascd/internal/gpusim"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/scd"
+	"tpascd/internal/sparse"
+	"tpascd/internal/tpascd"
+)
+
+// Form selects the ridge-regression formulation: Primal iterates over
+// features (data stored by column), Dual over examples (data stored by
+// row).
+type Form = perfmodel.Form
+
+// The two formulations.
+const (
+	Primal = perfmodel.Primal
+	Dual   = perfmodel.Dual
+)
+
+// Matrix types (compressed sparse row/column and coordinate list).
+type (
+	// CSR is a compressed sparse row matrix.
+	CSR = sparse.CSR
+	// CSC is a compressed sparse column matrix.
+	CSC = sparse.CSC
+	// COO is a coordinate-list matrix, the interchange format.
+	COO = sparse.COO
+)
+
+// Problem is a ridge-regression training problem: data, labels, λ.
+type Problem = ridge.Problem
+
+// NewProblem bundles a CSR data matrix, labels and regularization constant.
+func NewProblem(a *CSR, y []float32, lambda float64) (*Problem, error) {
+	return ridge.NewProblem(a, y, lambda)
+}
+
+// LoadLibSVM reads a LIBSVM-format dataset and builds a Problem. numCols
+// may be zero to infer the feature count.
+func LoadLibSVM(r io.Reader, numCols int, lambda float64) (*Problem, error) {
+	coo, y, err := sparse.ReadLibSVM(r, numCols)
+	if err != nil {
+		return nil, err
+	}
+	return ridge.NewProblem(coo.ToCSR(), y, lambda)
+}
+
+// WriteLibSVM writes a CSR matrix with labels in LIBSVM text format.
+func WriteLibSVM(w io.Writer, a *CSR, y []float32) error {
+	return sparse.WriteLibSVM(w, a, y)
+}
+
+// Dataset generation.
+
+// WebspamConfig configures the webspam-like synthetic generator.
+type WebspamConfig = datasets.WebspamConfig
+
+// CriteoConfig configures the criteo-like synthetic generator.
+type CriteoConfig = datasets.CriteoConfig
+
+// WebspamDefaults returns the laptop-scale webspam-like defaults.
+func WebspamDefaults() WebspamConfig { return datasets.WebspamDefault() }
+
+// CriteoDefaults returns the laptop-scale criteo-like defaults.
+func CriteoDefaults() CriteoConfig { return datasets.CriteoDefault() }
+
+// GenerateWebspam creates a webspam-like sparse dataset.
+func GenerateWebspam(cfg WebspamConfig) (*CSR, []float32, error) { return datasets.Webspam(cfg) }
+
+// GenerateCriteo creates a criteo-like one-hot dataset.
+func GenerateCriteo(cfg CriteoConfig) (*CSR, []float32, error) { return datasets.Criteo(cfg) }
+
+// Solvers.
+
+// Solver is a configured single-node training algorithm; one RunEpoch call
+// is one permuted pass over the coordinates. Gap reports the duality gap
+// recomputed honestly from the model.
+type Solver = scd.Solver
+
+// NewSequentialSolver returns sequential SCD (Algorithm 1 of the paper).
+func NewSequentialSolver(p *Problem, form Form, seed uint64) Solver {
+	return scd.NewSequential(p, form, seed)
+}
+
+// NewAtomicSolver returns A-SCD: threads goroutines with atomic (lossless)
+// shared-vector updates.
+func NewAtomicSolver(p *Problem, form Form, threads int, seed uint64) Solver {
+	return scd.NewAtomic(p, form, threads, seed)
+}
+
+// NewWildSolver returns PASSCoDe-Wild: threads goroutines with racy
+// shared-vector updates; fast but converges to a solution violating the
+// optimality conditions.
+func NewWildSolver(p *Problem, form Form, threads int, seed uint64) Solver {
+	return scd.NewWild(p, form, threads, seed)
+}
+
+// GPUProfile describes a simulated GPU (SM count, memory bandwidth and
+// capacity, calibrated efficiencies).
+type GPUProfile = perfmodel.GPUProfile
+
+// The two devices the paper evaluates.
+var (
+	// M4000 models the NVIDIA Quadro M4000 (8 GB, 192 GB/s).
+	M4000 = perfmodel.GPUM4000
+	// TitanX models the NVIDIA GeForce GTX Titan X (12 GB, 336 GB/s).
+	TitanX = perfmodel.GPUTitanX
+)
+
+// GPUSolver is TPA-SCD running on a simulated device. Beyond the Solver
+// interface it reports modeled per-epoch device seconds and must be
+// Closed to release simulated device memory.
+type GPUSolver struct {
+	*tpascd.Solver
+}
+
+// NewGPUSolver places the problem on a fresh simulated device of the given
+// profile and returns a TPA-SCD solver (Algorithm 2 of the paper). It
+// fails if the dataset does not fit in device memory — the constraint that
+// motivates distributed training.
+func NewGPUSolver(p *Problem, form Form, profile GPUProfile, blockSize int, seed uint64) (*GPUSolver, error) {
+	dev := gpusim.NewDevice(profile)
+	s, err := tpascd.NewSolver(p, form, dev, blockSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &GPUSolver{Solver: s}, nil
+}
+
+// Train runs epochs until the budget is exhausted or keepGoing returns
+// false; it returns the number of epochs performed and the final duality
+// gap. keepGoing may be nil to train for exactly epochs epochs.
+func Train(s Solver, epochs int, keepGoing func(epoch int, gap float64) bool) (int, float64) {
+	gap := s.Gap()
+	for e := 1; e <= epochs; e++ {
+		s.RunEpoch()
+		gap = s.Gap()
+		if keepGoing != nil && !keepGoing(e, gap) {
+			return e, gap
+		}
+	}
+	return epochs, gap
+}
