@@ -2,9 +2,15 @@ package tpascd_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	"tpascd"
+	"tpascd/internal/engine"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+	"tpascd/internal/rng"
 )
 
 // One benchmark per reproduced figure: each regenerates the figure end to
@@ -107,6 +113,124 @@ func BenchmarkAblationAggregation(b *testing.B) {
 				b.ReportMetric(float64(epochs), "epochs-to-1e-3")
 			}
 		})
+	}
+}
+
+// Engine dispatch guard: the unified coordinate-descent engine drives every
+// solver family through the Loss interface. These benches pit the engine's
+// sequential epoch driver against a hand-inlined copy of the pre-engine
+// direct loop on the webspam-like defaults, so `go test -bench
+// 'SequentialEpoch'` exposes any interface-dispatch regression. The guard
+// test below enforces a loose ceiling; the expected overhead is within a few
+// percent because the hot inner loops (dot product, scatter update) live
+// behind one CoordNZ call per coordinate, not one call per non-zero.
+
+func benchGuardProblem(b testing.TB) *ridge.Problem {
+	b.Helper()
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, 0.001)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// directPrimalEpoch is the pre-engine sequential primal SCD epoch, inlined
+// against the ridge problem with no interface in sight.
+func directPrimalEpoch(p *ridge.Problem, model, shared []float32, perm []int) {
+	nl := float64(p.N) * p.Lambda
+	for _, c := range perm {
+		idx, val := p.ACols.Col(c)
+		var dp float64
+		for k := range idx {
+			i := idx[k]
+			dp += float64(val[k]) * (float64(p.Y[i]) - float64(shared[i]))
+		}
+		d := float32((dp - nl*float64(model[c])) / (p.ColNormSq(c) + nl))
+		if d == 0 {
+			continue
+		}
+		model[c] += d
+		for k := range idx {
+			shared[idx[k]] += val[k] * d
+		}
+	}
+}
+
+func BenchmarkDirectSequentialEpoch(b *testing.B) {
+	p := benchGuardProblem(b)
+	model := make([]float32, p.M)
+	shared := make([]float32, p.N)
+	r := rng.New(1)
+	var perm []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm = r.Perm(p.M, perm)
+		directPrimalEpoch(p, model, shared, perm)
+	}
+}
+
+func BenchmarkEngineSequentialEpoch(b *testing.B) {
+	p := benchGuardProblem(b)
+	s := engine.NewSequential(ridge.NewLoss(p, perfmodel.Primal), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpoch()
+	}
+}
+
+// TestEngineDispatchOverhead fails if the engine's epoch driver is far
+// slower than the direct loop. The bound is deliberately loose (2×, median
+// of several runs) so shared CI machines do not flake; the benchmarks above
+// give the precise number, which should be within a few percent.
+func TestEngineDispatchOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	p := benchGuardProblem(t)
+
+	const warmup, runs, epochsPerRun = 2, 9, 3
+	median := func(run func()) time.Duration {
+		for i := 0; i < warmup; i++ {
+			run()
+		}
+		times := make([]time.Duration, runs)
+		for i := range times {
+			start := time.Now()
+			run()
+			times[i] = time.Since(start)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		return times[runs/2]
+	}
+
+	model := make([]float32, p.M)
+	shared := make([]float32, p.N)
+	r := rng.New(1)
+	var perm []int
+	direct := median(func() {
+		for e := 0; e < epochsPerRun; e++ {
+			perm = r.Perm(p.M, perm)
+			directPrimalEpoch(p, model, shared, perm)
+		}
+	})
+
+	s := engine.NewSequential(ridge.NewLoss(p, perfmodel.Primal), 1)
+	viaEngine := median(func() {
+		for e := 0; e < epochsPerRun; e++ {
+			s.RunEpoch()
+		}
+	})
+
+	t.Logf("direct %v, engine %v per %d epochs (%.2fx)",
+		direct, viaEngine, epochsPerRun, float64(viaEngine)/float64(direct))
+	if viaEngine > 2*direct {
+		t.Fatalf("engine epoch driver %v more than 2x slower than direct loop %v", viaEngine, direct)
 	}
 }
 

@@ -76,6 +76,9 @@ func main() {
 		fatal(fmt.Errorf("unknown form %q", *formFlag))
 	}
 
+	if *threads < 1 && (*solverFlag == "a-scd" || *solverFlag == "wild") {
+		fatal(fmt.Errorf("-threads must be >= 1, got %d", *threads))
+	}
 	var solver tpascd.Solver
 	switch *solverFlag {
 	case "scd":

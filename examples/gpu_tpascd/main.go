@@ -32,16 +32,19 @@ func main() {
 	_, seqGap := tpascd.Train(seq, epochs, nil)
 	fmt.Printf("%-22s gap %.3e after %d epochs\n", seq.Name(), seqGap, epochs)
 
-	// The two GPUs of the paper.
+	// The two GPUs of the paper. Each solver holds simulated device memory,
+	// so release it deterministically even if training panics.
 	for _, profile := range []tpascd.GPUProfile{tpascd.M4000, tpascd.TitanX} {
-		solver, err := tpascd.NewGPUSolver(p, tpascd.Dual, profile, 64, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		_, gap := tpascd.Train(solver, epochs, nil)
-		fmt.Printf("%-22s gap %.3e after %d epochs, %.3f simulated ms/epoch\n",
-			solver.Name(), gap, epochs, solver.EpochSeconds()*1e3)
-		solver.Close()
+		func() {
+			solver, err := tpascd.NewGPUSolver(p, tpascd.Dual, profile, 64, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer solver.Close()
+			_, gap := tpascd.Train(solver, epochs, nil)
+			fmt.Printf("%-22s gap %.3e after %d epochs, %.3f simulated ms/epoch\n",
+				solver.Name(), gap, epochs, solver.EpochSeconds()*1e3)
+		}()
 	}
 
 	fmt.Println("\nTPA-SCD matches the sequential gap-vs-epoch trajectory (atomic")

@@ -8,7 +8,7 @@ import (
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
-	"tpascd/internal/scd"
+	"tpascd/internal/engine"
 	"tpascd/internal/sparse"
 )
 
@@ -94,7 +94,7 @@ func TestSingleWorkerMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq := scd.NewSequential(p, perfmodel.Primal, 5)
+	seq := engine.NewSequential(ridge.NewLoss(p, perfmodel.Primal), 5)
 	for e := 0; e < 40; e++ {
 		seq.RunEpoch()
 	}

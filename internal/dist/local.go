@@ -15,6 +15,14 @@ import (
 // algorithms: one call performs a full permuted pass over the worker's
 // coordinates, updating the local model and the (worker-local copy of the)
 // global shared vector in place.
+//
+// Local is deliberately not engine.Solver: the engine's drivers own their
+// model and shared vector and answer for a whole problem, while a local
+// solver operates in place on state owned by the distributed driver
+// (aggregated between rounds) over a coordinate partition, with CoCoA+ σ′
+// damping the engine's exact steps have no use for. The epoch bodies are
+// the engine's, specialized to that contract; whole-problem reference
+// comparisons in this package use engine.Solver directly.
 type Local interface {
 	// Epoch mutates model (length = number of local coordinates) and
 	// shared (global shared-vector length) in place.
@@ -135,7 +143,7 @@ func (l *CPULocal) Epoch(model, shared []float32) {
 				idx, val := v.CoordNZ(c)
 				if l.mode == Wild {
 					// Racy read-modify-write with the same few-core yield
-					// as scd.Async (see scd.wildYieldMask).
+					// as engine.Async (see engine.wildYieldMask).
 					for k := range idx {
 						cur := atomicf.LoadFloat32(&shared[idx[k]])
 						if stores&1023 == 0 {

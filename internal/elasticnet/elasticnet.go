@@ -19,9 +19,10 @@
 //	β_m ← S(c_m, λα) / u,   c_m = (⟨y−w, a_m⟩ + ‖a_m‖²·β_m)/N,
 //	u = ‖a_m‖²/N + λ(1−α),  S(c,t) = sign(c)·max(|c|−t, 0),
 //
-// where w = Aβ is the same shared vector the ridge solvers maintain, so
-// the whole TPA-SCD machinery (thread block per coordinate, atomic
-// shared-vector updates) carries over unchanged.
+// where w = Aβ is the same shared vector the ridge solvers maintain. The
+// solvers are the engine drivers running this package's Loss: sequential,
+// async-atomic, wild, and the TPA-SCD kernel (thread block per coordinate,
+// atomic shared-vector updates) all carry over unchanged.
 package elasticnet
 
 import (
@@ -29,9 +30,9 @@ import (
 	"fmt"
 	"math"
 
+	"tpascd/internal/engine"
 	"tpascd/internal/gpusim"
 	"tpascd/internal/ridge"
-	"tpascd/internal/rng"
 )
 
 // Problem is an elastic-net training problem. It reuses the ridge Problem
@@ -88,6 +89,18 @@ func SoftThreshold(c, t float64) float64 {
 	}
 }
 
+// stepFromDot turns the residual inner product dp = ⟨y−w, a_m⟩ and the
+// current weight into the exact soft-thresholding step.
+func (p *Problem) stepFromDot(m int, dp float64, betaM float32) float32 {
+	n := float64(p.N)
+	c := (dp + p.ColNormSq(m)*float64(betaM)) / n
+	u := p.ColNormSq(m)/n + p.Lambda*(1-p.Alpha)
+	if u <= 0 {
+		return 0 // empty column with pure-lasso regularization
+	}
+	return float32(SoftThreshold(c, p.Lambda*p.Alpha)/u - float64(betaM))
+}
+
 // Delta computes the exact coordinate step for feature m given the shared
 // vector w and the current weight. The new weight is betaM+Delta.
 func (p *Problem) Delta(m int, w []float32, betaM float32) float32 {
@@ -97,13 +110,7 @@ func (p *Problem) Delta(m int, w []float32, betaM float32) float32 {
 		i := idx[k]
 		dp += float64(val[k]) * (float64(p.Y[i]) - float64(w[i]))
 	}
-	n := float64(p.N)
-	c := (dp + p.ColNormSq(m)*float64(betaM)) / n
-	u := p.ColNormSq(m)/n + p.Lambda*(1-p.Alpha)
-	if u <= 0 {
-		return 0 // empty column with pure-lasso regularization
-	}
-	return float32(SoftThreshold(c, p.Lambda*p.Alpha)/u - float64(betaM))
+	return p.stepFromDot(m, dp, betaM)
 }
 
 // OptimalityViolation returns the maximum subgradient violation across
@@ -152,129 +159,55 @@ func NNZWeights(beta []float32) int {
 }
 
 // Sequential is the glmnet-style cyclic/stochastic coordinate descent
-// solver (Algorithm 1 of the paper with the soft-thresholding update).
+// solver (Algorithm 1 of the paper with the soft-thresholding update),
+// running on the shared engine.
 type Sequential struct {
+	*engine.Sequential
 	problem *Problem
-	beta    []float32
-	w       []float32
-	rng     *rng.Xoshiro256
-	perm    []int
 }
 
 // NewSequential returns a sequential elastic-net solver.
 func NewSequential(p *Problem, seed uint64) *Sequential {
-	return &Sequential{
-		problem: p,
-		beta:    make([]float32, p.M),
-		w:       make([]float32, p.N),
-		rng:     rng.New(seed),
-	}
+	return &Sequential{engine.NewSequential(NewLoss(p), seed), p}
 }
-
-// RunEpoch performs one permuted pass over the features.
-func (s *Sequential) RunEpoch() {
-	p := s.problem
-	s.perm = s.rng.Perm(p.M, s.perm)
-	for _, m := range s.perm {
-		d := p.Delta(m, s.w, s.beta[m])
-		if d == 0 {
-			continue
-		}
-		s.beta[m] += d
-		idx, val := p.ACols.Col(m)
-		for k := range idx {
-			s.w[idx[k]] += val[k] * d
-		}
-	}
-}
-
-// Model returns the current weights (aliases solver state).
-func (s *Sequential) Model() []float32 { return s.beta }
 
 // Objective returns F at the current iterate.
-func (s *Sequential) Objective() float64 { return s.problem.ObjectiveW(s.beta, s.w) }
+func (s *Sequential) Objective() float64 {
+	return s.problem.ObjectiveW(s.Model(), s.SharedVector())
+}
+
+// NewAtomic returns an asynchronous elastic-net solver: threads goroutines
+// with atomic (lossless) shared-vector updates — the A-SCD scheme applied
+// to the soft-thresholding update.
+func NewAtomic(p *Problem, threads int, seed uint64) *engine.Async {
+	return engine.NewAtomic(NewLoss(p), threads, seed)
+}
+
+// NewWild returns a PASSCoDe-Wild elastic-net solver with racy
+// shared-vector updates.
+func NewWild(p *Problem, threads int, seed uint64) *engine.Async {
+	return engine.NewWild(NewLoss(p), threads, seed)
+}
 
 // GPU runs the same soft-thresholding coordinate descent as a TPA-SCD
 // kernel on a simulated device: one thread block per feature, strided
 // partial inner product, tree reduction, atomic write-back — Algorithm 2
 // with the update rule swapped.
 type GPU struct {
-	problem   *Problem
-	dev       *gpusim.Device
-	beta, w   *gpusim.Buffer
-	blockSize int
-	rng       *rng.Xoshiro256
-	perm      []int
-	reserved  int64
+	*engine.GPU
+	problem *Problem
 }
 
 // NewGPU places the problem on the device.
 func NewGPU(p *Problem, dev *gpusim.Device, blockSize int, seed uint64) (*GPU, error) {
-	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
-		return nil, fmt.Errorf("elasticnet: block size %d must be a positive power of two", blockSize)
-	}
-	dataBytes := p.ACols.Bytes() + int64(p.M)*12 + int64(p.N)*4
-	if err := dev.ReserveBytes(dataBytes); err != nil {
-		return nil, err
-	}
-	beta, err := dev.Alloc(p.M)
+	g, err := engine.NewGPU(NewLoss(p), dev, blockSize, seed)
 	if err != nil {
-		dev.ReleaseBytes(dataBytes)
 		return nil, err
 	}
-	w, err := dev.Alloc(p.N)
-	if err != nil {
-		dev.Free(beta)
-		dev.ReleaseBytes(dataBytes)
-		return nil, err
-	}
-	return &GPU{problem: p, dev: dev, beta: beta, w: w, blockSize: blockSize, rng: rng.New(seed), reserved: dataBytes}, nil
-}
-
-// Close releases device memory.
-func (g *GPU) Close() {
-	g.dev.Free(g.beta)
-	g.dev.Free(g.w)
-	g.dev.ReleaseBytes(g.reserved)
-}
-
-// RunEpoch launches one kernel epoch.
-func (g *GPU) RunEpoch() {
-	p := g.problem
-	g.perm = g.rng.Perm(p.M, g.perm)
-	n := float64(p.N)
-	t := p.Lambda * p.Alpha
-	g.dev.Launch(p.M, g.blockSize, func(b *gpusim.Block) {
-		m := g.perm[b.Idx()]
-		idx, val := p.ACols.Col(m)
-		dp := b.ReduceSum(len(idx), func(e int) float32 {
-			i := idx[e]
-			return val[e] * (p.Y[i] - b.Read(g.w, i))
-		})
-		cur := b.Read(g.beta, int32(m))
-		c := (float64(dp) + p.ColNormSq(m)*float64(cur)) / n
-		u := p.ColNormSq(m)/n + p.Lambda*(1-p.Alpha)
-		var next float64
-		if u > 0 {
-			next = SoftThreshold(c, t) / u
-		}
-		delta := float32(next - float64(cur))
-		if delta == 0 {
-			return
-		}
-		b.Write(g.beta, int32(m), float32(next))
-		b.ParallelFor(len(idx), func(e int) {
-			b.AtomicAdd(g.w, idx[e], val[e]*delta)
-		})
-	})
-}
-
-// Model returns a host copy of the weights.
-func (g *GPU) Model() []float32 {
-	out := make([]float32, g.beta.Len())
-	copy(out, g.beta.Host())
-	return out
+	return &GPU{g, p}, nil
 }
 
 // Objective returns F at the current iterate.
-func (g *GPU) Objective() float64 { return g.problem.ObjectiveW(g.beta.Host(), g.w.Host()) }
+func (g *GPU) Objective() float64 {
+	return g.problem.ObjectiveW(g.GPU.Model(), g.SharedVector())
+}

@@ -9,7 +9,7 @@ import (
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
-	"tpascd/internal/scd"
+	"tpascd/internal/engine"
 	"tpascd/internal/sparse"
 )
 
@@ -238,7 +238,7 @@ func TestObjectiveNonNegative(t *testing.T) {
 func TestRidgeTrajectoryCrossCheck(t *testing.T) {
 	p := testProblem(t, 11, 80, 40, 5, 0.05, 0)
 	en := NewSequential(p, 21)
-	rg := scd.NewSequential(p.Problem, perfmodel.Primal, 21)
+	rg := engine.NewSequential(ridge.NewLoss(p.Problem, perfmodel.Primal), 21)
 	for e := 0; e < 10; e++ {
 		en.RunEpoch()
 		rg.RunEpoch()

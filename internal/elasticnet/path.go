@@ -78,19 +78,18 @@ func Path(rp *ridge.Problem, alpha float64, nLambda int, lambdaMinRatio, tol flo
 		}
 		s := NewSequential(p, seed+uint64(li))
 		if warm != nil {
-			copy(s.beta, warm)
-			p.A.MulVec(s.w, s.beta)
+			s.SetModel(warm)
 		}
 		epochs := 0
 		for ; epochs < maxEpochs; epochs++ {
 			s.RunEpoch()
-			if p.OptimalityViolation(s.beta) <= tol {
+			if p.OptimalityViolation(s.Model()) <= tol {
 				epochs++
 				break
 			}
 		}
-		beta := make([]float32, len(s.beta))
-		copy(beta, s.beta)
+		beta := make([]float32, len(s.Model()))
+		copy(beta, s.Model())
 		points = append(points, PathPoint{
 			Lambda:    lambda,
 			Beta:      beta,

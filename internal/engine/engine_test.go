@@ -1,9 +1,10 @@
-package scd
+package engine_test
 
 import (
 	"math"
 	"testing"
 
+	"tpascd/internal/engine"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
@@ -30,7 +31,19 @@ func testProblem(t testing.TB, seed uint64, n, m, nnzPerRow int, lambda float64)
 	return p
 }
 
-func runEpochs(s Solver, epochs int) {
+func newSeq(p *ridge.Problem, form perfmodel.Form, seed uint64) *engine.Sequential {
+	return engine.NewSequential(ridge.NewLoss(p, form), seed)
+}
+
+func newAtomic(p *ridge.Problem, form perfmodel.Form, threads int, seed uint64) *engine.Async {
+	return engine.NewAtomic(ridge.NewLoss(p, form), threads, seed)
+}
+
+func newWild(p *ridge.Problem, form perfmodel.Form, threads int, seed uint64) *engine.Async {
+	return engine.NewWild(ridge.NewLoss(p, form), threads, seed)
+}
+
+func runEpochs(s engine.Solver, epochs int) {
 	for e := 0; e < epochs; e++ {
 		s.RunEpoch()
 	}
@@ -38,7 +51,7 @@ func runEpochs(s Solver, epochs int) {
 
 func TestSequentialPrimalConverges(t *testing.T) {
 	p := testProblem(t, 1, 200, 100, 8, 0.01)
-	s := NewSequential(p, perfmodel.Primal, 42)
+	s := newSeq(p, perfmodel.Primal, 42)
 	g0 := s.Gap()
 	runEpochs(s, 60)
 	g := s.Gap()
@@ -52,7 +65,7 @@ func TestSequentialPrimalConverges(t *testing.T) {
 
 func TestSequentialDualConverges(t *testing.T) {
 	p := testProblem(t, 2, 150, 120, 8, 0.01)
-	s := NewSequential(p, perfmodel.Dual, 42)
+	s := newSeq(p, perfmodel.Dual, 42)
 	runEpochs(s, 60)
 	if g := s.Gap(); g > 1e-5 {
 		t.Fatalf("dual gap after 60 epochs = %v", g)
@@ -61,7 +74,7 @@ func TestSequentialDualConverges(t *testing.T) {
 
 func TestSequentialSharedVectorConsistency(t *testing.T) {
 	p := testProblem(t, 3, 100, 80, 6, 0.05)
-	s := NewSequential(p, perfmodel.Primal, 7)
+	s := newSeq(p, perfmodel.Primal, 7)
 	runEpochs(s, 5)
 	fresh := make([]float32, p.N)
 	p.A.MulVec(fresh, s.Model())
@@ -74,8 +87,8 @@ func TestSequentialSharedVectorConsistency(t *testing.T) {
 
 func TestSequentialDeterministicGivenSeed(t *testing.T) {
 	p := testProblem(t, 4, 80, 60, 5, 0.02)
-	a := NewSequential(p, perfmodel.Primal, 99)
-	b := NewSequential(p, perfmodel.Primal, 99)
+	a := newSeq(p, perfmodel.Primal, 99)
+	b := newSeq(p, perfmodel.Primal, 99)
 	runEpochs(a, 3)
 	runEpochs(b, 3)
 	for j := range a.Model() {
@@ -85,10 +98,25 @@ func TestSequentialDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
+func TestSequentialSetModelRecomputesShared(t *testing.T) {
+	p := testProblem(t, 16, 80, 60, 5, 0.02)
+	a := newSeq(p, perfmodel.Primal, 99)
+	runEpochs(a, 3)
+	b := newSeq(p, perfmodel.Primal, 99)
+	b.SetModel(a.Model())
+	fresh := make([]float32, p.N)
+	p.A.MulVec(fresh, a.Model())
+	for i := range fresh {
+		if b.SharedVector()[i] != fresh[i] {
+			t.Fatalf("SetModel shared vector mismatch at %d", i)
+		}
+	}
+}
+
 func TestAtomicMatchesSequentialConvergence(t *testing.T) {
 	p := testProblem(t, 5, 300, 150, 8, 0.01)
-	seq := NewSequential(p, perfmodel.Primal, 1)
-	atom := NewAtomic(p, perfmodel.Primal, 8, 1)
+	seq := newSeq(p, perfmodel.Primal, 1)
+	atom := newAtomic(p, perfmodel.Primal, 8, 1)
 	runEpochs(seq, 40)
 	runEpochs(atom, 40)
 	gs, ga := seq.Gap(), atom.Gap()
@@ -101,7 +129,7 @@ func TestAtomicMatchesSequentialConvergence(t *testing.T) {
 
 func TestAtomicNoSharedDrift(t *testing.T) {
 	p := testProblem(t, 6, 200, 100, 8, 0.01)
-	atom := NewAtomic(p, perfmodel.Primal, 8, 3)
+	atom := newAtomic(p, perfmodel.Primal, 8, 3)
 	runEpochs(atom, 10)
 	if d := atom.SharedDrift(); d > 1e-6 {
 		t.Fatalf("atomic solver drifted: %v", d)
@@ -113,9 +141,9 @@ func TestWildConvergesToViolatingSolution(t *testing.T) {
 	// drifts from the model; the gap floor is the paper's key
 	// observation (Fig. 1). Use dense-ish columns to force races.
 	p := testProblem(t, 7, 400, 60, 30, 0.001)
-	wild := NewWild(p, perfmodel.Primal, 16, 3)
+	wild := newWild(p, perfmodel.Primal, 16, 3)
 	runEpochs(wild, 100)
-	seq := NewSequential(p, perfmodel.Primal, 3)
+	seq := newSeq(p, perfmodel.Primal, 3)
 	runEpochs(seq, 100)
 	gw, gs := wild.Gap(), seq.Gap()
 	if gs > 1e-8 {
@@ -135,7 +163,7 @@ func TestWildStillUsefulSolution(t *testing.T) {
 	// The paper notes the wild solution "may still be useful": its primal
 	// value must be close to (though above) the optimum.
 	p := testProblem(t, 8, 300, 80, 10, 0.01)
-	wild := NewWild(p, perfmodel.Primal, 8, 5)
+	wild := newWild(p, perfmodel.Primal, 8, 5)
 	runEpochs(wild, 60)
 	_, ref, err := p.SolveReference(1e-10, 400)
 	if err != nil {
@@ -152,7 +180,7 @@ func TestWildStillUsefulSolution(t *testing.T) {
 
 func TestDualAsyncConverges(t *testing.T) {
 	p := testProblem(t, 9, 250, 120, 8, 0.01)
-	atom := NewAtomic(p, perfmodel.Dual, 8, 2)
+	atom := newAtomic(p, perfmodel.Dual, 8, 2)
 	runEpochs(atom, 30)
 	if g := atom.Gap(); g > 1e-4 {
 		t.Fatalf("dual A-SCD gap = %v", g)
@@ -161,7 +189,7 @@ func TestDualAsyncConverges(t *testing.T) {
 
 func TestRecomputeSharedRepairsDrift(t *testing.T) {
 	p := testProblem(t, 10, 300, 60, 20, 0.001)
-	wild := NewWild(p, perfmodel.Primal, 16, 1)
+	wild := newWild(p, perfmodel.Primal, 16, 1)
 	runEpochs(wild, 30)
 	wild.RecomputeShared()
 	if d := wild.SharedDrift(); d > 1e-10 {
@@ -171,7 +199,7 @@ func TestRecomputeSharedRepairsDrift(t *testing.T) {
 
 func TestEpochWorkCounts(t *testing.T) {
 	p := testProblem(t, 11, 50, 30, 4, 0.1)
-	s := NewSequential(p, perfmodel.Primal, 1)
+	s := newSeq(p, perfmodel.Primal, 1)
 	nnz, coords := s.EpochWork()
 	if nnz != int64(p.A.NNZ()) {
 		t.Fatalf("nnz = %d, want %d", nnz, p.A.NNZ())
@@ -179,7 +207,7 @@ func TestEpochWorkCounts(t *testing.T) {
 	if coords != int64(p.M) {
 		t.Fatalf("primal coords = %d, want M=%d", coords, p.M)
 	}
-	d := NewSequential(p, perfmodel.Dual, 1)
+	d := newSeq(p, perfmodel.Dual, 1)
 	_, coords = d.EpochWork()
 	if coords != int64(p.N) {
 		t.Fatalf("dual coords = %d, want N=%d", coords, p.N)
@@ -188,13 +216,13 @@ func TestEpochWorkCounts(t *testing.T) {
 
 func TestNames(t *testing.T) {
 	p := testProblem(t, 12, 20, 10, 3, 0.1)
-	if NewSequential(p, perfmodel.Primal, 1).Name() != "SCD (1 thread)" {
+	if newSeq(p, perfmodel.Primal, 1).Name() != "SCD (1 thread)" {
 		t.Fatal("sequential name")
 	}
-	if NewAtomic(p, perfmodel.Primal, 16, 1).Name() != "A-SCD (16 threads)" {
+	if newAtomic(p, perfmodel.Primal, 16, 1).Name() != "A-SCD (16 threads)" {
 		t.Fatal("atomic name")
 	}
-	if NewWild(p, perfmodel.Primal, 16, 1).Name() != "PASSCoDe-Wild (16 threads)" {
+	if newWild(p, perfmodel.Primal, 16, 1).Name() != "PASSCoDe-Wild (16 threads)" {
 		t.Fatal("wild name")
 	}
 }
@@ -206,19 +234,68 @@ func TestAsyncPanicsOnZeroThreads(t *testing.T) {
 			t.Fatal("threads=0 accepted")
 		}
 	}()
-	NewAtomic(p, perfmodel.Primal, 0, 1)
+	newAtomic(p, perfmodel.Primal, 0, 1)
 }
 
 func TestSolverInterfaceCompliance(t *testing.T) {
 	p := testProblem(t, 14, 20, 10, 3, 0.1)
-	var _ Solver = NewSequential(p, perfmodel.Primal, 1)
-	var _ Solver = NewAtomic(p, perfmodel.Dual, 2, 1)
-	var _ Solver = NewWild(p, perfmodel.Dual, 2, 1)
+	var _ engine.Solver = newSeq(p, perfmodel.Primal, 1)
+	var _ engine.Solver = newAtomic(p, perfmodel.Dual, 2, 1)
+	var _ engine.Solver = newWild(p, perfmodel.Dual, 2, 1)
+	var _ engine.Loss = ridge.NewLoss(p, perfmodel.Primal)
+}
+
+func TestTrainHooksObserveEveryEpoch(t *testing.T) {
+	p := testProblem(t, 17, 60, 40, 4, 0.05)
+	s := newSeq(p, perfmodel.Primal, 1)
+	var events []engine.EpochEvent
+	epochs, gap := engine.Train(s, 5, 2.0, nil, func(ev engine.EpochEvent) {
+		events = append(events, ev)
+	})
+	if epochs != 5 {
+		t.Fatalf("epochs = %d", epochs)
+	}
+	if len(events) != 5 {
+		t.Fatalf("hook fired %d times, want 5", len(events))
+	}
+	wantNNZ := int64(p.A.NNZ())
+	for i, ev := range events {
+		if ev.Epoch != i+1 {
+			t.Fatalf("event %d epoch = %d", i, ev.Epoch)
+		}
+		if ev.NNZ != wantNNZ || ev.Updates != int64(p.M) {
+			t.Fatalf("event %d work = (%d,%d)", i, ev.NNZ, ev.Updates)
+		}
+		if math.Abs(ev.Seconds-2.0*float64(i+1)) > 1e-12 {
+			t.Fatalf("event %d seconds = %v", i, ev.Seconds)
+		}
+		if i > 0 && ev.Gap > events[i-1].Gap*10 {
+			t.Fatalf("gap exploded at epoch %d: %v -> %v", ev.Epoch, events[i-1].Gap, ev.Gap)
+		}
+	}
+	if gap != events[4].Gap {
+		t.Fatalf("returned gap %v != last event gap %v", gap, events[4].Gap)
+	}
+}
+
+func TestTrainEarlyStopStillFiresHook(t *testing.T) {
+	p := testProblem(t, 18, 60, 40, 4, 0.05)
+	s := newSeq(p, perfmodel.Primal, 1)
+	fired := 0
+	epochs, _ := engine.Train(s, 50, 0, func(epoch int, gap float64) bool {
+		return epoch < 3
+	}, func(engine.EpochEvent) { fired++ })
+	if epochs != 3 {
+		t.Fatalf("epochs = %d, want 3", epochs)
+	}
+	if fired != 3 {
+		t.Fatalf("hook fired %d times, want 3", fired)
+	}
 }
 
 func BenchmarkSequentialEpochPrimal(b *testing.B) {
 	p := testProblem(b, 1, 4096, 2048, 32, 0.001)
-	s := NewSequential(p, perfmodel.Primal, 1)
+	s := newSeq(p, perfmodel.Primal, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunEpoch()
@@ -227,7 +304,7 @@ func BenchmarkSequentialEpochPrimal(b *testing.B) {
 
 func BenchmarkAtomicEpochPrimal8(b *testing.B) {
 	p := testProblem(b, 1, 4096, 2048, 32, 0.001)
-	s := NewAtomic(p, perfmodel.Primal, 8, 1)
+	s := newAtomic(p, perfmodel.Primal, 8, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunEpoch()
@@ -236,7 +313,7 @@ func BenchmarkAtomicEpochPrimal8(b *testing.B) {
 
 func BenchmarkWildEpochPrimal8(b *testing.B) {
 	p := testProblem(b, 1, 4096, 2048, 32, 0.001)
-	s := NewWild(p, perfmodel.Primal, 8, 1)
+	s := newWild(p, perfmodel.Primal, 8, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunEpoch()
@@ -247,9 +324,9 @@ func BenchmarkWildEpochPrimal8(b *testing.B) {
 // reference [13]) bounds the wild solver's drift.
 func TestPeriodicRecomputeBoundsDrift(t *testing.T) {
 	p := testProblem(t, 15, 400, 60, 25, 0.001)
-	repaired := NewWild(p, perfmodel.Primal, 16, 9)
+	repaired := newWild(p, perfmodel.Primal, 16, 9)
 	repaired.SetRecomputeEvery(1)
-	unrepaired := NewWild(p, perfmodel.Primal, 16, 9)
+	unrepaired := newWild(p, perfmodel.Primal, 16, 9)
 	for e := 0; e < 40; e++ {
 		repaired.RunEpoch()
 		unrepaired.RunEpoch()

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"tpascd/internal/trace"
+)
+
+// EpochEvent is the per-epoch instrumentation record the engine emits:
+// convergence certificate, work performed, and cumulative simulated time.
+type EpochEvent struct {
+	// Epoch counts completed epochs (1-based).
+	Epoch int
+	// Gap is the honest convergence certificate after the epoch.
+	Gap float64
+	// NNZ and Updates are the non-zeros touched and coordinate updates
+	// counted for the epoch (Solver.EpochWork).
+	NNZ, Updates int64
+	// Seconds is the cumulative simulated training time.
+	Seconds float64
+}
+
+// Hook observes one epoch. Hooks run on the training goroutine after the
+// epoch's gap has been computed.
+type Hook func(EpochEvent)
+
+// TraceHook returns a hook appending each epoch to a trace series — the
+// bridge from the engine's instrumentation to the figure harness.
+func TraceHook(s *trace.Series) Hook {
+	return func(ev EpochEvent) {
+		s.Append(trace.Point{Epoch: ev.Epoch, Seconds: ev.Seconds, Gap: ev.Gap})
+	}
+}
+
+// Train runs epochs until the budget is exhausted or keepGoing returns
+// false; it returns the number of epochs performed and the final gap.
+// keepGoing may be nil to train for exactly epochs epochs. secondsPerEpoch
+// is the constant modeled time per epoch (work per epoch does not change
+// across epochs), accumulated into the events' Seconds; pass 0 when
+// simulated time is not of interest. Hooks fire after every epoch,
+// including one cut short by keepGoing.
+func Train(s Solver, epochs int, secondsPerEpoch float64, keepGoing func(epoch int, gap float64) bool, hooks ...Hook) (int, float64) {
+	gap := s.Gap()
+	nnz, updates := s.EpochWork()
+	for e := 1; e <= epochs; e++ {
+		s.RunEpoch()
+		gap = s.Gap()
+		for _, h := range hooks {
+			h(EpochEvent{
+				Epoch:   e,
+				Gap:     gap,
+				NNZ:     nnz,
+				Updates: updates,
+				Seconds: secondsPerEpoch * float64(e),
+			})
+		}
+		if keepGoing != nil && !keepGoing(e, gap) {
+			return e, gap
+		}
+	}
+	return epochs, gap
+}

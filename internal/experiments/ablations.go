@@ -5,10 +5,10 @@ import (
 
 	"tpascd/internal/coords"
 	"tpascd/internal/dist"
+	"tpascd/internal/engine"
 	"tpascd/internal/gpusim"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
-	"tpascd/internal/scd"
 	"tpascd/internal/sgd"
 	"tpascd/internal/tpascd"
 	"tpascd/internal/trace"
@@ -177,19 +177,24 @@ func AblationBlockSize(s Scale) ([]trace.Figure, error) {
 	}
 	series := trace.Series{Label: "epoch seconds"}
 	for _, bs := range []int{32, 64, 128, 256, 512} {
-		dev := gpusim.NewDevice(sc.gpu(perfmodel.GPUM4000))
-		kernel, err := tpascd.NewKernel(dev, coords.FromProblem(p, perfmodel.Dual), bs, s.Seed)
-		if err != nil {
+		if err := func() error {
+			dev := gpusim.NewDevice(sc.gpu(perfmodel.GPUM4000))
+			kernel, err := tpascd.NewKernel(dev, coords.FromProblem(p, perfmodel.Dual), bs, s.Seed)
+			if err != nil {
+				return err
+			}
+			defer kernel.Close()
+			for e := 0; e < s.SingleDeviceEpochs/2; e++ {
+				kernel.Epoch()
+			}
+			gap := p.GapDual(kernel.Model())
+			series.Append(trace.Point{Epoch: bs, Seconds: kernel.EpochSeconds(), Gap: gap})
+			fig.Remarks = append(fig.Remarks,
+				fmt.Sprintf("block size %d: gap %.3e after %d epochs", bs, gap, s.SingleDeviceEpochs/2))
+			return nil
+		}(); err != nil {
 			return nil, err
 		}
-		for e := 0; e < s.SingleDeviceEpochs/2; e++ {
-			kernel.Epoch()
-		}
-		gap := p.GapDual(kernel.Model())
-		series.Append(trace.Point{Epoch: bs, Seconds: kernel.EpochSeconds(), Gap: gap})
-		fig.Remarks = append(fig.Remarks,
-			fmt.Sprintf("block size %d: gap %.3e after %d epochs", bs, gap, s.SingleDeviceEpochs/2))
-		kernel.Close()
 	}
 	fig.Add(series)
 	fig.Remarks = append(fig.Remarks,
@@ -213,7 +218,7 @@ func AblationSGD(s Scale) ([]trace.Figure, error) {
 	}
 	epochs := s.SingleDeviceEpochs / 2
 
-	scdSolver := scd.NewSequential(p, perfmodel.Primal, s.Seed)
+	scdSolver := engine.NewSequential(ridge.NewLoss(p, perfmodel.Primal), s.Seed)
 	series := trace.Series{Label: "SCD (exact coordinate steps)"}
 	for e := 1; e <= epochs; e++ {
 		scdSolver.RunEpoch()

@@ -3,32 +3,20 @@ package experiments
 import (
 	"fmt"
 
+	"tpascd/internal/engine"
 	"tpascd/internal/gpusim"
 	"tpascd/internal/perfmodel"
-	"tpascd/internal/scd"
-	"tpascd/internal/tpascd"
+	"tpascd/internal/ridge"
 	"tpascd/internal/trace"
 )
 
-// epochSolver is the common surface of the single-device solvers.
-type epochSolver interface {
-	RunEpoch()
-	Gap() float64
-	Name() string
-	EpochWork() (nnz, coords int64)
-}
-
 // runSolver trains for the given number of epochs, recording the honest gap
 // and cumulative simulated seconds (secondsPerEpoch is constant for every
-// solver family: work per epoch does not change).
-func runSolver(s epochSolver, epochs int, secondsPerEpoch float64) trace.Series {
+// solver family: work per epoch does not change) through the engine's
+// instrumentation hooks.
+func runSolver(s engine.Solver, epochs int, secondsPerEpoch float64) trace.Series {
 	series := trace.Series{Label: s.Name()}
-	var elapsed float64
-	for e := 1; e <= epochs; e++ {
-		s.RunEpoch()
-		elapsed += secondsPerEpoch
-		series.Append(trace.Point{Epoch: e, Seconds: elapsed, Gap: s.Gap()})
-	}
+	engine.Train(s, epochs, secondsPerEpoch, nil, engine.TraceHook(&series))
 	return series
 }
 
@@ -55,24 +43,27 @@ func singleDeviceFigure(s Scale, form perfmodel.Form, name, title string) ([]tra
 	}
 
 	// CPU solvers.
-	seq := scd.NewSequential(p, form, s.Seed)
+	seq := engine.NewSequential(ridge.NewLoss(p, form), s.Seed)
 	fig.Add(runSolver(seq, epochs, sc.cpu(perfmodel.CPUSequential).EpochSeconds(nnz, coords)))
 
-	atom := scd.NewAtomic(p, form, s.Threads, s.Seed)
+	atom := engine.NewAtomic(ridge.NewLoss(p, form), s.Threads, s.Seed)
 	fig.Add(runSolver(atom, epochs, sc.cpu(perfmodel.CPUAtomic16).EpochSeconds(nnz, coords)))
 
-	wild := scd.NewWild(p, form, s.Threads, s.Seed)
+	wild := engine.NewWild(ridge.NewLoss(p, form), s.Threads, s.Seed)
 	fig.Add(runSolver(wild, epochs, sc.cpu(perfmodel.CPUWild16).EpochSeconds(nnz, coords)))
 
 	// GPU solvers.
 	for _, gp := range []perfmodel.GPUProfile{perfmodel.GPUM4000, perfmodel.GPUTitanX} {
 		dev := gpusim.NewDevice(sc.gpu(gp))
-		solver, err := tpascd.NewSolver(p, form, dev, s.BlockSize, s.Seed)
+		solver, err := engine.NewGPU(ridge.NewLoss(p, form), dev, s.BlockSize, s.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", gp.Name, err)
 		}
-		fig.Add(runSolver(solver, epochs, solver.EpochSeconds()))
-		solver.Close()
+		series := func() trace.Series {
+			defer solver.Close()
+			return runSolver(solver, epochs, solver.EpochSeconds())
+		}()
+		fig.Add(series)
 	}
 
 	fig.Remarks = append(fig.Remarks,

@@ -28,8 +28,8 @@ import (
 	"fmt"
 	"math"
 
+	"tpascd/internal/engine"
 	"tpascd/internal/gpusim"
-	"tpascd/internal/rng"
 	"tpascd/internal/sparse"
 )
 
@@ -113,6 +113,15 @@ func (p *Problem) Gap(alpha []float32) float64 {
 // SharedFromAlpha recomputes w = Σ αᵢyᵢx̄ᵢ/(λN).
 func (p *Problem) SharedFromAlpha(alpha []float32) []float32 {
 	w := make([]float32, p.M)
+	p.sharedFromAlphaInto(w, alpha)
+	return w
+}
+
+// sharedFromAlphaInto rebuilds w(α) into w, overwriting it.
+func (p *Problem) sharedFromAlphaInto(w, alpha []float32) {
+	for i := range w {
+		w[i] = 0
+	}
 	scale := 1 / (p.Lambda * float64(p.N))
 	for i := 0; i < p.N; i++ {
 		if alpha[i] == 0 {
@@ -124,7 +133,6 @@ func (p *Problem) SharedFromAlpha(alpha []float32) []float32 {
 			w[idx[k]] += val[k] * c
 		}
 	}
-	return w
 }
 
 // xlogx returns x·log x with the 0·log 0 = 0 convention.
@@ -164,16 +172,11 @@ func solve1D(c, q float64) float64 {
 	return (lo + hi) / 2
 }
 
-// Delta computes the exact coordinate-maximization step for example i
-// given the shared vector w and the current dual variable alphaI.
-func (p *Problem) Delta(i int, w []float32, alphaI float32) float32 {
+// stepFromDot turns the inner product dp = ⟨w, x̄ᵢ⟩ and the current dual
+// variable into the exact coordinate-maximization step.
+func (p *Problem) stepFromDot(i int, dp float64, alphaI float32) float32 {
 	if p.rowNormsSq[i] == 0 {
 		return 0
-	}
-	idx, val := p.A.Row(i)
-	var dp float64
-	for k := range idx {
-		dp += float64(val[k]) * float64(w[idx[k]])
 	}
 	q := p.rowNormsSq[i] / (p.Lambda * float64(p.N))
 	// c = yᵢ⟨w₋ᵢ, x̄ᵢ⟩ = yᵢ⟨w, x̄ᵢ⟩ − αᵢ·q.
@@ -181,62 +184,25 @@ func (p *Problem) Delta(i int, w []float32, alphaI float32) float32 {
 	return float32(solve1D(c, q) - float64(alphaI))
 }
 
-// Solver is sequential SDCA for logistic regression.
-type Solver struct {
-	problem *Problem
-	alpha   []float32
-	w       []float32
-	rng     *rng.Xoshiro256
-	perm    []int
-}
-
-// NewSolver returns a sequential solver.
-func NewSolver(p *Problem, seed uint64) *Solver {
-	return &Solver{
-		problem: p,
-		alpha:   make([]float32, p.N),
-		w:       make([]float32, p.M),
-		rng:     rng.New(seed),
+// Delta computes the exact coordinate-maximization step for example i
+// given the shared vector w and the current dual variable alphaI.
+func (p *Problem) Delta(i int, w []float32, alphaI float32) float32 {
+	idx, val := p.A.Row(i)
+	var dp float64
+	for k := range idx {
+		dp += float64(val[k]) * float64(w[idx[k]])
 	}
+	return p.stepFromDot(i, dp, alphaI)
 }
 
-// RunEpoch performs one permuted pass over the examples.
-func (s *Solver) RunEpoch() {
-	p := s.problem
-	s.perm = s.rng.Perm(p.N, s.perm)
-	scale := 1 / (p.Lambda * float64(p.N))
-	for _, i := range s.perm {
-		d := p.Delta(i, s.w, s.alpha[i])
-		if d == 0 {
-			continue
-		}
-		s.alpha[i] += d
-		c := float32(float64(d) * float64(p.Y[i]) * scale)
-		idx, val := p.A.Row(i)
-		for k := range idx {
-			s.w[idx[k]] += val[k] * c
-		}
-	}
-}
-
-// Alpha returns the dual variables (aliases solver state).
-func (s *Solver) Alpha() []float32 { return s.alpha }
-
-// Weights returns the maintained primal weights w.
-func (s *Solver) Weights() []float32 { return s.w }
-
-// Gap returns the honest duality gap.
-func (s *Solver) Gap() float64 { return s.problem.Gap(s.alpha) }
-
-// Accuracy returns the training accuracy of sign(⟨w, x̄ᵢ⟩).
-func (s *Solver) Accuracy() float64 {
-	p := s.problem
+// AccuracyW returns the training accuracy of sign(⟨w, x̄ᵢ⟩).
+func (p *Problem) AccuracyW(w []float32) float64 {
 	correct := 0
 	for i := 0; i < p.N; i++ {
 		idx, val := p.A.Row(i)
 		var dp float64
 		for k := range idx {
-			dp += float64(val[k]) * float64(s.w[idx[k]])
+			dp += float64(val[k]) * float64(w[idx[k]])
 		}
 		if (dp >= 0) == (p.Y[i] > 0) {
 			correct++
@@ -245,85 +211,61 @@ func (s *Solver) Accuracy() float64 {
 	return float64(correct) / float64(p.N)
 }
 
+// Solver is sequential SDCA for logistic regression, running on the
+// shared engine.
+type Solver struct {
+	*engine.Sequential
+	problem *Problem
+}
+
+// NewSolver returns a sequential solver.
+func NewSolver(p *Problem, seed uint64) *Solver {
+	return &Solver{engine.NewSequential(NewLoss(p), seed), p}
+}
+
+// Alpha returns the dual variables (aliases solver state).
+func (s *Solver) Alpha() []float32 { return s.Model() }
+
+// Weights returns the maintained primal weights w.
+func (s *Solver) Weights() []float32 { return s.SharedVector() }
+
+// Accuracy returns the training accuracy of sign(⟨w, x̄ᵢ⟩).
+func (s *Solver) Accuracy() float64 { return s.problem.AccuracyW(s.SharedVector()) }
+
+// NewAtomic returns an asynchronous logistic SDCA solver: threads
+// goroutines with atomic (lossless) shared-vector updates. The bisection
+// step stays in (0,1), so every iterate remains dual-feasible even under
+// stale shared-vector reads.
+func NewAtomic(p *Problem, threads int, seed uint64) *engine.Async {
+	return engine.NewAtomic(NewLoss(p), threads, seed)
+}
+
+// NewWild returns a PASSCoDe-Wild logistic SDCA solver with racy
+// shared-vector updates.
+func NewWild(p *Problem, threads int, seed uint64) *engine.Async {
+	return engine.NewWild(NewLoss(p), threads, seed)
+}
+
 // GPU runs logistic SDCA as a TPA-SCD kernel on a simulated device: one
 // thread block per example, partial inner product + tree reduction, the
 // bisection root solve in phase 2 (thread 0), atomic write-back.
 type GPU struct {
-	problem   *Problem
-	dev       *gpusim.Device
-	alpha, w  *gpusim.Buffer
-	blockSize int
-	rng       *rng.Xoshiro256
-	perm      []int
-	reserved  int64
+	*engine.GPU
+	problem *Problem
 }
 
 // NewGPU places the problem on the device.
 func NewGPU(p *Problem, dev *gpusim.Device, blockSize int, seed uint64) (*GPU, error) {
-	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
-		return nil, fmt.Errorf("logistic: block size %d must be a positive power of two", blockSize)
-	}
-	dataBytes := p.A.Bytes() + int64(p.N)*12
-	if err := dev.ReserveBytes(dataBytes); err != nil {
-		return nil, err
-	}
-	alpha, err := dev.Alloc(p.N)
+	g, err := engine.NewGPU(NewLoss(p), dev, blockSize, seed)
 	if err != nil {
-		dev.ReleaseBytes(dataBytes)
 		return nil, err
 	}
-	w, err := dev.Alloc(p.M)
-	if err != nil {
-		dev.Free(alpha)
-		dev.ReleaseBytes(dataBytes)
-		return nil, err
-	}
-	return &GPU{problem: p, dev: dev, alpha: alpha, w: w, blockSize: blockSize, rng: rng.New(seed), reserved: dataBytes}, nil
-}
-
-// Close releases device memory.
-func (g *GPU) Close() {
-	g.dev.Free(g.alpha)
-	g.dev.Free(g.w)
-	g.dev.ReleaseBytes(g.reserved)
-}
-
-// RunEpoch launches one kernel epoch.
-func (g *GPU) RunEpoch() {
-	p := g.problem
-	g.perm = g.rng.Perm(p.N, g.perm)
-	scale := 1 / (p.Lambda * float64(p.N))
-	g.dev.Launch(p.N, g.blockSize, func(b *gpusim.Block) {
-		i := g.perm[b.Idx()]
-		if p.rowNormsSq[i] == 0 {
-			return
-		}
-		idx, val := p.A.Row(i)
-		dp := b.ReduceSum(len(idx), func(e int) float32 {
-			return val[e] * b.Read(g.w, idx[e])
-		})
-		cur := b.Read(g.alpha, int32(i))
-		q := p.rowNormsSq[i] * scale
-		c := float64(p.Y[i])*float64(dp) - float64(cur)*q
-		next := solve1D(c, q)
-		d := float32(next - float64(cur))
-		if d == 0 {
-			return
-		}
-		b.Write(g.alpha, int32(i), float32(next))
-		cc := float32(float64(d) * float64(p.Y[i]) * scale)
-		b.ParallelFor(len(idx), func(e int) {
-			b.AtomicAdd(g.w, idx[e], val[e]*cc)
-		})
-	})
+	return &GPU{g, p}, nil
 }
 
 // Alpha returns a host copy of the dual variables.
-func (g *GPU) Alpha() []float32 {
-	out := make([]float32, g.alpha.Len())
-	copy(out, g.alpha.Host())
-	return out
-}
+func (g *GPU) Alpha() []float32 { return g.Model() }
 
-// Gap returns the honest duality gap.
-func (g *GPU) Gap() float64 { return g.problem.Gap(g.Alpha()) }
+// Accuracy returns the training accuracy of sign(⟨w, x̄ᵢ⟩) using the
+// device-resident weight vector.
+func (g *GPU) Accuracy() float64 { return g.problem.AccuracyW(g.SharedVector()) }

@@ -1,0 +1,68 @@
+package logistic
+
+import (
+	"tpascd/internal/perfmodel"
+)
+
+// Loss adapts a logistic Problem to the engine's Loss interface:
+// coordinates are examples (one dual variable per example), the shared
+// vector is w(α) = Σ αᵢyᵢx̄ᵢ/(λN), and the step is the guarded-bisection
+// root solve of the exact coordinate maximizer. It satisfies engine.Loss
+// structurally so this package does not depend on the engine.
+type Loss struct {
+	p *Problem
+}
+
+// NewLoss returns the logistic SDCA loss.
+func NewLoss(p *Problem) *Loss { return &Loss{p: p} }
+
+// Problem returns the underlying problem.
+func (l *Loss) Problem() *Problem { return l.p }
+
+// Name returns the algorithm tag.
+func (l *Loss) Name() string { return "Log-SDCA" }
+
+// Form reports the formulation (examples ↔ dual).
+func (l *Loss) Form() perfmodel.Form { return perfmodel.Dual }
+
+// NumCoords returns the number of examples.
+func (l *Loss) NumCoords() int { return l.p.N }
+
+// SharedLen returns the number of features.
+func (l *Loss) SharedLen() int { return l.p.M }
+
+// NNZ returns the stored entries of the data matrix.
+func (l *Loss) NNZ() int64 { return int64(l.p.A.NNZ()) }
+
+// CoordNZ returns the row x̄_i.
+func (l *Loss) CoordNZ(c int) ([]int32, []float32) { return l.p.A.Row(c) }
+
+// Residual reports the plain inner-product form Σ val·w.
+func (l *Loss) Residual() bool { return false }
+
+// Labels returns nil: the plain form needs no shared-indexed labels.
+func (l *Loss) Labels() []float32 { return nil }
+
+// Step computes the exact coordinate-maximization step (bisection root
+// solve) from the inner product dp = ⟨w, x̄_i⟩ and the current dual
+// variable.
+func (l *Loss) Step(c int, dp float64, cur float32) float32 {
+	return l.p.stepFromDot(c, dp, cur)
+}
+
+// UpdateCoeff scales the dual step by yᵢ/(λN), the coefficient of x̄_i in
+// the maintained primal vector.
+func (l *Loss) UpdateCoeff(c int, delta float32) float32 {
+	scale := 1 / (l.p.Lambda * float64(l.p.N))
+	return float32(float64(delta) * float64(l.p.Y[c]) * scale)
+}
+
+// Gap returns the honest duality gap P − D (shared vector recomputed).
+func (l *Loss) Gap(model []float32) float64 { return l.p.Gap(model) }
+
+// RecomputeShared rebuilds w(α) = Σ αᵢyᵢx̄ᵢ/(λN) into dst.
+func (l *Loss) RecomputeShared(dst, model []float32) { l.p.sharedFromAlphaInto(dst, model) }
+
+// DataBytes returns the approximate device-resident footprint of the CSR
+// matrix plus per-example norms, labels and permutation.
+func (l *Loss) DataBytes() int64 { return l.p.A.Bytes() + int64(l.p.N)*12 }

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"tpascd/internal/atomicf"
+	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
 )
@@ -122,9 +123,29 @@ func (s *Solver) RunEpoch() {
 // Model returns the current weights (aliases solver state).
 func (s *Solver) Model() []float32 { return s.beta }
 
+// SharedVector returns nil: SGD maintains no shared vector.
+func (s *Solver) SharedVector() []float32 { return nil }
+
 // Objective returns P(β) at the current iterate.
 func (s *Solver) Objective() float64 { return s.problem.PrimalValue(s.beta) }
 
 // Gap returns the duality gap of the current iterate, for apples-to-apples
 // comparison with the coordinate solvers.
 func (s *Solver) Gap() float64 { return s.problem.GapPrimal(s.beta) }
+
+// Form reports the formulation (SGD runs on the primal objective).
+func (s *Solver) Form() perfmodel.Form { return perfmodel.Primal }
+
+// Name identifies the solver.
+func (s *Solver) Name() string {
+	if s.opts.Threads == 1 {
+		return "SGD (1 thread)"
+	}
+	return fmt.Sprintf("Hogwild SGD (%d threads)", s.opts.Threads)
+}
+
+// EpochWork returns per-epoch work counts: non-zeros touched and example
+// steps taken.
+func (s *Solver) EpochWork() (int64, int64) {
+	return int64(s.problem.A.NNZ()), int64(s.problem.N)
+}

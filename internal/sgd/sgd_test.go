@@ -6,7 +6,7 @@ import (
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
-	"tpascd/internal/scd"
+	"tpascd/internal/engine"
 	"tpascd/internal/sparse"
 )
 
@@ -87,7 +87,7 @@ func TestSCDBeatsSGDPerEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scdSolver := scd.NewSequential(p, perfmodel.Primal, 7)
+	scdSolver := engine.NewSequential(ridge.NewLoss(p, perfmodel.Primal), 7)
 	const epochs = 30
 	for e := 0; e < epochs; e++ {
 		sgd.RunEpoch()

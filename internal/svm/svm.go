@@ -29,8 +29,8 @@ import (
 	"fmt"
 	"math"
 
+	"tpascd/internal/engine"
 	"tpascd/internal/gpusim"
-	"tpascd/internal/rng"
 	"tpascd/internal/sparse"
 )
 
@@ -122,6 +122,15 @@ func (p *Problem) Gap(alpha []float32) float64 {
 // SharedFromAlpha recomputes w = Σ αᵢyᵢx̄ᵢ/(λN) from scratch.
 func (p *Problem) SharedFromAlpha(alpha []float32) []float32 {
 	w := make([]float32, p.M)
+	p.sharedFromAlphaInto(w, alpha)
+	return w
+}
+
+// sharedFromAlphaInto rebuilds w = Σ αᵢyᵢx̄ᵢ/(λN) into w, overwriting it.
+func (p *Problem) sharedFromAlphaInto(w, alpha []float32) {
+	for i := range w {
+		w[i] = 0
+	}
 	scale := 1 / (p.Lambda * float64(p.N))
 	for i := 0; i < p.N; i++ {
 		if alpha[i] == 0 {
@@ -133,20 +142,13 @@ func (p *Problem) SharedFromAlpha(alpha []float32) []float32 {
 			w[idx[k]] += val[k] * c
 		}
 	}
-	return w
 }
 
-// Delta computes the exact box-clipped coordinate step for example i given
-// the shared vector w and current dual variable alphaI; the new value is
-// alphaI+Delta ∈ [0,1].
-func (p *Problem) Delta(i int, w []float32, alphaI float32) float32 {
+// stepFromDot turns the margin inner product dp = ⟨w, x̄ᵢ⟩ and the current
+// dual variable into the exact box-clipped step.
+func (p *Problem) stepFromDot(i int, dp float64, alphaI float32) float32 {
 	if p.rowNormsSq[i] == 0 {
 		return 0
-	}
-	idx, val := p.A.Row(i)
-	var dp float64
-	for k := range idx {
-		dp += float64(val[k]) * float64(w[idx[k]])
 	}
 	grad := (1 - float64(p.Y[i])*dp) * p.Lambda * float64(p.N) / p.rowNormsSq[i]
 	next := float64(alphaI) + grad
@@ -158,66 +160,26 @@ func (p *Problem) Delta(i int, w []float32, alphaI float32) float32 {
 	return float32(next - float64(alphaI))
 }
 
-// applyDelta adds Δαᵢ's contribution to the shared vector.
-func (p *Problem) sharedScale() float64 { return 1 / (p.Lambda * float64(p.N)) }
-
-// Sequential is single-threaded SDCA (Algorithm 1 of the paper with the
-// hinge-loss update).
-type Sequential struct {
-	problem *Problem
-	alpha   []float32
-	w       []float32
-	rng     *rng.Xoshiro256
-	perm    []int
-}
-
-// NewSequential returns a sequential SDCA solver.
-func NewSequential(p *Problem, seed uint64) *Sequential {
-	return &Sequential{
-		problem: p,
-		alpha:   make([]float32, p.N),
-		w:       make([]float32, p.M),
-		rng:     rng.New(seed),
+// Delta computes the exact box-clipped coordinate step for example i given
+// the shared vector w and current dual variable alphaI; the new value is
+// alphaI+Delta ∈ [0,1].
+func (p *Problem) Delta(i int, w []float32, alphaI float32) float32 {
+	idx, val := p.A.Row(i)
+	var dp float64
+	for k := range idx {
+		dp += float64(val[k]) * float64(w[idx[k]])
 	}
+	return p.stepFromDot(i, dp, alphaI)
 }
 
-// RunEpoch performs one permuted pass over the examples.
-func (s *Sequential) RunEpoch() {
-	p := s.problem
-	s.perm = s.rng.Perm(p.N, s.perm)
-	scale := p.sharedScale()
-	for _, i := range s.perm {
-		d := p.Delta(i, s.w, s.alpha[i])
-		if d == 0 {
-			continue
-		}
-		s.alpha[i] += d
-		c := float32(float64(d) * float64(p.Y[i]) * scale)
-		idx, val := p.A.Row(i)
-		for k := range idx {
-			s.w[idx[k]] += val[k] * c
-		}
-	}
-}
-
-// Alpha returns the dual variables (aliases solver state).
-func (s *Sequential) Alpha() []float32 { return s.alpha }
-
-// Weights returns the maintained primal weight vector w.
-func (s *Sequential) Weights() []float32 { return s.w }
-
-// Gap returns the honest duality gap.
-func (s *Sequential) Gap() float64 { return s.problem.Gap(s.alpha) }
-
-// Accuracy returns the training accuracy of sign(⟨w, x̄ᵢ⟩).
-func (s *Sequential) Accuracy() float64 {
-	p := s.problem
+// AccuracyW returns the training accuracy of sign(⟨w, x̄ᵢ⟩).
+func (p *Problem) AccuracyW(w []float32) float64 {
 	correct := 0
 	for i := 0; i < p.N; i++ {
 		idx, val := p.A.Row(i)
 		var dp float64
 		for k := range idx {
-			dp += float64(val[k]) * float64(s.w[idx[k]])
+			dp += float64(val[k]) * float64(w[idx[k]])
 		}
 		if (dp >= 0) == (p.Y[i] > 0) {
 			correct++
@@ -226,92 +188,68 @@ func (s *Sequential) Accuracy() float64 {
 	return float64(correct) / float64(p.N)
 }
 
+// sharedScale is the coefficient 1/(λN) relating dual steps to the
+// maintained primal vector.
+func (p *Problem) sharedScale() float64 { return 1 / (p.Lambda * float64(p.N)) }
+
+// Sequential is single-threaded SDCA (Algorithm 1 of the paper with the
+// hinge-loss update), running on the shared engine.
+type Sequential struct {
+	*engine.Sequential
+	problem *Problem
+}
+
+// NewSequential returns a sequential SDCA solver.
+func NewSequential(p *Problem, seed uint64) *Sequential {
+	return &Sequential{engine.NewSequential(NewLoss(p), seed), p}
+}
+
+// Alpha returns the dual variables (aliases solver state).
+func (s *Sequential) Alpha() []float32 { return s.Model() }
+
+// Weights returns the maintained primal weight vector w.
+func (s *Sequential) Weights() []float32 { return s.SharedVector() }
+
+// Accuracy returns the training accuracy of sign(⟨w, x̄ᵢ⟩).
+func (s *Sequential) Accuracy() float64 { return s.problem.AccuracyW(s.SharedVector()) }
+
+// NewAtomic returns an asynchronous SDCA solver: threads goroutines with
+// atomic (lossless) shared-vector updates — the A-SCD scheme of the ridge
+// solvers applied to the hinge loss. The box constraint keeps every
+// iterate dual-feasible even under stale shared-vector reads.
+func NewAtomic(p *Problem, threads int, seed uint64) *engine.Async {
+	return engine.NewAtomic(NewLoss(p), threads, seed)
+}
+
+// NewWild returns a PASSCoDe-Wild SDCA solver with racy shared-vector
+// updates.
+func NewWild(p *Problem, threads int, seed uint64) *engine.Async {
+	return engine.NewWild(NewLoss(p), threads, seed)
+}
+
 // GPU runs SDCA as a TPA-SCD kernel on a simulated device: one thread
 // block per example, the same two-phase structure as Algorithm 2 of the
 // paper with the box-clipped hinge update in phase 2.
 type GPU struct {
-	problem   *Problem
-	dev       *gpusim.Device
-	alpha, w  *gpusim.Buffer
-	blockSize int
-	rng       *rng.Xoshiro256
-	perm      []int
-	reserved  int64
+	*engine.GPU
+	problem *Problem
 }
 
 // NewGPU places the problem on the device.
 func NewGPU(p *Problem, dev *gpusim.Device, blockSize int, seed uint64) (*GPU, error) {
-	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
-		return nil, fmt.Errorf("svm: block size %d must be a positive power of two", blockSize)
-	}
-	dataBytes := p.A.Bytes() + int64(p.N)*12
-	if err := dev.ReserveBytes(dataBytes); err != nil {
-		return nil, err
-	}
-	alpha, err := dev.Alloc(p.N)
+	g, err := engine.NewGPU(NewLoss(p), dev, blockSize, seed)
 	if err != nil {
-		dev.ReleaseBytes(dataBytes)
 		return nil, err
 	}
-	w, err := dev.Alloc(p.M)
-	if err != nil {
-		dev.Free(alpha)
-		dev.ReleaseBytes(dataBytes)
-		return nil, err
-	}
-	return &GPU{problem: p, dev: dev, alpha: alpha, w: w, blockSize: blockSize, rng: rng.New(seed), reserved: dataBytes}, nil
-}
-
-// Close releases device memory.
-func (g *GPU) Close() {
-	g.dev.Free(g.alpha)
-	g.dev.Free(g.w)
-	g.dev.ReleaseBytes(g.reserved)
-}
-
-// RunEpoch launches one kernel epoch.
-func (g *GPU) RunEpoch() {
-	p := g.problem
-	g.perm = g.rng.Perm(p.N, g.perm)
-	ln := p.Lambda * float64(p.N)
-	scale := p.sharedScale()
-	g.dev.Launch(p.N, g.blockSize, func(b *gpusim.Block) {
-		i := g.perm[b.Idx()]
-		if p.rowNormsSq[i] == 0 {
-			return
-		}
-		idx, val := p.A.Row(i)
-		dp := b.ReduceSum(len(idx), func(e int) float32 {
-			return val[e] * b.Read(g.w, idx[e])
-		})
-		cur := b.Read(g.alpha, int32(i))
-		next := float64(cur) + (1-float64(p.Y[i])*float64(dp))*ln/p.rowNormsSq[i]
-		if next < 0 {
-			next = 0
-		} else if next > 1 {
-			next = 1
-		}
-		d := float32(next - float64(cur))
-		if d == 0 {
-			return
-		}
-		b.Write(g.alpha, int32(i), float32(next))
-		c := float32(float64(d) * float64(p.Y[i]) * scale)
-		b.ParallelFor(len(idx), func(e int) {
-			b.AtomicAdd(g.w, idx[e], val[e]*c)
-		})
-	})
+	return &GPU{g, p}, nil
 }
 
 // Alpha returns a host copy of the dual variables.
-func (g *GPU) Alpha() []float32 {
-	out := make([]float32, g.alpha.Len())
-	copy(out, g.alpha.Host())
-	return out
-}
+func (g *GPU) Alpha() []float32 { return g.Model() }
 
-// Gap returns the honest duality gap.
-func (g *GPU) Gap() float64 { return g.problem.Gap(g.Alpha()) }
+// Accuracy returns the training accuracy of sign(⟨w, x̄ᵢ⟩) using the
+// device-resident weight vector.
+func (g *GPU) Accuracy() float64 { return g.problem.AccuracyW(g.SharedVector()) }
 
 // Box checks the dual feasibility 0 ≤ α ≤ 1 and returns the worst
 // violation (0 when feasible).

@@ -25,7 +25,6 @@ import (
 	"tpascd/internal/coords"
 	"tpascd/internal/gpusim"
 	"tpascd/internal/perfmodel"
-	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
 )
 
@@ -199,63 +198,6 @@ func (k *Kernel) SharedHost() []float32 { return k.shared.Host() }
 // PCIeSeconds returns the accumulated modeled PCIe staging time.
 func (k *Kernel) PCIeSeconds() float64 { return k.pcieSeconds }
 
-// Solver wraps a Kernel over a full problem so it satisfies the same
-// interface as the CPU solvers in package scd, for the single-GPU
-// comparisons of Figs. 1 and 2.
-type Solver struct {
-	kernel  *Kernel
-	problem *ridge.Problem
-	name    string
-}
-
-// NewSolver builds a single-device TPA-SCD solver for the whole problem.
-// The dataset is transferred to the device once, up front, as in the paper
-// ("the dataset ... is transferred into the GPU memory once at the
-// beginning of operation and does not move").
-func NewSolver(p *ridge.Problem, form perfmodel.Form, dev *gpusim.Device, blockSize int, seed uint64) (*Solver, error) {
-	view := coords.FromProblem(p, form)
-	kernel, err := NewKernel(dev, view, blockSize, seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Solver{
-		kernel:  kernel,
-		problem: p,
-		name:    fmt.Sprintf("TPA-SCD (%s)", dev.Profile.Name),
-	}, nil
-}
-
-// RunEpoch launches one TPA-SCD epoch.
-func (s *Solver) RunEpoch() { s.kernel.Epoch() }
-
-// Model returns a host copy of the current weights.
-func (s *Solver) Model() []float32 { return s.kernel.Model() }
-
-// SharedVector returns the device shared vector (host view).
-func (s *Solver) SharedVector() []float32 { return s.kernel.SharedHost() }
-
-// Gap returns the honest duality gap recomputed from the model alone.
-func (s *Solver) Gap() float64 {
-	m := s.kernel.Model()
-	if s.kernel.view.Form == perfmodel.Primal {
-		return s.problem.GapPrimal(m)
-	}
-	return s.problem.GapDual(m)
-}
-
-// Form reports the formulation.
-func (s *Solver) Form() perfmodel.Form { return s.kernel.view.Form }
-
-// Name identifies the solver and device.
-func (s *Solver) Name() string { return s.name }
-
-// EpochWork returns per-epoch work counts.
-func (s *Solver) EpochWork() (int64, int64) {
-	return s.kernel.view.NNZ(), int64(s.kernel.view.Num)
-}
-
-// EpochSeconds returns the modeled device seconds per epoch.
-func (s *Solver) EpochSeconds() float64 { return s.kernel.EpochSeconds() }
-
-// Close releases device memory.
-func (s *Solver) Close() { s.kernel.Close() }
+// The single-device whole-problem solver that used to live here moved to
+// internal/engine (engine.GPU with ridge.NewLoss); the Kernel remains as
+// the coords.View-based building block of the distributed workers.

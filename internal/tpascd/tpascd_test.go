@@ -9,9 +9,12 @@ import (
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
-	"tpascd/internal/scd"
 	"tpascd/internal/sparse"
 )
+
+// The whole-problem solver tests moved to internal/engine with the solver
+// itself; what remains here exercises the coords.View-based Kernel used by
+// the distributed workers.
 
 func testProblem(t testing.TB, seed uint64, n, m, nnzPerRow int, lambda float64) *ridge.Problem {
 	t.Helper()
@@ -31,85 +34,6 @@ func testProblem(t testing.TB, seed uint64, n, m, nnzPerRow int, lambda float64)
 		t.Fatal(err)
 	}
 	return p
-}
-
-func TestSolverPrimalConverges(t *testing.T) {
-	p := testProblem(t, 1, 300, 150, 8, 0.01)
-	dev := gpusim.NewDevice(perfmodel.GPUM4000)
-	s, err := NewSolver(p, perfmodel.Primal, dev, 64, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
-	for e := 0; e < 50; e++ {
-		s.RunEpoch()
-	}
-	if g := s.Gap(); g > 1e-5 {
-		t.Fatalf("primal gap after 50 epochs = %v", g)
-	}
-}
-
-func TestSolverDualConverges(t *testing.T) {
-	p := testProblem(t, 2, 250, 150, 8, 0.01)
-	dev := gpusim.NewDevice(perfmodel.GPUTitanX)
-	s, err := NewSolver(p, perfmodel.Dual, dev, 64, 42)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
-	for e := 0; e < 40; e++ {
-		s.RunEpoch()
-	}
-	if g := s.Gap(); g > 1e-5 {
-		t.Fatalf("dual gap after 40 epochs = %v", g)
-	}
-}
-
-// The paper's key single-device claim: TPA-SCD converges per epoch like the
-// sequential algorithm (atomic updates keep model and shared vector
-// consistent). Compare gap trajectories.
-func TestConvergencePerEpochMatchesSequential(t *testing.T) {
-	p := testProblem(t, 3, 400, 200, 10, 0.005)
-	dev := gpusim.NewDevice(perfmodel.GPUM4000)
-	gpu, err := NewSolver(p, perfmodel.Primal, dev, 64, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer gpu.Close()
-	seq := scd.NewSequential(p, perfmodel.Primal, 7)
-	for e := 0; e < 25; e++ {
-		gpu.RunEpoch()
-		seq.RunEpoch()
-	}
-	gg, gs := gpu.Gap(), seq.Gap()
-	if gg > 100*gs+1e-8 {
-		t.Fatalf("TPA-SCD per-epoch convergence %v much worse than sequential %v", gg, gs)
-	}
-}
-
-// Shared vector must remain consistent with the model (unlike wild): after
-// training, recomputing Aβ from the model matches the device shared vector.
-func TestSharedVectorConsistency(t *testing.T) {
-	p := testProblem(t, 4, 200, 100, 8, 0.01)
-	dev := gpusim.NewDevice(perfmodel.GPUM4000)
-	s, err := NewSolver(p, perfmodel.Primal, dev, 32, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
-	for e := 0; e < 10; e++ {
-		s.RunEpoch()
-	}
-	fresh := make([]float32, p.N)
-	p.A.MulVec(fresh, s.Model())
-	var drift float64
-	for i := range fresh {
-		d := float64(fresh[i] - s.SharedVector()[i])
-		drift += d * d
-	}
-	if drift > 1e-6 {
-		t.Fatalf("shared vector drift = %v", drift)
-	}
 }
 
 func TestKernelRejectsBadBlockSize(t *testing.T) {
@@ -138,19 +62,20 @@ func TestKernelOutOfMemory(t *testing.T) {
 	}
 }
 
-func TestCloseReleasesMemory(t *testing.T) {
-	p := testProblem(t, 7, 100, 60, 5, 0.1)
+func TestKernelConverges(t *testing.T) {
+	p := testProblem(t, 1, 200, 100, 8, 0.01)
 	dev := gpusim.NewDevice(perfmodel.GPUM4000)
-	s, err := NewSolver(p, perfmodel.Primal, dev, 64, 1)
+	v := coords.FromProblem(p, perfmodel.Primal)
+	k, err := NewKernel(dev, v, 64, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dev.Allocated() == 0 {
-		t.Fatal("nothing allocated")
+	defer k.Close()
+	for e := 0; e < 50; e++ {
+		k.Epoch()
 	}
-	s.Close()
-	if got := dev.Allocated(); got != 0 {
-		t.Fatalf("Close leaked %d bytes", got)
+	if g := p.GapPrimal(k.Model()); g > 1e-5 {
+		t.Fatalf("primal gap after 50 epochs = %v", g)
 	}
 }
 
@@ -205,28 +130,6 @@ func TestEpochStatsCountWork(t *testing.T) {
 	}
 }
 
-func TestEpochSecondsPositiveAndFasterOnTitanX(t *testing.T) {
-	p := testProblem(t, 10, 200, 100, 8, 0.01)
-	m4000 := gpusim.NewDevice(perfmodel.GPUM4000)
-	titan := gpusim.NewDevice(perfmodel.GPUTitanX)
-	a, err := NewSolver(p, perfmodel.Dual, m4000, 64, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer a.Close()
-	b, err := NewSolver(p, perfmodel.Dual, titan, 64, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer b.Close()
-	if a.EpochSeconds() <= 0 {
-		t.Fatal("non-positive epoch time")
-	}
-	if b.EpochSeconds() >= a.EpochSeconds() {
-		t.Fatalf("Titan X (%v) not faster than M4000 (%v)", b.EpochSeconds(), a.EpochSeconds())
-	}
-}
-
 func TestSetModelRoundTrip(t *testing.T) {
 	p := testProblem(t, 11, 60, 30, 4, 0.1)
 	dev := gpusim.NewDevice(perfmodel.GPUM4000)
@@ -246,32 +149,5 @@ func TestSetModelRoundTrip(t *testing.T) {
 		if got[i] != m[i] {
 			t.Fatalf("SetModel/Model mismatch at %d", i)
 		}
-	}
-}
-
-func TestSolverName(t *testing.T) {
-	p := testProblem(t, 12, 40, 20, 3, 0.1)
-	dev := gpusim.NewDevice(perfmodel.GPUTitanX)
-	s, err := NewSolver(p, perfmodel.Primal, dev, 32, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer s.Close()
-	if s.Name() != "TPA-SCD (Titan X)" {
-		t.Fatalf("Name = %q", s.Name())
-	}
-}
-
-func BenchmarkTPASCDEpoch(b *testing.B) {
-	p := testProblem(b, 1, 2048, 1024, 16, 0.001)
-	dev := gpusim.NewDevice(perfmodel.GPUM4000)
-	s, err := NewSolver(p, perfmodel.Primal, dev, 64, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer s.Close()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.RunEpoch()
 	}
 }

@@ -35,12 +35,11 @@ import (
 	"io"
 
 	"tpascd/internal/datasets"
+	"tpascd/internal/engine"
 	"tpascd/internal/gpusim"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
-	"tpascd/internal/scd"
 	"tpascd/internal/sparse"
-	"tpascd/internal/tpascd"
 )
 
 // Form selects the ridge-regression formulation: Primal iterates over
@@ -110,26 +109,40 @@ func GenerateCriteo(cfg CriteoConfig) (*CSR, []float32, error) { return datasets
 // Solvers.
 
 // Solver is a configured single-node training algorithm; one RunEpoch call
-// is one permuted pass over the coordinates. Gap reports the duality gap
-// recomputed honestly from the model.
-type Solver = scd.Solver
+// is one permuted pass over the coordinates. Gap reports the convergence
+// certificate recomputed honestly from the model. Every solver family —
+// ridge, elastic net, SVM, logistic, and the SGD baseline — satisfies it.
+type Solver = engine.Solver
+
+// Loss is the pluggable per-family contract of the coordinate-descent
+// engine: coordinate access, the exact step (including prox/box), the
+// shared-vector coefficient, and the convergence certificate. Implement it
+// to get sequential, async-atomic, wild and simulated-GPU solvers for a
+// new loss for free.
+type Loss = engine.Loss
+
+// EpochEvent is the engine's per-epoch instrumentation record.
+type EpochEvent = engine.EpochEvent
+
+// EpochHook observes one training epoch (see Train).
+type EpochHook = engine.Hook
 
 // NewSequentialSolver returns sequential SCD (Algorithm 1 of the paper).
 func NewSequentialSolver(p *Problem, form Form, seed uint64) Solver {
-	return scd.NewSequential(p, form, seed)
+	return engine.NewSequential(ridge.NewLoss(p, form), seed)
 }
 
 // NewAtomicSolver returns A-SCD: threads goroutines with atomic (lossless)
 // shared-vector updates.
 func NewAtomicSolver(p *Problem, form Form, threads int, seed uint64) Solver {
-	return scd.NewAtomic(p, form, threads, seed)
+	return engine.NewAtomic(ridge.NewLoss(p, form), threads, seed)
 }
 
 // NewWildSolver returns PASSCoDe-Wild: threads goroutines with racy
 // shared-vector updates; fast but converges to a solution violating the
 // optimality conditions.
 func NewWildSolver(p *Problem, form Form, threads int, seed uint64) Solver {
-	return scd.NewWild(p, form, threads, seed)
+	return engine.NewWild(ridge.NewLoss(p, form), threads, seed)
 }
 
 // GPUProfile describes a simulated GPU (SM count, memory bandwidth and
@@ -148,7 +161,7 @@ var (
 // interface it reports modeled per-epoch device seconds and must be
 // Closed to release simulated device memory.
 type GPUSolver struct {
-	*tpascd.Solver
+	*engine.GPU
 }
 
 // NewGPUSolver places the problem on a fresh simulated device of the given
@@ -157,24 +170,17 @@ type GPUSolver struct {
 // motivates distributed training.
 func NewGPUSolver(p *Problem, form Form, profile GPUProfile, blockSize int, seed uint64) (*GPUSolver, error) {
 	dev := gpusim.NewDevice(profile)
-	s, err := tpascd.NewSolver(p, form, dev, blockSize, seed)
+	s, err := engine.NewGPU(ridge.NewLoss(p, form), dev, blockSize, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &GPUSolver{Solver: s}, nil
+	return &GPUSolver{GPU: s}, nil
 }
 
 // Train runs epochs until the budget is exhausted or keepGoing returns
 // false; it returns the number of epochs performed and the final duality
-// gap. keepGoing may be nil to train for exactly epochs epochs.
-func Train(s Solver, epochs int, keepGoing func(epoch int, gap float64) bool) (int, float64) {
-	gap := s.Gap()
-	for e := 1; e <= epochs; e++ {
-		s.RunEpoch()
-		gap = s.Gap()
-		if keepGoing != nil && !keepGoing(e, gap) {
-			return e, gap
-		}
-	}
-	return epochs, gap
+// gap. keepGoing may be nil to train for exactly epochs epochs. Optional
+// hooks observe every epoch (gap, work counters).
+func Train(s Solver, epochs int, keepGoing func(epoch int, gap float64) bool, hooks ...EpochHook) (int, float64) {
+	return engine.Train(s, epochs, 0, keepGoing, hooks...)
 }
