@@ -8,27 +8,48 @@
 // as in Algorithm 3/4.
 //
 // Start the master (rank 0) first; it prints the bound address workers
-// must dial:
+// must dial. Thanks to dial retry with backoff, workers may equally be
+// started first if the master's address is known in advance:
 //
 //	distworker -rank 0 -size 4 -listen 127.0.0.1:7777
 //	distworker -rank 1 -size 4 -addr 127.0.0.1:7777
 //	distworker -rank 2 -size 4 -addr 127.0.0.1:7777
 //	distworker -rank 3 -size 4 -addr 127.0.0.1:7777
+//
+// Fault tolerance: -timeout bounds every collective, so a dead or stalled
+// peer surfaces as a typed, rank-attributed error (and a non-zero exit)
+// instead of a hang; -join-timeout bounds cluster assembly. With
+// -checkpoint FILE each rank atomically persists its model and epoch
+// every -checkpoint-every rounds (temp file + rename, so a crash mid-save
+// never corrupts the previous checkpoint). After a failure, restart every
+// rank with the same flags plus -resume: each rank reloads its model,
+// the group agrees on the checkpointed epoch, rebuilds the shared vector
+// collectively and continues training where it left off:
+//
+//	distworker -rank 0 -size 4 -listen 127.0.0.1:7777 -checkpoint r0.ckpt -resume
+//	distworker -rank 1 -size 4 -addr 127.0.0.1:7777 -checkpoint r1.ckpt -resume
+//	...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tpascd"
+	"tpascd/internal/checkpoint"
 )
+
+// curRank labels every fatal diagnostic so multi-process failures are
+// attributable from the interleaved stderr of a whole cluster.
+var curRank int
 
 func main() {
 	rank := flag.Int("rank", 0, "this worker's rank in [0, size)")
 	size := flag.Int("size", 2, "total number of workers")
 	listen := flag.String("listen", "127.0.0.1:0", "master only: address to listen on")
-	addr := flag.String("addr", "", "workers: master address to dial")
+	addr := flag.String("addr", "", "workers only: master address to dial")
 	epochs := flag.Int("epochs", 30, "training epochs")
 	formFlag := flag.String("form", "dual", "'primal' (partition features) or 'dual' (partition examples)")
 	n := flag.Int("n", 8192, "dataset examples")
@@ -37,10 +58,38 @@ func main() {
 	lambda := flag.Float64("lambda", 0.001, "regularization λ")
 	seed := flag.Uint64("seed", 1, "shared dataset/partition seed (must agree across ranks)")
 	adaptive := flag.Bool("adaptive", true, "use adaptive aggregation (Algorithm 4)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-collective deadline; a dead peer surfaces within this budget (0 disables)")
+	joinTimeout := flag.Duration("join-timeout", 60*time.Second, "total budget for cluster assembly, including dial retries (0 waits forever)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file for this rank (atomic save every -checkpoint-every epochs)")
+	ckptEvery := flag.Int("checkpoint-every", 5, "epochs between checkpoints")
+	resume := flag.Bool("resume", false, "resume from -checkpoint instead of training from scratch (all ranks must resume together)")
 	flag.Parse()
+	curRank = *rank
 
+	// Validate the flag combinations up front: wrong -listen/-addr pairings
+	// used to surface only as a confusing mid-training hang or dial error.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *rank < 0 || *rank >= *size {
 		fatal(fmt.Errorf("rank %d outside [0,%d)", *rank, *size))
+	}
+	if *rank == 0 && set["addr"] {
+		fatal(fmt.Errorf("-addr is for workers; rank 0 listens (use -listen)"))
+	}
+	if *rank != 0 && set["listen"] {
+		fatal(fmt.Errorf("-listen is for rank 0; workers dial the master (use -addr)"))
+	}
+	if *rank != 0 && *addr == "" {
+		fatal(fmt.Errorf("workers need -addr"))
+	}
+	if *formFlag != "primal" && *formFlag != "dual" {
+		fatal(fmt.Errorf("-form %q (want 'primal' or 'dual')", *formFlag))
+	}
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *ckptEvery < 1 {
+		fatal(fmt.Errorf("-checkpoint-every %d (want >= 1)", *ckptEvery))
 	}
 
 	// Identical data on every rank, from the shared seed.
@@ -62,9 +111,14 @@ func main() {
 	}
 	parts := tpascd.PartitionRandom(numCoords, *size, *seed)
 
+	commCfg := tpascd.DefaultCommConfig()
+	commCfg.CollectiveTimeout = *timeout
+	commCfg.JoinTimeout = *joinTimeout
+	commCfg.Seed = *seed
+
 	var comm tpascd.Comm
 	if *rank == 0 {
-		master, bound, err := tpascd.ListenTCP(*listen, *size)
+		master, bound, err := tpascd.ListenTCPConfig(*listen, *size, commCfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -72,10 +126,7 @@ func main() {
 		fmt.Printf("LISTENING %s\n", bound)
 		comm = master
 	} else {
-		if *addr == "" {
-			fatal(fmt.Errorf("workers need -addr"))
-		}
-		comm, err = tpascd.DialTCP(*addr, *rank, *size)
+		comm, err = tpascd.DialTCPConfig(*addr, *rank, *size, commCfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,9 +145,34 @@ func main() {
 		fatal(err)
 	}
 
-	for e := 1; e <= *epochs; e++ {
+	// The checkpoint kind ties a file to one rank of one run shape, so a
+	// rank cannot silently resume from another rank's (or run's) state.
+	ckptKind := fmt.Sprintf("distworker-%s-r%d-of%d-seed%d", *formFlag, *rank, *size, *seed)
+	start := 0
+	if *resume {
+		model, epoch, err := loadCheckpoint(*ckptPath, ckptKind)
+		if err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		// Replay the permutation stream past the completed epochs, then
+		// restore the model and rebuild the shared vector collectively.
+		local.SkipEpochs(epoch)
+		if err := w.ResumeFrom(model, epoch); err != nil {
+			fatal(fmt.Errorf("resume: %w", err))
+		}
+		start = epoch
+		fmt.Printf("RESUMED rank=%d epoch=%d\n", *rank, epoch)
+	}
+
+	for e := start + 1; e <= *epochs; e++ {
 		if _, err := w.RunEpoch(); err != nil {
 			fatal(fmt.Errorf("epoch %d: %w", e, err))
+		}
+		if *ckptPath != "" && (e%*ckptEvery == 0 || e == *epochs) {
+			model, epoch := w.Snapshot()
+			if err := saveCheckpoint(*ckptPath, ckptKind, model, epoch); err != nil {
+				fatal(fmt.Errorf("checkpoint at epoch %d: %w", e, err))
+			}
 		}
 	}
 	gap, err := w.Gap()
@@ -107,7 +183,50 @@ func main() {
 	fmt.Printf("RESULT rank=%d gap=%.6e gamma=%.4f\n", *rank, gap, w.Gamma())
 }
 
+// saveCheckpoint persists model+epoch atomically: write a temp file in
+// the target directory, fsync, then rename over the destination, so a
+// crash mid-save leaves the previous checkpoint intact.
+func saveCheckpoint(path, kind string, model []float32, epoch int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	c := checkpoint.Checkpoint{Kind: kind, Vectors: [][]float32{model, {float32(epoch)}}}
+	if err := checkpoint.Save(f, c); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func loadCheckpoint(path, kind string) (model []float32, epoch int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	c, err := checkpoint.Load(f, kind)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(c.Vectors) != 2 || len(c.Vectors[1]) != 1 {
+		return nil, 0, fmt.Errorf("checkpoint %s: unexpected layout (%d vectors)", path, len(c.Vectors))
+	}
+	return c.Vectors[0], int(c.Vectors[1][0]), nil
+}
+
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "distworker: %v\n", err)
+	fmt.Fprintf(os.Stderr, "distworker: rank %d: %v\n", curRank, err)
 	os.Exit(1)
 }

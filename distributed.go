@@ -71,13 +71,49 @@ type Comm = cluster.Comm
 // InProcComms returns size connected in-process communicators.
 func InProcComms(size int) ([]Comm, error) { return cluster.InProc(size) }
 
-// ListenTCP creates the master (rank 0) side of a TCP communicator group;
-// it returns immediately with the bound address and accepts the size-1
-// workers in the background.
+// CommConfig tunes a transport's failure detection: per-collective socket
+// deadlines, the dial retry/backoff schedule and the total join deadline.
+type CommConfig = cluster.Config
+
+// DefaultCommConfig returns the production defaults (30s collective
+// timeout; 60s join deadline with 50ms–1s exponential dial backoff).
+func DefaultCommConfig() CommConfig { return cluster.DefaultConfig() }
+
+// ErrPeerDown is the typed, rank-attributed error a hardened transport
+// returns when a peer dies or stalls mid-collective; extract it from an
+// error chain with errors.As.
+type ErrPeerDown = cluster.ErrPeerDown
+
+// ErrCommClosed is returned by collectives on a closed communicator.
+var ErrCommClosed = cluster.ErrClosed
+
+// ListenTCP creates the master (rank 0) side of a TCP communicator group
+// with DefaultCommConfig; it returns immediately with the bound address
+// and accepts the size-1 workers in the background.
 func ListenTCP(addr string, size int) (Comm, string, error) { return cluster.ListenTCP(addr, size) }
 
-// DialTCP connects a worker rank (1..size-1) to a TCP master.
+// ListenTCPConfig is ListenTCP with explicit failure-detection parameters.
+func ListenTCPConfig(addr string, size int, cfg CommConfig) (Comm, string, error) {
+	return cluster.ListenTCPConfig(addr, size, cfg)
+}
+
+// DialTCP connects a worker rank (1..size-1) to a TCP master with
+// DefaultCommConfig, retrying with exponential backoff until the join
+// deadline so workers may start before their master.
 func DialTCP(addr string, rank, size int) (Comm, error) { return cluster.DialTCP(addr, rank, size) }
+
+// DialTCPConfig is DialTCP with explicit failure-detection parameters.
+func DialTCPConfig(addr string, rank, size int, cfg CommConfig) (Comm, error) {
+	return cluster.DialTCPConfig(addr, rank, size, cfg)
+}
+
+// ChaosConfig drives deterministic fault injection on a wrapped
+// communicator (delays, drops, truncation, killing a rank at a chosen
+// collective) for testing distributed failure handling.
+type ChaosConfig = cluster.ChaosConfig
+
+// WrapChaos wraps a communicator with seed-driven fault injection.
+func WrapChaos(c Comm, cfg ChaosConfig) Comm { return cluster.Chaos(c, cfg) }
 
 // Worker is one rank of the distributed algorithms, usable over any Comm
 // (in-process or TCP). All ranks must call RunEpoch collectively.
@@ -105,8 +141,9 @@ func NewWorker(comm Comm, local dist.Local, view *CoordinateView, cfg ClusterCon
 }
 
 // NewSequentialLocal returns a single-threaded local solver over a
-// partition, for use with NewWorker.
-func NewSequentialLocal(view *CoordinateView, seed uint64) dist.Local {
+// partition, for use with NewWorker. The concrete type additionally
+// offers SkipEpochs, the permutation fast-forward checkpoint resume uses.
+func NewSequentialLocal(view *CoordinateView, seed uint64) *dist.CPULocal {
 	return dist.NewCPULocal(view, dist.Sequential, 1, perfmodel.CPUSequential, seed)
 }
 

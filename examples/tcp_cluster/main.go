@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"tpascd"
 )
@@ -35,8 +36,17 @@ func main() {
 	parts := tpascd.PartitionRandom(p.N, k, 1)
 	cfg := tpascd.ClusterConfig{Aggregation: tpascd.Adaptive, Link: tpascd.Link10GbE}
 
+	// Failure detection: a dead or stalled rank surfaces as a typed
+	// *tpascd.ErrPeerDown within the collective timeout instead of
+	// hanging the cluster, and the whole group must assemble within the
+	// join deadline (workers retry their dial with backoff under it, so
+	// master/worker startup order doesn't matter).
+	commCfg := tpascd.DefaultCommConfig()
+	commCfg.CollectiveTimeout = 10 * time.Second
+	commCfg.JoinTimeout = 30 * time.Second
+
 	// Rank 0 listens; the bound address is what remote workers would dial.
-	master, addr, err := tpascd.ListenTCP("127.0.0.1:0", k)
+	master, addr, err := tpascd.ListenTCPConfig("127.0.0.1:0", k, commCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +90,7 @@ func main() {
 	wg.Add(1)
 	go runRank(0, master)
 	for r := 1; r < k; r++ {
-		comm, err := tpascd.DialTCP(addr, r, k)
+		comm, err := tpascd.DialTCPConfig(addr, r, k, commCfg)
 		if err != nil {
 			log.Fatal(err)
 		}

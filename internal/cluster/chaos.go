@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"tpascd/internal/rng"
+)
+
+// ChaosConfig drives deterministic, seed-driven fault injection on a
+// wrapped communicator. Every decision comes from a private Xoshiro256
+// stream, so a given (config, seed, call sequence) always injects the same
+// faults — failures found under -race reproduce exactly.
+//
+// Faults are expressed per collective call on the wrapped rank. The
+// distributed workers issue a fixed number of collectives per epoch
+// (Reduce, Broadcast and one scalar Allreduce for the time model; adaptive
+// aggregation adds a second scalar Allreduce), so killing rank k during
+// epoch E (1-based) means a KillAtOp in ((E−1)·ops, E·ops] on rank k's
+// wrapper.
+type ChaosConfig struct {
+	// Seed initializes the decision stream.
+	Seed uint64
+	// KillAtOp kills this rank on its Nth collective call, counting from
+	// 1: the underlying communicator is closed and a typed *ErrPeerDown is
+	// returned, exactly what a crashed process looks like to the group.
+	// 0 disables the kill fault (the zero ChaosConfig injects nothing).
+	KillAtOp int
+	// DropProb abandons a collective with the given probability: the
+	// message is never delivered, the underlying communicator is closed
+	// (over TCP an undelivered frame is indistinguishable from a dead
+	// peer once the deadline fires) and *ErrPeerDown is returned.
+	DropProb float64
+	// TruncateProb shortens the payload of a buffer-carrying collective by
+	// one element with the given probability, surfacing as a size-mismatch
+	// failure at the peers.
+	TruncateProb float64
+	// DelayProb sleeps a uniform duration in [0, MaxDelay) before a
+	// collective with the given probability, modelling stragglers and
+	// network jitter without breaking correctness.
+	DelayProb float64
+	MaxDelay  time.Duration
+}
+
+// Chaos wraps comm with deterministic fault injection as configured. The
+// wrapper is transport-agnostic; tests use it over InProc so every failure
+// mode of the distributed path is exercisable in-process and under -race.
+func Chaos(comm Comm, cfg ChaosConfig) Comm {
+	return &chaosComm{Comm: comm, cfg: cfg, rng: rng.New(cfg.Seed)}
+}
+
+type chaosComm struct {
+	Comm
+	cfg ChaosConfig
+	rng *rng.Xoshiro256
+	op  int
+}
+
+// inject applies the kill/drop/delay faults due at this call; it returns
+// the error the rank dies with, or nil to let the collective proceed.
+func (c *chaosComm) inject(op string) error {
+	c.op++
+	n := c.op
+	if c.cfg.KillAtOp > 0 && n >= c.cfg.KillAtOp {
+		c.Comm.Close()
+		return &ErrPeerDown{Rank: c.Rank(), Op: op, Err: fmt.Errorf("chaos: rank killed at op %d", n)}
+	}
+	if c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb {
+		c.Comm.Close()
+		return &ErrPeerDown{Rank: c.Rank(), Op: op, Err: fmt.Errorf("chaos: message dropped at op %d", n)}
+	}
+	if c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb {
+		time.Sleep(time.Duration(c.rng.Float64() * float64(c.cfg.MaxDelay)))
+	}
+	return nil
+}
+
+// chop reports whether this call's payload should be truncated.
+func (c *chaosComm) chop() bool {
+	return c.cfg.TruncateProb > 0 && c.rng.Float64() < c.cfg.TruncateProb
+}
+
+func (c *chaosComm) Broadcast(buf []float32, root int) error {
+	if err := c.inject("broadcast"); err != nil {
+		return err
+	}
+	if c.chop() && len(buf) > 0 {
+		buf = buf[:len(buf)-1]
+	}
+	return c.Comm.Broadcast(buf, root)
+}
+
+func (c *chaosComm) Reduce(in, out []float32, root int) error {
+	if err := c.inject("reduce"); err != nil {
+		return err
+	}
+	if c.chop() && len(in) > 0 {
+		in = in[:len(in)-1]
+		// Keep this rank's in/out agreement so the fault surfaces as a
+		// cross-rank size mismatch, not a local argument error.
+		if c.Rank() == root && len(out) > 0 {
+			out = out[:len(out)-1]
+		}
+	}
+	return c.Comm.Reduce(in, out, root)
+}
+
+func (c *chaosComm) Allreduce(in, out []float32) error {
+	if err := c.inject("allreduce"); err != nil {
+		return err
+	}
+	if c.chop() && len(in) > 0 && len(out) > 0 {
+		in, out = in[:len(in)-1], out[:len(out)-1]
+	}
+	return c.Comm.Allreduce(in, out)
+}
+
+func (c *chaosComm) AllreduceScalars(vals []float64) ([]float64, error) {
+	if err := c.inject("allreduce-scalars"); err != nil {
+		return nil, err
+	}
+	if c.chop() && len(vals) > 0 {
+		vals = vals[:len(vals)-1]
+	}
+	return c.Comm.AllreduceScalars(vals)
+}
+
+func (c *chaosComm) Barrier() error {
+	if err := c.inject("barrier"); err != nil {
+		return err
+	}
+	return c.Comm.Barrier()
+}

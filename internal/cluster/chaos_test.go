@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runAll executes fn on every rank concurrently and returns the per-rank
+// errors (unlike runGroup it does not fail the test, so fault-injection
+// outcomes can be asserted rank by rank).
+func runAll(comms []Comm, fn func(c Comm) error) []error {
+	errs := make([]error, len(comms))
+	var wg sync.WaitGroup
+	for i, c := range comms {
+		wg.Add(1)
+		go func(i int, c Comm) {
+			defer wg.Done()
+			errs[i] = fn(c)
+		}(i, c)
+	}
+	wg.Wait()
+	return errs
+}
+
+// The zero ChaosConfig must be fully transparent.
+func TestChaosZeroConfigTransparent(t *testing.T) {
+	comms, err := InProc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range comms {
+		comms[r] = Chaos(comms[r], ChaosConfig{Seed: uint64(r)})
+	}
+	outs := make([][]float32, 3)
+	errs := runAll(comms, func(c Comm) error {
+		r := c.Rank()
+		out := make([]float32, 2)
+		if err := c.Allreduce([]float32{float32(r), 1}, out); err != nil {
+			return err
+		}
+		outs[r] = out
+		if _, err := c.AllreduceScalars([]float64{float64(r)}); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if outs[r][0] != 3 || outs[r][1] != 3 {
+			t.Fatalf("rank %d allreduce = %v, want [3 3]", r, outs[r])
+		}
+	}
+}
+
+// KillAtOp kills exactly the configured collective: earlier ops succeed,
+// the victim reports itself down, and the surviving ranks unblock with
+// ErrClosed instead of hanging.
+func TestChaosKillAtOp(t *testing.T) {
+	comms, err := InProc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms[2] = Chaos(comms[2], ChaosConfig{KillAtOp: 2})
+
+	if errs := runAll(comms, func(c Comm) error { return c.Barrier() }); errs[0] != nil || errs[1] != nil || errs[2] != nil {
+		t.Fatalf("op 1 failed: %v", errs)
+	}
+	errs := runAll(comms, func(c Comm) error { return c.Barrier() })
+	wantPeerDown(t, errs[2], 2, "barrier")
+	for _, r := range []int{0, 1} {
+		if !errors.Is(errs[r], ErrClosed) {
+			t.Fatalf("survivor rank %d: got %v, want ErrClosed", r, errs[r])
+		}
+	}
+}
+
+// A dropped message looks like a dead peer: the dropping rank's comm is
+// closed and everyone unblocks with an error.
+func TestChaosDropSurfacesAsPeerDown(t *testing.T) {
+	comms, err := InProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms[1] = Chaos(comms[1], ChaosConfig{Seed: 7, DropProb: 1})
+	errs := runAll(comms, func(c Comm) error {
+		return c.Allreduce(make([]float32, 4), make([]float32, 4))
+	})
+	wantPeerDown(t, errs[1], 1, "allreduce")
+	if !errors.Is(errs[0], ErrClosed) {
+		t.Fatalf("survivor: got %v, want ErrClosed", errs[0])
+	}
+}
+
+// Truncation corrupts the payload length and must surface as a size
+// mismatch at the group level — never a hang.
+func TestChaosTruncateSurfacesSizeMismatch(t *testing.T) {
+	comms, err := InProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms[1] = Chaos(comms[1], ChaosConfig{Seed: 3, TruncateProb: 1})
+	errs := runAll(comms, func(c Comm) error {
+		return c.Allreduce(make([]float32, 4), make([]float32, 4))
+	})
+	var sawMismatch bool
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d succeeded despite truncated payload", r)
+		}
+		if errors.Is(err, ErrSizeMismatch) {
+			sawMismatch = true
+		}
+	}
+	if !sawMismatch {
+		t.Fatalf("no rank saw ErrSizeMismatch: %v", errs)
+	}
+}
+
+// Delays are benign: results stay correct, only timing changes.
+func TestChaosDelayPreservesResults(t *testing.T) {
+	comms, err := InProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range comms {
+		comms[r] = Chaos(comms[r], ChaosConfig{Seed: uint64(r), DelayProb: 1, MaxDelay: 2 * time.Millisecond})
+	}
+	for i := 0; i < 3; i++ {
+		outs := make([][]float32, 2)
+		errs := runAll(comms, func(c Comm) error {
+			out := make([]float32, 1)
+			outs[c.Rank()] = out
+			return c.Allreduce([]float32{float32(c.Rank() + 1)}, out)
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+			if outs[r][0] != 3 {
+				t.Fatalf("rank %d sum = %v, want 3", r, outs[r][0])
+			}
+		}
+	}
+}
+
+// The fault schedule is a pure function of the seed: two identical runs
+// fail at exactly the same collective.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	failingOp := func() int {
+		comms, err := InProc(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[0] = Chaos(comms[0], ChaosConfig{Seed: 42, DropProb: 0.3})
+		for op := 1; op <= 100; op++ {
+			errs := runAll(comms, func(c Comm) error { return c.Barrier() })
+			if errs[0] != nil {
+				return op
+			}
+		}
+		return 0
+	}
+	first, second := failingOp(), failingOp()
+	if first == 0 {
+		t.Fatal("drop with p=0.3 never fired in 100 ops")
+	}
+	if first != second {
+		t.Fatalf("same seed failed at op %d then op %d", first, second)
+	}
+}

@@ -18,7 +18,11 @@
 // 100GbE behaviour regardless of transport.
 package cluster
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 // Comm is the per-worker handle to a collective communication group.
 // All ranks of a group must call the same sequence of collectives with
@@ -55,4 +59,64 @@ var (
 	ErrSizeMismatch = errors.New("cluster: buffer sizes disagree across ranks")
 	ErrBadRoot      = errors.New("cluster: root rank out of range")
 	ErrClosed       = errors.New("cluster: communicator closed")
+	// ErrJoinTimeout reports that a group did not fully assemble (all
+	// workers connected and handshaken) within Config.JoinTimeout.
+	ErrJoinTimeout = errors.New("cluster: join deadline exceeded")
 )
+
+// ErrPeerDown is the typed, rank-attributed failure a transport returns
+// when a peer dies or stalls during a collective: the caller learns which
+// rank failed, in which operation, within Config.CollectiveTimeout — the
+// alternative being an indefinite hang on the dead peer's socket. Extract
+// it from an error chain with errors.As.
+type ErrPeerDown struct {
+	Rank int    // the unresponsive rank
+	Op   string // the collective in flight ("reduce", "broadcast", ...)
+	Err  error  // underlying transport error (timeout, EOF, reset, ...)
+}
+
+func (e *ErrPeerDown) Error() string {
+	return fmt.Sprintf("cluster: peer rank %d down during %s: %v", e.Rank, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying transport error to errors.Is/As.
+func (e *ErrPeerDown) Unwrap() error { return e.Err }
+
+// Config tunes the failure-detection behaviour of a transport. The zero
+// value disables every deadline (the pre-hardening behaviour: a dead peer
+// blocks forever); DefaultConfig returns production defaults.
+type Config struct {
+	// CollectiveTimeout bounds each blocking socket read/write inside a
+	// collective. It must exceed the slowest rank's per-epoch compute time
+	// (the master waits in Reduce for workers to finish their local epoch).
+	// 0 disables deadlines.
+	CollectiveTimeout time.Duration
+	// JoinTimeout bounds group assembly: the total time a worker keeps
+	// retrying its dial to the master, the master's wait for all workers to
+	// connect and handshake, and each accepted connection's handshake read.
+	// 0 waits forever.
+	JoinTimeout time.Duration
+	// DialAttemptTimeout bounds a single TCP connect attempt (default 2s).
+	DialAttemptTimeout time.Duration
+	// DialBackoff is the delay after the first failed dial attempt,
+	// doubled each retry (with jitter) up to DialBackoffMax. Defaults:
+	// 50ms growing to 1s.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
+	// Seed drives the dial-backoff jitter (mixed with the rank so workers
+	// sharing a seed do not retry in lockstep).
+	Seed uint64
+}
+
+// DefaultConfig returns the production defaults: collectives detect a
+// dead or stalled peer within 30s, and startup ordering does not matter
+// as long as the whole group assembles within 60s.
+func DefaultConfig() Config {
+	return Config{
+		CollectiveTimeout:  30 * time.Second,
+		JoinTimeout:        60 * time.Second,
+		DialAttemptTimeout: 2 * time.Second,
+		DialBackoff:        50 * time.Millisecond,
+		DialBackoffMax:     time.Second,
+	}
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Failure-detection tests: every scenario here used to hang the group
+// forever; with per-collective deadlines it must instead surface a typed,
+// rank-attributed error within the configured budget. Each test asserts
+// both the error shape and an elapsed-time bound.
+
+// tcpGroup assembles a size-rank TCP group with explicit config.
+func tcpGroup(t *testing.T, size int, cfg Config) []Comm {
+	t.Helper()
+	comms := make([]Comm, size)
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, size)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m, addr, err := ListenTCPConfig("127.0.0.1:0", size, cfg)
+		if err != nil {
+			errCh <- err
+			addrCh <- ""
+			return
+		}
+		comms[0] = m
+		addrCh <- addr
+	}()
+	addr := <-addrCh
+	if addr == "" {
+		t.Fatal(<-errCh)
+	}
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := DialTCPConfig(addr, r, size, cfg)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			comms[r] = c
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	return comms
+}
+
+func closeAll(comms []Comm) {
+	for _, c := range comms {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// wantPeerDown asserts err is a *ErrPeerDown attributing rank and op.
+func wantPeerDown(t *testing.T, err error, rank int, op string) {
+	t.Helper()
+	var pd *ErrPeerDown
+	if !errors.As(err, &pd) {
+		t.Fatalf("got %v (%T), want *ErrPeerDown", err, err)
+	}
+	if pd.Rank != rank || pd.Op != op {
+		t.Fatalf("ErrPeerDown{Rank:%d, Op:%q}, want rank %d op %q (%v)", pd.Rank, pd.Op, rank, op, err)
+	}
+}
+
+// A rank that never contributes to a Reduce must surface at the master as
+// ErrPeerDown for that rank within the collective timeout, not a hang.
+func TestStalledPeerMidReduceTimesOut(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CollectiveTimeout = 250 * time.Millisecond
+	comms := tcpGroup(t, 3, cfg)
+	defer closeAll(comms)
+
+	// Rank 1 contributes; rank 2 stalls (never calls the collective).
+	go comms[1].Reduce([]float32{1, 2}, make([]float32, 2), 0)
+	start := time.Now()
+	err := comms[0].Reduce([]float32{1, 2}, make([]float32, 2), 0)
+	elapsed := time.Since(start)
+	wantPeerDown(t, err, 2, "reduce")
+	if elapsed > 10*cfg.CollectiveTimeout {
+		t.Fatalf("detection took %v, budget %v", elapsed, cfg.CollectiveTimeout)
+	}
+}
+
+// Same for Barrier: the master must not wait forever on a stalled rank.
+func TestStalledPeerMidBarrierTimesOut(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CollectiveTimeout = 250 * time.Millisecond
+	comms := tcpGroup(t, 3, cfg)
+	defer closeAll(comms)
+
+	// Rank 1 enters the barrier (and will itself time out waiting for the
+	// release the master never sends); rank 2 stalls.
+	r1err := make(chan error, 1)
+	go func() { r1err <- comms[1].Barrier() }()
+	start := time.Now()
+	err := comms[0].Barrier()
+	elapsed := time.Since(start)
+	wantPeerDown(t, err, 2, "barrier")
+	if elapsed > 10*cfg.CollectiveTimeout {
+		t.Fatalf("detection took %v, budget %v", elapsed, cfg.CollectiveTimeout)
+	}
+	if err := <-r1err; err == nil {
+		t.Fatal("rank 1 barrier succeeded despite aborted master")
+	}
+}
+
+// A peer whose socket dies is detected immediately (EOF), well before the
+// deadline would fire.
+func TestDeadSocketDetectedBeforeDeadline(t *testing.T) {
+	cfg := DefaultConfig() // 30s collective timeout: EOF must not wait for it
+	comms := tcpGroup(t, 3, cfg)
+	defer closeAll(comms)
+
+	go comms[1].Reduce([]float32{1}, make([]float32, 1), 0)
+	comms[2].Close()
+	start := time.Now()
+	err := comms[0].Reduce([]float32{1}, make([]float32, 1), 0)
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("dead socket took %v to detect", time.Since(start))
+	}
+	wantPeerDown(t, err, 2, "reduce")
+}
+
+// A worker blocked on the master must learn of the master's death.
+func TestWorkerDetectsDeadMaster(t *testing.T) {
+	comms := tcpGroup(t, 2, DefaultConfig())
+	defer closeAll(comms)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- comms[1].Broadcast(make([]float32, 4), 0) }()
+	time.Sleep(20 * time.Millisecond) // let the worker block in recv
+	comms[0].Close()
+	select {
+	case err := <-errCh:
+		wantPeerDown(t, err, 0, "broadcast")
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker still blocked after master death")
+	}
+}
+
+// reservePort grabs a free loopback port and releases it, so the test can
+// exercise dialing an address nobody is listening on (yet).
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// Workers may start before their master: the dial retries with backoff
+// until the listener appears.
+func TestDialRetriesUntilMasterListens(t *testing.T) {
+	addr := reservePort(t)
+	cfg := DefaultConfig()
+	cfg.JoinTimeout = 10 * time.Second
+	cfg.DialBackoff = 10 * time.Millisecond
+
+	workerCh := make(chan error, 1)
+	comms := make([]Comm, 2)
+	go func() {
+		c, err := DialTCPConfig(addr, 1, 2, cfg)
+		comms[1] = c
+		workerCh <- err
+	}()
+	time.Sleep(200 * time.Millisecond) // worker is already retrying
+	m, _, err := ListenTCPConfig(addr, 2, cfg)
+	if err != nil {
+		t.Fatalf("listen on reserved port: %v", err)
+	}
+	comms[0] = m
+	if err := <-workerCh; err != nil {
+		t.Fatalf("dial before listen: %v", err)
+	}
+	defer closeAll(comms)
+	// The assembled group must actually work.
+	go comms[1].Barrier()
+	if err := comms[0].Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dial retry loop gives up at the join deadline with ErrJoinTimeout.
+func TestDialGivesUpAtJoinDeadline(t *testing.T) {
+	addr := reservePort(t)
+	cfg := DefaultConfig()
+	cfg.JoinTimeout = 300 * time.Millisecond
+	cfg.DialAttemptTimeout = 100 * time.Millisecond
+	cfg.DialBackoff = 10 * time.Millisecond
+
+	start := time.Now()
+	_, err := DialTCPConfig(addr, 1, 2, cfg)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrJoinTimeout) {
+		t.Fatalf("got %v, want ErrJoinTimeout", err)
+	}
+	if elapsed > 10*cfg.JoinTimeout {
+		t.Fatalf("gave up after %v, budget %v", elapsed, cfg.JoinTimeout)
+	}
+}
+
+// A master whose workers never arrive errors out of its first collective
+// at the join deadline instead of blocking forever.
+func TestMasterJoinDeadline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JoinTimeout = 250 * time.Millisecond
+	m, _, err := ListenTCPConfig("127.0.0.1:0", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	err = m.Barrier()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrJoinTimeout) {
+		t.Fatalf("got %v, want ErrJoinTimeout", err)
+	}
+	if elapsed > 10*cfg.JoinTimeout {
+		t.Fatalf("join wait took %v, budget %v", elapsed, cfg.JoinTimeout)
+	}
+}
+
+// Close must be safe to call concurrently from multiple goroutines while
+// collectives are in flight (the old plain-bool flag was a data race).
+func TestConcurrentCloseSafe(t *testing.T) {
+	comms := tcpGroup(t, 3, DefaultConfig())
+	var wg sync.WaitGroup
+	for _, c := range comms {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(c Comm) { defer wg.Done(); c.Close() }(c)
+		}
+		wg.Add(1)
+		go func(c Comm) { defer wg.Done(); c.Barrier() }(c)
+	}
+	wg.Wait()
+}
+
+// After Close, every collective on every transport returns ErrClosed.
+func TestCollectivesReturnErrClosed(t *testing.T) {
+	for name, comms := range transports(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			closeAll(comms)
+			for r, c := range comms {
+				checks := map[string]error{
+					"broadcast": c.Broadcast(make([]float32, 1), 0),
+					"reduce":    c.Reduce(make([]float32, 1), make([]float32, 1), 0),
+					"allreduce": c.Allreduce(make([]float32, 1), make([]float32, 1)),
+					"barrier":   c.Barrier(),
+				}
+				_, err := c.AllreduceScalars([]float64{0})
+				checks["allreduce-scalars"] = err
+				for op, err := range checks {
+					if !errors.Is(err, ErrClosed) {
+						t.Fatalf("rank %d %s after Close: got %v, want ErrClosed", r, op, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -7,7 +7,11 @@ import (
 	"io"
 	"math"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"tpascd/internal/rng"
 )
 
 // Wire protocol: every message is a frame
@@ -18,6 +22,12 @@ import (
 // The topology is a master/worker star: rank 0 accepts one connection per
 // worker; collectives route through the master, which is exactly how the
 // payload-size-based network time model in perfmodel prices them.
+//
+// Failure model: every read/write inside a collective runs under a socket
+// deadline of Config.CollectiveTimeout, so a dead or stalled peer surfaces
+// as a typed *ErrPeerDown within the budget instead of wedging the group.
+// Writes may complete into OS buffers even when the peer is gone; detection
+// is then guaranteed at the next read from that peer.
 const (
 	kindReduce  byte = 1
 	kindBcast   byte = 2
@@ -26,93 +36,127 @@ const (
 	kindHello   byte = 5
 )
 
-const dialTimeout = 10 * time.Second
+// frameChunk is the element granularity of the bulk payload encoder; one
+// chunk is encoded and written at a time so arbitrarily large frames need
+// no heap allocation on the write path.
+const frameChunk = 512
 
 func writeFrame(w *bufio.Writer, kind byte, f32 []float32, f64 []float64) error {
-	if err := w.WriteByte(kind); err != nil {
-		return err
-	}
-	var n int
+	var hdr [5]byte
+	hdr[0] = kind
+	n := len(f32)
 	if f64 != nil {
 		n = len(f64)
-	} else {
-		n = len(f32)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	binary.BigEndian.PutUint32(hdr[1:], uint32(n))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	var buf [8]byte
+	var chunk [frameChunk * 8]byte
 	if f64 != nil {
-		for _, v := range f64 {
-			binary.BigEndian.PutUint64(buf[:8], math.Float64bits(v))
-			if _, err := w.Write(buf[:8]); err != nil {
+		for len(f64) > 0 {
+			m := min(len(f64), frameChunk)
+			for i, v := range f64[:m] {
+				binary.BigEndian.PutUint64(chunk[i*8:], math.Float64bits(v))
+			}
+			if _, err := w.Write(chunk[:m*8]); err != nil {
 				return err
 			}
+			f64 = f64[m:]
 		}
 	} else {
-		for _, v := range f32 {
-			binary.BigEndian.PutUint32(buf[:4], math.Float32bits(v))
-			if _, err := w.Write(buf[:4]); err != nil {
+		for len(f32) > 0 {
+			m := min(len(f32), 2*frameChunk)
+			for i, v := range f32[:m] {
+				binary.BigEndian.PutUint32(chunk[i*4:], math.Float32bits(v))
+			}
+			if _, err := w.Write(chunk[:m*4]); err != nil {
 				return err
 			}
+			f32 = f32[m:]
 		}
 	}
 	return w.Flush()
 }
 
-func readFrame(r *bufio.Reader, wantKind byte, f32 []float32, f64 []float64) (int, error) {
-	kind, err := r.ReadByte()
-	if err != nil {
-		return 0, err
-	}
-	if kind != wantKind {
-		return 0, fmt.Errorf("cluster: protocol error: got frame kind %d, want %d", kind, wantKind)
-	}
-	var hdr [4]byte
+// readFrame reads one frame: header, then the whole payload with a single
+// io.ReadFull into *scratch (grown on demand, reused across calls), then a
+// bulk decode into the destination slice.
+func readFrame(r *bufio.Reader, scratch *[]byte, wantKind byte, f32 []float32, f64 []float64) (int, error) {
+	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, err
 	}
-	n := int(binary.BigEndian.Uint32(hdr[:]))
-	var buf [8]byte
+	if hdr[0] != wantKind {
+		return 0, fmt.Errorf("cluster: protocol error: got frame kind %d, want %d", hdr[0], wantKind)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	esize := 4
 	if f64 != nil {
+		esize = 8
 		if n > len(f64) {
 			return 0, fmt.Errorf("cluster: frame of %d elements exceeds buffer %d", n, len(f64))
 		}
+	} else if n > len(f32) {
+		return 0, fmt.Errorf("cluster: frame of %d elements exceeds buffer %d", n, len(f32))
+	}
+	need := n * esize
+	buf := *scratch
+	if cap(buf) < need {
+		buf = make([]byte, need)
+		*scratch = buf
+	}
+	buf = buf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, err
+	}
+	if f64 != nil {
 		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(r, buf[:8]); err != nil {
-				return 0, err
-			}
-			f64[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[:8]))
+			f64[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[i*8:]))
 		}
 	} else {
-		if n > len(f32) {
-			return 0, fmt.Errorf("cluster: frame of %d elements exceeds buffer %d", n, len(f32))
-		}
 		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(r, buf[:4]); err != nil {
-				return 0, err
-			}
-			f32[i] = math.Float32frombits(binary.BigEndian.Uint32(buf[:4]))
+			f32[i] = math.Float32frombits(binary.BigEndian.Uint32(buf[i*4:]))
 		}
 	}
 	return n, nil
 }
 
 type peer struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	rank    int
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	scratch []byte
 }
 
-func newPeer(conn net.Conn) *peer {
-	return &peer{conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+func newPeer(conn net.Conn, rank int) *peer {
+	return &peer{rank: rank, conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+}
+
+func deadlineFrom(timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{} // no deadline
+	}
+	return time.Now().Add(timeout)
+}
+
+// send writes one frame under a write deadline (0 = none).
+func (p *peer) send(timeout time.Duration, kind byte, f32 []float32, f64 []float64) error {
+	p.conn.SetWriteDeadline(deadlineFrom(timeout))
+	return writeFrame(p.w, kind, f32, f64)
+}
+
+// recv reads one frame under a read deadline (0 = none).
+func (p *peer) recv(timeout time.Duration, wantKind byte, f32 []float32, f64 []float64) (int, error) {
+	p.conn.SetReadDeadline(deadlineFrom(timeout))
+	return readFrame(p.r, &p.scratch, wantKind, f32, f64)
 }
 
 // tcpComm implements Comm over a master/worker star.
 type tcpComm struct {
 	rank, size int
+	cfg        Config
 	// master only: peers[r-1] is the connection to rank r; populated by a
 	// background acceptor, guarded by the ready channel.
 	peers     []*peer
@@ -121,24 +165,61 @@ type tcpComm struct {
 	ln        net.Listener
 	// worker only: connection to the master
 	master *peer
-	closed bool
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
+	// master-side combine scratch, reused across collectives (collectives
+	// are sequential per rank, as in MPI).
+	tmp32 []float32
+	tmp64 []float64
 }
 
-// awaitReady blocks until the master has accepted every worker (no-op on
-// workers and single-rank groups).
+// peerDown attributes a transport failure to the peer rank, unless the
+// communicator itself was closed locally.
+func (c *tcpComm) peerDown(rank int, op string, err error) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return &ErrPeerDown{Rank: rank, Op: op, Err: err}
+}
+
+// awaitReady blocks until the master has accepted every worker, bounded by
+// the join deadline (no-op on workers and single-rank groups).
 func (c *tcpComm) awaitReady() error {
 	if c.ready == nil {
 		return nil
 	}
-	<-c.ready
+	select {
+	case <-c.ready:
+		return c.acceptErr
+	default:
+	}
+	if c.cfg.JoinTimeout > 0 {
+		t := time.NewTimer(c.cfg.JoinTimeout)
+		defer t.Stop()
+		select {
+		case <-c.ready:
+		case <-t.C:
+			return fmt.Errorf("cluster: group of %d not assembled within %v: %w", c.size, c.cfg.JoinTimeout, ErrJoinTimeout)
+		}
+	} else {
+		<-c.ready
+	}
 	return c.acceptErr
 }
 
-// ListenTCP creates the master (rank 0) side of a TCP group. It binds to
-// addr and returns immediately with the bound address (useful with ":0");
-// the size-1 worker connections are accepted in the background, and the
-// master's first collective call waits for them.
+// ListenTCP creates the master (rank 0) side of a TCP group with
+// DefaultConfig. It binds to addr and returns immediately with the bound
+// address (useful with ":0"); the size-1 worker connections are accepted
+// in the background, and the master's first collective call waits for them.
 func ListenTCP(addr string, size int) (Comm, string, error) {
+	return ListenTCPConfig(addr, size, DefaultConfig())
+}
+
+// ListenTCPConfig is ListenTCP with explicit failure-detection parameters.
+func ListenTCPConfig(addr string, size int, cfg Config) (Comm, string, error) {
 	if size < 1 {
 		return nil, "", fmt.Errorf("cluster: group size %d", size)
 	}
@@ -146,7 +227,7 @@ func ListenTCP(addr string, size int) (Comm, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	c := &tcpComm{rank: 0, size: size, peers: make([]*peer, size-1), ln: ln}
+	c := &tcpComm{rank: 0, size: size, cfg: cfg, peers: make([]*peer, size-1), ln: ln}
 	bound := ln.Addr().String()
 	if size == 1 {
 		ln.Close()
@@ -162,41 +243,97 @@ func ListenTCP(addr string, size int) (Comm, string, error) {
 				c.acceptErr = err
 				return
 			}
-			p := newPeer(conn)
-			// The hello frame carries the worker's rank as a single float32.
+			p := newPeer(conn, -1)
+			// The hello frame carries the worker's rank as a single
+			// float32; the handshake read is bounded by the join deadline
+			// so a silent client cannot wedge the acceptor.
 			var rk [1]float32
-			if _, err := readFrame(p.r, kindHello, rk[:], nil); err != nil {
+			if _, err := p.recv(cfg.JoinTimeout, kindHello, rk[:], nil); err != nil {
 				conn.Close()
 				c.acceptErr = fmt.Errorf("cluster: handshake: %w", err)
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			r := int(rk[0])
 			if r < 1 || r >= size || c.peers[r-1] != nil {
 				conn.Close()
 				c.acceptErr = fmt.Errorf("cluster: bad or duplicate worker rank %d", r)
 				return
 			}
+			p.rank = r
 			c.peers[r-1] = p
 		}
 	}()
 	return c, bound, nil
 }
 
-// DialTCP creates a worker side of a TCP group, connecting to the master.
+// DialTCP creates a worker side of a TCP group with DefaultConfig,
+// retrying the connection with exponential backoff until the join deadline
+// so startup ordering (master before workers) no longer matters.
 func DialTCP(addr string, rank, size int) (Comm, error) {
+	return DialTCPConfig(addr, rank, size, DefaultConfig())
+}
+
+// DialTCPConfig is DialTCP with explicit failure-detection parameters.
+// With cfg.JoinTimeout == 0 a single attempt is made (no retry).
+func DialTCPConfig(addr string, rank, size int, cfg Config) (Comm, error) {
 	if rank < 1 || rank >= size {
 		return nil, fmt.Errorf("cluster: worker rank %d out of range (1..%d)", rank, size-1)
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return nil, err
+	attemptTimeout := cfg.DialAttemptTimeout
+	if attemptTimeout <= 0 {
+		attemptTimeout = 2 * time.Second
 	}
-	p := newPeer(conn)
-	if err := writeFrame(p.w, kindHello, []float32{float32(rank)}, nil); err != nil {
-		conn.Close()
-		return nil, err
+	backoff := cfg.DialBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
 	}
-	return &tcpComm{rank: rank, size: size, master: p}, nil
+	maxBackoff := cfg.DialBackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	var deadline time.Time
+	if cfg.JoinTimeout > 0 {
+		deadline = time.Now().Add(cfg.JoinTimeout)
+	}
+	jitter := rng.New(cfg.Seed ^ uint64(rank)*0x9e3779b97f4a7c15)
+	for attempt := 1; ; attempt++ {
+		to := attemptTimeout
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, fmt.Errorf("cluster: dial %s: %w after %d attempts over %v", addr, ErrJoinTimeout, attempt-1, cfg.JoinTimeout)
+			}
+			if to > remaining {
+				to = remaining
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, to)
+		if err == nil {
+			p := newPeer(conn, 0)
+			if err := p.send(cfg.CollectiveTimeout, kindHello, []float32{float32(rank)}, nil); err != nil {
+				conn.Close()
+				return nil, err
+			}
+			return &tcpComm{rank: rank, size: size, cfg: cfg, master: p}, nil
+		}
+		if deadline.IsZero() {
+			return nil, err
+		}
+		// Exponential backoff with up to 50% jitter, clipped to the
+		// remaining join budget.
+		sleep := backoff + time.Duration(jitter.Float64()*float64(backoff)/2)
+		if remaining := time.Until(deadline); sleep > remaining {
+			sleep = remaining
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 func (c *tcpComm) Rank() int { return c.rank }
@@ -206,23 +343,24 @@ func (c *tcpComm) Broadcast(buf []float32, root int) error {
 	if root != 0 {
 		return fmt.Errorf("cluster: TCP transport requires root 0, got %d: %w", root, ErrBadRoot)
 	}
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
+	to := c.cfg.CollectiveTimeout
 	if c.rank == 0 {
 		if err := c.awaitReady(); err != nil {
 			return err
 		}
 		for _, p := range c.peers {
-			if err := writeFrame(p.w, kindBcast, buf, nil); err != nil {
-				return err
+			if err := p.send(to, kindBcast, buf, nil); err != nil {
+				return c.peerDown(p.rank, "broadcast", err)
 			}
 		}
 		return nil
 	}
-	n, err := readFrame(c.master.r, kindBcast, buf, nil)
+	n, err := c.master.recv(to, kindBcast, buf, nil)
 	if err != nil {
-		return err
+		return c.peerDown(0, "broadcast", err)
 	}
 	if n != len(buf) {
 		return ErrSizeMismatch
@@ -234,11 +372,15 @@ func (c *tcpComm) Reduce(in, out []float32, root int) error {
 	if root != 0 {
 		return fmt.Errorf("cluster: TCP transport requires root 0, got %d: %w", root, ErrBadRoot)
 	}
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
+	to := c.cfg.CollectiveTimeout
 	if c.rank != 0 {
-		return writeFrame(c.master.w, kindReduce, in, nil)
+		if err := c.master.send(to, kindReduce, in, nil); err != nil {
+			return c.peerDown(0, "reduce", err)
+		}
+		return nil
 	}
 	if err := c.awaitReady(); err != nil {
 		return err
@@ -247,11 +389,14 @@ func (c *tcpComm) Reduce(in, out []float32, root int) error {
 		return ErrSizeMismatch
 	}
 	copy(out, in)
-	tmp := make([]float32, len(in))
+	if cap(c.tmp32) < len(in) {
+		c.tmp32 = make([]float32, len(in))
+	}
+	tmp := c.tmp32[:len(in)]
 	for _, p := range c.peers {
-		n, err := readFrame(p.r, kindReduce, tmp, nil)
+		n, err := p.recv(to, kindReduce, tmp, nil)
 		if err != nil {
-			return err
+			return c.peerDown(p.rank, "reduce", err)
 		}
 		if n != len(out) {
 			return ErrSizeMismatch
@@ -264,16 +409,17 @@ func (c *tcpComm) Reduce(in, out []float32, root int) error {
 }
 
 func (c *tcpComm) AllreduceScalars(vals []float64) ([]float64, error) {
-	if c.closed {
+	if c.closed.Load() {
 		return nil, ErrClosed
 	}
+	to := c.cfg.CollectiveTimeout
 	if c.rank != 0 {
-		if err := writeFrame(c.master.w, kindScalars, nil, vals); err != nil {
-			return nil, err
+		if err := c.master.send(to, kindScalars, nil, vals); err != nil {
+			return nil, c.peerDown(0, "allreduce-scalars", err)
 		}
 		out := make([]float64, len(vals))
-		if n, err := readFrame(c.master.r, kindScalars, nil, out); err != nil {
-			return nil, err
+		if n, err := c.master.recv(to, kindScalars, nil, out); err != nil {
+			return nil, c.peerDown(0, "allreduce-scalars", err)
 		} else if n != len(out) {
 			return nil, ErrSizeMismatch
 		}
@@ -284,11 +430,14 @@ func (c *tcpComm) AllreduceScalars(vals []float64) ([]float64, error) {
 	}
 	sum := make([]float64, len(vals))
 	copy(sum, vals)
-	tmp := make([]float64, len(vals))
+	if cap(c.tmp64) < len(vals) {
+		c.tmp64 = make([]float64, len(vals))
+	}
+	tmp := c.tmp64[:len(vals)]
 	for _, p := range c.peers {
-		n, err := readFrame(p.r, kindScalars, nil, tmp)
+		n, err := p.recv(to, kindScalars, nil, tmp)
 		if err != nil {
-			return nil, err
+			return nil, c.peerDown(p.rank, "allreduce-scalars", err)
 		}
 		if n != len(sum) {
 			return nil, ErrSizeMismatch
@@ -298,65 +447,68 @@ func (c *tcpComm) AllreduceScalars(vals []float64) ([]float64, error) {
 		}
 	}
 	for _, p := range c.peers {
-		if err := writeFrame(p.w, kindScalars, nil, sum); err != nil {
-			return nil, err
+		if err := p.send(to, kindScalars, nil, sum); err != nil {
+			return nil, c.peerDown(p.rank, "allreduce-scalars", err)
 		}
 	}
 	return sum, nil
 }
 
 func (c *tcpComm) Barrier() error {
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
+	to := c.cfg.CollectiveTimeout
 	var empty [0]float32
 	if c.rank != 0 {
-		if err := writeFrame(c.master.w, kindBarrier, empty[:], nil); err != nil {
-			return err
+		if err := c.master.send(to, kindBarrier, empty[:], nil); err != nil {
+			return c.peerDown(0, "barrier", err)
 		}
-		_, err := readFrame(c.master.r, kindBarrier, empty[:], nil)
-		return err
+		if _, err := c.master.recv(to, kindBarrier, empty[:], nil); err != nil {
+			return c.peerDown(0, "barrier", err)
+		}
+		return nil
 	}
 	if err := c.awaitReady(); err != nil {
 		return err
 	}
 	for _, p := range c.peers {
-		if _, err := readFrame(p.r, kindBarrier, empty[:], nil); err != nil {
-			return err
+		if _, err := p.recv(to, kindBarrier, empty[:], nil); err != nil {
+			return c.peerDown(p.rank, "barrier", err)
 		}
 	}
 	for _, p := range c.peers {
-		if err := writeFrame(p.w, kindBarrier, empty[:], nil); err != nil {
-			return err
+		if err := p.send(to, kindBarrier, empty[:], nil); err != nil {
+			return c.peerDown(p.rank, "barrier", err)
 		}
 	}
 	return nil
 }
 
+// Close releases the transport. It is idempotent and safe to call
+// concurrently with in-flight collectives (which then return ErrClosed).
 func (c *tcpComm) Close() error {
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	if c.ln != nil {
-		c.ln.Close()
-	}
-	if c.ready != nil {
-		<-c.ready // wait for the acceptor to finish before closing peers
-	}
-	var firstErr error
-	if c.master != nil {
-		firstErr = c.master.conn.Close()
-	}
-	for _, p := range c.peers {
-		if p == nil {
-			continue
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		if c.ln != nil {
+			c.ln.Close()
 		}
-		if err := p.conn.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if c.ready != nil {
+			<-c.ready // wait for the acceptor to finish before closing peers
 		}
-	}
-	return firstErr
+		if c.master != nil {
+			c.closeErr = c.master.conn.Close()
+		}
+		for _, p := range c.peers {
+			if p == nil {
+				continue
+			}
+			if err := p.conn.Close(); err != nil && c.closeErr == nil {
+				c.closeErr = err
+			}
+		}
+	})
+	return c.closeErr
 }
 
 func (c *tcpComm) Allreduce(in, out []float32) error {

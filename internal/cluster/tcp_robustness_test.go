@@ -18,7 +18,8 @@ func TestReadFrameWrongKind(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := bufio.NewReader(&buf)
-	if _, err := readFrame(r, kindReduce, make([]float32, 1), nil); err == nil {
+	var scratch []byte
+	if _, err := readFrame(r, &scratch, kindReduce, make([]float32, 1), nil); err == nil {
 		t.Fatal("wrong frame kind accepted")
 	}
 }
@@ -27,7 +28,8 @@ func TestReadFrameOversizedCount(t *testing.T) {
 	// kind + huge element count, no payload
 	raw := []byte{kindBcast, 0xFF, 0xFF, 0xFF, 0xFF}
 	r := bufio.NewReader(bytes.NewReader(raw))
-	if _, err := readFrame(r, kindBcast, make([]float32, 4), nil); err == nil {
+	var scratch []byte
+	if _, err := readFrame(r, &scratch, kindBcast, make([]float32, 4), nil); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 }
@@ -40,14 +42,16 @@ func TestReadFrameTruncatedPayload(t *testing.T) {
 	}
 	raw := buf.Bytes()[:buf.Len()-5] // cut mid-payload
 	r := bufio.NewReader(bytes.NewReader(raw))
-	if _, err := readFrame(r, kindBcast, make([]float32, 4), nil); err == nil {
+	var scratch []byte
+	if _, err := readFrame(r, &scratch, kindBcast, make([]float32, 4), nil); err == nil {
 		t.Fatal("truncated frame accepted")
 	}
 }
 
 func TestReadFrameEmptyInput(t *testing.T) {
 	r := bufio.NewReader(bytes.NewReader(nil))
-	if _, err := readFrame(r, kindBcast, make([]float32, 1), nil); err == nil {
+	var scratch []byte
+	if _, err := readFrame(r, &scratch, kindBcast, make([]float32, 1), nil); err == nil {
 		t.Fatal("empty input accepted")
 	}
 }
@@ -67,7 +71,8 @@ func TestReadFrameGarbage(t *testing.T) {
 		r := bufio.NewReader(bytes.NewReader(raw))
 		// Any outcome except a hang/panic is fine; with 64 random bytes and
 		// a 16-element budget most streams must error.
-		_, _ = readFrame(r, raw[0], make([]float32, 16), nil)
+		var scratch []byte
+		_, _ = readFrame(r, &scratch, raw[0], make([]float32, 16), nil)
 	}
 }
 
@@ -110,7 +115,7 @@ func TestMasterRejectsBadRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := newPeer(conn)
+	p := newPeer(conn, 99)
 	if err := writeFrame(p.w, kindHello, []float32{99}, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,9 +18,10 @@ import (
 // harness reproduces the paper's cluster results; the TCP transport is
 // exercised separately (see the tcp_cluster example and the cluster tests).
 type Group struct {
-	Workers []*Worker
-	comms   []cluster.Comm
-	closers []func()
+	Workers   []*Worker
+	comms     []cluster.Comm
+	closers   []func()
+	closeOnce sync.Once
 }
 
 // NewCPUGroup builds a K-worker group whose local solvers run on the CPU.
@@ -86,6 +88,9 @@ func newGroup(p *ridge.Problem, form perfmodel.Form, k int, parts Partition, cfg
 	}
 	g := &Group{comms: comms}
 	for rank := 0; rank < k; rank++ {
+		if cfg.WrapComm != nil {
+			g.comms[rank] = cfg.WrapComm(g.comms[rank])
+		}
 		view := coords.Subset(p, form, parts[rank])
 		local, closer, err := makeLocal(rank, view)
 		if err != nil {
@@ -95,7 +100,7 @@ func newGroup(p *ridge.Problem, form perfmodel.Form, k int, parts Partition, cfg
 		if closer != nil {
 			g.closers = append(g.closers, closer)
 		}
-		w, err := NewWorker(comms[rank], local, view, cfg)
+		w, err := NewWorker(g.comms[rank], local, view, cfg)
 		if err != nil {
 			g.Close()
 			return nil, err
@@ -134,31 +139,63 @@ func (g *Group) Gamma() float64 { return g.Workers[0].Gamma() }
 // Size returns the number of workers.
 func (g *Group) Size() int { return len(g.Workers) }
 
-// Close releases communicator and device resources.
+// Close releases communicator and device resources. It is idempotent and
+// safe after an aborted round.
 func (g *Group) Close() {
-	for _, c := range g.comms {
-		c.Close()
-	}
+	g.closeComms()
 	for _, f := range g.closers {
 		f()
 	}
 }
 
+func (g *Group) closeComms() {
+	g.closeOnce.Do(func() {
+		for _, c := range g.comms {
+			c.Close()
+		}
+	})
+}
+
+// parallel runs fn on every rank concurrently. If any rank fails, the
+// round is aborted: the communicators are closed so surviving ranks
+// blocked in a collective unblock with ErrClosed instead of leaking
+// goroutines, every rank is then collected, and the causal failure is
+// returned with its rank attached (the ErrClosed fallout of the abort is
+// reported only if nothing better is known).
 func (g *Group) parallel(fn func(rank int, w *Worker) error) error {
 	errs := make([]error, len(g.Workers))
+	failed := make(chan struct{}, len(g.Workers))
 	var wg sync.WaitGroup
 	for rank, w := range g.Workers {
 		wg.Add(1)
 		go func(rank int, w *Worker) {
 			defer wg.Done()
-			errs[rank] = fn(rank, w)
+			if err := fn(rank, w); err != nil {
+				errs[rank] = err
+				failed <- struct{}{}
+			}
 		}(rank, w)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-failed:
+		g.closeComms()
+		<-done
 	}
-	return nil
+	var closedErr error
+	for rank, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, cluster.ErrClosed) {
+			if closedErr == nil {
+				closedErr = fmt.Errorf("dist: rank %d: %w", rank, err)
+			}
+			continue
+		}
+		return fmt.Errorf("dist: rank %d: %w", rank, err)
+	}
+	return closedErr
 }

@@ -70,6 +70,17 @@ func (l *CPULocal) SetSigma(sigma float64) {
 	l.sigma = sigma
 }
 
+// SkipEpochs burns n epochs' worth of permutation randomness, aligning a
+// freshly constructed solver with one that already ran n epochs. Used by
+// checkpoint resume: a restarted rank skips the epochs it already trained,
+// so its continued trajectory draws the same permutation sequence an
+// uninterrupted run would have.
+func (l *CPULocal) SkipEpochs(n int) {
+	for i := 0; i < n; i++ {
+		l.perm = l.rng.Perm(l.view.Num, l.perm)
+	}
+}
+
 // NewCPULocal builds a CPU local solver. threads is ignored for Sequential.
 func NewCPULocal(view *coords.View, mode CPUMode, threads int, profile perfmodel.CPUProfile, seed uint64) *CPULocal {
 	if mode == Sequential {

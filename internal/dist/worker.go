@@ -59,6 +59,11 @@ type Config struct {
 	// configuration). σ′ = K with Adding aggregation is the CoCoA+
 	// configuration of Ma et al.
 	SigmaPrime float64
+	// WrapComm, when non-nil, wraps each rank's communicator before its
+	// worker is built — the seam for transport middleware, above all
+	// fault injection (cluster.Chaos) in the robustness tests. Honoured
+	// by the in-process Group constructors.
+	WrapComm func(cluster.Comm) cluster.Comm
 }
 
 // hostVectorOpSeconds applies the configured host rate.
@@ -86,6 +91,7 @@ type Worker struct {
 	deltaSum   []float32
 
 	gamma float64
+	epoch int // completed synchronous rounds
 }
 
 // NewWorker builds one rank. view must be the same partition the local
@@ -119,6 +125,67 @@ func (w *Worker) Shared() []float32 { return w.shared }
 
 // Gamma returns the aggregation parameter applied in the last epoch.
 func (w *Worker) Gamma() float64 { return w.gamma }
+
+// Epoch returns the number of synchronous rounds completed (resumed
+// rounds included).
+func (w *Worker) Epoch() int { return w.epoch }
+
+// Snapshot returns a copy of the rank-local model and the completed epoch
+// count — exactly the state a checkpoint must persist. The shared vector
+// is deliberately not captured: ResumeFrom recomputes it from the models,
+// which keeps checkpoints small and repairs any accumulated float drift
+// (the same repair path engine.Async exposes as RecomputeShared).
+func (w *Worker) Snapshot() ([]float32, int) {
+	m := make([]float32, len(w.model))
+	copy(m, w.model)
+	return m, w.epoch
+}
+
+// ResumeFrom restores a checkpointed model and rejoins the group at the
+// given epoch. It is collective: every rank must call it with its own
+// partition's model and the same epoch before any RunEpoch. Ranks first
+// agree they are resuming from the same round (mismatched checkpoints are
+// an error, not silent divergence), then rebuild the global shared vector
+// by summing each rank's local contribution — for either form that is
+// Σ_c model[c]·a_c over the rank's coordinates, Allreduced across ranks.
+func (w *Worker) ResumeFrom(model []float32, epoch int) error {
+	if len(model) != len(w.model) {
+		return fmt.Errorf("dist: resume model has %d coordinates, partition has %d", len(model), len(w.model))
+	}
+	if epoch < 0 {
+		return fmt.Errorf("dist: resume epoch %d", epoch)
+	}
+	K := w.comm.Size()
+	slots := make([]float64, K)
+	slots[w.comm.Rank()] = float64(epoch)
+	summed, err := w.comm.AllreduceScalars(slots)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < K; r++ {
+		if int(summed[r]) != epoch {
+			return fmt.Errorf("dist: rank %d resumes from epoch %d but rank %d from epoch %d",
+				w.comm.Rank(), epoch, r, int(summed[r]))
+		}
+	}
+	copy(w.model, model)
+	local := make([]float32, len(w.shared))
+	for c := 0; c < w.view.Num; c++ {
+		m := w.model[c]
+		if m == 0 {
+			continue
+		}
+		idx, val := w.view.CoordNZ(c)
+		for k := range idx {
+			local[idx[k]] += val[k] * m
+		}
+	}
+	if err := w.comm.Allreduce(local, w.shared); err != nil {
+		return err
+	}
+	w.epoch = epoch
+	return nil
+}
 
 // RunEpoch executes one synchronous round: local epoch, reduction of
 // shared-vector deltas, aggregation-parameter computation, application and
@@ -189,6 +256,7 @@ func (w *Worker) RunEpoch() (perfmodel.Breakdown, error) {
 		bd.Network += w.cfg.Link.ReduceSeconds(K, scalarPayload) + w.cfg.Link.BroadcastSeconds(K, scalarPayload)
 	}
 	bd.HostComp += w.cfg.hostVectorOpSeconds(w.view.SharedLen, 4)
+	w.epoch++
 	return bd, nil
 }
 

@@ -2,13 +2,111 @@ package tpascd_test
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
+	"math"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 )
+
+// buildDistworker compiles cmd/distworker into a temp dir and returns the
+// binary path.
+func buildDistworker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "distworker")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/distworker")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runDistCluster launches one distworker process per rank (master on a
+// fresh loopback port, workers dialing it) and returns each rank's full
+// stdout. extra, when non-nil, appends per-rank flags.
+func runDistCluster(t *testing.T, bin string, size int, common []string, extra func(rank int) []string) []string {
+	t.Helper()
+	outs := make([]string, size)
+	margs := append([]string{"-rank", "0", "-listen", "127.0.0.1:0"}, common...)
+	if extra != nil {
+		margs = append(margs, extra(0)...)
+	}
+	master := exec.Command(bin, margs...)
+	stdout, err := master.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var masterErr bytes.Buffer
+	master.Stderr = &masterErr
+	if err := master.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		master.Wait()
+		t.Fatalf("master produced no output (stderr: %s)", masterErr.String())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 2 || fields[0] != "LISTENING" {
+		t.Fatalf("unexpected master banner %q", sc.Text())
+	}
+	addr := fields[1]
+
+	var wg sync.WaitGroup
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			wargs := append([]string{"-rank", fmt.Sprint(r), "-addr", addr}, common...)
+			if extra != nil {
+				wargs = append(wargs, extra(r)...)
+			}
+			w := exec.Command(bin, wargs...)
+			out, err := w.CombinedOutput()
+			if err != nil {
+				t.Errorf("rank %d: %v\n%s", r, err, out)
+				return
+			}
+			outs[r] = strings.TrimSpace(string(out))
+		}(r)
+	}
+
+	var rest []string
+	for sc.Scan() {
+		rest = append(rest, sc.Text())
+	}
+	wg.Wait()
+	if err := master.Wait(); err != nil {
+		t.Fatalf("master exited: %v (stderr: %s)", err, masterErr.String())
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	outs[0] = strings.Join(rest, "\n")
+	return outs
+}
+
+// resultGap extracts the gap= value from a rank's RESULT line.
+func resultGap(t *testing.T, out string) float64 {
+	t.Helper()
+	for _, f := range strings.Fields(out) {
+		if strings.HasPrefix(f, "gap=") {
+			g, err := strconv.ParseFloat(strings.TrimPrefix(f, "gap="), 64)
+			if err != nil {
+				t.Fatalf("bad gap in %q: %v", out, err)
+			}
+			return g
+		}
+	}
+	t.Fatalf("no gap in output %q", out)
+	return 0
+}
 
 // TestMultiProcessCluster builds cmd/distworker and runs a real 3-process
 // training cluster over TCP on loopback — the paper's deployment shape
@@ -18,85 +116,78 @@ func TestMultiProcessCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process test skipped in -short mode")
 	}
-	bin := filepath.Join(t.TempDir(), "distworker")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/distworker")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("build: %v\n%s", err, out)
-	}
-
-	const (
-		size   = 3
-		epochs = "15"
-	)
-	common := []string{"-size", fmt.Sprint(size), "-epochs", epochs,
+	bin := buildDistworker(t)
+	const size = 3
+	common := []string{"-size", fmt.Sprint(size), "-epochs", "15",
 		"-n", "1024", "-m", "512", "-nnz", "12", "-seed", "7"}
+	outs := runDistCluster(t, bin, size, common, nil)
 
-	master := exec.Command(bin, append([]string{"-rank", "0", "-listen", "127.0.0.1:0"}, common...)...)
-	stdout, err := master.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	master.Stderr = nil
-	if err := master.Start(); err != nil {
-		t.Fatal(err)
-	}
-
-	// First line announces the bound address.
-	sc := bufio.NewScanner(stdout)
-	if !sc.Scan() {
-		t.Fatal("master produced no output")
-	}
-	fields := strings.Fields(sc.Text())
-	if len(fields) != 2 || fields[0] != "LISTENING" {
-		t.Fatalf("unexpected master banner %q", sc.Text())
-	}
-	addr := fields[1]
-
-	results := make([]string, size)
-	var wg sync.WaitGroup
+	g0 := resultGap(t, outs[0])
 	for r := 1; r < size; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			w := exec.Command(bin, append([]string{"-rank", fmt.Sprint(r), "-addr", addr}, common...)...)
-			out, err := w.CombinedOutput()
-			if err != nil {
-				t.Errorf("rank %d: %v\n%s", r, err, out)
-				return
-			}
-			results[r] = strings.TrimSpace(string(out))
-		}(r)
+		if gr := resultGap(t, outs[r]); gr != g0 {
+			t.Fatalf("rank %d gap %v != master %v (lines: %q vs %q)", r, gr, g0, outs[r], outs[0])
+		}
+	}
+}
+
+// TestMultiProcessCheckpointResume interrupts a real TCP cluster halfway
+// through training, then restarts every process with -resume and checks
+// the continued run reaches the same duality gap as an uninterrupted one.
+// The RESUMED banner distinguishes a genuine resume from a silent
+// from-scratch retrain (which, with shared seeds, would also match).
+func TestMultiProcessCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := buildDistworker(t)
+	dir := t.TempDir()
+	const size = 3
+	common := []string{"-size", fmt.Sprint(size),
+		"-n", "1024", "-m", "512", "-nnz", "12", "-seed", "7", "-adaptive=false"}
+	ckpt := func(r int) []string {
+		return []string{"-checkpoint", filepath.Join(dir, fmt.Sprintf("r%d.ckpt", r))}
 	}
 
-	// Master's result line.
-	if !sc.Scan() {
-		t.Fatal("master produced no result line")
-	}
-	results[0] = sc.Text()
-	wg.Wait()
-	if err := master.Wait(); err != nil {
-		t.Fatalf("master exited: %v", err)
-	}
-	if t.Failed() {
-		t.FailNow()
-	}
+	full := runDistCluster(t, bin, size, append([]string{"-epochs", "12"}, common...), nil)
+	runDistCluster(t, bin, size, append([]string{"-epochs", "6"}, common...), ckpt)
+	resumed := runDistCluster(t, bin, size, append([]string{"-epochs", "12"}, common...),
+		func(r int) []string { return append(ckpt(r), "-resume") })
 
-	// All ranks report the same collective gap.
-	gap := func(line string) string {
-		for _, f := range strings.Fields(line) {
-			if strings.HasPrefix(f, "gap=") {
-				return f
-			}
+	for r := 0; r < size; r++ {
+		want := fmt.Sprintf("RESUMED rank=%d epoch=6", r)
+		if !strings.Contains(resumed[r], want) {
+			t.Fatalf("rank %d output %q missing %q", r, resumed[r], want)
 		}
-		return "?"
 	}
-	g0 := gap(results[0])
-	if g0 == "?" {
-		t.Fatalf("no gap in master result %q", results[0])
+	gFull := resultGap(t, full[0])
+	gRes := resultGap(t, resumed[0])
+	if diff := math.Abs(gFull - gRes); diff > 1e-3*math.Abs(gFull)+1e-12 {
+		t.Fatalf("resumed gap %v differs from uninterrupted %v by %v", gRes, gFull, diff)
 	}
-	for r := 1; r < size; r++ {
-		if gap(results[r]) != g0 {
-			t.Fatalf("rank %d gap %s != master %s (lines: %q vs %q)", r, gap(results[r]), g0, results[r], results[0])
-		}
+}
+
+// TestMultiProcessMasterJoinTimeout starts a master whose workers never
+// arrive: it must exit non-zero with a rank-attributed join-timeout
+// message instead of blocking forever.
+func TestMultiProcessMasterJoinTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := buildDistworker(t)
+	master := exec.Command(bin, "-rank", "0", "-size", "3", "-listen", "127.0.0.1:0",
+		"-join-timeout", "500ms", "-timeout", "1s", "-n", "256", "-m", "128", "-epochs", "2")
+	out, err := master.CombinedOutput()
+	if err == nil {
+		t.Fatalf("master succeeded without workers:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("master exit: %v, want exit code 1", err)
+	}
+	text := string(out)
+	if !strings.Contains(text, "distworker: rank 0") {
+		t.Fatalf("failure not rank-attributed:\n%s", text)
+	}
+	if !strings.Contains(text, "join") {
+		t.Fatalf("failure does not mention the join deadline:\n%s", text)
 	}
 }
