@@ -183,40 +183,16 @@ func main() {
 	fmt.Printf("RESULT rank=%d gap=%.6e gamma=%.4f\n", *rank, gap, w.Gamma())
 }
 
-// saveCheckpoint persists model+epoch atomically: write a temp file in
-// the target directory, fsync, then rename over the destination, so a
-// crash mid-save leaves the previous checkpoint intact.
+// saveCheckpoint persists model+epoch through checkpoint.SaveFile (atomic
+// temp file + fsync + rename, so a crash mid-save leaves the previous
+// checkpoint intact).
 func saveCheckpoint(path, kind string, model []float32, epoch int) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	c := checkpoint.Checkpoint{Kind: kind, Vectors: [][]float32{model, {float32(epoch)}}}
-	if err := checkpoint.Save(f, c); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	c := checkpoint.Checkpoint{Kind: kind, Dim: len(model), Vectors: [][]float32{model, {float32(epoch)}}}
+	return checkpoint.SaveFile(path, c)
 }
 
 func loadCheckpoint(path, kind string) (model []float32, epoch int, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	c, err := checkpoint.Load(f, kind)
+	c, err := checkpoint.LoadFile(path, kind)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,211 @@
+// Command loadgen drives a running predserve with synthetic
+// webspam-like rows and reports throughput and latency percentiles as
+// JSON, so serving changes can be compared load-test to load-test.
+//
+// Usage:
+//
+//	predserve -model model.ckpt -listen 127.0.0.1:0 -addr-file addr.txt &
+//	loadgen -addr "$(cat addr.txt)" -concurrency 8 -duration 10s
+//
+// The row distribution matches the training generator (same zipf feature
+// skew), sized to the serving model's dimension read from /healthz.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tpascd/internal/datasets"
+)
+
+type latencyMs struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type report struct {
+	Target      string    `json:"target"`
+	Concurrency int       `json:"concurrency"`
+	DurationSec float64   `json:"duration_seconds"`
+	RowsPerReq  int       `json:"rows_per_request"`
+	Sent        int64     `json:"sent"`
+	OK          int64     `json:"ok"`
+	Errors      int64     `json:"errors"`
+	QPS         float64   `json:"qps"`
+	RowsPerSec  float64   `json:"rows_per_second"`
+	Latency     latencyMs `json:"latency_ms"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "predserve address, host:port or http:// URL (required)")
+	concurrency := flag.Int("concurrency", 4, "concurrent client goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
+	rowsPerReq := flag.Int("rows", 1, "rows per /predict request")
+	avgNNZ := flag.Int("nnz", 16, "average non-zeros per generated row")
+	seed := flag.Uint64("seed", 1, "base random seed (worker i uses seed+i)")
+	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	dim, err := modelDim(base)
+	if err != nil {
+		fatal(err)
+	}
+
+	type worker struct {
+		sent, ok, errs int64
+		lat            []time.Duration
+	}
+	workers := make([]worker, *concurrency)
+	stopAt := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(*concurrency)
+	for w := 0; w < *concurrency; w++ {
+		go func(w int) {
+			defer wg.Done()
+			cfg := datasets.WebspamDefault()
+			cfg.M = dim
+			cfg.AvgNNZPerRow = *avgNNZ
+			s, err := datasets.NewRowSampler(cfg, *seed+uint64(w))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return
+			}
+			st := &workers[w]
+			for time.Now().Before(stopAt) {
+				body := requestBody(s, *rowsPerReq)
+				t0 := time.Now()
+				resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+				elapsed := time.Since(t0)
+				st.sent++
+				if err != nil {
+					st.errs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					st.errs++
+					continue
+				}
+				st.ok++
+				st.lat = append(st.lat, elapsed)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Target:      base,
+		Concurrency: *concurrency,
+		DurationSec: elapsed.Seconds(),
+		RowsPerReq:  *rowsPerReq,
+	}
+	var all []time.Duration
+	for i := range workers {
+		rep.Sent += workers[i].sent
+		rep.OK += workers[i].ok
+		rep.Errors += workers[i].errs
+		all = append(all, workers[i].lat...)
+	}
+	rep.QPS = float64(rep.OK) / elapsed.Seconds()
+	rep.RowsPerSec = rep.QPS * float64(*rowsPerReq)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		q := func(p float64) float64 {
+			i := int(p * float64(len(all)-1))
+			return float64(all[i]) / float64(time.Millisecond)
+		}
+		rep.Latency = latencyMs{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: q(1)}
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d of %d requests failed\n", rep.Errors, rep.Sent)
+		os.Exit(1)
+	}
+}
+
+// modelDim asks /healthz for the live model's feature count so generated
+// rows index real features.
+func modelDim(base string) (int, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Dim int `json:"model_dim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK || health.Dim <= 0 {
+		return 0, fmt.Errorf("server not serving a model (healthz status %d)", resp.StatusCode)
+	}
+	return health.Dim, nil
+}
+
+// requestBody draws rows from the sampler and encodes a /predict JSON
+// body — single-instance form for one row, instances array otherwise.
+func requestBody(s *datasets.RowSampler, rows int) []byte {
+	type instance struct {
+		Indices []int32   `json:"indices"`
+		Values  []float32 `json:"values"`
+	}
+	draw := func() instance {
+		idx, val := s.Next()
+		return instance{
+			Indices: append([]int32(nil), idx...),
+			Values:  append([]float32(nil), val...),
+		}
+	}
+	var body any
+	if rows == 1 {
+		body = draw()
+	} else {
+		insts := make([]instance, rows)
+		for i := range insts {
+			insts[i] = draw()
+		}
+		body = map[string]any{"instances": insts}
+	}
+	b, _ := json.Marshal(body)
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}

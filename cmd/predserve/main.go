@@ -1,0 +1,117 @@
+// Command predserve serves predictions from a trained model checkpoint
+// over HTTP, with dynamic micro-batching and hot reload of the
+// checkpoint file.
+//
+// Endpoints:
+//
+//	POST /predict  JSON {"indices":[...],"values":[...]} (0-based), a
+//	               JSON {"instances":[...]} batch of the same, or a
+//	               text/plain body of LIBSVM lines (1-based indices)
+//	GET  /healthz  model identity, 503 until a model is live
+//	GET  /metrics  request/batch counters and latency percentiles, JSON
+//
+// Usage:
+//
+//	scdtrain -data train.svm -save model.ckpt
+//	predserve -model model.ckpt -listen :8080
+//
+// The checkpoint file is re-read whenever it changes (trainers save
+// atomically, so a partial file is never observed) and the new model
+// goes live between batches without dropping in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tpascd"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "serving checkpoint written by scdtrain -save (required)")
+	listen := flag.String("listen", ":8080", "listen address; use 127.0.0.1:0 for an ephemeral port")
+	addrFile := flag.String("addr-file", "", "write the resolved listen address to this file (for scripting against :0)")
+	watchEvery := flag.Duration("watch", 2*time.Second, "poll the checkpoint for changes this often; 0 disables hot reload")
+	maxBatch := flag.Int("max-batch", 64, "maximum rows scored per micro-batch")
+	maxWait := flag.Duration("max-wait", 500*time.Microsecond, "how long a forming batch waits for more rows")
+	workers := flag.Int("workers", 0, "scoring goroutines per batch; 0 means GOMAXPROCS")
+	deadline := flag.Duration("deadline", 2*time.Second, "per-request scoring deadline; negative disables")
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "predserve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := tpascd.NewModelRegistry()
+	m, err := reg.LoadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %s model: %d features, version %d\n", m.Kind, m.Dim(), m.Version)
+
+	srv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{
+		Batcher:  tpascd.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, Workers: *workers},
+		Deadline: *deadline,
+	})
+
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if *watchEvery > 0 {
+		go tpascd.WatchCheckpoint(watchCtx, reg, *watchEvery, func(err error) {
+			fmt.Fprintf(os.Stderr, "predserve: reload failed, keeping previous model: %v\n", err)
+		})
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %s, draining\n", s)
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	// Stop accepting, finish in-flight HTTP exchanges, then drain the
+	// batcher so every accepted request is scored before exit.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "predserve: shutdown: %v\n", err)
+	}
+	stopWatch()
+	srv.Close()
+	snap := srv.Metrics().Snapshot(reg)
+	fmt.Printf("served %d requests in %d batches, %d errors\n", snap.Requests, snap.Batches, snap.Errors)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "predserve: %v\n", err)
+	os.Exit(1)
+}

@@ -31,6 +31,7 @@ func main() {
 	target := flag.Float64("gap", 0, "stop once the duality gap reaches this value (0: run all epochs)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	modelOut := flag.String("model", "", "write the final model weights, one per line (optional)")
+	savePath := flag.String("save", "", "write the final model as a serving checkpoint for cmd/predserve (optional)")
 	flag.Parse()
 
 	if *dataPath == "" {
@@ -54,13 +55,13 @@ func main() {
 	case "ridge":
 		// handled below
 	case "elasticnet":
-		trainElasticNet(p, *alpha, *epochs, *seed, *modelOut)
+		trainElasticNet(p, *alpha, *epochs, *seed, *modelOut, *savePath)
 		return
 	case "svm":
-		trainSVM(p, *epochs, *seed)
+		trainSVM(p, *epochs, *seed, *savePath)
 		return
 	case "logistic":
-		trainLogistic(p, *epochs, *seed)
+		trainLogistic(p, *epochs, *seed, *savePath)
 		return
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
@@ -125,9 +126,33 @@ func main() {
 		}
 		fmt.Printf("wrote model to %s\n", *modelOut)
 	}
+	if *savePath != "" {
+		// Serving scores with primal weights: the primal-form model is
+		// used as is; a dual iterate is mapped through the dual→primal
+		// correspondence β(α) = Aᵀα-based closed form.
+		weights := solver.Model()
+		if form == tpascd.Dual {
+			wbar := make([]float32, p.M)
+			p.A.MulTVec(wbar, weights)
+			weights = p.PrimalFromDual(wbar)
+		}
+		saveServing(*savePath, tpascd.KindRidge, weights)
+	}
 }
 
-func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, modelOut string) {
+// saveServing writes primal weights as a serving checkpoint, atomically
+// so a live predserve watching the path never sees a partial file.
+func saveServing(path, kind string, weights []float32) {
+	err := tpascd.SaveCheckpointFile(path, tpascd.Checkpoint{
+		Kind: kind, Dim: len(weights), Vectors: [][]float32{weights},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s serving checkpoint to %s\n", kind, path)
+}
+
+func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, modelOut, savePath string) {
 	en, err := tpascd.NewElasticNetProblem(p, alpha)
 	if err != nil {
 		fatal(err)
@@ -159,9 +184,12 @@ func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, 
 			fatal(err)
 		}
 	}
+	if savePath != "" {
+		saveServing(savePath, tpascd.KindElasticNet, beta)
+	}
 }
 
-func trainSVM(p *tpascd.Problem, epochs int, seed uint64) {
+func trainSVM(p *tpascd.Problem, epochs int, seed uint64, savePath string) {
 	sp, err := tpascd.NewSVMProblem(p.A, p.Y, p.Lambda)
 	if err != nil {
 		fatal(fmt.Errorf("svm needs ±1 labels: %w", err))
@@ -173,9 +201,14 @@ func trainSVM(p *tpascd.Problem, epochs int, seed uint64) {
 		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n",
 			e, solver.Gap(), 100*solver.Accuracy())
 	}
+	if savePath != "" {
+		// SDCA iterates in the dual; serving wants the induced primal
+		// weight vector w(α) = Σ αᵢyᵢxᵢ/(λN).
+		saveServing(savePath, tpascd.KindSVM, sp.SharedFromAlpha(solver.Model()))
+	}
 }
 
-func trainLogistic(p *tpascd.Problem, epochs int, seed uint64) {
+func trainLogistic(p *tpascd.Problem, epochs int, seed uint64, savePath string) {
 	lp, err := tpascd.NewLogisticProblem(p.A, p.Y, p.Lambda)
 	if err != nil {
 		fatal(fmt.Errorf("logistic needs ±1 labels: %w", err))
@@ -186,6 +219,9 @@ func trainLogistic(p *tpascd.Problem, epochs int, seed uint64) {
 		solver.RunEpoch()
 		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n",
 			e, solver.Gap(), 100*solver.Accuracy())
+	}
+	if savePath != "" {
+		saveServing(savePath, tpascd.KindLogistic, lp.SharedFromAlpha(solver.Model()))
 	}
 }
 

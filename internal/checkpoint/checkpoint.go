@@ -1,14 +1,17 @@
 // Package checkpoint serializes model state so long-running training can
-// be stopped and resumed. The format is a fixed little-endian binary
-// layout with a CRC-32 trailer:
+// be stopped and resumed, and so trained models can be handed to the
+// serving layer. The format is a fixed little-endian binary layout with a
+// CRC-32 trailer:
 //
 //	magic "TPAS" | version u32 | kind-length u32 | kind bytes |
+//	model dim u32 (v2+) |
 //	vector count u32 | per vector: length u32, float32 data | crc32(IEEE)
 //
-// Coordinate-descent state is fully captured by the model vector(s): the
-// shared vector is recomputable from the model and data (the repair path
-// the solvers already expose), so checkpoints stay small and transferable
-// between machines of either endianness.
+// Version 1 files (no dim field) remain readable; Save always writes the
+// current version. Coordinate-descent state is fully captured by the model
+// vector(s): the shared vector is recomputable from the model and data
+// (the repair path the solvers already expose), so checkpoints stay small
+// and transferable between machines of either endianness.
 package checkpoint
 
 import (
@@ -18,26 +21,50 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
 )
 
 var magic = [4]byte{'T', 'P', 'A', 'S'}
 
-const version = 1
+const version = 2
 
 // ErrCorrupt is returned when the checksum or structure does not verify.
 var ErrCorrupt = errors.New("checkpoint: corrupt or truncated data")
 
 // Checkpoint is a named bundle of float32 vectors.
 type Checkpoint struct {
-	// Kind is a free-form tag ("ridge-primal", "svm-dual", ...); Load
-	// verifies it when a non-empty expectation is given.
+	// Kind is a free-form tag ("ridge", "svm", "dist-r0/4-primal", ...);
+	// Load verifies it when a non-empty expectation is given.
 	Kind string
-	// Vectors holds the model state, e.g. [β] or [α].
+	// Dim is the dimension of the primary model vector Vectors[0] — the
+	// feature count a serving scorer must match requests against. Zero
+	// means "unknown" (version-1 files load with Dim zero); when non-zero
+	// both Save and Load verify it against len(Vectors[0]).
+	Dim int
+	// Vectors holds the model state, e.g. [β] or [α, epoch].
 	Vectors [][]float32
 }
 
-// Save writes the checkpoint.
+// validateDim checks the Dim/Vectors[0] agreement shared by Save and Load.
+func (c *Checkpoint) validateDim() error {
+	if c.Dim < 0 {
+		return fmt.Errorf("checkpoint: negative dim %d", c.Dim)
+	}
+	if c.Dim > 0 && (len(c.Vectors) == 0 || len(c.Vectors[0]) != c.Dim) {
+		got := -1
+		if len(c.Vectors) > 0 {
+			got = len(c.Vectors[0])
+		}
+		return fmt.Errorf("%w: dim %d disagrees with model vector length %d", ErrCorrupt, c.Dim, got)
+	}
+	return nil
+}
+
+// Save writes the checkpoint in the current format version.
 func Save(w io.Writer, c Checkpoint) error {
+	if err := c.validateDim(); err != nil {
+		return err
+	}
 	h := crc32.NewIEEE()
 	mw := io.MultiWriter(w, h)
 	if _, err := mw.Write(magic[:]); err != nil {
@@ -53,6 +80,9 @@ func Save(w io.Writer, c Checkpoint) error {
 		return err
 	}
 	if _, err := io.WriteString(mw, c.Kind); err != nil {
+		return err
+	}
+	if err := writeU32(mw, uint32(c.Dim)); err != nil {
 		return err
 	}
 	if err := writeU32(mw, uint32(len(c.Vectors))); err != nil {
@@ -76,8 +106,8 @@ func Save(w io.Writer, c Checkpoint) error {
 	return err
 }
 
-// Load reads and verifies a checkpoint. If expectKind is non-empty the
-// stored kind must match.
+// Load reads and verifies a checkpoint (current or version-1 format). If
+// expectKind is non-empty the stored kind must match.
 func Load(r io.Reader, expectKind string) (Checkpoint, error) {
 	h := crc32.NewIEEE()
 	tr := io.TeeReader(r, h)
@@ -93,7 +123,7 @@ func Load(r io.Reader, expectKind string) (Checkpoint, error) {
 	if err != nil {
 		return c, err
 	}
-	if ver != version {
+	if ver < 1 || ver > version {
 		return c, fmt.Errorf("checkpoint: unsupported version %d", ver)
 	}
 	kindLen, err := readU32(tr)
@@ -110,6 +140,16 @@ func Load(r io.Reader, expectKind string) (Checkpoint, error) {
 	c.Kind = string(kind)
 	if expectKind != "" && c.Kind != expectKind {
 		return c, fmt.Errorf("checkpoint: kind %q, want %q", c.Kind, expectKind)
+	}
+	if ver >= 2 {
+		dim, err := readU32(tr)
+		if err != nil {
+			return c, err
+		}
+		if dim > 1<<31 {
+			return c, fmt.Errorf("%w: dim %d", ErrCorrupt, dim)
+		}
+		c.Dim = int(dim)
 	}
 	nVec, err := readU32(tr)
 	if err != nil {
@@ -143,7 +183,49 @@ func Load(r io.Reader, expectKind string) (Checkpoint, error) {
 	if got := binary.LittleEndian.Uint32(buf); got != want {
 		return c, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
 	}
+	if err := c.validateDim(); err != nil {
+		return c, err
+	}
 	return c, nil
+}
+
+// SaveFile persists a checkpoint atomically: write a temp file in the
+// target directory, fsync, then rename over the destination, so a crash
+// mid-save leaves the previous checkpoint intact and a concurrent reader
+// (e.g. a serving registry watching the path) never observes a partial
+// file.
+func SaveFile(path string, c Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, c); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads and verifies a checkpoint file. If expectKind is
+// non-empty the stored kind must match.
+func LoadFile(path, expectKind string) (Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	defer f.Close()
+	return Load(f, expectKind)
 }
 
 func writeU32(w io.Writer, v uint32) error {

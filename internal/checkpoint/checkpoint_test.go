@@ -2,7 +2,12 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 )
@@ -123,4 +128,96 @@ func TestRoundTripProperty(t *testing.T) {
 
 func bitsEqual(a, b float32) bool {
 	return (a == b) || (a != a && b != b) // equal or both NaN
+}
+
+func TestDimRoundTrip(t *testing.T) {
+	c := Checkpoint{Kind: "ridge", Dim: 3, Vectors: [][]float32{{1, 2, 3}, {7}}}
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, "ridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != 3 {
+		t.Fatalf("dim lost: %+v", got)
+	}
+}
+
+func TestDimMismatchRejected(t *testing.T) {
+	// Save refuses a dim that disagrees with the model vector.
+	var buf bytes.Buffer
+	if err := Save(&buf, Checkpoint{Kind: "x", Dim: 4, Vectors: [][]float32{{1, 2}}}); err == nil {
+		t.Fatal("saved checkpoint with dim 4 but 2-element model")
+	}
+	// Load rejects a file whose stored dim was tampered to disagree.
+	buf.Reset()
+	if err := Save(&buf, Checkpoint{Kind: "x", Dim: 2, Vectors: [][]float32{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// dim field sits after magic(4) + version(4) + kindLen(4) + kind(1).
+	binary.LittleEndian.PutUint32(data[13:], 5)
+	// Re-stamp the trailer so only the dim check can fire.
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+	if _, err := Load(bytes.NewReader(data), ""); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("dim/vector disagreement not detected: %v", err)
+	}
+}
+
+// TestVersion1Compat hand-encodes a version-1 file (no dim field) and
+// checks it still loads, with Dim reported as zero/unknown.
+func TestVersion1Compat(t *testing.T) {
+	var payload bytes.Buffer
+	payload.Write(magic[:])
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		payload.Write(b[:])
+	}
+	u32(1) // version
+	kind := "ridge-primal"
+	u32(uint32(len(kind)))
+	payload.WriteString(kind)
+	u32(1) // one vector
+	u32(2) // of two elements
+	u32(math.Float32bits(1.5))
+	u32(math.Float32bits(-2))
+	u32(crc32.ChecksumIEEE(payload.Bytes()))
+	got, err := Load(bytes.NewReader(payload.Bytes()), "ridge-primal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != 0 || len(got.Vectors) != 1 || got.Vectors[0][0] != 1.5 || got.Vectors[0][1] != -2 {
+		t.Fatalf("v1 load: %+v", got)
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	c := Checkpoint{Kind: "svm", Dim: 2, Vectors: [][]float32{{0.25, -1}}}
+	if err := SaveFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived: %v", err)
+	}
+	got, err := LoadFile(path, "svm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != 2 || got.Vectors[0][0] != 0.25 {
+		t.Fatalf("file round trip: %+v", got)
+	}
+	// Overwrite is atomic: the destination always holds a complete file.
+	c.Vectors = [][]float32{{9, 9}}
+	if err := SaveFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadFile(path, "")
+	if err != nil || got.Vectors[0][0] != 9 {
+		t.Fatalf("overwrite: %+v %v", got, err)
+	}
 }

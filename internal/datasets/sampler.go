@@ -1,0 +1,80 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tpascd/internal/rng"
+)
+
+// RowSampler streams single webspam-like rows without materializing a
+// matrix — the request generator for serving load tests. Rows are drawn
+// from the same feature-popularity and value distributions as Webspam, so
+// a model trained on a generated dataset sees realistic prediction
+// traffic: the same few hot trigram features appear in most requests,
+// with a long tail of rare ones.
+//
+// A RowSampler is deterministic in its seed and not safe for concurrent
+// use; give each load-generating goroutine its own (seeded differently).
+type RowSampler struct {
+	m       int
+	avgNNZ  int
+	r       *rng.Xoshiro256
+	sampler *zipfSampler
+	seen    map[int]struct{}
+	idx     []int32
+	val     []float32
+}
+
+// NewRowSampler builds a sampler over cfg.M features with cfg.AvgNNZPerRow
+// expected non-zeros and cfg.Skew popularity skew, seeded by seed (cfg.Seed
+// is ignored so many samplers can share one dataset shape).
+func NewRowSampler(cfg WebspamConfig, seed uint64) (*RowSampler, error) {
+	if cfg.M <= 0 || cfg.AvgNNZPerRow <= 0 {
+		return nil, fmt.Errorf("datasets: bad sampler config %+v", cfg)
+	}
+	if cfg.AvgNNZPerRow > cfg.M {
+		return nil, fmt.Errorf("datasets: AvgNNZPerRow %d exceeds M %d", cfg.AvgNNZPerRow, cfg.M)
+	}
+	return &RowSampler{
+		m:       cfg.M,
+		avgNNZ:  cfg.AvgNNZPerRow,
+		r:       rng.New(seed),
+		sampler: newZipfSampler(cfg.M, cfg.Skew),
+		seen:    make(map[int]struct{}, 2*cfg.AvgNNZPerRow),
+	}, nil
+}
+
+// Next returns one sparse row as sorted 0-based indices and values. The
+// returned slices are reused by the following Next call; copy them if they
+// must outlive it. The degree and value draws mirror Webspam's row loop.
+func (s *RowSampler) Next() (idx []int32, val []float32) {
+	deg := 1 + s.r.Intn(2*s.avgNNZ-1)
+	clear(s.seen)
+	s.idx = s.idx[:0]
+	s.val = s.val[:0]
+	for len(s.seen) < deg {
+		j := s.sampler.Sample(s.r)
+		if _, dup := s.seen[j]; dup {
+			continue
+		}
+		s.seen[j] = struct{}{}
+		s.idx = append(s.idx, int32(j))
+		s.val = append(s.val, float32(math.Abs(s.r.NormFloat64())*0.5+0.1))
+	}
+	sort.Sort(&rowPair{s.idx, s.val})
+	return s.idx, s.val
+}
+
+type rowPair struct {
+	idx []int32
+	val []float32
+}
+
+func (p *rowPair) Len() int           { return len(p.idx) }
+func (p *rowPair) Less(a, b int) bool { return p.idx[a] < p.idx[b] }
+func (p *rowPair) Swap(a, b int) {
+	p.idx[a], p.idx[b] = p.idx[b], p.idx[a]
+	p.val[a], p.val[b] = p.val[b], p.val[a]
+}

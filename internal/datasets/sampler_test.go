@@ -1,0 +1,70 @@
+package datasets
+
+import "testing"
+
+func TestRowSamplerShapeAndDeterminism(t *testing.T) {
+	cfg := WebspamDefault()
+	cfg.M = 512
+	cfg.AvgNNZPerRow = 12
+	a, err := NewRowSampler(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRowSampler(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 200; n++ {
+		ai, av := a.Next()
+		bi, bv := b.Next()
+		if len(ai) == 0 || len(ai) >= 2*cfg.AvgNNZPerRow {
+			t.Fatalf("row %d degree %d outside [1, %d)", n, len(ai), 2*cfg.AvgNNZPerRow)
+		}
+		if len(ai) != len(bi) {
+			t.Fatalf("row %d: same seed diverged in degree", n)
+		}
+		for k := range ai {
+			if ai[k] != bi[k] || av[k] != bv[k] {
+				t.Fatalf("row %d entry %d: same seed diverged", n, k)
+			}
+			if ai[k] < 0 || int(ai[k]) >= cfg.M {
+				t.Fatalf("row %d: index %d outside [0,%d)", n, ai[k], cfg.M)
+			}
+			if k > 0 && ai[k] <= ai[k-1] {
+				t.Fatalf("row %d: indices not strictly increasing: %v", n, ai)
+			}
+			if av[k] <= 0 {
+				t.Fatalf("row %d: non-positive value %v", n, av[k])
+			}
+		}
+	}
+	// Different seeds should diverge somewhere early.
+	c, _ := NewRowSampler(cfg, 8)
+	same := true
+	for n := 0; n < 10 && same; n++ {
+		ai, _ := a.Next()
+		ci, _ := c.Next()
+		if len(ai) != len(ci) {
+			same = false
+			break
+		}
+		for k := range ai {
+			if ai[k] != ci[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRowSamplerRejectsBadConfig(t *testing.T) {
+	if _, err := NewRowSampler(WebspamConfig{M: 0, AvgNNZPerRow: 4}, 1); err == nil {
+		t.Fatal("accepted M=0")
+	}
+	if _, err := NewRowSampler(WebspamConfig{M: 4, AvgNNZPerRow: 8}, 1); err == nil {
+		t.Fatal("accepted nnz > M")
+	}
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tpascd/internal/sparse"
+)
+
+// ErrDraining is returned by Predict once Close has begun: the batcher
+// finishes everything already accepted but takes no new work.
+var ErrDraining = errors.New("serve: batcher draining")
+
+// BatcherConfig tunes the dynamic micro-batcher. Zero values select the
+// defaults noted on each field.
+type BatcherConfig struct {
+	// MaxBatch caps how many requests are scored as one batch (default
+	// 64). A batch is dispatched as soon as it is full.
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company (default 500µs). Under low load a batch of one departs
+	// after MaxWait; under high load batches fill before the timer fires
+	// — the usual throughput/latency trade of dynamic batching.
+	MaxWait time.Duration
+	// Workers sizes the scoring pool (default GOMAXPROCS). Batches are
+	// striped across workers row by row.
+	Workers int
+	// Queue is the request channel capacity (default 4×MaxBatch); beyond
+	// it, Predict callers block — the back-pressure that keeps an
+	// overloaded server from buffering unboundedly.
+	Queue int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 500 * time.Microsecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Prediction is one scored request.
+type Prediction struct {
+	// Margin is the raw sparse dot product ⟨w, x⟩.
+	Margin float64 `json:"margin"`
+	// Score is the kind-transformed output (see Model.Score).
+	Score float64 `json:"score"`
+	// ModelVersion identifies the registry version that scored this
+	// request; within one batch it is uniform.
+	ModelVersion uint64 `json:"model_version"`
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+type pending struct {
+	idx      []int32
+	val      []float32
+	deadline time.Time // zero means none
+	enqueued time.Time
+	done     chan result // buffered so a scorer never blocks on fan-out
+}
+
+// Batcher implements dynamic micro-batching: requests accumulate until
+// MaxBatch are waiting or MaxWait has passed since the first, then the
+// batch is assembled into one CSR and scored across the worker pool
+// against a single model snapshot, and results fan back per request. One
+// batch, one model version — a hot swap lands between batches, never
+// inside one.
+type Batcher struct {
+	cfg BatcherConfig
+	reg *Registry
+	met *Metrics
+
+	in            chan *pending
+	gate          sync.RWMutex // guards in against close during Predict's send
+	closed        bool         // under gate
+	collectorDone chan struct{}
+	closeOnce     sync.Once
+}
+
+// NewBatcher starts the collector goroutine; met may be nil to skip
+// instrumentation. Call Close to drain and stop.
+func NewBatcher(reg *Registry, met *Metrics, cfg BatcherConfig) *Batcher {
+	b := &Batcher{
+		cfg:           cfg.withDefaults(),
+		reg:           reg,
+		met:           met,
+		collectorDone: make(chan struct{}),
+	}
+	b.in = make(chan *pending, b.cfg.Queue)
+	go b.run()
+	return b
+}
+
+// Predict scores one sparse row (sorted 0-based indices — see
+// sparse.NewRow), blocking until the batch containing it is scored, the
+// context ends, or the batcher drains. The context's deadline, when set,
+// also bounds time in queue: a request whose deadline passed before its
+// batch was scored gets context.DeadlineExceeded instead of a stale
+// answer.
+func (b *Batcher) Predict(ctx context.Context, idx []int32, val []float32) (Prediction, error) {
+	start := time.Now()
+	pred, err := b.predict(ctx, idx, val, start)
+	if b.met != nil {
+		b.met.ObserveRequest(time.Since(start), err)
+	}
+	return pred, err
+}
+
+func (b *Batcher) predict(ctx context.Context, idx []int32, val []float32, start time.Time) (Prediction, error) {
+	p := &pending{idx: idx, val: val, enqueued: start, done: make(chan result, 1)}
+	if dl, ok := ctx.Deadline(); ok {
+		p.deadline = dl
+	}
+	// The read lock spans the send: Close flips closed under the write
+	// lock before closing the channel, so a send in flight either
+	// completes first or the sender observes closed and bails — never a
+	// send on a closed channel.
+	b.gate.RLock()
+	if b.closed {
+		b.gate.RUnlock()
+		return Prediction{}, ErrDraining
+	}
+	select {
+	case b.in <- p:
+		b.gate.RUnlock()
+	case <-ctx.Done():
+		b.gate.RUnlock()
+		return Prediction{}, ctx.Err()
+	}
+	select {
+	case r := <-p.done:
+		return r.pred, r.err
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// Close drains gracefully: new Predicts fail with ErrDraining, everything
+// already accepted is scored, then the collector exits. Safe to call more
+// than once.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() {
+		b.gate.Lock()
+		b.closed = true
+		b.gate.Unlock()
+		close(b.in)
+	})
+	<-b.collectorDone
+}
+
+// run is the collector: it forms batches and hands them to scoreBatch.
+func (b *Batcher) run() {
+	defer close(b.collectorDone)
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch := make([]*pending, 1, b.cfg.MaxBatch)
+		batch[0] = first
+		timer := time.NewTimer(b.cfg.MaxWait)
+		open := true
+	collect:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case p, chOpen := <-b.in:
+				if !chOpen {
+					open = false
+					break collect
+				}
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.scoreBatch(batch)
+		if !open {
+			return
+		}
+	}
+}
+
+// scoreBatch assembles the batch rows into one CSR and stripes them
+// across the worker pool. The model pointer is loaded once, so every row
+// in the batch is scored by the same version.
+func (b *Batcher) scoreBatch(batch []*pending) {
+	if b.met != nil {
+		b.met.ObserveBatch(len(batch))
+	}
+	m := b.reg.Current()
+	now := time.Now()
+
+	n := len(batch)
+	rowPtr := make([]int, n+1)
+	for i, p := range batch {
+		rowPtr[i+1] = rowPtr[i] + len(p.idx)
+	}
+	colIdx := make([]int32, 0, rowPtr[n])
+	vals := make([]float32, 0, rowPtr[n])
+	numCols := 0
+	if m != nil {
+		numCols = m.Dim()
+	}
+	for _, p := range batch {
+		colIdx = append(colIdx, p.idx...)
+		vals = append(vals, p.val...)
+	}
+	rows := &sparse.CSR{NumRows: n, NumCols: numCols, RowPtr: rowPtr, ColIdx: colIdx, Val: vals}
+
+	scoreRow := func(i int) {
+		p := batch[i]
+		var r result
+		switch {
+		case m == nil:
+			r.err = ErrNoModel
+		case !p.deadline.IsZero() && now.After(p.deadline):
+			r.err = context.DeadlineExceeded
+		default:
+			idx, val := rows.Row(i)
+			r.pred.Margin, r.pred.Score = m.Score(idx, val)
+			r.pred.ModelVersion = m.Version
+		}
+		p.done <- r
+	}
+
+	workers := b.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			scoreRow(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				scoreRow(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tpascd/internal/datasets"
+	"tpascd/internal/sparse"
+)
+
+func testRegistry(t testing.TB, kind string, weights []float32) *Registry {
+	t.Helper()
+	m, err := NewModel(kind, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Set(m)
+	return reg
+}
+
+// sampleRows draws n webspam-like rows with indices within dim.
+func sampleRows(t testing.TB, n, dim int, seed uint64) ([][]int32, [][]float32) {
+	t.Helper()
+	cfg := datasets.WebspamDefault()
+	cfg.M = dim
+	cfg.AvgNNZPerRow = 8
+	s, err := datasets.NewRowSampler(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs := make([][]int32, n)
+	vals := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		idx, val := s.Next()
+		idxs[i] = append([]int32(nil), idx...)
+		vals[i] = append([]float32(nil), val...)
+	}
+	return idxs, vals
+}
+
+// TestBatcherMatchesDirectScoring: predictions through the batcher are
+// bitwise identical to in-process Model.Score, concurrent submission or
+// not.
+func TestBatcherMatchesDirectScoring(t *testing.T) {
+	const dim = 256
+	weights := make([]float32, dim)
+	for i := range weights {
+		weights[i] = float32(i%7) - 3
+	}
+	reg := testRegistry(t, KindLogistic, weights)
+	b := NewBatcher(reg, &Metrics{}, BatcherConfig{MaxBatch: 16, MaxWait: time.Millisecond, Workers: 4})
+	defer b.Close()
+
+	const n = 200
+	idxs, vals := sampleRows(t, n, dim, 11)
+	m := reg.Current()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			pred, err := b.Predict(context.Background(), idxs[i], vals[i])
+			if err != nil {
+				t.Errorf("row %d: %v", i, err)
+				return
+			}
+			wantMargin, wantScore := m.Score(idxs[i], vals[i])
+			if pred.Margin != wantMargin || pred.Score != wantScore {
+				t.Errorf("row %d: batched (%v,%v) != direct (%v,%v)", i, pred.Margin, pred.Score, wantMargin, wantScore)
+			}
+			if pred.ModelVersion != m.Version {
+				t.Errorf("row %d: version %d, want %d", i, pred.ModelVersion, m.Version)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestBatcherForms batches under concurrent load: with MaxWait generous
+// and many concurrent requests, batches should be larger than one.
+func TestBatcherFormsBatches(t *testing.T) {
+	reg := testRegistry(t, KindRidge, make([]float32, 16))
+	met := &Metrics{}
+	b := NewBatcher(reg, met, BatcherConfig{MaxBatch: 32, MaxWait: 20 * time.Millisecond, Workers: 2})
+	defer b.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := b.Predict(context.Background(), []int32{1}, []float32{1}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := met.Snapshot(reg)
+	if s.Requests != n {
+		t.Fatalf("requests %d, want %d", s.Requests, n)
+	}
+	if s.AvgBatch <= 1.5 {
+		t.Fatalf("no batching happened: avg batch %.2f over %d batches", s.AvgBatch, s.Batches)
+	}
+}
+
+func TestBatcherDeadline(t *testing.T) {
+	reg := testRegistry(t, KindRidge, make([]float32, 4))
+	b := NewBatcher(reg, nil, BatcherConfig{MaxBatch: 8, MaxWait: 50 * time.Millisecond})
+	defer b.Close()
+
+	// A deadline already in the past fails instead of serving stale.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	_, err := b.Predict(ctx, []int32{0}, []float32{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v", err)
+	}
+	// A comfortable deadline succeeds.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if _, err := b.Predict(ctx2, []int32{0}, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherNoModel(t *testing.T) {
+	b := NewBatcher(NewRegistry(), nil, BatcherConfig{MaxWait: time.Millisecond})
+	defer b.Close()
+	if _, err := b.Predict(context.Background(), []int32{0}, []float32{1}); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("no model: %v", err)
+	}
+}
+
+// TestBatcherGracefulDrain: requests accepted before Close are all
+// scored; requests after Close fail with ErrDraining; Close returns only
+// after the queue is empty.
+func TestBatcherGracefulDrain(t *testing.T) {
+	reg := testRegistry(t, KindRidge, make([]float32, 8))
+	// Long MaxWait so queued requests are still pending when Close runs.
+	b := NewBatcher(reg, nil, BatcherConfig{MaxBatch: 4, MaxWait: 50 * time.Millisecond, Queue: 64})
+
+	const n = 16
+	results := make(chan error, n)
+	var started sync.WaitGroup
+	started.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			started.Done()
+			_, err := b.Predict(context.Background(), []int32{0}, []float32{1})
+			results <- err
+		}()
+	}
+	started.Wait()
+	time.Sleep(5 * time.Millisecond) // let the sends land in the queue
+	b.Close()
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("request %d dropped during drain: %v", i, err)
+		}
+	}
+	if _, err := b.Predict(context.Background(), []int32{0}, []float32{1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close predict: %v", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestBatcherHotSwapUnderLoad drives continuous traffic while the model
+// is swapped repeatedly: no request may fail, and each response must be
+// self-consistent with the version that scored it.
+func TestBatcherHotSwapUnderLoad(t *testing.T) {
+	const dim = 32
+	reg := NewRegistry()
+	install := func(gen int) {
+		w := make([]float32, dim)
+		for i := range w {
+			w[i] = float32(gen)
+		}
+		m, _ := NewModel(KindRidge, w)
+		reg.Set(m)
+	}
+	install(1)
+	b := NewBatcher(reg, nil, BatcherConfig{MaxBatch: 8, MaxWait: 200 * time.Microsecond, Workers: 4})
+	defer b.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const clients = 6
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pred, err := b.Predict(context.Background(), []int32{0, 5}, []float32{1, 1})
+				if err != nil {
+					t.Errorf("in-flight request failed during swap: %v", err)
+					return
+				}
+				// gen == version-? Each installed model has uniform
+				// weights, so margin = 2·gen and version grows with gen;
+				// margin must be an even integer and versions monotone.
+				if pred.ModelVersion < last {
+					t.Errorf("version went backwards: %d after %d", pred.ModelVersion, last)
+					return
+				}
+				last = pred.ModelVersion
+				if pred.Margin != 2*float64(pred.ModelVersion) {
+					t.Errorf("torn batch: margin %v under version %d", pred.Margin, pred.ModelVersion)
+					return
+				}
+			}
+		}()
+	}
+	for gen := 2; gen <= 100; gen++ {
+		install(gen)
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The CSR the batcher builds must be structurally valid for in-range
+// requests (guards the batch-assembly path).
+func TestBatchCSRAssembly(t *testing.T) {
+	reg := testRegistry(t, KindRidge, make([]float32, 64))
+	var got *sparse.CSR
+	b := &Batcher{cfg: BatcherConfig{Workers: 1}.withDefaults(), reg: reg}
+	batch := []*pending{
+		{idx: []int32{1, 5}, val: []float32{1, 2}, done: make(chan result, 1)},
+		{idx: []int32{}, val: []float32{}, done: make(chan result, 1)},
+		{idx: []int32{63}, val: []float32{3}, done: make(chan result, 1)},
+	}
+	b.scoreBatch(batch)
+	got = &sparse.CSR{NumRows: 3, NumCols: 64,
+		RowPtr: []int{0, 2, 2, 3}, ColIdx: []int32{1, 5, 63}, Val: []float32{1, 2, 3}}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range batch {
+		select {
+		case r := <-p.done:
+			if r.err != nil {
+				t.Fatalf("row %d: %v", i, r.err)
+			}
+		default:
+			t.Fatalf("row %d never completed", i)
+		}
+	}
+}

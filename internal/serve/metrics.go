@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latBounds are latency histogram upper bounds in nanoseconds: 50µs
+// doubling to ~26s, plus an implicit +Inf bucket. Serving latencies for
+// linear models sit in the low-microsecond range; the wide top end keeps
+// pathological stalls visible instead of clipped.
+var latBounds = func() []int64 {
+	b := make([]int64, 20)
+	v := int64(50_000)
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// batchBounds are batch-size histogram upper bounds: powers of two to
+// 1024, plus an implicit +Inf bucket.
+var batchBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Metrics aggregates serving counters with atomic updates only — the hot
+// path shares the registry's no-locks discipline.
+type Metrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	batches  atomic.Int64
+	rows     atomic.Int64
+	latHist  [21]atomic.Int64 // len(latBounds)+1
+	latMax   atomic.Int64
+	bszHist  [12]atomic.Int64 // len(batchBounds)+1
+}
+
+// ObserveRequest records one finished request and its end-to-end latency
+// (queueing + batching + scoring).
+func (m *Metrics) ObserveRequest(d time.Duration, err error) {
+	m.requests.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	ns := d.Nanoseconds()
+	i := 0
+	for i < len(latBounds) && ns > latBounds[i] {
+		i++
+	}
+	m.latHist[i].Add(1)
+	for {
+		cur := m.latMax.Load()
+		if ns <= cur || m.latMax.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// ObserveBatch records one scored batch of n requests.
+func (m *Metrics) ObserveBatch(n int) {
+	m.batches.Add(1)
+	m.rows.Add(int64(n))
+	i := 0
+	for i < len(batchBounds) && int64(n) > batchBounds[i] {
+		i++
+	}
+	m.bszHist[i].Add(1)
+}
+
+// Bucket is one histogram cell: count of observations ≤ Le (Le < 0 means
+// +Inf).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of the metrics plus
+// the live model's identity.
+type Snapshot struct {
+	Requests  int64    `json:"requests"`
+	Errors    int64    `json:"errors"`
+	Batches   int64    `json:"batches"`
+	AvgBatch  float64  `json:"avg_batch"`
+	BatchHist []Bucket `json:"batch_size_histogram"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+
+	ModelVersion    uint64  `json:"model_version"`
+	ModelKind       string  `json:"model_kind,omitempty"`
+	ModelDim        int     `json:"model_dim,omitempty"`
+	ModelAgeSeconds float64 `json:"model_age_seconds"`
+}
+
+// Snapshot captures the counters and, when reg is non-nil, the live
+// model's version/kind/age.
+func (m *Metrics) Snapshot(reg *Registry) Snapshot {
+	var s Snapshot
+	s.Requests = m.requests.Load()
+	s.Errors = m.errors.Load()
+	s.Batches = m.batches.Load()
+	if s.Batches > 0 {
+		s.AvgBatch = float64(m.rows.Load()) / float64(s.Batches)
+	}
+	for i := range m.bszHist {
+		le := int64(-1)
+		if i < len(batchBounds) {
+			le = batchBounds[i]
+		}
+		s.BatchHist = append(s.BatchHist, Bucket{Le: le, Count: m.bszHist[i].Load()})
+	}
+	counts := make([]int64, len(m.latHist))
+	var total int64
+	for i := range m.latHist {
+		counts[i] = m.latHist[i].Load()
+		total += counts[i]
+	}
+	s.LatencyP50Ms = latQuantile(counts, total, 0.50)
+	s.LatencyP90Ms = latQuantile(counts, total, 0.90)
+	s.LatencyP99Ms = latQuantile(counts, total, 0.99)
+	s.LatencyMaxMs = float64(m.latMax.Load()) / 1e6
+	if reg != nil {
+		if lm := reg.Current(); lm != nil {
+			s.ModelVersion = lm.Version
+			s.ModelKind = lm.Kind
+			s.ModelDim = lm.Dim()
+			s.ModelAgeSeconds = time.Since(lm.LoadedAt).Seconds()
+		}
+	}
+	return s
+}
+
+// latQuantile returns the q-quantile latency in milliseconds estimated
+// from the histogram: the upper bound of the bucket where the cumulative
+// count crosses q·total (the max for the overflow bucket is unknown, so
+// it reports the last finite bound). Zero when no observations exist.
+func latQuantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(latBounds) {
+				return float64(latBounds[i]) / 1e6
+			}
+			return float64(latBounds[len(latBounds)-1]) / 1e6
+		}
+	}
+	return float64(latBounds[len(latBounds)-1]) / 1e6
+}

@@ -1,0 +1,153 @@
+// Package serve is the inference half of the stack: it loads trained
+// models from checkpoint files and serves predictions over HTTP.
+//
+// The paper's model families — ridge (primal or dual), elastic net, SVM
+// and logistic regression — all score a request with one sparse dot
+// product ⟨w, x⟩ against a primal weight vector, differing only in how the
+// margin becomes a prediction. That makes serving a pure read workload
+// over one shared vector, the mirror image of training's contended write
+// workload (PASSCoDe's shared-vector analysis): the read path needs zero
+// locks, and throughput comes from micro-batching requests so each worker
+// streams many rows against a model that stays hot in cache — the same
+// system-aware batching insight SySCD applies to training.
+//
+// The pieces:
+//
+//   - Model: an immutable weight vector + kind-dispatched scorer, loaded
+//     from an internal/checkpoint file written by scdtrain -save or a
+//     training run's -checkpoint-every output.
+//   - Registry: an atomic.Pointer-based holder with a zero-lock read path
+//     and a file watcher, so a newer checkpoint goes live without a
+//     restart and without disturbing in-flight requests.
+//   - Batcher: dynamic micro-batching (MaxBatch/MaxWait) over a worker
+//     pool, with per-request deadlines and graceful drain.
+//   - Server: POST /predict (JSON or LIBSVM line bodies), GET /healthz,
+//     GET /metrics.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"tpascd/internal/checkpoint"
+)
+
+// Model kinds the scorer understands, as written by scdtrain -save. The
+// kind string in the checkpoint dispatches to the right output transform.
+const (
+	// KindRidge scores with the raw regression margin ⟨w, x⟩.
+	KindRidge = "ridge"
+	// KindElasticNet also scores with the raw margin (it is ridge with an
+	// L1 term at training time; inference is identical).
+	KindElasticNet = "elasticnet"
+	// KindSVM scores with sign(⟨w, x⟩) ∈ {−1, +1}.
+	KindSVM = "svm"
+	// KindLogistic scores with the sigmoid σ(⟨w, x⟩) ∈ (0, 1).
+	KindLogistic = "logistic"
+)
+
+// ErrUnknownKind reports a checkpoint whose kind has no registered scorer.
+var ErrUnknownKind = errors.New("serve: unknown model kind")
+
+// Model is an immutable serving model: a primal weight vector over the
+// feature space plus the output transform its kind implies. Immutability
+// is what makes the Registry's lock-free hot swap safe — a scorer that
+// holds a *Model sees one consistent version for as long as it keeps the
+// pointer, no matter how many swaps happen meanwhile.
+type Model struct {
+	// Kind is one of the Kind* constants.
+	Kind string
+	// Weights is the primal model vector; len(Weights) is the feature
+	// count. Treat as read-only.
+	Weights []float32
+	// Version is the registry-assigned monotone version, zero for a model
+	// that never passed through a Registry.
+	Version uint64
+	// LoadedAt is when the model was installed, for age reporting.
+	LoadedAt time.Time
+}
+
+// NewModel validates kind and weights into a servable model.
+func NewModel(kind string, weights []float32) (*Model, error) {
+	switch kind {
+	case KindRidge, KindElasticNet, KindSVM, KindLogistic:
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, kind)
+	}
+	if len(weights) == 0 {
+		return nil, errors.New("serve: empty weight vector")
+	}
+	return &Model{Kind: kind, Weights: weights}, nil
+}
+
+// LoadModel reads a serving checkpoint: Vectors[0] is the primal weight
+// vector, the kind picks the scorer, and the embedded dim (when present)
+// must agree — a ridge-dual α vector saved raw, whose length is the
+// example count rather than the feature count, fails here instead of
+// silently scoring nonsense.
+func LoadModel(r io.Reader) (*Model, error) {
+	c, err := checkpoint.Load(r, "")
+	if err != nil {
+		return nil, err
+	}
+	return modelFromCheckpoint(c)
+}
+
+// LoadModelFile reads a serving checkpoint file.
+func LoadModelFile(path string) (*Model, error) {
+	c, err := checkpoint.LoadFile(path, "")
+	if err != nil {
+		return nil, err
+	}
+	return modelFromCheckpoint(c)
+}
+
+func modelFromCheckpoint(c checkpoint.Checkpoint) (*Model, error) {
+	if len(c.Vectors) == 0 {
+		return nil, errors.New("serve: checkpoint holds no vectors")
+	}
+	if c.Dim > 0 && c.Dim != len(c.Vectors[0]) {
+		return nil, fmt.Errorf("serve: checkpoint dim %d, model vector length %d", c.Dim, len(c.Vectors[0]))
+	}
+	return NewModel(c.Kind, c.Vectors[0])
+}
+
+// Dim returns the feature count the model scores over.
+func (m *Model) Dim() int { return len(m.Weights) }
+
+// Margin computes the sparse dot product ⟨w, x⟩ in float64, matching the
+// precision discipline of the training-side gap computations. Indices at
+// or beyond Dim are features the model never saw in training and
+// contribute nothing (their weight is implicitly zero).
+func (m *Model) Margin(idx []int32, val []float32) float64 {
+	w := m.Weights
+	var dp float64
+	for k, j := range idx {
+		if int(j) < len(w) {
+			dp += float64(w[j]) * float64(val[k])
+		}
+	}
+	return dp
+}
+
+// Score maps the margin through the kind's output transform: identity for
+// the regression kinds, sign for SVM, sigmoid for logistic.
+func (m *Model) Score(idx []int32, val []float32) (margin, score float64) {
+	margin = m.Margin(idx, val)
+	switch m.Kind {
+	case KindSVM:
+		if margin >= 0 {
+			score = 1
+		} else {
+			score = -1
+		}
+	case KindLogistic:
+		score = 1 / (1 + math.Exp(-margin))
+	default:
+		score = margin
+	}
+	return margin, score
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"tpascd/internal/checkpoint"
+)
+
+func ckptBytes(t *testing.T, c checkpoint.Checkpoint) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := checkpoint.Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestLoadModelKinds(t *testing.T) {
+	w := []float32{0.5, -1, 0, 2}
+	x := []int32{0, 3}
+	v := []float32{2, 1} // margin = 0.5*2 + 2*1 = 3
+	cases := []struct {
+		kind        string
+		wantScore   float64
+		wantNegated float64 // score at the negated margin
+	}{
+		{KindRidge, 3, -3},
+		{KindElasticNet, 3, -3},
+		{KindSVM, 1, -1},
+		{KindLogistic, 1 / (1 + math.Exp(-3)), 1 / (1 + math.Exp(3))},
+	}
+	for _, tc := range cases {
+		m, err := LoadModel(ckptBytes(t, checkpoint.Checkpoint{Kind: tc.kind, Dim: 4, Vectors: [][]float32{w}}))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if m.Dim() != 4 {
+			t.Fatalf("%s: dim %d", tc.kind, m.Dim())
+		}
+		margin, score := m.Score(x, v)
+		if margin != 3 || score != tc.wantScore {
+			t.Fatalf("%s: margin %v score %v, want 3 %v", tc.kind, margin, score, tc.wantScore)
+		}
+		neg := make([]float32, len(w))
+		for i := range w {
+			neg[i] = -w[i]
+		}
+		m2, err := NewModel(tc.kind, neg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, score := m2.Score(x, v); score != tc.wantNegated {
+			t.Fatalf("%s negated: score %v, want %v", tc.kind, score, tc.wantNegated)
+		}
+	}
+}
+
+func TestLoadModelRejects(t *testing.T) {
+	// Unknown kind.
+	if _, err := LoadModel(ckptBytes(t, checkpoint.Checkpoint{Kind: "dist-r0/4", Vectors: [][]float32{{1}}})); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	// No vectors.
+	if _, err := LoadModel(ckptBytes(t, checkpoint.Checkpoint{Kind: KindRidge})); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+	// Corrupt stream.
+	if _, err := LoadModel(bytes.NewReader([]byte("not a checkpoint"))); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("corrupt: %v", err)
+	}
+}
+
+func TestModelIgnoresUnseenFeatures(t *testing.T) {
+	m, err := NewModel(KindRidge, []float32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 5 did not exist at training time: implicit zero weight.
+	margin := m.Margin([]int32{1, 5}, []float32{3, 100})
+	if margin != 6 {
+		t.Fatalf("margin %v, want 6", margin)
+	}
+}
+
+func TestLoadModelFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := checkpoint.SaveFile(path, checkpoint.Checkpoint{Kind: KindLogistic, Dim: 2, Vectors: [][]float32{{1, -1}}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindLogistic || m.Dim() != 2 {
+		t.Fatalf("loaded %+v", m)
+	}
+}

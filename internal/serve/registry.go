@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrNoModel is returned when prediction is attempted before any model has
+// been installed.
+var ErrNoModel = errors.New("serve: no model loaded")
+
+// Registry holds the live model behind an atomic.Pointer: Current is one
+// atomic load with no locks on the read path (scorers run concurrently
+// with swaps and never block each other), Set publishes a fully
+// constructed immutable *Model, so readers see either the old model or
+// the new one — never a torn mix. Versions are assigned monotonically at
+// install time.
+type Registry struct {
+	cur     atomic.Pointer[Model]
+	version atomic.Uint64
+	// swap metadata for the file watcher
+	path    string
+	modTime atomic.Int64  // last installed file's mtime, unix nanos
+	size    atomic.Int64  // and size, to catch same-timestamp rewrites
+	ino     atomic.Uint64 // and inode: atomic rename = fresh inode always
+}
+
+// NewRegistry returns an empty registry; Current is nil until the first
+// Set or LoadFile.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Current returns the live model, or nil if none is installed. The
+// returned model is immutable and remains valid (and consistent) across
+// later swaps.
+func (r *Registry) Current() *Model { return r.cur.Load() }
+
+// Version returns the version of the live model, zero if none.
+func (r *Registry) Version() uint64 {
+	if m := r.cur.Load(); m != nil {
+		return m.Version
+	}
+	return 0
+}
+
+// Set installs a model as the live version. The model is copied shallowly
+// to stamp version/load time without mutating the caller's value.
+func (r *Registry) Set(m *Model) *Model {
+	stamped := *m
+	stamped.Version = r.version.Add(1)
+	stamped.LoadedAt = time.Now()
+	r.cur.Store(&stamped)
+	return &stamped
+}
+
+// LoadFile loads a checkpoint file and installs it. The file's identity
+// (inode, mtime, size) is remembered so a subsequent Watch only reloads
+// on change.
+func (r *Registry) LoadFile(path string) (*Model, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := LoadModelFile(path)
+	if err != nil {
+		return nil, err
+	}
+	installed := r.Set(m)
+	r.path = path
+	r.modTime.Store(fi.ModTime().UnixNano())
+	r.size.Store(fi.Size())
+	r.ino.Store(inodeOf(fi))
+	return installed, nil
+}
+
+// inodeOf extracts the inode number, or 0 when the platform's Stat does
+// not expose one (detection then falls back to mtime+size alone).
+func inodeOf(fi os.FileInfo) uint64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Ino
+	}
+	return 0
+}
+
+// Watch polls the file last given to LoadFile every interval and reloads
+// it when its identity changes, so a training run's -checkpoint-every
+// output goes live without a restart. Identity is (inode, mtime, size):
+// atomic saves (temp+fsync+rename) give every rewrite a fresh inode, so
+// even back-to-back same-size saves inside the filesystem's mtime
+// granularity are detected. A change is always a complete file for the
+// same reason; if a load fails anyway the previous model stays live and
+// onError (optional) observes the failure. Watch blocks until ctx is
+// cancelled — run it in its own goroutine.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration, onError func(error)) {
+	if r.path == "" {
+		panic("serve: Watch before LoadFile")
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		fi, err := os.Stat(r.path)
+		if err != nil {
+			// Transient: the trainer may be mid-rename. Keep serving.
+			continue
+		}
+		if inodeOf(fi) == r.ino.Load() &&
+			fi.ModTime().UnixNano() == r.modTime.Load() &&
+			fi.Size() == r.size.Load() {
+			continue
+		}
+		if _, err := r.LoadFile(r.path); err != nil && onError != nil {
+			onError(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpascd/internal/checkpoint"
+)
+
+// TestRegistryConcurrentSwap is the torn-read/monotonicity check: many
+// goroutines score through the registry while a writer hot-swaps models.
+// Every model is built so that all weights share one sentinel value and
+// version parity tracks the sentinel, so a reader can detect a mixed
+// (torn) model, and each reader asserts the versions it observes never go
+// backwards. Run under -race in CI.
+func TestRegistryConcurrentSwap(t *testing.T) {
+	const dim = 64
+	reg := NewRegistry()
+	install := func(gen int) {
+		w := make([]float32, dim)
+		for i := range w {
+			w[i] = float32(gen)
+		}
+		m, err := NewModel(KindRidge, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Set(m)
+	}
+	install(0)
+
+	const readers = 8
+	const swaps = 200
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var regress atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	x := []int32{0, dim - 1}
+	v := []float32{1, 1}
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := reg.Current()
+				if m.Version < lastVersion {
+					regress.Add(1)
+					return
+				}
+				lastVersion = m.Version
+				// All weights equal ⇒ margin is 2·w0; any mix of two
+				// models' weights breaks the invariant.
+				margin := m.Margin(x, v)
+				if margin != 2*float64(m.Weights[0]) {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	for gen := 1; gen <= swaps; gen++ {
+		install(gen)
+	}
+	close(stop)
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn reads", n)
+	}
+	if n := regress.Load(); n != 0 {
+		t.Fatalf("%d version regressions", n)
+	}
+	if got := reg.Version(); got != swaps+1 {
+		t.Fatalf("final version %d, want %d", got, swaps+1)
+	}
+}
+
+func TestRegistryWatchReloads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.ckpt")
+	save := func(val float32, dim int) {
+		w := make([]float32, dim)
+		for i := range w {
+			w[i] = val
+		}
+		c := checkpoint.Checkpoint{Kind: KindRidge, Dim: dim, Vectors: [][]float32{w}}
+		if err := checkpoint.SaveFile(path, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save(1, 2)
+	reg := NewRegistry()
+	if _, err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Version() != 1 || reg.Current().Weights[0] != 1 {
+		t.Fatalf("initial load: %+v", reg.Current())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reg.Watch(ctx, time.Millisecond, func(err error) { t.Error(err) })
+	}()
+
+	// Atomic overwrite, as a trainer's -checkpoint-every would do. The
+	// new file also differs in size, so the reload triggers even on a
+	// filesystem with coarse mtime granularity.
+	save(2, 3)
+	deadline := time.After(5 * time.Second)
+	for reg.Version() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("watcher never picked up the new checkpoint")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if w := reg.Current().Weights[0]; w != 2 {
+		t.Fatalf("reloaded weights %v, want 2", w)
+	}
+	cancel()
+	<-done
+}
+
+func TestRegistryEmpty(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Current() != nil || reg.Version() != 0 {
+		t.Fatal("fresh registry not empty")
+	}
+}

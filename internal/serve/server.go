@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tpascd/internal/sparse"
+)
+
+// ServerConfig tunes the HTTP layer on top of a BatcherConfig.
+type ServerConfig struct {
+	// Batcher configures the micro-batcher (see BatcherConfig defaults).
+	Batcher BatcherConfig
+	// Deadline bounds each prediction end to end, queueing included
+	// (default 2s; negative disables).
+	Deadline time.Duration
+	// MaxBodyBytes caps the request body (default 4 MiB).
+	MaxBodyBytes int64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Deadline == 0 {
+		c.Deadline = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// Server exposes a Registry over HTTP:
+//
+//	POST /predict  — score rows; JSON body (single instance or
+//	                 {"instances": [...]}, 0-based indices) or LIBSVM
+//	                 text body (one feature line per row, 1-based)
+//	GET  /healthz  — 200 with model identity once a model is live
+//	GET  /metrics  — JSON Snapshot
+//
+// All predictions flow through the micro-batcher, so concurrent HTTP
+// requests coalesce into shared scoring batches.
+type Server struct {
+	cfg ServerConfig
+	reg *Registry
+	met *Metrics
+	bat *Batcher
+}
+
+// NewServer wires a registry into a batcher and handler set. Call Close
+// to drain the batcher on shutdown.
+func NewServer(reg *Registry, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	met := &Metrics{}
+	return &Server{cfg: cfg, reg: reg, met: met, bat: NewBatcher(reg, met, cfg.Batcher)}
+}
+
+// Registry returns the server's model registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server's metrics, shared with the batcher.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Batcher returns the server's micro-batcher (the in-process prediction
+// path; benchmarks and tests score through it directly).
+func (s *Server) Batcher() *Batcher { return s.bat }
+
+// Close drains the batcher: accepted requests finish, new ones fail.
+func (s *Server) Close() { s.bat.Close() }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// instance is one sparse row in the JSON request format, with 0-based
+// feature indices (the LIBSVM text format stays 1-based, matching its
+// file convention).
+type instance struct {
+	Indices []int32   `json:"indices"`
+	Values  []float32 `json:"values"`
+}
+
+type predictRequest struct {
+	instance
+	Instances []instance `json:"instances"`
+}
+
+// predictResponse is the /predict reply; predictions are in request
+// order.
+type predictResponse struct {
+	ModelVersion uint64       `json:"model_version"`
+	Kind         string       `json:"kind"`
+	Predictions  []Prediction `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes)
+	rows, err := parseRows(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(rows) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("no rows in request"))
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+
+	// Rows of one request are submitted concurrently so they can share a
+	// batch instead of queueing behind each other.
+	preds := make([]Prediction, len(rows))
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	wg.Add(len(rows))
+	for i := range rows {
+		go func(i int) {
+			defer wg.Done()
+			preds[i], errs[i] = s.bat.Predict(ctx, rows[i].Indices, rows[i].Values)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+	}
+
+	resp := predictResponse{Predictions: preds}
+	if m := s.reg.Current(); m != nil {
+		resp.ModelVersion = m.Version
+		resp.Kind = m.Kind
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseRows decodes the request body into validated sparse rows: JSON for
+// application/json content, LIBSVM feature lines otherwise.
+func parseRows(contentType string, body io.Reader) ([]instance, error) {
+	if strings.Contains(contentType, "json") {
+		var req predictRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("bad JSON: %w", err)
+		}
+		insts := req.Instances
+		if len(insts) == 0 {
+			insts = []instance{req.instance}
+		}
+		for i := range insts {
+			idx, val, err := sparse.NewRow(insts[i].Indices, insts[i].Values, 0)
+			if err != nil {
+				return nil, fmt.Errorf("instance %d: %w", i, err)
+			}
+			insts[i].Indices, insts[i].Values = idx, val
+		}
+		return insts, nil
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	var insts []instance
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		idx, val, err := sparse.ParseLibSVMRow(line, 0)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		insts = append(insts, instance{Indices: idx, Values: val})
+	}
+	return insts, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.reg.Current()
+	if m == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":            "ok",
+		"model_version":     m.Version,
+		"model_kind":        m.Kind,
+		"model_dim":         m.Dim(),
+		"model_age_seconds": time.Since(m.LoadedAt).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot(s.reg))
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNoModel):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tpascd/internal/checkpoint"
+	"tpascd/internal/datasets"
+	"tpascd/internal/engine"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+)
+
+// trainRidge trains a small ridge model on webspam-like data and returns
+// the primal weights and the problem.
+func trainRidge(t testing.TB, n, m, epochs int, seed uint64) ([]float32, *ridge.Problem) {
+	t.Helper()
+	a, y, err := datasets.Webspam(datasets.WebspamConfig{
+		N: n, M: m, AvgNNZPerRow: 10, Skew: 1, NoiseRate: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ridge.NewProblem(a, y, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := engine.NewSequential(ridge.NewLoss(p, perfmodel.Primal), seed)
+	for e := 0; e < epochs; e++ {
+		s.RunEpoch()
+	}
+	return append([]float32(nil), s.Model()...), p
+}
+
+// TestEndToEndTrainSaveServe is the acceptance path: train ridge, save a
+// checkpoint, serve it, and check that a prediction over HTTP matches
+// in-process Model.Score bitwise.
+func TestEndToEndTrainSaveServe(t *testing.T) {
+	const dim = 128
+	beta, _ := trainRidge(t, 512, dim, 5, 42)
+	path := filepath.Join(t.TempDir(), "ridge.ckpt")
+	if err := checkpoint.SaveFile(path, checkpoint.Checkpoint{
+		Kind: KindRidge, Dim: dim, Vectors: [][]float32{beta},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	if _, err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, ServerConfig{Batcher: BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	idxs, vals := sampleRows(t, 5, dim, 99)
+	model := reg.Current()
+	for i := range idxs {
+		// JSON body, 0-based indices.
+		body, _ := json.Marshal(map[string]any{"indices": idxs[i], "values": vals[i]})
+		resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, msg)
+		}
+		var pr predictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(pr.Predictions) != 1 {
+			t.Fatalf("%d predictions", len(pr.Predictions))
+		}
+		wantMargin, wantScore := model.Score(idxs[i], vals[i])
+		got := pr.Predictions[0]
+		if math.Float64bits(got.Margin) != math.Float64bits(wantMargin) ||
+			math.Float64bits(got.Score) != math.Float64bits(wantScore) {
+			t.Fatalf("row %d: HTTP (%x,%x) != in-process (%x,%x)", i,
+				math.Float64bits(got.Margin), math.Float64bits(got.Score),
+				math.Float64bits(wantMargin), math.Float64bits(wantScore))
+		}
+		if pr.Kind != KindRidge || got.ModelVersion != model.Version {
+			t.Fatalf("row %d: kind %q version %d", i, pr.Kind, got.ModelVersion)
+		}
+	}
+}
+
+func TestPredictLibSVMBody(t *testing.T) {
+	reg := testRegistry(t, KindRidge, []float32{1, 2, 3, 4})
+	srv := NewServer(reg, ServerConfig{Batcher: BatcherConfig{MaxWait: time.Millisecond}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two rows, 1-based indices; second line carries an ignored label.
+	body := "1:1 3:1\n-1 4:2\n"
+	resp, err := http.Post(ts.URL+"/predict", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != 2 {
+		t.Fatalf("%d predictions", len(pr.Predictions))
+	}
+	// Row 1: w[0]+w[2] = 4; row 2: 2·w[3] = 8.
+	if pr.Predictions[0].Score != 4 || pr.Predictions[1].Score != 8 {
+		t.Fatalf("scores %v %v, want 4 8", pr.Predictions[0].Score, pr.Predictions[1].Score)
+	}
+}
+
+func TestPredictBadRequests(t *testing.T) {
+	reg := testRegistry(t, KindRidge, []float32{1})
+	srv := NewServer(reg, ServerConfig{Batcher: BatcherConfig{MaxWait: time.Millisecond}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		ct, body string
+	}{
+		{"application/json", `{"indices":[1,1],"values":[1,1]}`}, // duplicate
+		{"application/json", `{"indices":[-1],"values":[1]}`},    // negative
+		{"application/json", `{"indices":[1],"values":[1,2]}`},   // mismatch
+		{"application/json", `{nope`},                            // malformed
+		{"text/plain", "1:x"},                                    // malformed value
+		{"text/plain", "\n\n"},                                   // no rows
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/predict", tc.ct, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%q: status %d, want 400", tc.body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	reg := NewRegistry()
+	srv := NewServer(reg, ServerConfig{Batcher: BatcherConfig{MaxWait: time.Millisecond}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// No model yet: unhealthy, predict 503.
+	resp, _ := http.Get(ts.URL + "/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty healthz: %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/predict", "text/plain", strings.NewReader("1:1"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict without model: %d", resp.StatusCode)
+	}
+
+	m, _ := NewModel(KindSVM, []float32{1, -1})
+	reg.Set(m)
+	resp, _ = http.Get(ts.URL + "/healthz")
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" || health["model_kind"] != KindSVM {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, health)
+	}
+
+	for i := 0; i < 10; i++ {
+		resp, _ = http.Post(ts.URL+"/predict", "text/plain", strings.NewReader("1:1"))
+		resp.Body.Close()
+	}
+	resp, _ = http.Get(ts.URL + "/metrics")
+	var snap Snapshot
+	json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if snap.Requests < 10 || snap.Batches < 1 || snap.ModelVersion != 1 || snap.ModelKind != KindSVM {
+		t.Fatalf("metrics: %+v", snap)
+	}
+	if snap.LatencyP50Ms <= 0 || snap.LatencyP99Ms < snap.LatencyP50Ms {
+		t.Fatalf("latency percentiles: %+v", snap)
+	}
+}
+
+// TestHotSwapWhileServing is the second acceptance check: a newer
+// checkpoint goes live through the watcher while HTTP requests are in
+// flight, with no dropped or failed requests and monotone versions.
+func TestHotSwapWhileServing(t *testing.T) {
+	const dim = 64
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.ckpt")
+	saveGen := func(gen int) {
+		w := make([]float32, dim)
+		for i := range w {
+			w[i] = float32(gen)
+		}
+		if err := checkpoint.SaveFile(path, checkpoint.Checkpoint{
+			Kind: KindRidge, Dim: dim, Vectors: [][]float32{w},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saveGen(1)
+
+	reg := NewRegistry()
+	if _, err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, ServerConfig{Batcher: BatcherConfig{MaxBatch: 8, MaxWait: 200 * time.Microsecond}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	watchCtx, cancelWatch := context.WithCancel(context.Background())
+	defer cancelWatch()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		reg.Watch(watchCtx, time.Millisecond, func(err error) { t.Error(err) })
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const clients = 4
+	wg.Add(clients)
+	body := `{"indices":[0,7],"values":[1,1]}`
+	for c := 0; c < clients; c++ {
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("request error during swap: %v", err)
+					return
+				}
+				var pr predictResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					t.Errorf("failed request during swap: status %d, %v", resp.StatusCode, decErr)
+					return
+				}
+				p := pr.Predictions[0]
+				if p.ModelVersion < last {
+					t.Errorf("version regressed: %d after %d", p.ModelVersion, last)
+					return
+				}
+				last = p.ModelVersion
+				// Uniform weights gen ⇒ margin 2·gen; version tracks gen.
+				if p.Margin != 2*float64(p.ModelVersion) {
+					t.Errorf("inconsistent margin %v for version %d", p.Margin, p.ModelVersion)
+					return
+				}
+			}
+		}()
+	}
+
+	for gen := 2; gen <= 10; gen++ {
+		saveGen(gen)
+		deadline := time.Now().Add(5 * time.Second)
+		for reg.Version() < uint64(gen) {
+			if time.Now().After(deadline) {
+				t.Fatalf("watcher stuck before generation %d", gen)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	cancelWatch()
+	<-watchDone
+	if reg.Version() != 10 {
+		t.Fatalf("final version %d", reg.Version())
+	}
+}

@@ -1,0 +1,90 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file constructs single sparse rows from untrusted request payloads
+// — the serving layer's input path. Unlike the batch readers above, these
+// helpers normalize as well as validate: indices may arrive unsorted and
+// are sorted in place, but duplicates and out-of-range indices are
+// rejected rather than silently merged, so a malformed request cannot
+// shift a prediction.
+
+// NewRow validates and normalizes one sparse feature vector given as
+// parallel 0-based index and value slices. The slices are taken over (and
+// may be reordered in place); on success they are sorted by index.
+// numCols > 0 bounds the indices; numCols == 0 accepts any non-negative
+// index (the scorer decides how to treat features beyond the model).
+func NewRow(idx []int32, val []float32, numCols int) ([]int32, []float32, error) {
+	if len(idx) != len(val) {
+		return nil, nil, fmt.Errorf("%w: %d indices for %d values", ErrDims, len(idx), len(val))
+	}
+	for _, j := range idx {
+		if j < 0 || (numCols > 0 && int(j) >= numCols) {
+			return nil, nil, fmt.Errorf("%w: index %d (numCols=%d)", ErrIndexRange, j, numCols)
+		}
+	}
+	if !sort.SliceIsSorted(idx, func(a, b int) bool { return idx[a] < idx[b] }) {
+		sort.Sort(&rowSorter{idx, val})
+	}
+	for k := 1; k < len(idx); k++ {
+		if idx[k] == idx[k-1] {
+			return nil, nil, fmt.Errorf("%w: duplicate index %d", ErrUnsorted, idx[k])
+		}
+	}
+	return idx, val, nil
+}
+
+type rowSorter struct {
+	idx []int32
+	val []float32
+}
+
+func (s *rowSorter) Len() int           { return len(s.idx) }
+func (s *rowSorter) Less(a, b int) bool { return s.idx[a] < s.idx[b] }
+func (s *rowSorter) Swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.val[a], s.val[b] = s.val[b], s.val[a]
+}
+
+// ParseLibSVMRow parses one LIBSVM-style feature line,
+//
+//	[label] <index>:<value> <index>:<value> ...
+//
+// with 1-based indices converted to 0-based, exactly as ReadLibSVM does
+// for whole files. A leading bare number (no colon) is accepted and
+// ignored as a label, so both raw feature lines and lines cut from a
+// training file work as prediction requests. The returned row is sorted
+// and duplicate-free (see NewRow); numCols has the same meaning as there.
+func ParseLibSVMRow(line string, numCols int) ([]int32, []float32, error) {
+	fields := strings.Fields(line)
+	if len(fields) > 0 && !strings.Contains(fields[0], ":") {
+		fields = fields[1:] // leading label
+	}
+	idx := make([]int32, 0, len(fields))
+	val := make([]float32, 0, len(fields))
+	for _, f := range fields {
+		colon := strings.IndexByte(f, ':')
+		if colon < 0 {
+			return nil, nil, fmt.Errorf("sparse: malformed feature %q", f)
+		}
+		j, err := strconv.Atoi(f[:colon])
+		if err != nil {
+			return nil, nil, fmt.Errorf("sparse: bad index %q: %w", f[:colon], err)
+		}
+		if j < 1 {
+			return nil, nil, fmt.Errorf("sparse: index %d < 1", j)
+		}
+		v, err := strconv.ParseFloat(f[colon+1:], 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sparse: bad value %q: %w", f[colon+1:], err)
+		}
+		idx = append(idx, int32(j-1))
+		val = append(val, float32(v))
+	}
+	return NewRow(idx, val, numCols)
+}

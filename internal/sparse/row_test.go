@@ -1,0 +1,67 @@
+package sparse
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewRowSortsAndValidates(t *testing.T) {
+	idx, val, err := NewRow([]int32{5, 1, 3}, []float32{50, 10, 30}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 3, 5}
+	for k := range want {
+		if idx[k] != want[k] {
+			t.Fatalf("indices not sorted: %v", idx)
+		}
+		if val[k] != float32(want[k])*10 {
+			t.Fatalf("values not reordered with indices: %v", val)
+		}
+	}
+	if _, _, err := NewRow([]int32{1, 1}, []float32{1, 2}, 0); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+	if _, _, err := NewRow([]int32{8}, []float32{1}, 8); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("out-of-range accepted: %v", err)
+	}
+	if _, _, err := NewRow([]int32{-1}, []float32{1}, 0); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("negative accepted: %v", err)
+	}
+	if _, _, err := NewRow([]int32{1, 2}, []float32{1}, 0); !errors.Is(err, ErrDims) {
+		t.Fatalf("length mismatch accepted: %v", err)
+	}
+	// numCols == 0 leaves the upper bound open.
+	if _, _, err := NewRow([]int32{1 << 20}, []float32{1}, 0); err != nil {
+		t.Fatalf("open bound rejected: %v", err)
+	}
+}
+
+func TestParseLibSVMRow(t *testing.T) {
+	// Plain feature line, unsorted, 1-based.
+	idx, val, err := ParseLibSVMRow("7:0.5 2:1.25", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 6 || val[0] != 1.25 || val[1] != 0.5 {
+		t.Fatalf("parse: %v %v", idx, val)
+	}
+	// Leading label tolerated and ignored.
+	idx, _, err = ParseLibSVMRow("-1 3:2", 0)
+	if err != nil || len(idx) != 1 || idx[0] != 2 {
+		t.Fatalf("labelled line: %v %v", idx, err)
+	}
+	// Empty line is an empty (all-zero) row.
+	idx, _, err = ParseLibSVMRow("", 0)
+	if err != nil || len(idx) != 0 {
+		t.Fatalf("empty line: %v %v", idx, err)
+	}
+	for _, bad := range []string{"1:x", "0:1", "a:1", "1:1 junk"} {
+		if _, _, err := ParseLibSVMRow(bad, 0); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	if _, _, err := ParseLibSVMRow("9:1", 8); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("bound not enforced: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package tpascd
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"tpascd/internal/checkpoint"
+	"tpascd/internal/serve"
+)
+
+// Serving: a trained model leaves the trainer as a checkpoint file and
+// goes live through this façade over internal/serve — load it into a
+// ServingModel, publish it through a ModelRegistry (lock-free hot swap),
+// and answer HTTP traffic with a PredictionServer whose micro-batcher
+// coalesces concurrent requests. See cmd/predserve for the runnable
+// server and cmd/loadgen for the matching load generator.
+
+// Checkpoint is the durable training artifact: a kind tag, the feature
+// dimension, and one or more float32 vectors, CRC-protected.
+type Checkpoint = checkpoint.Checkpoint
+
+// ErrCheckpointCorrupt reports a truncated or tampered checkpoint stream.
+var ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+
+// SaveCheckpoint writes a checkpoint to a stream.
+func SaveCheckpoint(w io.Writer, c Checkpoint) error { return checkpoint.Save(w, c) }
+
+// LoadCheckpoint reads a checkpoint; expectKind may be "" to accept any.
+func LoadCheckpoint(r io.Reader, expectKind string) (Checkpoint, error) {
+	return checkpoint.Load(r, expectKind)
+}
+
+// SaveCheckpointFile writes a checkpoint atomically (temp+fsync+rename),
+// so a concurrent watcher never observes a partial file.
+func SaveCheckpointFile(path string, c Checkpoint) error { return checkpoint.SaveFile(path, c) }
+
+// LoadCheckpointFile reads a checkpoint file; expectKind may be "".
+func LoadCheckpointFile(path, expectKind string) (Checkpoint, error) {
+	return checkpoint.LoadFile(path, expectKind)
+}
+
+// The model kinds a checkpoint may declare for serving. Trainers write
+// these through scdtrain -save; the scorer is chosen by kind (raw margin
+// for the regressions, sign for SVM, sigmoid for logistic).
+const (
+	KindRidge      = serve.KindRidge
+	KindElasticNet = serve.KindElasticNet
+	KindSVM        = serve.KindSVM
+	KindLogistic   = serve.KindLogistic
+)
+
+// ErrNoModel is returned on prediction before any model is installed.
+var ErrNoModel = serve.ErrNoModel
+
+// ServingModel is an immutable scoring snapshot of trained weights.
+type ServingModel = serve.Model
+
+// Prediction is one scored row: raw margin, kind-mapped score, and the
+// version of the model that produced it.
+type Prediction = serve.Prediction
+
+// ModelRegistry publishes the live ServingModel behind an atomic pointer:
+// reads never lock, swaps are instantaneous, versions are monotone.
+type ModelRegistry = serve.Registry
+
+// PredictionServer serves /predict, /healthz and /metrics over a
+// micro-batching scorer.
+type PredictionServer = serve.Server
+
+// ServerConfig configures a PredictionServer; BatcherConfig the
+// micro-batcher inside it (max batch, max wait, worker pool).
+type (
+	ServerConfig   = serve.ServerConfig
+	BatcherConfig  = serve.BatcherConfig
+	ServingMetrics = serve.Snapshot
+)
+
+// LoadServingModel reads a serving checkpoint from a file.
+func LoadServingModel(path string) (*ServingModel, error) { return serve.LoadModelFile(path) }
+
+// NewModelRegistry returns an empty registry; load a checkpoint into it
+// with its LoadFile method, or install an in-memory model with Set.
+func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }
+
+// NewPredictionServer builds an HTTP prediction server over the registry.
+// Use its Handler with net/http and Close to drain in-flight requests.
+func NewPredictionServer(reg *ModelRegistry, cfg ServerConfig) *PredictionServer {
+	return serve.NewServer(reg, cfg)
+}
+
+// WatchCheckpoint reloads reg's checkpoint file whenever it changes, until
+// ctx is cancelled. It blocks; run it in its own goroutine.
+func WatchCheckpoint(ctx context.Context, reg *ModelRegistry, interval time.Duration, onError func(error)) {
+	reg.Watch(ctx, interval, onError)
+}

@@ -1,0 +1,98 @@
+package tpascd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tpascd"
+)
+
+// The serving façade end to end: save a checkpoint through the root
+// package, serve it, predict over HTTP, hot-swap via WatchCheckpoint.
+func TestServingFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	save := func(w0 float32) {
+		err := tpascd.SaveCheckpointFile(path, tpascd.Checkpoint{
+			Kind: tpascd.KindLogistic, Dim: 3, Vectors: [][]float32{{w0, 1, -1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	save(2)
+
+	c, err := tpascd.LoadCheckpointFile(path, tpascd.KindLogistic)
+	if err != nil || c.Dim != 3 {
+		t.Fatalf("round trip: %+v, %v", c, err)
+	}
+	m, err := tpascd.LoadServingModel(path)
+	if err != nil || m.Kind != tpascd.KindLogistic {
+		t.Fatalf("serving model: %+v, %v", m, err)
+	}
+
+	reg := tpascd.NewModelRegistry()
+	if _, err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	srv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{
+		Batcher: tpascd.BatcherConfig{MaxWait: time.Millisecond},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		tpascd.WatchCheckpoint(ctx, reg, time.Millisecond, func(err error) { t.Error(err) })
+	}()
+
+	predict := func() tpascd.Prediction {
+		body := `{"indices":[0],"values":[1]}`
+		resp, err := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var msg bytes.Buffer
+			msg.ReadFrom(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, msg.String())
+		}
+		var pr struct {
+			Predictions []tpascd.Prediction `json:"predictions"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr.Predictions[0]
+	}
+
+	if p := predict(); p.Margin != 2 || p.ModelVersion != 1 {
+		t.Fatalf("initial prediction: %+v", p)
+	}
+
+	save(5) // hot swap through the watcher
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Version() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never installed the new checkpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := predict(); p.Margin != 5 || p.ModelVersion != 2 {
+		t.Fatalf("post-swap prediction: %+v", p)
+	}
+	cancel()
+	<-watchDone
+}
