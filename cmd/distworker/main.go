@@ -29,11 +29,22 @@
 //	distworker -rank 0 -size 4 -listen 127.0.0.1:7777 -checkpoint r0.ckpt -resume
 //	distworker -rank 1 -size 4 -addr 127.0.0.1:7777 -checkpoint r1.ckpt -resume
 //	...
+//
+// Observability: -metrics-addr serves this rank's Prometheus metrics
+// (bytes moved, dial retries, peer failures, per-collective latency
+// histograms; plus injected-fault counters under chaos). The bound
+// address is printed as "METRICS addr" — after the LISTENING line on
+// rank 0. -metrics-linger keeps the endpoint scrapeable for a grace
+// period after the rank exits, so the counters of a crashed chaos run
+// can still be collected. The -chaos-* flags inject deterministic
+// faults (see ChaosConfig) for drills and tests.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -44,6 +55,19 @@ import (
 // curRank labels every fatal diagnostic so multi-process failures are
 // attributable from the interleaved stderr of a whole cluster.
 var curRank int
+
+// lingerDur keeps the -metrics-addr endpoint scrapeable for a grace
+// period after the rank finishes or dies, so a monitor (or test) can
+// still collect the failure counters of a crashed run.
+var lingerDur time.Duration
+
+// exit lingers (if configured), then terminates with the given code.
+func exit(code int) {
+	if lingerDur > 0 {
+		time.Sleep(lingerDur)
+	}
+	os.Exit(code)
+}
 
 func main() {
 	rank := flag.Int("rank", 0, "this worker's rank in [0, size)")
@@ -63,8 +87,16 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file for this rank (atomic save every -checkpoint-every epochs)")
 	ckptEvery := flag.Int("checkpoint-every", 5, "epochs between checkpoints")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of training from scratch (all ranks must resume together)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics for this rank on this address (empty disables)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the rank finishes or fails")
+	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: probability a collective is dropped (peer appears dead)")
+	chaosDelay := flag.Float64("chaos-delay", 0, "chaos: probability a collective is delayed")
+	chaosMaxDelay := flag.Duration("chaos-max-delay", 10*time.Millisecond, "chaos: maximum injected delay")
+	chaosKillAt := flag.Int("chaos-kill-at", 0, "chaos: kill this rank on its Nth collective (0 disables)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos: fault-injection seed (defaults to -seed plus rank)")
 	flag.Parse()
 	curRank = *rank
+	lingerDur = *metricsLinger
 
 	// Validate the flag combinations up front: wrong -listen/-addr pairings
 	// used to surface only as a confusing mid-training hang or dial error.
@@ -91,6 +123,32 @@ func main() {
 	if *ckptEvery < 1 {
 		fatal(fmt.Errorf("-checkpoint-every %d (want >= 1)", *ckptEvery))
 	}
+	if *chaosDrop < 0 || *chaosDrop > 1 || *chaosDelay < 0 || *chaosDelay > 1 {
+		fatal(fmt.Errorf("chaos probabilities must be in [0,1]"))
+	}
+
+	// Observability: one registry per rank. Everything below threads it
+	// unconditionally — a nil registry hands out no-op handles — so the
+	// training path is identical whether or not metrics are exported.
+	var reg *tpascd.MetricsRegistry
+	metricsBound := ""
+	if *metricsAddr != "" {
+		reg = tpascd.NewMetricsRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", tpascd.MetricsHandler(reg))
+		go http.Serve(ln, mux)
+		metricsBound = ln.Addr().String()
+		// Workers announce the endpoint immediately (it is live during
+		// dial retries); rank 0 prints it after "LISTENING addr" so that
+		// line stays first on its stdout, which the harness parses.
+		if *rank != 0 {
+			fmt.Printf("METRICS %s\n", metricsBound)
+		}
+	}
 
 	// Identical data on every rank, from the shared seed.
 	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
@@ -115,6 +173,7 @@ func main() {
 	commCfg.CollectiveTimeout = *timeout
 	commCfg.JoinTimeout = *joinTimeout
 	commCfg.Seed = *seed
+	commCfg.Obs = reg
 
 	var comm tpascd.Comm
 	if *rank == 0 {
@@ -124,6 +183,9 @@ func main() {
 		}
 		// Workers parse this line to learn where to dial.
 		fmt.Printf("LISTENING %s\n", bound)
+		if metricsBound != "" {
+			fmt.Printf("METRICS %s\n", metricsBound)
+		}
 		comm = master
 	} else {
 		comm, err = tpascd.DialTCPConfig(*addr, *rank, *size, commCfg)
@@ -132,6 +194,25 @@ func main() {
 		}
 	}
 	defer comm.Close()
+
+	// Chaos wraps the transport, instrumentation wraps chaos: injected
+	// delays land in the latency histograms and injected kills/drops in
+	// the failure counters, exactly like organic faults would.
+	if *chaosDrop > 0 || *chaosDelay > 0 || *chaosKillAt > 0 {
+		cseed := *chaosSeed
+		if cseed == 0 {
+			cseed = *seed + uint64(*rank) + 1
+		}
+		comm = tpascd.WrapChaos(comm, tpascd.ChaosConfig{
+			Seed:      cseed,
+			KillAtOp:  *chaosKillAt,
+			DropProb:  *chaosDrop,
+			DelayProb: *chaosDelay,
+			MaxDelay:  *chaosMaxDelay,
+			Obs:       reg,
+		})
+	}
+	comm = tpascd.InstrumentComm(comm, reg)
 
 	agg := tpascd.Averaging
 	if *adaptive {
@@ -181,6 +262,9 @@ func main() {
 	}
 	// One machine-parseable result line per rank.
 	fmt.Printf("RESULT rank=%d gap=%.6e gamma=%.4f\n", *rank, gap, w.Gamma())
+	if lingerDur > 0 {
+		time.Sleep(lingerDur)
+	}
 }
 
 // saveCheckpoint persists model+epoch through checkpoint.SaveFile (atomic
@@ -204,5 +288,5 @@ func loadCheckpoint(path, kind string) (model []float32, epoch int, err error) {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "distworker: rank %d: %v\n", curRank, err)
-	os.Exit(1)
+	exit(1)
 }

@@ -19,12 +19,12 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"tpascd/internal/datasets"
+	"tpascd/internal/obs"
 )
 
 type latencyMs struct {
@@ -75,9 +75,13 @@ func main() {
 
 	type worker struct {
 		sent, ok, errs int64
-		lat            []time.Duration
 	}
 	workers := make([]worker, *concurrency)
+	// One shared latency histogram across all client goroutines — the
+	// same lock-free bucket layout and quantile estimator the server
+	// exposes on /metrics, so client- and server-side percentiles are
+	// directly comparable bucket for bucket.
+	hist := obs.NewHistogram(obs.LatencyBuckets())
 	stopAt := time.Now().Add(*duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -111,7 +115,7 @@ func main() {
 					continue
 				}
 				st.ok++
-				st.lat = append(st.lat, elapsed)
+				hist.Observe(elapsed.Seconds())
 			}
 		}(w)
 	}
@@ -124,22 +128,16 @@ func main() {
 		DurationSec: elapsed.Seconds(),
 		RowsPerReq:  *rowsPerReq,
 	}
-	var all []time.Duration
 	for i := range workers {
 		rep.Sent += workers[i].sent
 		rep.OK += workers[i].ok
 		rep.Errors += workers[i].errs
-		all = append(all, workers[i].lat...)
 	}
 	rep.QPS = float64(rep.OK) / elapsed.Seconds()
 	rep.RowsPerSec = rep.QPS * float64(*rowsPerReq)
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	if len(all) > 0 {
-		q := func(p float64) float64 {
-			i := int(p * float64(len(all)-1))
-			return float64(all[i]) / float64(time.Millisecond)
-		}
-		rep.Latency = latencyMs{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: q(1)}
+	if hist.Count() > 0 {
+		q := func(p float64) float64 { return 1000 * hist.Quantile(p) }
+		rep.Latency = latencyMs{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: 1000 * hist.Max()}
 	}
 
 	enc, _ := json.MarshalIndent(rep, "", "  ")

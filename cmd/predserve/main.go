@@ -8,7 +8,10 @@
 //	               JSON {"instances":[...]} batch of the same, or a
 //	               text/plain body of LIBSVM lines (1-based indices)
 //	GET  /healthz  model identity, 503 until a model is live
-//	GET  /metrics  request/batch counters and latency percentiles, JSON
+//	GET  /metrics  request/batch counters and latency histograms,
+//	               Prometheus text exposition
+//	GET  /metrics.json  the same registry as a JSON snapshot with
+//	               derived latency percentiles
 //
 // Usage:
 //

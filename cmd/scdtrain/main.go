@@ -6,6 +6,11 @@
 //
 //	scdtrain -data train.svm -solver tpa-scd -gpu titanx -form dual -epochs 20
 //	scdtrain -data train.svm -solver wild -threads 16 -lambda 0.001
+//
+// With -trace-jsonl FILE every epoch is additionally appended to FILE as
+// one JSON object (span name, timestamp, numeric fields: gap or
+// objective, work counters) — machine-readable convergence traces for
+// offline analysis, for every objective.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	modelOut := flag.String("model", "", "write the final model weights, one per line (optional)")
 	savePath := flag.String("save", "", "write the final model as a serving checkpoint for cmd/predserve (optional)")
+	traceOut := flag.String("trace-jsonl", "", "append one JSON span per epoch to this file (optional)")
 	flag.Parse()
 
 	if *dataPath == "" {
@@ -51,17 +57,20 @@ func main() {
 	}
 	fmt.Printf("loaded %d examples × %d features (%d non-zeros), λ=%g\n", p.N, p.M, p.A.NNZ(), p.Lambda)
 
+	tracer, flushTrace := newTracer(*traceOut)
+	defer flushTrace()
+
 	switch *objective {
 	case "ridge":
 		// handled below
 	case "elasticnet":
-		trainElasticNet(p, *alpha, *epochs, *seed, *modelOut, *savePath)
+		trainElasticNet(p, *alpha, *epochs, *seed, *modelOut, *savePath, tracer)
 		return
 	case "svm":
-		trainSVM(p, *epochs, *seed, *savePath)
+		trainSVM(p, *epochs, *seed, *savePath, tracer)
 		return
 	case "logistic":
-		trainLogistic(p, *epochs, *seed, *savePath)
+		trainLogistic(p, *epochs, *seed, *savePath, tracer)
 		return
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
@@ -110,7 +119,7 @@ func main() {
 	ran, gap := tpascd.Train(solver, *epochs, func(e int, g float64) bool {
 		fmt.Printf("epoch %3d  duality gap %.6e\n", e, g)
 		return *target <= 0 || g > *target
-	})
+	}, tpascd.EpochSpanHook(tracer, "scdtrain.epoch"))
 	fmt.Printf("done: %d epochs, final gap %.6e, wall clock %s\n", ran, gap, time.Since(start).Round(time.Millisecond))
 
 	if *modelOut != "" {
@@ -152,7 +161,7 @@ func saveServing(path, kind string, weights []float32) {
 	fmt.Printf("wrote %s serving checkpoint to %s\n", kind, path)
 }
 
-func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, modelOut, savePath string) {
+func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, modelOut, savePath string, tracer *tpascd.Tracer) {
 	en, err := tpascd.NewElasticNetProblem(p, alpha)
 	if err != nil {
 		fatal(err)
@@ -161,8 +170,10 @@ func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, 
 	fmt.Printf("training elastic net (α=%g)\n", alpha)
 	for e := 1; e <= epochs; e++ {
 		solver.RunEpoch()
-		fmt.Printf("epoch %3d  objective %.6e  KKT violation %.3e\n",
-			e, solver.Objective(), en.OptimalityViolation(solver.Model()))
+		obj, viol := solver.Objective(), en.OptimalityViolation(solver.Model())
+		fmt.Printf("epoch %3d  objective %.6e  KKT violation %.3e\n", e, obj, viol)
+		tracer.Emit("scdtrain.epoch", time.Now(), 0,
+			tpascd.TraceF("epoch", float64(e)), tpascd.TraceF("objective", obj), tpascd.TraceF("kkt", viol))
 	}
 	beta := solver.Model()
 	nnz := 0
@@ -189,7 +200,7 @@ func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, 
 	}
 }
 
-func trainSVM(p *tpascd.Problem, epochs int, seed uint64, savePath string) {
+func trainSVM(p *tpascd.Problem, epochs int, seed uint64, savePath string, tracer *tpascd.Tracer) {
 	sp, err := tpascd.NewSVMProblem(p.A, p.Y, p.Lambda)
 	if err != nil {
 		fatal(fmt.Errorf("svm needs ±1 labels: %w", err))
@@ -198,8 +209,10 @@ func trainSVM(p *tpascd.Problem, epochs int, seed uint64, savePath string) {
 	fmt.Println("training SVM via SDCA")
 	for e := 1; e <= epochs; e++ {
 		solver.RunEpoch()
-		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n",
-			e, solver.Gap(), 100*solver.Accuracy())
+		gap, acc := solver.Gap(), solver.Accuracy()
+		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n", e, gap, 100*acc)
+		tracer.Emit("scdtrain.epoch", time.Now(), 0,
+			tpascd.TraceF("epoch", float64(e)), tpascd.TraceF("gap", gap), tpascd.TraceF("accuracy", acc))
 	}
 	if savePath != "" {
 		// SDCA iterates in the dual; serving wants the induced primal
@@ -208,7 +221,7 @@ func trainSVM(p *tpascd.Problem, epochs int, seed uint64, savePath string) {
 	}
 }
 
-func trainLogistic(p *tpascd.Problem, epochs int, seed uint64, savePath string) {
+func trainLogistic(p *tpascd.Problem, epochs int, seed uint64, savePath string, tracer *tpascd.Tracer) {
 	lp, err := tpascd.NewLogisticProblem(p.A, p.Y, p.Lambda)
 	if err != nil {
 		fatal(fmt.Errorf("logistic needs ±1 labels: %w", err))
@@ -217,11 +230,34 @@ func trainLogistic(p *tpascd.Problem, epochs int, seed uint64, savePath string) 
 	fmt.Println("training logistic regression via SDCA")
 	for e := 1; e <= epochs; e++ {
 		solver.RunEpoch()
-		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n",
-			e, solver.Gap(), 100*solver.Accuracy())
+		gap, acc := solver.Gap(), solver.Accuracy()
+		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n", e, gap, 100*acc)
+		tracer.Emit("scdtrain.epoch", time.Now(), 0,
+			tpascd.TraceF("epoch", float64(e)), tpascd.TraceF("gap", gap), tpascd.TraceF("accuracy", acc))
 	}
 	if savePath != "" {
 		saveServing(savePath, tpascd.KindLogistic, lp.SharedFromAlpha(solver.Model()))
+	}
+}
+
+// newTracer opens path as a JSONL trace sink; an empty path yields a nil
+// (disabled) tracer and a no-op flush, so callers emit unconditionally.
+func newTracer(path string) (*tpascd.Tracer, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	sink := tpascd.NewJSONLSink(f)
+	return tpascd.NewTracer(sink), func() {
+		if err := sink.Flush(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tpascd/internal/obs"
 	"tpascd/internal/rng"
 )
 
@@ -40,13 +41,24 @@ type ChaosConfig struct {
 	// network jitter without breaking correctness.
 	DelayProb float64
 	MaxDelay  time.Duration
+	// Obs counts every injected fault into
+	// cluster_chaos_injected_total{fault="kill"|"drop"|"delay"|"truncate"}
+	// and the fatal ones (kill, drop) into cluster_peer_failures_total,
+	// so a chaos run's exposition proves which faults actually fired.
+	// nil disables recording.
+	Obs *obs.Registry
 }
 
 // Chaos wraps comm with deterministic fault injection as configured. The
 // wrapper is transport-agnostic; tests use it over InProc so every failure
 // mode of the distributed path is exercisable in-process and under -race.
 func Chaos(comm Comm, cfg ChaosConfig) Comm {
-	return &chaosComm{Comm: comm, cfg: cfg, rng: rng.New(cfg.Seed)}
+	c := &chaosComm{Comm: comm, cfg: cfg, rng: rng.New(cfg.Seed), injected: make(map[string]*obs.Counter, 4)}
+	for _, fault := range []string{"kill", "drop", "delay", "truncate"} {
+		c.injected[fault] = cfg.Obs.Counter(metricChaosInject + `{fault="` + fault + `"}`)
+	}
+	c.peerFailures = cfg.Obs.Counter(metricPeerFailures)
+	return c
 }
 
 type chaosComm struct {
@@ -54,6 +66,9 @@ type chaosComm struct {
 	cfg ChaosConfig
 	rng *rng.Xoshiro256
 	op  int
+
+	injected     map[string]*obs.Counter
+	peerFailures *obs.Counter
 }
 
 // inject applies the kill/drop/delay faults due at this call; it returns
@@ -63,13 +78,18 @@ func (c *chaosComm) inject(op string) error {
 	n := c.op
 	if c.cfg.KillAtOp > 0 && n >= c.cfg.KillAtOp {
 		c.Comm.Close()
+		c.injected["kill"].Inc()
+		c.peerFailures.Inc()
 		return &ErrPeerDown{Rank: c.Rank(), Op: op, Err: fmt.Errorf("chaos: rank killed at op %d", n)}
 	}
 	if c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb {
 		c.Comm.Close()
+		c.injected["drop"].Inc()
+		c.peerFailures.Inc()
 		return &ErrPeerDown{Rank: c.Rank(), Op: op, Err: fmt.Errorf("chaos: message dropped at op %d", n)}
 	}
 	if c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb {
+		c.injected["delay"].Inc()
 		time.Sleep(time.Duration(c.rng.Float64() * float64(c.cfg.MaxDelay)))
 	}
 	return nil
@@ -77,7 +97,11 @@ func (c *chaosComm) inject(op string) error {
 
 // chop reports whether this call's payload should be truncated.
 func (c *chaosComm) chop() bool {
-	return c.cfg.TruncateProb > 0 && c.rng.Float64() < c.cfg.TruncateProb
+	if c.cfg.TruncateProb > 0 && c.rng.Float64() < c.cfg.TruncateProb {
+		c.injected["truncate"].Inc()
+		return true
+	}
+	return false
 }
 
 func (c *chaosComm) Broadcast(buf []float32, root int) error {

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tpascd/internal/obs"
 )
 
 // runAll executes fn on every rank concurrently and returns the per-rank
@@ -144,6 +146,81 @@ func TestChaosDelayPreservesResults(t *testing.T) {
 				t.Fatalf("rank %d sum = %v, want 3", r, outs[r][0])
 			}
 		}
+	}
+}
+
+// An injected drop is provable from the metrics alone: the chaos wrapper
+// counts the drop and the peer failure, and the Instrument wrapper counts
+// the failed collective while still timing it.
+func TestChaosDropIncrementsCounters(t *testing.T) {
+	comms, err := InProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	comms[1] = Instrument(Chaos(comms[1], ChaosConfig{Seed: 7, DropProb: 1, Obs: reg}), reg)
+	errs := runAll(comms, func(c Comm) error {
+		return c.Allreduce(make([]float32, 4), make([]float32, 4))
+	})
+	wantPeerDown(t, errs[1], 1, "allreduce")
+	for name, want := range map[string]int64{
+		metricChaosInject + `{fault="drop"}`: 1,
+		metricPeerFailures:                   1,
+		metricCollErrors:                     1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if n := latHist(reg, "allreduce").Count(); n != 1 {
+		t.Fatalf("failed collective not timed: latency count %d, want 1", n)
+	}
+}
+
+// Injected delays are counted and visibly widen the collective-latency
+// histogram relative to an undelayed run of the same collectives.
+func TestChaosDelayWidensLatencyHistogram(t *testing.T) {
+	const rounds = 4
+	run := func(withDelay bool) *obs.Registry {
+		reg := obs.NewRegistry()
+		comms, err := InProc(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range comms {
+			c := comms[r]
+			if withDelay {
+				c = Chaos(c, ChaosConfig{Seed: uint64(r) + 1, DelayProb: 1, MaxDelay: 5 * time.Millisecond, Obs: reg})
+			}
+			comms[r] = Instrument(c, reg)
+		}
+		for i := 0; i < rounds; i++ {
+			errs := runAll(comms, func(c Comm) error {
+				out := make([]float32, 1)
+				return c.Allreduce([]float32{1}, out)
+			})
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d round %d: %v", r, i, err)
+				}
+			}
+		}
+		return reg
+	}
+	base, delayed := run(false), run(true)
+	if n := delayed.Counter(metricChaosInject + `{fault="delay"}`).Value(); n != 2*rounds {
+		t.Fatalf("delay injections = %d, want %d (every op on both ranks)", n, 2*rounds)
+	}
+	hBase, hDelayed := latHist(base, "allreduce"), latHist(delayed, "allreduce")
+	if hBase.Count() != 2*rounds || hDelayed.Count() != 2*rounds {
+		t.Fatalf("latency counts %d/%d, want %d", hBase.Count(), hDelayed.Count(), 2*rounds)
+	}
+	if hDelayed.Sum() <= hBase.Sum() {
+		t.Fatalf("injected delays did not widen the histogram: delayed sum %v <= base sum %v",
+			hDelayed.Sum(), hBase.Sum())
+	}
+	if hDelayed.Max() < 500e-6 {
+		t.Fatalf("max delayed latency %v suspiciously small for 5ms max delay", hDelayed.Max())
 	}
 }
 

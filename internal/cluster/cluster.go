@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"tpascd/internal/obs"
 )
 
 // Comm is the per-worker handle to a collective communication group.
@@ -106,6 +108,9 @@ type Config struct {
 	// Seed drives the dial-backoff jitter (mixed with the rank so workers
 	// sharing a seed do not retry in lockstep).
 	Seed uint64
+	// Obs receives the transport counters (bytes sent/received, dial
+	// retries, peer failures). nil disables recording at zero cost.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the production defaults: collectives detect a

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+// Metric names the cluster layer registers. Latency histograms use
+// obs.LatencyBuckets so collective latencies, serving latencies and
+// load-generator latencies are all comparable bucket for bucket.
+const (
+	metricBytesSent    = "cluster_bytes_sent_total"
+	metricBytesRecv    = "cluster_bytes_recv_total"
+	metricDialRetries  = "cluster_dial_retries_total"
+	metricPeerFailures = "cluster_peer_failures_total"
+	metricCollErrors   = "cluster_collective_errors_total"
+	metricCollLatency  = "cluster_collective_latency_seconds"
+	metricChaosInject  = "cluster_chaos_injected_total"
+)
+
+// commMetrics are the transport-level counters a tcpComm reports into.
+// Built from a nil registry every handle is nil and recording is free,
+// so the transport threads metrics unconditionally.
+type commMetrics struct {
+	bytesSent    *obs.Counter
+	bytesRecv    *obs.Counter
+	dialRetries  *obs.Counter
+	peerFailures *obs.Counter
+}
+
+func newCommMetrics(reg *obs.Registry) *commMetrics {
+	return &commMetrics{
+		bytesSent:    reg.Counter(metricBytesSent),
+		bytesRecv:    reg.Counter(metricBytesRecv),
+		dialRetries:  reg.Counter(metricDialRetries),
+		peerFailures: reg.Counter(metricPeerFailures),
+	}
+}
+
+// collectiveOps is every op label a Comm can record under.
+var collectiveOps = []string{"broadcast", "reduce", "allreduce", "allreduce-scalars", "barrier"}
+
+// Instrument wraps comm so every collective records its wall-clock
+// latency into cluster_collective_latency_seconds{op="..."} and every
+// failed collective increments cluster_collective_errors_total. Wrap the
+// outermost communicator — Instrument(Chaos(tcp)) times the injected
+// delays and failures a caller actually experiences. A nil registry
+// returns comm unwrapped.
+func Instrument(comm Comm, reg *obs.Registry) Comm {
+	if comm == nil || reg == nil {
+		return comm
+	}
+	ic := &instrComm{Comm: comm, lat: make(map[string]*obs.Histogram, len(collectiveOps))}
+	for _, op := range collectiveOps {
+		ic.lat[op] = reg.Histogram(metricCollLatency+`{op="`+op+`"}`, obs.LatencyBuckets())
+	}
+	ic.errs = reg.Counter(metricCollErrors)
+	return ic
+}
+
+type instrComm struct {
+	Comm
+	lat  map[string]*obs.Histogram
+	errs *obs.Counter
+}
+
+func (c *instrComm) observe(op string, start time.Time, err error) error {
+	c.lat[op].Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.errs.Inc()
+	}
+	return err
+}
+
+func (c *instrComm) Broadcast(buf []float32, root int) error {
+	start := time.Now()
+	return c.observe("broadcast", start, c.Comm.Broadcast(buf, root))
+}
+
+func (c *instrComm) Reduce(in, out []float32, root int) error {
+	start := time.Now()
+	return c.observe("reduce", start, c.Comm.Reduce(in, out, root))
+}
+
+func (c *instrComm) Allreduce(in, out []float32) error {
+	start := time.Now()
+	return c.observe("allreduce", start, c.Comm.Allreduce(in, out))
+}
+
+func (c *instrComm) AllreduceScalars(vals []float64) ([]float64, error) {
+	start := time.Now()
+	out, err := c.Comm.AllreduceScalars(vals)
+	return out, c.observe("allreduce-scalars", start, err)
+}
+
+func (c *instrComm) Barrier() error {
+	start := time.Now()
+	return c.observe("barrier", start, c.Comm.Barrier())
+}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+func latHist(reg *obs.Registry, op string) *obs.Histogram {
+	return reg.Histogram(metricCollLatency+`{op="`+op+`"}`, obs.LatencyBuckets())
+}
+
+// Instrument must time every collective on every wrapped rank and leave
+// the error counter untouched on clean runs.
+func TestInstrumentRecordsCollectives(t *testing.T) {
+	reg := obs.NewRegistry()
+	comms, err := InProc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range comms {
+		comms[r] = Instrument(comms[r], reg)
+	}
+	runGroup(t, comms, func(c Comm) error {
+		out := make([]float32, 2)
+		if err := c.Allreduce([]float32{1, 2}, out); err != nil {
+			return err
+		}
+		if _, err := c.AllreduceScalars([]float64{1}); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	for _, op := range []string{"allreduce", "allreduce-scalars", "barrier"} {
+		if n := latHist(reg, op).Count(); n != 3 {
+			t.Fatalf("%s latency count = %d, want 3 (one per rank)", op, n)
+		}
+	}
+	if n := reg.Counter(metricCollErrors).Value(); n != 0 {
+		t.Fatalf("clean run recorded %d collective errors", n)
+	}
+	if n := latHist(reg, "reduce").Count(); n != 0 {
+		t.Fatalf("reduce was never called but has %d observations", n)
+	}
+}
+
+// A nil registry must pass the communicator through unwrapped.
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	comms, err := InProc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Instrument(comms[0], nil); got != comms[0] {
+		t.Fatalf("Instrument with nil registry wrapped the comm: %T", got)
+	}
+}
+
+// The TCP transport counts wire bytes both ways, dial retries while the
+// master is not yet listening, and peer failures once the peer dies.
+func TestTCPCountsBytesRetriesAndFailures(t *testing.T) {
+	masterReg, workerReg := obs.NewRegistry(), obs.NewRegistry()
+	addr := reservePort(t)
+
+	wcfg := DefaultConfig()
+	wcfg.JoinTimeout = 10 * time.Second
+	wcfg.DialBackoff = 5 * time.Millisecond
+	wcfg.CollectiveTimeout = 2 * time.Second
+	wcfg.Obs = workerReg
+
+	workerCh := make(chan Comm, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := DialTCPConfig(addr, 1, 2, wcfg)
+		workerCh <- c
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the worker rack up dial retries
+
+	mcfg := DefaultConfig()
+	mcfg.CollectiveTimeout = 2 * time.Second
+	mcfg.Obs = masterReg
+	master, _, err := ListenTCPConfig(addr, 2, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	worker := <-workerCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	if n := workerReg.Counter(metricDialRetries).Value(); n == 0 {
+		t.Fatal("worker dialed a missing master but counted no retries")
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		out := make([]float32, 4)
+		done <- worker.Allreduce(make([]float32, 4), out)
+	}()
+	out := make([]float32, 4)
+	if err := master.Allreduce(make([]float32, 4), out); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for name, reg := range map[string]*obs.Registry{"master": masterReg, "worker": workerReg} {
+		if s := reg.Counter(metricBytesSent).Value(); s == 0 {
+			t.Fatalf("%s sent 0 bytes after an allreduce", name)
+		}
+		if r := reg.Counter(metricBytesRecv).Value(); r == 0 {
+			t.Fatalf("%s received 0 bytes after an allreduce", name)
+		}
+	}
+
+	// Kill the worker: the master's next collective attributes the failure
+	// to the peer and counts it.
+	worker.Close()
+	if err := master.Barrier(); err == nil {
+		t.Fatal("barrier against a dead worker succeeded")
+	}
+	if n := masterReg.Counter(metricPeerFailures).Value(); n == 0 {
+		t.Fatal("master saw a dead peer but counted no peer failures")
+	}
+}

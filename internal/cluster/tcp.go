@@ -128,11 +128,15 @@ type peer struct {
 	r       *bufio.Reader
 	w       *bufio.Writer
 	scratch []byte
+	met     *commMetrics
 }
 
-func newPeer(conn net.Conn, rank int) *peer {
-	return &peer{rank: rank, conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16)}
+func newPeer(conn net.Conn, rank int, met *commMetrics) *peer {
+	return &peer{rank: rank, conn: conn, r: bufio.NewReaderSize(conn, 1<<16), w: bufio.NewWriterSize(conn, 1<<16), met: met}
 }
+
+// frameBytes is the wire size of a frame of n elements.
+func frameBytes(n, esize int) int64 { return int64(5 + n*esize) }
 
 func deadlineFrom(timeout time.Duration) time.Time {
 	if timeout <= 0 {
@@ -144,13 +148,29 @@ func deadlineFrom(timeout time.Duration) time.Time {
 // send writes one frame under a write deadline (0 = none).
 func (p *peer) send(timeout time.Duration, kind byte, f32 []float32, f64 []float64) error {
 	p.conn.SetWriteDeadline(deadlineFrom(timeout))
-	return writeFrame(p.w, kind, f32, f64)
+	err := writeFrame(p.w, kind, f32, f64)
+	if err == nil && p.met != nil {
+		if f64 != nil {
+			p.met.bytesSent.Add(frameBytes(len(f64), 8))
+		} else {
+			p.met.bytesSent.Add(frameBytes(len(f32), 4))
+		}
+	}
+	return err
 }
 
 // recv reads one frame under a read deadline (0 = none).
 func (p *peer) recv(timeout time.Duration, wantKind byte, f32 []float32, f64 []float64) (int, error) {
 	p.conn.SetReadDeadline(deadlineFrom(timeout))
-	return readFrame(p.r, &p.scratch, wantKind, f32, f64)
+	n, err := readFrame(p.r, &p.scratch, wantKind, f32, f64)
+	if err == nil && p.met != nil {
+		esize := 4
+		if f64 != nil {
+			esize = 8
+		}
+		p.met.bytesRecv.Add(frameBytes(n, esize))
+	}
+	return n, err
 }
 
 // tcpComm implements Comm over a master/worker star.
@@ -174,14 +194,19 @@ type tcpComm struct {
 	// are sequential per rank, as in MPI).
 	tmp32 []float32
 	tmp64 []float64
+
+	met *commMetrics
 }
 
 // peerDown attributes a transport failure to the peer rank, unless the
-// communicator itself was closed locally.
+// communicator itself was closed locally. Attributed failures count into
+// cluster_peer_failures_total (a local close does not — that is shutdown,
+// not a peer fault).
 func (c *tcpComm) peerDown(rank int, op string, err error) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
+	c.met.peerFailures.Inc()
 	return &ErrPeerDown{Rank: rank, Op: op, Err: err}
 }
 
@@ -227,7 +252,7 @@ func ListenTCPConfig(addr string, size int, cfg Config) (Comm, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	c := &tcpComm{rank: 0, size: size, cfg: cfg, peers: make([]*peer, size-1), ln: ln}
+	c := &tcpComm{rank: 0, size: size, cfg: cfg, peers: make([]*peer, size-1), ln: ln, met: newCommMetrics(cfg.Obs)}
 	bound := ln.Addr().String()
 	if size == 1 {
 		ln.Close()
@@ -243,7 +268,7 @@ func ListenTCPConfig(addr string, size int, cfg Config) (Comm, string, error) {
 				c.acceptErr = err
 				return
 			}
-			p := newPeer(conn, -1)
+			p := newPeer(conn, -1, c.met)
 			// The hello frame carries the worker's rank as a single
 			// float32; the handshake read is bounded by the join deadline
 			// so a silent client cannot wedge the acceptor.
@@ -296,6 +321,7 @@ func DialTCPConfig(addr string, rank, size int, cfg Config) (Comm, error) {
 	if cfg.JoinTimeout > 0 {
 		deadline = time.Now().Add(cfg.JoinTimeout)
 	}
+	met := newCommMetrics(cfg.Obs)
 	jitter := rng.New(cfg.Seed ^ uint64(rank)*0x9e3779b97f4a7c15)
 	for attempt := 1; ; attempt++ {
 		to := attemptTimeout
@@ -310,16 +336,17 @@ func DialTCPConfig(addr string, rank, size int, cfg Config) (Comm, error) {
 		}
 		conn, err := net.DialTimeout("tcp", addr, to)
 		if err == nil {
-			p := newPeer(conn, 0)
+			p := newPeer(conn, 0, met)
 			if err := p.send(cfg.CollectiveTimeout, kindHello, []float32{float32(rank)}, nil); err != nil {
 				conn.Close()
 				return nil, err
 			}
-			return &tcpComm{rank: rank, size: size, cfg: cfg, master: p}, nil
+			return &tcpComm{rank: rank, size: size, cfg: cfg, master: p, met: met}, nil
 		}
 		if deadline.IsZero() {
 			return nil, err
 		}
+		met.dialRetries.Inc()
 		// Exponential backoff with up to 50% jitter, clipped to the
 		// remaining join budget.
 		sleep := backoff + time.Duration(jitter.Float64()*float64(backoff)/2)

@@ -115,7 +115,7 @@ func TestMasterRejectsBadRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := newPeer(conn, 99)
+	p := newPeer(conn, 99, nil)
 	if err := writeFrame(p.w, kindHello, []float32{99}, nil); err != nil {
 		t.Fatal(err)
 	}

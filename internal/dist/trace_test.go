@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"testing"
+
+	"tpascd/internal/obs"
+	"tpascd/internal/perfmodel"
+)
+
+// Every synchronous round must emit one "dist.round" span per rank whose
+// gamma field matches the worker's applied aggregation parameter, and
+// every collective Gap() one "dist.gap" span carrying the global gap.
+func TestRoundSpansCarryGammaAndGap(t *testing.T) {
+	p := testProblem(t, 11, 120, 40, 6, 0.01)
+	sink := obs.NewRingSink(256)
+	cfg := defaultConfig(Adaptive)
+	cfg.Trace = obs.NewTracer(sink)
+	const k, epochs = 2, 3
+	g, err := NewCPUGroup(p, perfmodel.Primal, k, Sequential, 1, perfmodel.CPUSequential, cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for e := 0; e < epochs; e++ {
+		if _, err := g.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gap, err := g.Gap()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rounds, gaps int
+	for _, ev := range sink.Events() {
+		switch ev.Name {
+		case "dist.round":
+			rounds++
+			if gamma, ok := ev.Field("gamma"); !ok || gamma == 0 {
+				t.Fatalf("round span without gamma: %+v", ev)
+			}
+			if sec, ok := ev.Field("seconds"); !ok || sec <= 0 {
+				t.Fatalf("round span without modeled seconds: %+v", ev)
+			}
+			if ep, ok := ev.Field("epoch"); !ok || ep < 1 || ep > epochs {
+				t.Fatalf("round span with epoch %v", ep)
+			}
+		case "dist.gap":
+			gaps++
+			if got, ok := ev.Field("gap"); !ok || got != gap {
+				t.Fatalf("gap span field %v, want %v", got, gap)
+			}
+		default:
+			t.Fatalf("unexpected span %q", ev.Name)
+		}
+	}
+	if rounds != k*epochs {
+		t.Fatalf("%d round spans, want %d (K ranks x epochs)", rounds, k*epochs)
+	}
+	if gaps != k {
+		t.Fatalf("%d gap spans, want %d (one per rank)", gaps, k)
+	}
+
+	// The last round's gamma field must match the worker's accessor.
+	evs := sink.Events()
+	var lastGamma float64
+	for _, ev := range evs {
+		if ev.Name == "dist.round" {
+			lastGamma, _ = ev.Field("gamma")
+		}
+	}
+	if lastGamma != g.Gamma() {
+		t.Fatalf("span gamma %v != worker gamma %v", lastGamma, g.Gamma())
+	}
+}

@@ -3,9 +3,11 @@ package dist
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"tpascd/internal/cluster"
 	"tpascd/internal/coords"
+	"tpascd/internal/obs"
 	"tpascd/internal/perfmodel"
 )
 
@@ -64,6 +66,10 @@ type Config struct {
 	// fault injection (cluster.Chaos) in the robustness tests. Honoured
 	// by the in-process Group constructors.
 	WrapComm func(cluster.Comm) cluster.Comm
+	// Trace receives one "dist.round" span per synchronous round (epoch,
+	// aggregation γ, modeled seconds, wall-clock duration) and one
+	// "dist.gap" span per collective gap evaluation. nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // hostVectorOpSeconds applies the configured host rate.
@@ -192,6 +198,7 @@ func (w *Worker) ResumeFrom(model []float32, epoch int) error {
 // re-broadcast. It returns the modeled time breakdown of the round.
 func (w *Worker) RunEpoch() (perfmodel.Breakdown, error) {
 	var bd perfmodel.Breakdown
+	start := time.Now()
 	copy(w.prevModel, w.model)
 	copy(w.prevShared, w.shared)
 
@@ -257,6 +264,12 @@ func (w *Worker) RunEpoch() (perfmodel.Breakdown, error) {
 	}
 	bd.HostComp += w.cfg.hostVectorOpSeconds(w.view.SharedLen, 4)
 	w.epoch++
+	w.cfg.Trace.Emit("dist.round", start, time.Since(start),
+		obs.F("rank", float64(w.comm.Rank())),
+		obs.F("epoch", float64(w.epoch)),
+		obs.F("gamma", w.gamma),
+		obs.F("seconds", bd.Total()),
+	)
 	return bd, nil
 }
 
@@ -356,6 +369,19 @@ func (w *Worker) allreduceMax(vals []float64) ([]float64, error) {
 // how a real distributed implementation evaluates convergence without
 // materializing the model on one node.
 func (w *Worker) Gap() (float64, error) {
+	start := time.Now()
+	gap, err := w.computeGap()
+	if err == nil {
+		w.cfg.Trace.Emit("dist.gap", start, time.Since(start),
+			obs.F("rank", float64(w.comm.Rank())),
+			obs.F("epoch", float64(w.epoch)),
+			obs.F("gap", gap),
+		)
+	}
+	return gap, err
+}
+
+func (w *Worker) computeGap() (float64, error) {
 	v := w.view
 	N := float64(v.NGlobal)
 	lambda := v.Lambda

@@ -1,0 +1,77 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tpascd/internal/engine"
+	"tpascd/internal/obs"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/trace"
+)
+
+// TraceHook is now a SpanHook over a SeriesSink; the recorded trajectory
+// must be bitwise identical to a directly-appended one from the same run.
+func TestTraceHookMatchesDirectSeries(t *testing.T) {
+	p := testProblem(t, 5, 150, 80, 6, 0.01)
+
+	var viaHook trace.Series
+	s1 := newSeq(p, perfmodel.Primal, 42)
+	engine.Train(s1, 10, 0.5, nil, engine.TraceHook(&viaHook))
+
+	var direct trace.Series
+	s2 := newSeq(p, perfmodel.Primal, 42)
+	engine.Train(s2, 10, 0.5, nil, func(ev engine.EpochEvent) {
+		direct.Append(trace.Point{Epoch: ev.Epoch, Seconds: ev.Seconds, Gap: ev.Gap})
+	})
+
+	if len(viaHook.Points) != len(direct.Points) {
+		t.Fatalf("point counts %d vs %d", len(viaHook.Points), len(direct.Points))
+	}
+	for i := range direct.Points {
+		a, b := viaHook.Points[i], direct.Points[i]
+		if a.Epoch != b.Epoch ||
+			math.Float64bits(a.Seconds) != math.Float64bits(b.Seconds) ||
+			math.Float64bits(a.Gap) != math.Float64bits(b.Gap) ||
+			a.Gamma != 0 {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// SpanHook must carry the full epoch event into any sink, and a disabled
+// tracer must yield a hook that records nothing.
+func TestSpanHookEmitsEpochFields(t *testing.T) {
+	p := testProblem(t, 6, 100, 60, 5, 0.02)
+	sink := obs.NewRingSink(16)
+	s := newSeq(p, perfmodel.Dual, 7)
+	engine.Train(s, 3, 0.25, nil, engine.SpanHook(obs.NewTracer(sink), "engine.epoch"))
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d spans, want 3", len(evs))
+	}
+	last := evs[2]
+	if last.Name != "engine.epoch" {
+		t.Fatalf("span name %q", last.Name)
+	}
+	if ep, _ := last.Field("epoch"); ep != 3 {
+		t.Fatalf("epoch field %v", ep)
+	}
+	if sec, _ := last.Field("seconds"); sec != 0.75 {
+		t.Fatalf("seconds field %v", sec)
+	}
+	if gap, ok := last.Field("gap"); !ok || gap != s.Gap() {
+		t.Fatalf("gap field %v, want %v", gap, s.Gap())
+	}
+	if nnz, ok := last.Field("nnz"); !ok || nnz <= 0 {
+		t.Fatalf("nnz field %v", nnz)
+	}
+	if last.Time.IsZero() || time.Since(last.Time) > time.Minute {
+		t.Fatalf("span time %v", last.Time)
+	}
+
+	// Disabled tracer: the hook must be a no-op (and not panic).
+	hook := engine.SpanHook(nil, "engine.epoch")
+	hook(engine.EpochEvent{Epoch: 1})
+}

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"time"
+
+	"tpascd/internal/obs"
 	"tpascd/internal/trace"
 )
 
@@ -22,12 +25,33 @@ type EpochEvent struct {
 // epoch's gap has been computed.
 type Hook func(EpochEvent)
 
-// TraceHook returns a hook appending each epoch to a trace series — the
-// bridge from the engine's instrumentation to the figure harness.
-func TraceHook(s *trace.Series) Hook {
-	return func(ev EpochEvent) {
-		s.Append(trace.Point{Epoch: ev.Epoch, Seconds: ev.Seconds, Gap: ev.Gap})
+// SpanHook returns a hook emitting one "name" span per epoch into the
+// tracer, carrying the epoch's convergence certificate and work counters
+// as numeric fields. A nil or sinkless tracer yields a no-op hook, so
+// instrumentation can be threaded unconditionally at zero cost.
+func SpanHook(t *obs.Tracer, name string) Hook {
+	if !t.Enabled() {
+		return func(EpochEvent) {}
 	}
+	return func(ev EpochEvent) {
+		t.Emit(name, time.Now(), 0,
+			obs.F("epoch", float64(ev.Epoch)),
+			obs.F("gap", ev.Gap),
+			obs.F("seconds", ev.Seconds),
+			obs.F("nnz", float64(ev.NNZ)),
+			obs.F("updates", float64(ev.Updates)),
+		)
+	}
+}
+
+// TraceHook returns a hook appending each epoch to a trace series — the
+// bridge from the engine's instrumentation to the figure harness. It is
+// a SpanHook over a SeriesSink: the figure machinery consumes the same
+// observability stream as every other sink, and since gap/seconds flow
+// through float64 fields unchanged, recorded trajectories are bitwise
+// identical to the pre-obs implementation.
+func TraceHook(s *trace.Series) Hook {
+	return SpanHook(obs.NewTracer(trace.SeriesSink{S: s}), "engine.epoch")
 }
 
 // Train runs epochs until the budget is exhausted or keepGoing returns

@@ -1,0 +1,311 @@
+// Package obs is the shared observability core: lock-free counters,
+// gauges and histograms behind a named registry with Prometheus-text
+// exposition, plus structured span/event tracing with pluggable sinks.
+//
+// Every layer of the system reports through this package — the serving
+// stack's request/batch metrics, the cluster transport's collective
+// latencies and failure counters, the distributed driver's per-round
+// spans, and the engine's per-epoch instrumentation (internal/trace
+// consumes obs events rather than running a parallel system). The paper's
+// argument rests on measured trajectories; obs is where the measuring
+// happens.
+//
+// Two disciplines hold throughout:
+//
+//   - Hot paths never lock. Counters and histograms update with atomic
+//     adds only; registration (the cold path) takes a mutex once.
+//   - Everything is nil-safe. A nil *Registry hands out nil metric
+//     handles, and every method on a nil handle is a no-op, so
+//     instrumented code needs no "if enabled" branches and disabled
+//     observability costs one predictable nil check.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic updates only: bucket
+// counts, observation count, sum and max all maintain themselves with
+// atomic adds and CAS loops, so concurrent observers never contend on a
+// lock. Bucket semantics follow Prometheus: bucket i counts observations
+// v <= bounds[i], with an implicit +Inf bucket at the end.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; non-cumulative
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-added
+	maxBits atomic.Uint64 // float64 bits; valid for non-negative observations
+}
+
+// NewHistogram builds an unregistered histogram over the given sorted
+// upper bounds (most callers want Registry.Histogram instead).
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + v)
+		if h.sumBits.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	// Non-negative float64s order the same as their bit patterns, so the
+	// max CAS can compare bits directly.
+	nb := math.Float64bits(v)
+	for {
+		cur := h.maxBits.Load()
+		if nb <= cur || h.maxBits.CompareAndSwap(cur, nb) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (zero on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Max returns the largest observation, or zero before any.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Bounds returns the finite bucket upper bounds (aliases internal state;
+// do not modify).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the non-cumulative per-bucket counts, the last
+// entry being the +Inf overflow bucket. Nil receivers return nil.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile as the upper bound of the bucket where
+// the cumulative count crosses q·count (the +Inf bucket's bound is
+// unknown, so it reports the last finite bound). Zero with no
+// observations. This is the same estimator the serving layer has always
+// used for its latency percentiles.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// LatencyBuckets returns the canonical latency histogram upper bounds in
+// seconds: 50µs doubling to ~26s, plus the implicit +Inf bucket. Serving
+// latencies for linear models sit in the low-microsecond range and
+// cluster collectives in the millisecond range; the wide top end keeps
+// pathological stalls visible instead of clipped. Both the prediction
+// server and the load generator report through these bounds, so client
+// and server percentiles are directly comparable.
+func LatencyBuckets() []float64 {
+	b := make([]float64, 20)
+	v := 50e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// ExpBuckets returns n doubling upper bounds starting at start — the
+// general form of LatencyBuckets for non-latency scales (bytes, batch
+// sizes, ...).
+func ExpBuckets(start float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// Registry is a named metric registry. Metrics are created on first use
+// (get-or-create) under a mutex; the returned handles update lock-free.
+// Metric names follow the Prometheus convention and may carry a label set
+// in braces, e.g. `cluster_collective_latency_seconds{op="reduce"}` —
+// each distinct labeled name is its own time series, grouped into one
+// family by the exposition writer.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// get returns the metric registered under name, creating it with mk when
+// absent. It panics when name is already registered as a different kind —
+// that is a programming error, not a runtime condition.
+func get[T any](r *Registry, name string, mk func() *T) *T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(*T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return t
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return get(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// A nil registry returns a nil (no-op) handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return get(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the histogram registered under name, creating it over
+// the given bounds if needed (bounds are ignored on later lookups). A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return get(r, name, func() *Histogram { return NewHistogram(bounds) })
+}
+
+// names returns all registered metric names, sorted, so exposition output
+// is deterministic regardless of registration order.
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup returns the metric registered under name, or nil.
+func (r *Registry) lookup(name string) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[name]
+}

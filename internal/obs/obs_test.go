@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+// A nil registry hands out nil handles and every operation on them is a
+// safe no-op — the discipline that lets instrumented hot paths skip
+// "if enabled" branches.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.Gauge("b")
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h := r.Histogram("c", []float64{1})
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+	if h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Fatal("nil histogram has buckets")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	tr.Emit("x", timeZero(), 0)
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 1, 1} // ≤1, ≤2, ≤4, +Inf
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum %v", h.Sum())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max %v", h.Max())
+	}
+	// Quantiles report bucket upper bounds (rank truncates: p50 of five
+	// observations is the 2nd smallest); the overflow bucket reports the
+	// last finite bound.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %v, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %v, want 4 (last finite bound)", q)
+	}
+	if q := h.Quantile(0.01); q != 1 {
+		t.Fatalf("p01 = %v, want 1", q)
+	}
+}
+
+// The histogram's atomic counters must not lose updates under concurrent
+// observers (run with -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w+1) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	var total int64
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket total %d, want %d", total, workers*per)
+	}
+	if h.Max() != 8e-5 {
+		t.Fatalf("max %v, want 8e-05", h.Max())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total").Add(7)
+	r.Gauge("aa_gauge").Set(1.5)
+	h := r.Histogram(`lat_seconds{op="reduce"}`, []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE aa_gauge gauge
+aa_gauge 1.5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{op="reduce",le="0.001"} 1
+lat_seconds_bucket{op="reduce",le="0.01"} 2
+lat_seconds_bucket{op="reduce",le="+Inf"} 3
+lat_seconds_sum{op="reduce"} 5.0055
+lat_seconds_count{op="reduce"} 3
+# TYPE zz_total counter
+zz_total 7
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// Two labeled series of one family share a single # TYPE line.
+func TestWritePrometheusFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`ops_total{op="a"}`).Add(1)
+	r.Counter(`ops_total{op="b"}`).Add(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "# TYPE ops_total counter"); n != 1 {
+		t.Fatalf("%d TYPE lines, want 1:\n%s", n, b.String())
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) != 20 || b[0] != 50e-6 {
+		t.Fatalf("bounds %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Fatalf("bound %d not doubling: %v after %v", i, b[i], b[i-1])
+		}
+	}
+	e := ExpBuckets(1, 11)
+	if e[0] != 1 || e[10] != 1024 {
+		t.Fatalf("exp bounds %v", e)
+	}
+}

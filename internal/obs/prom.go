@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// splitName separates a metric name into its family and label block:
+// `fam{op="reduce"}` → ("fam", `op="reduce"`); an unlabeled name has an
+// empty label block.
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels renders a sample name from a family, an existing label block
+// and extra label pairs (used to splice `le` into histogram buckets).
+func joinLabels(family, labels string, extra ...string) string {
+	all := make([]string, 0, 2)
+	if labels != "" {
+		all = append(all, labels)
+	}
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return family
+	}
+	return family + "{" + strings.Join(all, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus emits every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` line per family, then
+// the samples, sorted by name so output is deterministic. Histograms
+// expose cumulative `_bucket{le="..."}` series plus `_sum` and `_count`,
+// exactly as a Prometheus scraper expects.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastFamily := ""
+	for _, name := range r.names() {
+		family, labels := splitName(name)
+		m := r.lookup(name)
+		if m == nil {
+			continue
+		}
+		var kind string
+		switch m.(type) {
+		case *Counter:
+			kind = "counter"
+		case *Gauge:
+			kind = "gauge"
+		case *Histogram:
+			kind = "histogram"
+		}
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		var err error
+		switch v := m.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, v.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(v.Value()))
+		case *Histogram:
+			err = writeHistogram(w, family, labels, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, family, labels string, h *Histogram) error {
+	bounds := h.Bounds()
+	counts := h.BucketCounts()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		name := joinLabels(family+"_bucket", labels, `le="`+le+`"`)
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", joinLabels(family+"_sum", labels), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", joinLabels(family+"_count", labels), h.Count())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry's Prometheus text
+// exposition — the debug endpoint behind predserve's /metrics and
+// distworker's -metrics-addr.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

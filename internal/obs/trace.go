@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Field is one numeric key/value attribute of an Event. Everything the
+// system traces — epochs, duality gaps, aggregation scalars, latencies —
+// is numeric, so fields carry float64 and stay allocation-cheap.
+type Field struct {
+	Key   string
+	Value float64
+}
+
+// F builds a Field.
+func F(key string, value float64) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured span or point event: a name, the wall-clock
+// start, the duration (zero for instantaneous events), and ordered
+// numeric fields.
+type Event struct {
+	Name   string
+	Time   time.Time
+	Dur    time.Duration
+	Fields []Field
+}
+
+// Field returns the named field's value; ok is false when absent.
+func (e Event) Field(key string) (float64, bool) {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use;
+// emitters may call from many goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer emits events into a sink. A nil tracer (or a tracer over a nil
+// sink) drops everything, so instrumented code passes tracers through
+// unconditionally.
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer returns a tracer over the sink.
+func NewTracer(s Sink) *Tracer { return &Tracer{sink: s} }
+
+// Enabled reports whether emitted events go anywhere.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit records one event. No-op on a nil or sinkless tracer.
+func (t *Tracer) Emit(name string, start time.Time, dur time.Duration, fields ...Field) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Emit(Event{Name: name, Time: start, Dur: dur, Fields: fields})
+}
+
+// RingSink retains the most recent events in a fixed-capacity ring —
+// the in-memory sink for tests and post-mortem inspection of a live
+// process.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRingSink returns a ring retaining the last capacity events.
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit appends the event, evicting the oldest once full.
+func (s *RingSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.buf[s.next] = ev
+	s.next = (s.next + 1) % len(s.buf)
+	if s.next == 0 {
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	return append(out, s.buf[:s.next]...)
+}
+
+// Len returns how many events are retained.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer — the
+// durable sink behind scdtrain -trace-jsonl. The reserved keys are
+// "name", "time" (RFC 3339) and "dur_ms"; fields follow in emission
+// order. Writes are buffered; call Flush (or Close) before reading the
+// output. The sink serializes concurrent emitters internally.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// Emit writes one line. The first write error sticks (see Err) and
+// subsequent emits become no-ops.
+func (s *JSONLSink) Emit(ev Event) {
+	var b strings.Builder
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote(ev.Name))
+	b.WriteString(`,"time":"`)
+	b.WriteString(ev.Time.Format(time.RFC3339Nano))
+	b.WriteString(`","dur_ms":`)
+	b.WriteString(jsonFloat(float64(ev.Dur) / 1e6))
+	for _, f := range ev.Fields {
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(f.Key))
+		b.WriteByte(':')
+		b.WriteString(jsonFloat(f.Value))
+	}
+	b.WriteString("}\n")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.bw.WriteString(b.String())
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// jsonFloat renders a float64 as a JSON number; non-finite values (which
+// JSON cannot carry) become null rather than corrupting the line.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MultiSink fans each event out to every sink.
+type MultiSink []Sink
+
+// Emit delivers the event to all sinks in order.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}

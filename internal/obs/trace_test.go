@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func timeZero() time.Time { return time.Time{} }
+
+func TestRingSinkWraparound(t *testing.T) {
+	s := NewRingSink(3)
+	tr := NewTracer(s)
+	if !tr.Enabled() {
+		t.Fatal("tracer with sink not enabled")
+	}
+	for i := 1; i <= 5; i++ {
+		tr.Emit("ev", timeZero(), 0, F("i", float64(i)))
+	}
+	evs := s.Events()
+	if s.Len() != 3 || len(evs) != 3 {
+		t.Fatalf("len %d / %d, want 3", s.Len(), len(evs))
+	}
+	for k, want := range []float64{3, 4, 5} {
+		got, ok := evs[k].Field("i")
+		if !ok || got != want {
+			t.Fatalf("event %d field i = %v (ok=%v), want %v", k, got, ok, want)
+		}
+	}
+	if _, ok := evs[0].Field("missing"); ok {
+		t.Fatal("missing field reported present")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONLSink(&b)
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	s.Emit(Event{Name: "dist.round", Time: start, Dur: 1500 * time.Microsecond,
+		Fields: []Field{F("epoch", 3), F("gamma", 0.25), F("bad", math.NaN())}})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(b.String())
+	var got map[string]any
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("line not valid JSON: %v\n%s", err, line)
+	}
+	if got["name"] != "dist.round" || got["dur_ms"] != 1.5 || got["epoch"] != 3.0 || got["gamma"] != 0.25 {
+		t.Fatalf("decoded %v", got)
+	}
+	if v, present := got["bad"]; !present || v != nil {
+		t.Fatalf("NaN field = %v, want null", v)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, got["time"].(string)); err != nil {
+		t.Fatalf("bad time: %v", err)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewRingSink(4), NewRingSink(4)
+	tr := NewTracer(MultiSink{a, b})
+	tr.Emit("x", timeZero(), 0)
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out lens %d %d", a.Len(), b.Len())
+	}
+}

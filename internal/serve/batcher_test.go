@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tpascd/internal/datasets"
+	"tpascd/internal/obs"
 	"tpascd/internal/sparse"
 )
 
@@ -84,7 +85,7 @@ func TestBatcherMatchesDirectScoring(t *testing.T) {
 // and many concurrent requests, batches should be larger than one.
 func TestBatcherFormsBatches(t *testing.T) {
 	reg := testRegistry(t, KindRidge, make([]float32, 16))
-	met := &Metrics{}
+	met := NewMetrics(obs.NewRegistry())
 	b := NewBatcher(reg, met, BatcherConfig{MaxBatch: 32, MaxWait: 20 * time.Millisecond, Workers: 2})
 	defer b.Close()
 

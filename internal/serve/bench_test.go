@@ -6,6 +6,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"tpascd/internal/obs"
 )
 
 // Serving-path benchmarks. When TPASCD_BENCH_JSON names a file, each
@@ -82,7 +84,7 @@ func BenchmarkPredict(b *testing.B) {
 func BenchmarkPredictBatched(b *testing.B) {
 	const dim = 1 << 14
 	reg, idxs, vals := benchSetup(b, dim)
-	met := &Metrics{}
+	met := NewMetrics(obs.NewRegistry())
 	bt := NewBatcher(reg, met, BatcherConfig{MaxBatch: 64, MaxWait: 50 * time.Microsecond})
 	defer bt.Close()
 	ctx := context.Background()

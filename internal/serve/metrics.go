@@ -1,71 +1,94 @@
 package serve
 
 import (
-	"sync/atomic"
 	"time"
+
+	"tpascd/internal/obs"
 )
 
-// latBounds are latency histogram upper bounds in nanoseconds: 50µs
-// doubling to ~26s, plus an implicit +Inf bucket. Serving latencies for
-// linear models sit in the low-microsecond range; the wide top end keeps
-// pathological stalls visible instead of clipped.
-var latBounds = func() []int64 {
-	b := make([]int64, 20)
-	v := int64(50_000)
-	for i := range b {
-		b[i] = v
-		v *= 2
-	}
-	return b
-}()
+// Metric names the serving layer registers. The latency histogram shares
+// obs.LatencyBuckets with cmd/loadgen, so client- and server-side
+// percentiles are computed over identical bounds.
+const (
+	metricRequests  = "serve_requests_total"
+	metricErrors    = "serve_errors_total"
+	metricBatches   = "serve_batches_total"
+	metricRows      = "serve_rows_total"
+	metricLatency   = "serve_request_latency_seconds"
+	metricBatchSize = "serve_batch_size"
+	metricModelVer  = "serve_model_version"
+	metricModelAge  = "serve_model_age_seconds"
+)
 
-// batchBounds are batch-size histogram upper bounds: powers of two to
-// 1024, plus an implicit +Inf bucket.
-var batchBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+// batchBuckets are batch-size histogram upper bounds: powers of two to
+// 1024, plus the implicit +Inf bucket.
+func batchBuckets() []float64 { return obs.ExpBuckets(1, 11) }
 
-// Metrics aggregates serving counters with atomic updates only — the hot
-// path shares the registry's no-locks discipline.
+// Metrics aggregates serving instrumentation over obs primitives. The
+// hot path (ObserveRequest/ObserveBatch) is atomic adds only, preserving
+// the registry's no-locks discipline; a zero-value Metrics is valid and
+// records nothing (every obs handle is nil and nil-safe), which is what
+// the batcher benchmarks use to measure the uninstrumented path.
 type Metrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	batches  atomic.Int64
-	rows     atomic.Int64
-	latHist  [21]atomic.Int64 // len(latBounds)+1
-	latMax   atomic.Int64
-	bszHist  [12]atomic.Int64 // len(batchBounds)+1
+	requests *obs.Counter
+	errors   *obs.Counter
+	batches  *obs.Counter
+	rows     *obs.Counter
+	lat      *obs.Histogram
+	bsz      *obs.Histogram
+	modelVer *obs.Gauge
+	modelAge *obs.Gauge
+}
+
+// NewMetrics registers the serving metrics into reg (nil reg yields a
+// fully disabled Metrics, same as the zero value).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		requests: reg.Counter(metricRequests),
+		errors:   reg.Counter(metricErrors),
+		batches:  reg.Counter(metricBatches),
+		rows:     reg.Counter(metricRows),
+		lat:      reg.Histogram(metricLatency, obs.LatencyBuckets()),
+		bsz:      reg.Histogram(metricBatchSize, batchBuckets()),
+		modelVer: reg.Gauge(metricModelVer),
+		modelAge: reg.Gauge(metricModelAge),
+	}
 }
 
 // ObserveRequest records one finished request and its end-to-end latency
 // (queueing + batching + scoring).
 func (m *Metrics) ObserveRequest(d time.Duration, err error) {
-	m.requests.Add(1)
-	if err != nil {
-		m.errors.Add(1)
+	if m == nil {
 		return
 	}
-	ns := d.Nanoseconds()
-	i := 0
-	for i < len(latBounds) && ns > latBounds[i] {
-		i++
+	m.requests.Inc()
+	if err != nil {
+		m.errors.Inc()
+		return
 	}
-	m.latHist[i].Add(1)
-	for {
-		cur := m.latMax.Load()
-		if ns <= cur || m.latMax.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
+	m.lat.Observe(d.Seconds())
 }
 
 // ObserveBatch records one scored batch of n requests.
 func (m *Metrics) ObserveBatch(n int) {
-	m.batches.Add(1)
-	m.rows.Add(int64(n))
-	i := 0
-	for i < len(batchBounds) && int64(n) > batchBounds[i] {
-		i++
+	if m == nil {
+		return
 	}
-	m.bszHist[i].Add(1)
+	m.batches.Inc()
+	m.rows.Add(int64(n))
+	m.bsz.Observe(float64(n))
+}
+
+// SyncModel refreshes the model-identity gauges from the live registry —
+// called at scrape time so exposition carries the current version/age.
+func (m *Metrics) SyncModel(reg *Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	if lm := reg.Current(); lm != nil {
+		m.modelVer.Set(float64(lm.Version))
+		m.modelAge.Set(time.Since(lm.LoadedAt).Seconds())
+	}
 }
 
 // Bucket is one histogram cell: count of observations ≤ Le (Le < 0 means
@@ -76,7 +99,8 @@ type Bucket struct {
 }
 
 // Snapshot is a point-in-time JSON-marshalable view of the metrics plus
-// the live model's identity.
+// the live model's identity — the legacy /metrics.json shape, unchanged
+// across the move onto obs.
 type Snapshot struct {
 	Requests  int64    `json:"requests"`
 	Errors    int64    `json:"errors"`
@@ -99,29 +123,32 @@ type Snapshot struct {
 // model's version/kind/age.
 func (m *Metrics) Snapshot(reg *Registry) Snapshot {
 	var s Snapshot
-	s.Requests = m.requests.Load()
-	s.Errors = m.errors.Load()
-	s.Batches = m.batches.Load()
+	if m == nil {
+		return s
+	}
+	s.Requests = m.requests.Value()
+	s.Errors = m.errors.Value()
+	s.Batches = m.batches.Value()
 	if s.Batches > 0 {
-		s.AvgBatch = float64(m.rows.Load()) / float64(s.Batches)
+		s.AvgBatch = float64(m.rows.Value()) / float64(s.Batches)
 	}
-	for i := range m.bszHist {
+	bounds := batchBuckets()
+	counts := m.bsz.BucketCounts() // nil (all-zero) for a disabled Metrics
+	for i := 0; i <= len(bounds); i++ {
 		le := int64(-1)
-		if i < len(batchBounds) {
-			le = batchBounds[i]
+		if i < len(bounds) {
+			le = int64(bounds[i])
 		}
-		s.BatchHist = append(s.BatchHist, Bucket{Le: le, Count: m.bszHist[i].Load()})
+		var c int64
+		if i < len(counts) {
+			c = counts[i]
+		}
+		s.BatchHist = append(s.BatchHist, Bucket{Le: le, Count: c})
 	}
-	counts := make([]int64, len(m.latHist))
-	var total int64
-	for i := range m.latHist {
-		counts[i] = m.latHist[i].Load()
-		total += counts[i]
-	}
-	s.LatencyP50Ms = latQuantile(counts, total, 0.50)
-	s.LatencyP90Ms = latQuantile(counts, total, 0.90)
-	s.LatencyP99Ms = latQuantile(counts, total, 0.99)
-	s.LatencyMaxMs = float64(m.latMax.Load()) / 1e6
+	s.LatencyP50Ms = 1000 * m.lat.Quantile(0.50)
+	s.LatencyP90Ms = 1000 * m.lat.Quantile(0.90)
+	s.LatencyP99Ms = 1000 * m.lat.Quantile(0.99)
+	s.LatencyMaxMs = 1000 * m.lat.Max()
 	if reg != nil {
 		if lm := reg.Current(); lm != nil {
 			s.ModelVersion = lm.Version
@@ -131,29 +158,4 @@ func (m *Metrics) Snapshot(reg *Registry) Snapshot {
 		}
 	}
 	return s
-}
-
-// latQuantile returns the q-quantile latency in milliseconds estimated
-// from the histogram: the upper bound of the bucket where the cumulative
-// count crosses q·total (the max for the overflow bucket is unknown, so
-// it reports the last finite bound). Zero when no observations exist.
-func latQuantile(counts []int64, total int64, q float64) float64 {
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q * float64(total))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i, c := range counts {
-		cum += c
-		if cum >= rank {
-			if i < len(latBounds) {
-				return float64(latBounds[i]) / 1e6
-			}
-			return float64(latBounds[len(latBounds)-1]) / 1e6
-		}
-	}
-	return float64(latBounds[len(latBounds)-1]) / 1e6
 }

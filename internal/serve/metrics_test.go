@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+// TestMetricsPrometheusGolden pins the full Prometheus exposition for a
+// deterministic set of observations. It is the contract the refactor
+// onto internal/obs must keep: the serve metric names survive, the text
+// is parseable by a Prometheus scraper (TYPE line per family, cumulative
+// le buckets, _sum/_count), and values match the observations exactly.
+func TestMetricsPrometheusGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+
+	m.ObserveRequest(100*time.Microsecond, nil)
+	m.ObserveRequest(time.Millisecond, nil)
+	m.ObserveRequest(0, errors.New("boom")) // errors skip the latency histogram
+	m.ObserveBatch(2)
+	m.ObserveBatch(2000) // lands in +Inf
+	m.modelVer.Set(7)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := goldenExposition
+	if got != want {
+		t.Fatalf("exposition drifted from golden.\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Parseability spot checks a scraper relies on: every sample line is
+	// "name value", every non-comment line's family appeared in a TYPE
+	// line first.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if fam, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typed[strings.Fields(fam)[0]] = true
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q does not split into name value", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if fam, ok := strings.CutSuffix(name, suffix); ok && typed[fam] {
+				name = fam
+				break
+			}
+		}
+		if !typed[name] {
+			t.Fatalf("sample %q has no preceding TYPE line", line)
+		}
+	}
+}
+
+const goldenExposition = `# TYPE serve_batch_size histogram
+serve_batch_size_bucket{le="1"} 0
+serve_batch_size_bucket{le="2"} 1
+serve_batch_size_bucket{le="4"} 1
+serve_batch_size_bucket{le="8"} 1
+serve_batch_size_bucket{le="16"} 1
+serve_batch_size_bucket{le="32"} 1
+serve_batch_size_bucket{le="64"} 1
+serve_batch_size_bucket{le="128"} 1
+serve_batch_size_bucket{le="256"} 1
+serve_batch_size_bucket{le="512"} 1
+serve_batch_size_bucket{le="1024"} 1
+serve_batch_size_bucket{le="+Inf"} 2
+serve_batch_size_sum 2002
+serve_batch_size_count 2
+# TYPE serve_batches_total counter
+serve_batches_total 2
+# TYPE serve_errors_total counter
+serve_errors_total 1
+# TYPE serve_model_age_seconds gauge
+serve_model_age_seconds 0
+# TYPE serve_model_version gauge
+serve_model_version 7
+# TYPE serve_request_latency_seconds histogram
+serve_request_latency_seconds_bucket{le="5e-05"} 0
+serve_request_latency_seconds_bucket{le="0.0001"} 1
+serve_request_latency_seconds_bucket{le="0.0002"} 1
+serve_request_latency_seconds_bucket{le="0.0004"} 1
+serve_request_latency_seconds_bucket{le="0.0008"} 1
+serve_request_latency_seconds_bucket{le="0.0016"} 2
+serve_request_latency_seconds_bucket{le="0.0032"} 2
+serve_request_latency_seconds_bucket{le="0.0064"} 2
+serve_request_latency_seconds_bucket{le="0.0128"} 2
+serve_request_latency_seconds_bucket{le="0.0256"} 2
+serve_request_latency_seconds_bucket{le="0.0512"} 2
+serve_request_latency_seconds_bucket{le="0.1024"} 2
+serve_request_latency_seconds_bucket{le="0.2048"} 2
+serve_request_latency_seconds_bucket{le="0.4096"} 2
+serve_request_latency_seconds_bucket{le="0.8192"} 2
+serve_request_latency_seconds_bucket{le="1.6384"} 2
+serve_request_latency_seconds_bucket{le="3.2768"} 2
+serve_request_latency_seconds_bucket{le="6.5536"} 2
+serve_request_latency_seconds_bucket{le="13.1072"} 2
+serve_request_latency_seconds_bucket{le="26.2144"} 2
+serve_request_latency_seconds_bucket{le="+Inf"} 2
+serve_request_latency_seconds_sum 0.0011
+serve_request_latency_seconds_count 2
+# TYPE serve_requests_total counter
+serve_requests_total 3
+# TYPE serve_rows_total counter
+serve_rows_total 2002
+`

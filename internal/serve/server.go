@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"tpascd/internal/obs"
 	"tpascd/internal/sparse"
 )
 
@@ -23,6 +24,10 @@ type ServerConfig struct {
 	Deadline time.Duration
 	// MaxBodyBytes caps the request body (default 4 MiB).
 	MaxBodyBytes int64
+	// Obs is the metric registry the server reports into; nil gets a
+	// private registry so /metrics always works. Share one registry
+	// across subsystems to get a single exposition page.
+	Obs *obs.Registry
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -40,14 +45,16 @@ func (c ServerConfig) withDefaults() ServerConfig {
 //	POST /predict  — score rows; JSON body (single instance or
 //	                 {"instances": [...]}, 0-based indices) or LIBSVM
 //	                 text body (one feature line per row, 1-based)
-//	GET  /healthz  — 200 with model identity once a model is live
-//	GET  /metrics  — JSON Snapshot
+//	GET  /healthz      — 200 with model identity once a model is live
+//	GET  /metrics      — Prometheus text exposition (obs registry)
+//	GET  /metrics.json — legacy JSON Snapshot
 //
 // All predictions flow through the micro-batcher, so concurrent HTTP
 // requests coalesce into shared scoring batches.
 type Server struct {
 	cfg ServerConfig
 	reg *Registry
+	obs *obs.Registry
 	met *Metrics
 	bat *Batcher
 }
@@ -56,12 +63,19 @@ type Server struct {
 // to drain the batcher on shutdown.
 func NewServer(reg *Registry, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
-	met := &Metrics{}
-	return &Server{cfg: cfg, reg: reg, met: met, bat: NewBatcher(reg, met, cfg.Batcher)}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	met := NewMetrics(cfg.Obs)
+	return &Server{cfg: cfg, reg: reg, obs: cfg.Obs, met: met, bat: NewBatcher(reg, met, cfg.Batcher)}
 }
 
 // Registry returns the server's model registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Obs returns the server's metric registry (for sharing the exposition
+// page with other subsystems or scraping in-process).
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Metrics returns the server's metrics, shared with the batcher.
 func (s *Server) Metrics() *Metrics { return s.met }
@@ -79,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return mux
 }
 
@@ -207,6 +222,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.SyncModel(s.reg)
+	s.obs.Handler().ServeHTTP(w, r)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.met.Snapshot(s.reg))
 }
 

@@ -192,7 +192,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		resp, _ = http.Post(ts.URL+"/predict", "text/plain", strings.NewReader("1:1"))
 		resp.Body.Close()
 	}
-	resp, _ = http.Get(ts.URL + "/metrics")
+	resp, _ = http.Get(ts.URL + "/metrics.json")
 	var snap Snapshot
 	json.NewDecoder(resp.Body).Decode(&snap)
 	resp.Body.Close()
@@ -201,6 +201,25 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	if snap.LatencyP50Ms <= 0 || snap.LatencyP99Ms < snap.LatencyP50Ms {
 		t.Fatalf("latency percentiles: %+v", snap)
+	}
+
+	// /metrics is now the Prometheus exposition of the same registry.
+	resp, _ = http.Get(ts.URL + "/metrics")
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus content-type %q", ct)
+	}
+	text := string(promBody)
+	for _, want := range []string{
+		"# TYPE serve_requests_total counter",
+		"# TYPE serve_request_latency_seconds histogram",
+		"serve_request_latency_seconds_bucket{le=\"+Inf\"}",
+		"serve_model_version 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
 	}
 }
 

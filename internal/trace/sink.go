@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"tpascd/internal/obs"
+)
+
+// SeriesSink adapts a Series to an obs.Sink, making the figure harness a
+// plain consumer of the observability stream: each span event becomes one
+// trajectory point, with the numeric fields "epoch", "seconds", "gap" and
+// "gamma" mapped onto Point and everything else ignored. The float64
+// values pass through unchanged, so trajectories recorded via a tracer
+// are bitwise identical to ones appended directly.
+type SeriesSink struct {
+	S *Series
+}
+
+// Emit appends the event as a Point.
+func (s SeriesSink) Emit(ev obs.Event) {
+	var p Point
+	if v, ok := ev.Field("epoch"); ok {
+		p.Epoch = int(v)
+	}
+	if v, ok := ev.Field("seconds"); ok {
+		p.Seconds = v
+	}
+	if v, ok := ev.Field("gap"); ok {
+		p.Gap = v
+	}
+	if v, ok := ev.Field("gamma"); ok {
+		p.Gamma = v
+	}
+	s.S.Append(p)
+}

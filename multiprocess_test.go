@@ -4,13 +4,17 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // buildDistworker compiles cmd/distworker into a temp dir and returns the
@@ -163,6 +167,161 @@ func TestMultiProcessCheckpointResume(t *testing.T) {
 	gRes := resultGap(t, resumed[0])
 	if diff := math.Abs(gFull - gRes); diff > 1e-3*math.Abs(gFull)+1e-12 {
 		t.Fatalf("resumed gap %v differs from uninterrupted %v by %v", gRes, gFull, diff)
+	}
+}
+
+// scrapeMetrics fetches addr's Prometheus exposition and parses every
+// sample line into name (labels included) → value.
+func scrapeMetrics(addr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("unparseable sample %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable value in %q: %v", line, err)
+		}
+		m[line[:sp]] = v
+	}
+	return m, nil
+}
+
+// metricsBanner reads a "METRICS addr" line from sc.
+func metricsBanner(t *testing.T, sc *bufio.Scanner, who string) string {
+	t.Helper()
+	if !sc.Scan() {
+		t.Fatalf("%s: no METRICS banner", who)
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 2 || fields[0] != "METRICS" {
+		t.Fatalf("%s: unexpected banner %q", who, sc.Text())
+	}
+	return fields[1]
+}
+
+// TestMultiProcessMetricsEndpoint runs a chaos-injected two-process
+// cluster with -metrics-addr on both ranks and scrapes their Prometheus
+// endpoints: the worker (started before the master listens, with delay
+// faults plus a mid-run kill) must expose nonzero dial-retry,
+// injected-fault, and peer-failure counters along with populated
+// per-collective latency histograms; the master must expose the peer
+// failure and collective errors the kill caused. -metrics-linger keeps
+// both endpoints scrapeable after the processes have died.
+func TestMultiProcessMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := buildDistworker(t)
+
+	// Reserve a port so the worker can start dialing (and accruing
+	// retries) before the master listens.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	common := []string{"-size", "2", "-epochs", "50", "-n", "512", "-m", "256",
+		"-nnz", "8", "-seed", "7", "-timeout", "5s",
+		"-metrics-addr", "127.0.0.1:0", "-metrics-linger", "30s"}
+
+	worker := exec.Command(bin, append([]string{"-rank", "1", "-addr", addr,
+		"-chaos-delay", "1", "-chaos-max-delay", "2ms",
+		"-chaos-kill-at", "14", "-chaos-seed", "3"}, common...)...)
+	wout, err := worker.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker.Stderr = io.Discard
+	if err := worker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { worker.Process.Kill(); worker.Wait() }()
+	workerMetrics := metricsBanner(t, bufio.NewScanner(wout), "worker")
+
+	// Let the worker fail a few dials before the master appears.
+	time.Sleep(400 * time.Millisecond)
+
+	master := exec.Command(bin, append([]string{"-rank", "0", "-listen", addr}, common...)...)
+	mout, err := master.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	master.Stderr = io.Discard
+	if err := master.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { master.Process.Kill(); master.Wait() }()
+	msc := bufio.NewScanner(mout)
+	if !msc.Scan() || !strings.HasPrefix(msc.Text(), "LISTENING ") {
+		t.Fatalf("master banner %q", msc.Text())
+	}
+	masterMetrics := metricsBanner(t, msc, "master")
+
+	// Poll each endpoint until the fault the chaos config guarantees has
+	// been recorded (the linger window keeps the endpoints up long after
+	// both ranks have died).
+	waitFor := func(addr, name string, min float64) map[string]float64 {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			m, err := scrapeMetrics(addr)
+			if err == nil && m[name] >= min {
+				return m
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never reached %v on %s (last %v, err %v)", name, min, addr, m[name], err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	wm := waitFor(workerMetrics, `cluster_chaos_injected_total{fault="kill"}`, 1)
+	if wm["cluster_dial_retries_total"] < 1 {
+		t.Errorf("worker dial retries %v, want >= 1", wm["cluster_dial_retries_total"])
+	}
+	if wm[`cluster_chaos_injected_total{fault="delay"}`] < 1 {
+		t.Errorf("worker delay injections %v, want >= 1", wm[`cluster_chaos_injected_total{fault="delay"}`])
+	}
+	if wm["cluster_peer_failures_total"] < 1 {
+		t.Errorf("worker peer failures %v, want >= 1", wm["cluster_peer_failures_total"])
+	}
+	if wm["cluster_bytes_sent_total"] <= 0 || wm["cluster_bytes_recv_total"] <= 0 {
+		t.Errorf("worker bytes sent/recv %v/%v, want > 0",
+			wm["cluster_bytes_sent_total"], wm["cluster_bytes_recv_total"])
+	}
+	if n := wm[`cluster_collective_latency_seconds_count{op="reduce"}`]; n <= 0 {
+		t.Errorf("worker reduce latency count %v, want > 0", n)
+	}
+	if s := wm[`cluster_collective_latency_seconds_sum{op="reduce"}`]; s <= 0 {
+		t.Errorf("worker reduce latency sum %v, want > 0 (chaos delays must land in the histogram)", s)
+	}
+
+	mm := waitFor(masterMetrics, "cluster_peer_failures_total", 1)
+	if mm["cluster_collective_errors_total"] < 1 {
+		t.Errorf("master collective errors %v, want >= 1", mm["cluster_collective_errors_total"])
+	}
+	if mm["cluster_bytes_sent_total"] <= 0 || mm["cluster_bytes_recv_total"] <= 0 {
+		t.Errorf("master bytes sent/recv %v/%v, want > 0",
+			mm["cluster_bytes_sent_total"], mm["cluster_bytes_recv_total"])
+	}
+	if n := mm[`cluster_collective_latency_seconds_count{op="broadcast"}`]; n <= 0 {
+		t.Errorf("master broadcast latency count %v, want > 0", n)
 	}
 }
 

@@ -1,0 +1,73 @@
+package tpascd
+
+import (
+	"io"
+	"net/http"
+
+	"tpascd/internal/cluster"
+	"tpascd/internal/engine"
+	"tpascd/internal/obs"
+)
+
+// MetricsRegistry is a named collection of counters, gauges, and
+// histograms with Prometheus text exposition. All handles are safe for
+// concurrent use; a nil registry hands out nil handles whose methods
+// no-op, so instrumentation can be threaded unconditionally.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler serves the registry's metrics in Prometheus text
+// exposition format. A nil registry serves an empty (valid) exposition.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return reg.Handler() }
+
+// Tracer emits structured spans into a sink. A nil tracer is a valid
+// disabled tracer: Emit is a no-op and Enabled reports false.
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded span: a name, timestamp, duration, and
+// numeric fields.
+type TraceEvent = obs.Event
+
+// TraceField is one numeric key/value attached to a span.
+type TraceField = obs.Field
+
+// TraceSink receives completed spans from a Tracer.
+type TraceSink = obs.Sink
+
+// RingSink retains the most recent spans in a fixed-size ring.
+type RingSink = obs.RingSink
+
+// JSONLSink writes one JSON object per span to an io.Writer.
+type JSONLSink = obs.JSONLSink
+
+// NewTracer returns a tracer emitting into sink; a nil sink yields a
+// disabled tracer.
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewRingSink returns a sink retaining the last capacity spans.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewJSONLSink returns a sink streaming spans as JSON lines to w.
+// Call Flush before closing the underlying writer.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// TraceF constructs one span field.
+func TraceF(key string, value float64) TraceField { return obs.F(key, value) }
+
+// EpochSpanHook returns an epoch hook emitting one named span per
+// training epoch (gap, work counters, simulated seconds) into the
+// tracer. A nil tracer yields a no-op hook.
+func EpochSpanHook(t *Tracer, name string) EpochHook { return engine.SpanHook(t, name) }
+
+// InstrumentComm wraps a communicator so every collective records its
+// latency and failures into reg (cluster_collective_latency_seconds,
+// cluster_collective_errors_total). Wrap outermost — e.g. around
+// WrapChaos — so injected faults land in the histograms. A nil registry
+// returns c unwrapped.
+func InstrumentComm(c Comm, reg *MetricsRegistry) Comm { return cluster.Instrument(c, reg) }
+
+// LatencyBuckets returns the shared latency histogram bounds (seconds)
+// used across the serving, cluster, and load-generator layers.
+func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
