@@ -32,12 +32,21 @@
 //
 // Observability: -metrics-addr serves this rank's Prometheus metrics
 // (bytes moved, dial retries, peer failures, per-collective latency
-// histograms; plus injected-fault counters under chaos). The bound
-// address is printed as "METRICS addr" — after the LISTENING line on
-// rank 0. -metrics-linger keeps the endpoint scrapeable for a grace
+// histograms; plus injected-fault counters under chaos), every series
+// labeled with this rank, plus sampled Go runtime stats and a
+// run_info{rank,run} gauge carrying the cluster's shared run ID. The
+// bound address is printed as "METRICS addr" — after the LISTENING line
+// on rank 0. -metrics-linger keeps the endpoint scrapeable for a grace
 // period after the rank exits, so the counters of a crashed chaos run
-// can still be collected. The -chaos-* flags inject deterministic
-// faults (see ChaosConfig) for drills and tests.
+// can still be collected. -pprof additionally mounts the runtime
+// profiling handlers under /debug/pprof/ on the same address. The
+// -chaos-* flags inject deterministic faults (see ChaosConfig) for
+// drills and tests.
+//
+// -trace-jsonl FILE streams this rank's training spans (dist.round,
+// dist.gap) as JSON lines, each stamped with the run ID and rank. Point
+// obsreport at the per-rank files of one run for a merged timeline and
+// compute/communication breakdown.
 package main
 
 import (
@@ -61,8 +70,17 @@ var curRank int
 // still collect the failure counters of a crashed run.
 var lingerDur time.Duration
 
-// exit lingers (if configured), then terminates with the given code.
+// traceFlush, when tracing is on, drains the span sink to disk. It is
+// invoked on every exit path — including fatal ones, so the spans of a
+// chaos-killed rank survive for post-mortem analysis.
+var traceFlush func()
+
+// exit flushes traces, lingers (if configured), then terminates with the
+// given code.
 func exit(code int) {
+	if traceFlush != nil {
+		traceFlush()
+	}
 	if lingerDur > 0 {
 		time.Sleep(lingerDur)
 	}
@@ -89,6 +107,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of training from scratch (all ranks must resume together)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics for this rank on this address (empty disables)")
 	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the rank finishes or fails")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers on the metrics address (requires -metrics-addr)")
+	traceJSONL := flag.String("trace-jsonl", "", "stream this rank's training spans as JSON lines to this file")
 	chaosDrop := flag.Float64("chaos-drop", 0, "chaos: probability a collective is dropped (peer appears dead)")
 	chaosDelay := flag.Float64("chaos-delay", 0, "chaos: probability a collective is delayed")
 	chaosMaxDelay := flag.Duration("chaos-max-delay", 10*time.Millisecond, "chaos: maximum injected delay")
@@ -126,6 +146,9 @@ func main() {
 	if *chaosDrop < 0 || *chaosDrop > 1 || *chaosDelay < 0 || *chaosDelay > 1 {
 		fatal(fmt.Errorf("chaos probabilities must be in [0,1]"))
 	}
+	if *pprofOn && *metricsAddr == "" {
+		fatal(fmt.Errorf("-pprof requires -metrics-addr"))
+	}
 
 	// Observability: one registry per rank. Everything below threads it
 	// unconditionally — a nil registry hands out no-op handles — so the
@@ -133,14 +156,21 @@ func main() {
 	var reg *tpascd.MetricsRegistry
 	metricsBound := ""
 	if *metricsAddr != "" {
-		reg = tpascd.NewMetricsRegistry()
+		// Every series this rank registers carries a rank label, so the
+		// scrapes of a whole cluster land in one database without clashing.
+		reg = tpascd.NewMetricsRegistry().With("rank", fmt.Sprint(*rank))
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			fatal(fmt.Errorf("metrics listener: %w", err))
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", tpascd.MetricsHandler(reg))
+		if *pprofOn {
+			tpascd.RegisterPprof(mux)
+		}
 		go http.Serve(ln, mux)
+		collector := tpascd.StartRuntimeMetrics(reg, 0)
+		defer collector.Stop()
 		metricsBound = ln.Addr().String()
 		// Workers announce the endpoint immediately (it is live during
 		// dial retries); rank 0 prints it after "LISTENING addr" so that
@@ -195,6 +225,26 @@ func main() {
 	}
 	defer comm.Close()
 
+	// The master generated the run correlation ID and the handshake gave
+	// it to every worker; stamp it onto this rank's metrics (the standard
+	// info-metric join: run_info{rank,run} = 1) and every emitted span.
+	runHex := tpascd.FormatRunID(comm.Run())
+	reg.With("run", runHex).Gauge("run_info").Set(1)
+
+	var tracer *tpascd.Tracer
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			fatal(fmt.Errorf("trace file: %w", err))
+		}
+		sink := tpascd.NewJSONLSink(f)
+		tracer = tpascd.NewTracer(tpascd.TraceTagSink{Run: runHex, Rank: *rank, Next: sink})
+		traceFlush = func() {
+			sink.Flush()
+			f.Close()
+		}
+	}
+
 	// Chaos wraps the transport, instrumentation wraps chaos: injected
 	// delays land in the latency histograms and injected kills/drops in
 	// the failure counters, exactly like organic faults would.
@@ -218,7 +268,7 @@ func main() {
 	if *adaptive {
 		agg = tpascd.Adaptive
 	}
-	cfg := tpascd.ClusterConfig{Aggregation: agg, Link: tpascd.Link10GbE}
+	cfg := tpascd.ClusterConfig{Aggregation: agg, Link: tpascd.Link10GbE, Trace: tracer}
 	view := tpascd.PartitionView(p, form, parts[*rank])
 	local := tpascd.NewSequentialLocal(view, *seed+uint64(*rank))
 	w, err := tpascd.NewWorker(comm, local, view, cfg)
@@ -262,6 +312,10 @@ func main() {
 	}
 	// One machine-parseable result line per rank.
 	fmt.Printf("RESULT rank=%d gap=%.6e gamma=%.4f\n", *rank, gap, w.Gamma())
+	if traceFlush != nil {
+		traceFlush()
+		traceFlush = nil
+	}
 	if lingerDur > 0 {
 		time.Sleep(lingerDur)
 	}

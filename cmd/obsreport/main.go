@@ -1,0 +1,79 @@
+// Command obsreport merges the per-rank span JSONL files of one
+// distributed run into a single report: round timeline, compute versus
+// communication breakdown per rank, duality-gap and γ trajectories, and
+// straggler statistics.
+//
+// Usage:
+//
+//	obsreport [-json] [-o report.out] rank0.jsonl rank1.jsonl ...
+//
+// The files are typically produced by distworker -trace-jsonl (one file
+// per rank, all stamped with the run ID the master generated). The default
+// output is a human-readable table; -json emits the machine-readable form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tpascd/internal/obs"
+	"tpascd/internal/obs/report"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	outPath := flag.String("o", "", "write the report to this file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: obsreport [-json] [-o out] spans.jsonl...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var events []obs.Event
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := obs.ParseJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		events = append(events, evs...)
+	}
+
+	rep, err := report.Analyze(events)
+	if err != nil {
+		fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *jsonOut {
+		err = report.WriteJSON(out, rep)
+	} else {
+		err = report.WriteTable(out, rep)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsreport:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,10 @@
 //	GET  /metrics.json  the same registry as a JSON snapshot with
 //	               derived latency percentiles
 //
+// The metrics registry also carries sampled Go runtime stats (heap, GC
+// pauses, goroutines). -pprof mounts the /debug/pprof/ profiling
+// handlers alongside the serving endpoints.
+//
 // Usage:
 //
 //	scdtrain -data train.svm -save model.ckpt
@@ -47,6 +51,7 @@ func main() {
 	maxWait := flag.Duration("max-wait", 500*time.Microsecond, "how long a forming batch waits for more rows")
 	workers := flag.Int("workers", 0, "scoring goroutines per batch; 0 means GOMAXPROCS")
 	deadline := flag.Duration("deadline", 2*time.Second, "per-request scoring deadline; negative disables")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers alongside the serving endpoints")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -86,7 +91,19 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Go runtime stats (heap, GC pauses, goroutines) join the serving
+	// counters on the same /metrics endpoint.
+	collector := tpascd.StartRuntimeMetrics(srv.Obs(), 0)
+	defer collector.Stop()
+
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		tpascd.RegisterPprof(mux)
+		mux.Handle("/", srv.Handler())
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
 

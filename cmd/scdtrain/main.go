@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -38,12 +40,32 @@ func main() {
 	modelOut := flag.String("model", "", "write the final model weights, one per line (optional)")
 	savePath := flag.String("save", "", "write the final model as a serving checkpoint for cmd/predserve (optional)")
 	traceOut := flag.String("trace-jsonl", "", "append one JSON span per epoch to this file (optional)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics (runtime stats, run_info) on this address (empty disables)")
 	flag.Parse()
 
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "scdtrain: -data is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// A single-process training run is its own rank-0 "cluster": it mints
+	// a run correlation ID so its spans and metrics correlate the same way
+	// a distributed run's do.
+	runHex := tpascd.FormatRunID(tpascd.NewRunID())
+	if *metricsAddr != "" {
+		reg := tpascd.NewMetricsRegistry().With("rank", "0")
+		reg.With("run", runHex).Gauge("run_info").Set(1)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", tpascd.MetricsHandler(reg))
+		go http.Serve(ln, mux)
+		collector := tpascd.StartRuntimeMetrics(reg, 0)
+		defer collector.Stop()
+		fmt.Printf("METRICS %s\n", ln.Addr())
 	}
 
 	f, err := os.Open(*dataPath)
@@ -57,7 +79,7 @@ func main() {
 	}
 	fmt.Printf("loaded %d examples × %d features (%d non-zeros), λ=%g\n", p.N, p.M, p.A.NNZ(), p.Lambda)
 
-	tracer, flushTrace := newTracer(*traceOut)
+	tracer, flushTrace := newTracer(*traceOut, runHex)
 	defer flushTrace()
 
 	switch *objective {
@@ -240,9 +262,10 @@ func trainLogistic(p *tpascd.Problem, epochs int, seed uint64, savePath string, 
 	}
 }
 
-// newTracer opens path as a JSONL trace sink; an empty path yields a nil
-// (disabled) tracer and a no-op flush, so callers emit unconditionally.
-func newTracer(path string) (*tpascd.Tracer, func()) {
+// newTracer opens path as a JSONL trace sink whose spans are stamped with
+// the run ID and rank 0; an empty path yields a nil (disabled) tracer and
+// a no-op flush, so callers emit unconditionally.
+func newTracer(path, runHex string) (*tpascd.Tracer, func()) {
 	if path == "" {
 		return nil, func() {}
 	}
@@ -251,7 +274,7 @@ func newTracer(path string) (*tpascd.Tracer, func()) {
 		fatal(err)
 	}
 	sink := tpascd.NewJSONLSink(f)
-	return tpascd.NewTracer(sink), func() {
+	return tpascd.NewTracer(tpascd.TraceTagSink{Run: runHex, Rank: 0, Next: sink}), func() {
 		if err := sink.Flush(); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
 		}

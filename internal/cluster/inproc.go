@@ -3,11 +3,14 @@ package cluster
 import (
 	"fmt"
 	"sync"
+
+	"tpascd/internal/obs"
 )
 
 // hub is the shared state behind a group of in-process communicators.
 type hub struct {
 	size int
+	run  uint64
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -32,6 +35,7 @@ func InProc(size int) ([]Comm, error) {
 	}
 	h := &hub{
 		size:    size,
+		run:     obs.NewRunID(),
 		bufs:    make([][]float32, size),
 		scalars: make([][]float64, size),
 		errs:    make([]error, size),
@@ -90,8 +94,9 @@ type inprocComm struct {
 	rank int
 }
 
-func (c *inprocComm) Rank() int { return c.rank }
-func (c *inprocComm) Size() int { return c.hub.size }
+func (c *inprocComm) Rank() int   { return c.rank }
+func (c *inprocComm) Size() int   { return c.hub.size }
+func (c *inprocComm) Run() uint64 { return c.hub.run }
 
 func (c *inprocComm) Broadcast(buf []float32, root int) error {
 	h := c.hub

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// Every rank of a TCP group must report the master's run correlation ID,
+// learned through the connection handshake.
+func TestTCPRunIDPropagation(t *testing.T) {
+	const size = 3
+	cfg := DefaultConfig()
+	cfg.RunID = 0xDEADBEEFCAFE0123
+	m, addr, err := ListenTCPConfig("127.0.0.1:0", size, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	runs := make([]uint64, size)
+	runs[0] = m.Run()
+	var wg sync.WaitGroup
+	for r := 1; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := DialTCPConfig(addr, r, size, DefaultConfig())
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			defer w.Close()
+			runs[r] = w.Run()
+			// One collective so the master's acceptor completes before Close.
+			if err := w.Barrier(); err != nil {
+				t.Errorf("rank %d barrier: %v", r, err)
+			}
+		}(r)
+	}
+	if err := m.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for r := 0; r < size; r++ {
+		if runs[r] != cfg.RunID {
+			t.Fatalf("rank %d run %016x, want %016x", r, runs[r], cfg.RunID)
+		}
+	}
+}
+
+// Without an explicit RunID the master generates a fresh nonzero one.
+func TestTCPRunIDGenerated(t *testing.T) {
+	m, _, err := ListenTCP("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Run() == 0 {
+		t.Fatal("master generated a zero run ID")
+	}
+}
+
+// All in-process communicators of one group share a nonzero run ID, and
+// the middleware wrappers surface it unchanged.
+func TestInProcRunIDSharedAndWrapped(t *testing.T) {
+	comms, err := InProc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := comms[0].Run()
+	if run == 0 {
+		t.Fatal("zero run ID")
+	}
+	for r, c := range comms {
+		if c.Run() != run {
+			t.Fatalf("rank %d run %016x, want %016x", r, c.Run(), run)
+		}
+	}
+	other, err := InProc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0].Run() == run {
+		t.Fatal("independent groups share a run ID")
+	}
+	wrapped := Instrument(Chaos(comms[1], ChaosConfig{}), nil)
+	if got := Chaos(comms[1], ChaosConfig{}).Run(); got != run {
+		t.Fatalf("chaos wrapper run %016x, want %016x", got, run)
+	}
+	if wrapped.Run() != run {
+		t.Fatalf("instrumented wrapper run %016x, want %016x", wrapped.Run(), run)
+	}
+}

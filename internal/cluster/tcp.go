@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpascd/internal/obs"
 	"tpascd/internal/rng"
 )
 
@@ -176,6 +177,7 @@ func (p *peer) recv(timeout time.Duration, wantKind byte, f32 []float32, f64 []f
 // tcpComm implements Comm over a master/worker star.
 type tcpComm struct {
 	rank, size int
+	run        uint64
 	cfg        Config
 	// master only: peers[r-1] is the connection to rank r; populated by a
 	// background acceptor, guarded by the ready channel.
@@ -252,7 +254,11 @@ func ListenTCPConfig(addr string, size int, cfg Config) (Comm, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	c := &tcpComm{rank: 0, size: size, cfg: cfg, peers: make([]*peer, size-1), ln: ln, met: newCommMetrics(cfg.Obs)}
+	run := cfg.RunID
+	if run == 0 {
+		run = obs.NewRunID()
+	}
+	c := &tcpComm{rank: 0, size: size, run: run, cfg: cfg, peers: make([]*peer, size-1), ln: ln, met: newCommMetrics(cfg.Obs)}
 	bound := ln.Addr().String()
 	if size == 1 {
 		ln.Close()
@@ -285,11 +291,29 @@ func ListenTCPConfig(addr string, size int, cfg Config) (Comm, string, error) {
 				c.acceptErr = fmt.Errorf("cluster: bad or duplicate worker rank %d", r)
 				return
 			}
+			// Hello reply: the run correlation ID, split into two exact
+			// 32-bit halves (float64 carries 2^32 losslessly; a raw bit
+			// pattern could be a NaN the codec is not guaranteed to keep).
+			if err := p.send(cfg.JoinTimeout, kindHello, nil, runHalves(run)); err != nil {
+				conn.Close()
+				c.acceptErr = fmt.Errorf("cluster: handshake reply to rank %d: %w", r, err)
+				return
+			}
 			p.rank = r
 			c.peers[r-1] = p
 		}
 	}()
 	return c, bound, nil
+}
+
+// runHalves splits a run ID into two float64-exact 32-bit halves for the
+// hello reply frame; joinRun inverts it.
+func runHalves(run uint64) []float64 {
+	return []float64{float64(run & 0xffffffff), float64(run >> 32)}
+}
+
+func joinRun(halves []float64) uint64 {
+	return uint64(halves[0]) | uint64(halves[1])<<32
 }
 
 // DialTCP creates a worker side of a TCP group with DefaultConfig,
@@ -341,7 +365,31 @@ func DialTCPConfig(addr string, rank, size int, cfg Config) (Comm, error) {
 				conn.Close()
 				return nil, err
 			}
-			return &tcpComm{rank: rank, size: size, cfg: cfg, master: p, met: met}, nil
+			// The master's hello reply carries the run correlation ID. The
+			// wait is bounded by the remaining join budget: the master may
+			// still be accepting other workers, which is assembly, not a
+			// collective.
+			replyTO := cfg.CollectiveTimeout
+			if !deadline.IsZero() {
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					conn.Close()
+					return nil, fmt.Errorf("cluster: dial %s: %w during handshake", addr, ErrJoinTimeout)
+				}
+				replyTO = remaining
+			}
+			var halves [2]float64
+			n, err := p.recv(replyTO, kindHello, nil, halves[:])
+			if err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("cluster: handshake reply: %w", err)
+			}
+			if n != 2 {
+				conn.Close()
+				return nil, fmt.Errorf("cluster: handshake reply carried %d values, want 2", n)
+			}
+			conn.SetReadDeadline(time.Time{})
+			return &tcpComm{rank: rank, size: size, run: joinRun(halves[:]), cfg: cfg, master: p, met: met}, nil
 		}
 		if deadline.IsZero() {
 			return nil, err
@@ -363,8 +411,9 @@ func DialTCPConfig(addr string, rank, size int, cfg Config) (Comm, error) {
 	}
 }
 
-func (c *tcpComm) Rank() int { return c.rank }
-func (c *tcpComm) Size() int { return c.size }
+func (c *tcpComm) Rank() int   { return c.rank }
+func (c *tcpComm) Size() int   { return c.size }
+func (c *tcpComm) Run() uint64 { return c.run }
 
 func (c *tcpComm) Broadcast(buf []float32, root int) error {
 	if root != 0 {

@@ -45,10 +45,28 @@ func TestRoundSpansCarryGammaAndGap(t *testing.T) {
 			if ep, ok := ev.Field("epoch"); !ok || ep < 1 || ep > epochs {
 				t.Fatalf("round span with epoch %v", ep)
 			}
+			// Wall-clock breakdown: compute is a real local epoch so it
+			// must take nonzero time; comm is measured (in-process it can
+			// round to zero but the field must be present) and both must
+			// fit inside the span's total duration.
+			comp, ok := ev.Field("compute_s")
+			if !ok || comp <= 0 {
+				t.Fatalf("round span compute_s %v ok=%v: %+v", comp, ok, ev)
+			}
+			comm, ok := ev.Field("comm_s")
+			if !ok || comm < 0 {
+				t.Fatalf("round span comm_s %v ok=%v: %+v", comm, ok, ev)
+			}
+			if comp+comm > ev.Dur.Seconds() {
+				t.Fatalf("compute_s %v + comm_s %v exceeds span dur %v", comp, comm, ev.Dur)
+			}
 		case "dist.gap":
 			gaps++
 			if got, ok := ev.Field("gap"); !ok || got != gap {
 				t.Fatalf("gap span field %v, want %v", got, gap)
+			}
+			if comm, ok := ev.Field("comm_s"); !ok || comm < 0 {
+				t.Fatalf("gap span comm_s %v ok=%v", comm, ok)
 			}
 		default:
 			t.Fatalf("unexpected span %q", ev.Name)

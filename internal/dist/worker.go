@@ -67,8 +67,9 @@ type Config struct {
 	// by the in-process Group constructors.
 	WrapComm func(cluster.Comm) cluster.Comm
 	// Trace receives one "dist.round" span per synchronous round (epoch,
-	// aggregation γ, modeled seconds, wall-clock duration) and one
-	// "dist.gap" span per collective gap evaluation. nil disables tracing.
+	// aggregation γ, modeled seconds, wall-clock duration plus its
+	// compute_s/comm_s split) and one "dist.gap" span per collective gap
+	// evaluation. nil disables tracing.
 	Trace *obs.Tracer
 }
 
@@ -98,6 +99,12 @@ type Worker struct {
 
 	gamma float64
 	epoch int // completed synchronous rounds
+
+	// commDur accumulates the wall-clock time this rank spent blocked in
+	// collectives during the current round (or Gap call); reset at the
+	// start of each. It feeds the compute-vs-communication breakdown in
+	// the emitted spans, which obsreport turns into per-rank shares.
+	commDur time.Duration
 }
 
 // NewWorker builds one rank. view must be the same partition the local
@@ -199,11 +206,14 @@ func (w *Worker) ResumeFrom(model []float32, epoch int) error {
 func (w *Worker) RunEpoch() (perfmodel.Breakdown, error) {
 	var bd perfmodel.Breakdown
 	start := time.Now()
+	w.commDur = 0
 	copy(w.prevModel, w.model)
 	copy(w.prevShared, w.shared)
 
 	// Local optimization pass.
+	computeStart := time.Now()
 	w.local.Epoch(w.model, w.shared)
+	computeDur := time.Since(computeStart)
 
 	// Local deltas (reuse shared as the send buffer via deltaSum scratch).
 	delta := w.shared // alias: shared currently holds prevShared + local updates
@@ -213,12 +223,14 @@ func (w *Worker) RunEpoch() (perfmodel.Breakdown, error) {
 
 	// Reduce + broadcast so every rank holds the summed delta.
 	K := w.comm.Size()
+	commStart := time.Now()
 	if err := w.comm.Reduce(delta, w.deltaSum, 0); err != nil {
 		return bd, err
 	}
 	if err := w.comm.Broadcast(w.deltaSum, 0); err != nil {
 		return bd, err
 	}
+	w.commDur += time.Since(commStart)
 
 	// Aggregation parameter.
 	gamma := 1.0 / float64(K)
@@ -269,6 +281,8 @@ func (w *Worker) RunEpoch() (perfmodel.Breakdown, error) {
 		obs.F("epoch", float64(w.epoch)),
 		obs.F("gamma", w.gamma),
 		obs.F("seconds", bd.Total()),
+		obs.F("compute_s", computeDur.Seconds()),
+		obs.F("comm_s", w.commDur.Seconds()),
 	)
 	return bd, nil
 }
@@ -301,7 +315,7 @@ func (w *Worker) adaptiveGamma() (float64, int64, error) {
 			mY += d * float64(v.YCoord[j])
 		}
 	}
-	sums, err := w.comm.AllreduceScalars([]float64{mDot, mNormSq, mY})
+	sums, err := w.timedAllreduceScalars([]float64{mDot, mNormSq, mY})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -336,6 +350,15 @@ func (w *Worker) adaptiveGamma() (float64, int64, error) {
 	return num / den, payload, nil
 }
 
+// timedAllreduceScalars runs the collective and charges its wall-clock
+// duration to the current round's communication share.
+func (w *Worker) timedAllreduceScalars(vals []float64) ([]float64, error) {
+	t0 := time.Now()
+	out, err := w.comm.AllreduceScalars(vals)
+	w.commDur += time.Since(t0)
+	return out, err
+}
+
 // allreduceMax returns the element-wise maximum of vals across ranks,
 // implemented with per-rank slots over the sum-Allreduce (group sizes here
 // are ≤ 16, so the payload stays tiny).
@@ -346,7 +369,7 @@ func (w *Worker) allreduceMax(vals []float64) ([]float64, error) {
 	for i, v := range vals {
 		slots[i*K+r] = v
 	}
-	summed, err := w.comm.AllreduceScalars(slots)
+	summed, err := w.timedAllreduceScalars(slots)
 	if err != nil {
 		return nil, err
 	}
@@ -370,12 +393,14 @@ func (w *Worker) allreduceMax(vals []float64) ([]float64, error) {
 // materializing the model on one node.
 func (w *Worker) Gap() (float64, error) {
 	start := time.Now()
+	w.commDur = 0
 	gap, err := w.computeGap()
 	if err == nil {
 		w.cfg.Trace.Emit("dist.gap", start, time.Since(start),
 			obs.F("rank", float64(w.comm.Rank())),
 			obs.F("epoch", float64(w.epoch)),
 			obs.F("gap", gap),
+			obs.F("comm_s", w.commDur.Seconds()),
 		)
 	}
 	return gap, err
@@ -405,7 +430,7 @@ func (w *Worker) computeGap() (float64, error) {
 			}
 			atASq += dp * dp
 		}
-		sums, err := w.comm.AllreduceScalars([]float64{betaSq, atASq})
+		sums, err := w.timedAllreduceScalars([]float64{betaSq, atASq})
 		if err != nil {
 			return 0, err
 		}
@@ -443,7 +468,7 @@ func (w *Worker) computeGap() (float64, error) {
 		r := dp - float64(v.YCoord[c])
 		residSq += r * r
 	}
-	sums, err := w.comm.AllreduceScalars([]float64{alphaSq, alphaY, residSq})
+	sums, err := w.timedAllreduceScalars([]float64{alphaSq, alphaY, residSq})
 	if err != nil {
 		return 0, err
 	}

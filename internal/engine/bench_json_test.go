@@ -1,0 +1,41 @@
+package engine_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// When TPASCD_BENCH_JSON names a file, every solver benchmark appends one
+// JSON object per run (name, ops, ns/op), the same trajectory format the
+// serving benchmarks emit — CI archives the combined file as an artifact
+// so per-commit performance is queryable without rerunning anything.
+
+type benchRecord struct {
+	Name    string             `json:"name"`
+	Ops     int                `json:"ops"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+func emitBench(b *testing.B, name string, extra map[string]float64) {
+	b.Helper()
+	path := os.Getenv("TPASCD_BENCH_JSON")
+	if path == "" {
+		return
+	}
+	rec := benchRecord{
+		Name:    name,
+		Ops:     b.N,
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Extra:   extra,
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		b.Fatalf("bench json: %v", err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(rec); err != nil {
+		b.Fatalf("bench json: %v", err)
+	}
+}

@@ -300,6 +300,7 @@ func BenchmarkSequentialEpochPrimal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.RunEpoch()
 	}
+	emitBench(b, "SequentialEpochPrimal", nil)
 }
 
 func BenchmarkAtomicEpochPrimal8(b *testing.B) {
@@ -309,6 +310,7 @@ func BenchmarkAtomicEpochPrimal8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.RunEpoch()
 	}
+	emitBench(b, "AtomicEpochPrimal8", nil)
 }
 
 func BenchmarkWildEpochPrimal8(b *testing.B) {
@@ -318,6 +320,7 @@ func BenchmarkWildEpochPrimal8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.RunEpoch()
 	}
+	emitBench(b, "WildEpochPrimal8", nil)
 }
 
 // Periodic shared-vector recomputation (the repair scheme of Tran et al.,

@@ -165,4 +165,5 @@ func BenchmarkGPUEpoch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.RunEpoch()
 	}
+	emitBench(b, "GPUEpoch", nil)
 }

@@ -72,6 +72,7 @@ func BenchmarkEpochInstrumentation(b *testing.B) {
 				s.RunEpoch()
 				bc.hook(ev)
 			}
+			emitBench(b, "EpochInstrumentation/"+bc.name, nil)
 		})
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -169,10 +170,12 @@ func (h *Histogram) BucketCounts() []int64 {
 }
 
 // Quantile estimates the q-quantile as the upper bound of the bucket where
-// the cumulative count crosses q·count (the +Inf bucket's bound is
-// unknown, so it reports the last finite bound). Zero with no
-// observations. This is the same estimator the serving layer has always
-// used for its latency percentiles.
+// the cumulative count crosses q·count. Zero with no observations. When
+// the crossing lands in the +Inf overflow bucket — whose upper bound is
+// unknown — it reports the largest observation seen, the only defined
+// answer there (a histogram built over no finite bounds degenerates to
+// exactly this case). This is the same estimator the serving layer has
+// always used for its latency percentiles.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -195,7 +198,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			break
 		}
 	}
-	return h.bounds[len(h.bounds)-1]
+	return h.Max()
 }
 
 // LatencyBuckets returns the canonical latency histogram upper bounds in
@@ -234,23 +237,74 @@ func ExpBuckets(start float64, n int) []float64 {
 // in braces, e.g. `cluster_collective_latency_seconds{op="reduce"}` —
 // each distinct labeled name is its own time series, grouped into one
 // family by the exposition writer.
+//
+// With derives a view that splices constant labels (rank, run, ...) into
+// every name it registers; views share the parent's series map, so one
+// exposition page covers them all.
 type Registry struct {
+	core   *registryCore
+	labels string // const label block spliced into every registered name
+}
+
+// registryCore is the series map a Registry and all its With views share.
+type registryCore struct {
 	mu      sync.Mutex
 	metrics map[string]any
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{metrics: make(map[string]any)}
+	return &Registry{core: &registryCore{metrics: make(map[string]any)}}
+}
+
+// With returns a view of the registry whose every metric carries the
+// given constant label pairs in addition to any labels at the call site —
+// the mechanism by which one rank's whole exposition is stamped with its
+// rank (and, once known, run) identity. The view shares the parent's
+// series map. Pairs must come as key, value, key, value, ...; a nil
+// registry returns nil.
+func (r *Registry) With(pairs ...string) *Registry {
+	if r == nil {
+		return nil
+	}
+	if len(pairs) == 0 {
+		return r
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: With requires key/value pairs")
+	}
+	parts := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		parts = append(parts, pairs[i]+`="`+pairs[i+1]+`"`)
+	}
+	block := strings.Join(parts, ",")
+	if r.labels != "" {
+		block = r.labels + "," + block
+	}
+	return &Registry{core: r.core, labels: block}
+}
+
+// decorate splices the view's constant labels into a metric name.
+func (r *Registry) decorate(name string) string {
+	if r.labels == "" {
+		return name
+	}
+	family, labels := splitName(name)
+	if labels == "" {
+		return family + "{" + r.labels + "}"
+	}
+	return family + "{" + labels + "," + r.labels + "}"
 }
 
 // get returns the metric registered under name, creating it with mk when
 // absent. It panics when name is already registered as a different kind —
 // that is a programming error, not a runtime condition.
 func get[T any](r *Registry, name string, mk func() *T) *T {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if m, ok := r.metrics[name]; ok {
+	name = r.decorate(name)
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.metrics[name]; ok {
 		t, ok := m.(*T)
 		if !ok {
 			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
@@ -258,7 +312,7 @@ func get[T any](r *Registry, name string, mk func() *T) *T {
 		return t
 	}
 	m := mk()
-	r.metrics[name] = m
+	c.metrics[name] = m
 	return m
 }
 
@@ -293,10 +347,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // names returns all registered metric names, sorted, so exposition output
 // is deterministic regardless of registration order.
 func (r *Registry) names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.metrics))
-	for name := range r.metrics {
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.metrics))
+	for name := range c.metrics {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -305,7 +360,8 @@ func (r *Registry) names() []string {
 
 // lookup returns the metric registered under name, or nil.
 func (r *Registry) lookup(name string) any {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.metrics[name]
+	c := r.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics[name]
 }

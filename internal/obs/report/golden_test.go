@@ -1,0 +1,103 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"testing"
+
+	"tpascd/internal/obs"
+)
+
+// loadFixture parses the checked-in per-rank span files of a real 3-rank
+// chaos-delay distworker run (testdata/rank{0,1,2}.jsonl).
+func loadFixture(t *testing.T) []obs.Event {
+	t.Helper()
+	var events []obs.Event
+	for _, name := range []string{"testdata/rank0.jsonl", "testdata/rank1.jsonl", "testdata/rank2.jsonl"} {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs, err := obs.ParseJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		events = append(events, evs...)
+	}
+	return events
+}
+
+// The analyzer must reproduce the committed reference reports byte for
+// byte from the committed fixture: the report is a pure function of the
+// span files, with no clocks or environment leaking in.
+func TestFixtureReproducesReferenceReports(t *testing.T) {
+	rep, err := Analyze(loadFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []struct {
+		path  string
+		write func(*bytes.Buffer) error
+	}{
+		{"../../../results/runreport.json", func(b *bytes.Buffer) error { return WriteJSON(b, rep) }},
+		{"../../../results/runreport.txt", func(b *bytes.Buffer) error { return WriteTable(b, rep) }},
+	} {
+		want, err := os.ReadFile(ref.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := ref.write(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s diverges from a fresh analysis of the fixture;\ngot:\n%s\nwant:\n%s",
+				ref.path, got.String(), want)
+		}
+	}
+}
+
+// Structural invariants of the fixture run: all three ranks present, the
+// round timeline complete and monotone, communication visible in every
+// rank's share, and the shares summing to one.
+func TestFixtureRunInvariants(t *testing.T) {
+	rep, err := Analyze(loadFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ranks) != 3 {
+		t.Fatalf("ranks %v", rep.Ranks)
+	}
+	if len(rep.Rounds) != 8 {
+		t.Fatalf("%d rounds", len(rep.Rounds))
+	}
+	prevEnd := 0.0
+	for i, rd := range rep.Rounds {
+		if rd.Epoch != i+1 {
+			t.Fatalf("round %d has epoch %d", i, rd.Epoch)
+		}
+		if rd.Ranks != 3 {
+			t.Fatalf("epoch %d reported by %d ranks", rd.Epoch, rd.Ranks)
+		}
+		if rd.EndS < prevEnd {
+			t.Fatalf("epoch %d ends at %v before previous end %v", rd.Epoch, rd.EndS, prevEnd)
+		}
+		prevEnd = rd.EndS
+		if rd.Skew < 1 {
+			t.Fatalf("epoch %d skew %v < 1", rd.Epoch, rd.Skew)
+		}
+	}
+	for _, rs := range rep.RankStats {
+		if rs.CommShare <= 0 {
+			t.Fatalf("rank %d has zero communication share", rs.Rank)
+		}
+		if sum := rs.ComputeShare + rs.CommShare + rs.OtherShare; math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("rank %d shares sum to %v", rs.Rank, sum)
+		}
+	}
+	if len(rep.GapTrajectory) == 0 {
+		t.Fatal("no gap trajectory")
+	}
+}

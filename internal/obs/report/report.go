@@ -1,0 +1,354 @@
+// Package report turns the span streams the distributed trainers emit
+// (per-rank JSONL files, correlated by run ID) into a merged run report:
+// the synchronous-round wall-clock timeline, each rank's compute versus
+// collective-communication breakdown, the duality-gap and γ trajectories,
+// and straggler statistics. The analysis is purely a function of the input
+// events — no clocks, no environment — so a checked-in fixture reproduces
+// its reference report byte for byte.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"tpascd/internal/obs"
+)
+
+// Report is the merged view of one distributed run.
+type Report struct {
+	// Run is the shared run correlation ID ("" when the spans carry none).
+	Run string `json:"run,omitempty"`
+	// Ranks lists every rank that contributed spans, ascending.
+	Ranks []int `json:"ranks"`
+	// SpanCounts tallies all ingested span names, known to the analyzer
+	// or not, so dropped instrumentation is visible rather than silent.
+	SpanCounts map[string]int `json:"span_counts"`
+	// Rounds is the per-epoch wall-clock timeline, ascending by epoch.
+	Rounds []Round `json:"rounds"`
+	// RankStats is the per-rank time breakdown, ascending by rank.
+	RankStats []RankStat `json:"rank_stats"`
+	// GapTrajectory and GammaTrajectory track convergence over epochs.
+	GapTrajectory   []TrajPoint `json:"gap_trajectory"`
+	GammaTrajectory []TrajPoint `json:"gamma_trajectory"`
+	// Straggler aggregates the per-round skew into run-level stats.
+	Straggler Straggler `json:"straggler"`
+}
+
+// Round is one synchronous round as observed across all ranks. Times are
+// seconds relative to the earliest event of the run.
+type Round struct {
+	Epoch int `json:"epoch"`
+	// StartS is the earliest rank's round start; EndS the latest rank's
+	// round end; WallS their difference — the round's true wall-clock
+	// cost including synchronization skew.
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	WallS  float64 `json:"wall_s"`
+	// Gamma is the aggregation parameter applied this round (identical
+	// across ranks by construction).
+	Gamma float64 `json:"gamma"`
+	// Ranks counts how many ranks reported this round.
+	Ranks int `json:"ranks"`
+	// SlowestRank took the longest and Skew is its duration divided by
+	// the mean rank duration (1.0 = perfectly balanced).
+	SlowestRank int     `json:"slowest_rank"`
+	Skew        float64 `json:"skew"`
+}
+
+// RankStat is one rank's cumulative time accounting over the run. Shares
+// are fractions of the rank's total span time and sum to 1.0.
+type RankStat struct {
+	Rank   int     `json:"rank"`
+	Rounds int     `json:"rounds"`
+	TotalS float64 `json:"total_s"`
+	// ComputeS is time inside the local solver epoch; CommS is time
+	// blocked in collectives (rounds and gap evaluations).
+	ComputeS     float64 `json:"compute_s"`
+	CommS        float64 `json:"comm_s"`
+	ComputeShare float64 `json:"compute_share"`
+	CommShare    float64 `json:"comm_share"`
+	// OtherShare is the remainder (delta arithmetic, γ computation,
+	// bookkeeping): 1 − compute − comm.
+	OtherShare float64 `json:"other_share"`
+	// SlowestRounds counts the rounds where this rank was the straggler.
+	SlowestRounds int `json:"slowest_rounds"`
+}
+
+// TrajPoint is one sample of a per-epoch trajectory.
+type TrajPoint struct {
+	Epoch int     `json:"epoch"`
+	Value float64 `json:"value"`
+}
+
+// Straggler summarizes load imbalance across the run.
+type Straggler struct {
+	// MeanSkew and MaxSkew aggregate Round.Skew over all rounds;
+	// MaxSkewEpoch is the epoch where the worst imbalance occurred.
+	MeanSkew     float64 `json:"mean_skew"`
+	MaxSkew      float64 `json:"max_skew"`
+	MaxSkewEpoch int     `json:"max_skew_epoch"`
+}
+
+// rankRound is one rank's observation of one round.
+type rankRound struct {
+	rank     int
+	startS   float64
+	endS     float64
+	durS     float64
+	gamma    float64
+	computeS float64
+	commS    float64
+}
+
+// Analyze merges the events of one run (typically the concatenation of
+// every rank's JSONL file) into a Report. It rejects event sets spanning
+// multiple run IDs — correlate first, analyze second — and events missing
+// a rank field on the span kinds that require one.
+func Analyze(events []obs.Event) (*Report, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("report: no events")
+	}
+	run := events[0].Run
+	for _, ev := range events {
+		if ev.Run != run {
+			return nil, fmt.Errorf("report: events from multiple runs (%q and %q); analyze one run at a time", run, ev.Run)
+		}
+	}
+
+	origin := events[0].Time
+	for _, ev := range events {
+		if ev.Time.Before(origin) {
+			origin = ev.Time
+		}
+	}
+
+	rep := &Report{
+		Run:             run,
+		Ranks:           []int{},
+		SpanCounts:      map[string]int{},
+		Rounds:          []Round{},
+		RankStats:       []RankStat{},
+		GapTrajectory:   []TrajPoint{},
+		GammaTrajectory: []TrajPoint{},
+	}
+
+	byEpoch := map[int][]rankRound{} // dist.round observations
+	gapByEpoch := map[int]float64{}  // dist.gap values (ranks agree)
+	gapSeen := map[int]bool{}
+	ranks := map[int]*rankAgg{}
+	aggFor := func(rank int) *rankAgg {
+		a := ranks[rank]
+		if a == nil {
+			a = &rankAgg{}
+			ranks[rank] = a
+		}
+		return a
+	}
+
+	for _, ev := range events {
+		rep.SpanCounts[ev.Name]++
+		switch ev.Name {
+		case "dist.round":
+			rank, epoch, err := rankEpoch(ev)
+			if err != nil {
+				return nil, err
+			}
+			gamma, _ := ev.Field("gamma")
+			computeS, _ := ev.Field("compute_s")
+			commS, _ := ev.Field("comm_s")
+			rr := rankRound{
+				rank:     rank,
+				startS:   ev.Time.Sub(origin).Seconds(),
+				durS:     ev.Dur.Seconds(),
+				gamma:    gamma,
+				computeS: computeS,
+				commS:    commS,
+			}
+			rr.endS = rr.startS + rr.durS
+			byEpoch[epoch] = append(byEpoch[epoch], rr)
+			agg := aggFor(rank)
+			agg.rounds++
+			agg.totalS += rr.durS
+			agg.compS += computeS
+			agg.commS += commS
+		case "dist.gap":
+			rank, epoch, err := rankEpoch(ev)
+			if err != nil {
+				return nil, err
+			}
+			if gap, ok := ev.Field("gap"); ok && !gapSeen[epoch] {
+				gapByEpoch[epoch] = gap
+				gapSeen[epoch] = true
+			}
+			commS, _ := ev.Field("comm_s")
+			agg := aggFor(rank)
+			agg.totalS += ev.Dur.Seconds()
+			agg.commS += commS
+		}
+	}
+	if len(byEpoch) == 0 {
+		return nil, fmt.Errorf("report: no dist.round spans among %d events", len(events))
+	}
+
+	epochs := make([]int, 0, len(byEpoch))
+	for e := range byEpoch {
+		epochs = append(epochs, e)
+	}
+	sort.Ints(epochs)
+
+	slowestCount := map[int]int{}
+	var skewSum float64
+	for _, e := range epochs {
+		obsvs := byEpoch[e]
+		sort.Slice(obsvs, func(i, j int) bool { return obsvs[i].rank < obsvs[j].rank })
+		rd := Round{
+			Epoch:       e,
+			StartS:      math.Inf(1),
+			EndS:        math.Inf(-1),
+			Gamma:       obsvs[0].gamma,
+			Ranks:       len(obsvs),
+			SlowestRank: obsvs[0].rank,
+		}
+		var durSum, maxDur float64
+		for _, o := range obsvs {
+			rd.StartS = math.Min(rd.StartS, o.startS)
+			rd.EndS = math.Max(rd.EndS, o.endS)
+			durSum += o.durS
+			if o.durS > maxDur {
+				maxDur = o.durS
+				rd.SlowestRank = o.rank
+			}
+		}
+		rd.WallS = rd.EndS - rd.StartS
+		if mean := durSum / float64(len(obsvs)); mean > 0 {
+			rd.Skew = maxDur / mean
+		} else {
+			rd.Skew = 1
+		}
+		slowestCount[rd.SlowestRank]++
+		skewSum += rd.Skew
+		if rd.Skew > rep.Straggler.MaxSkew {
+			rep.Straggler.MaxSkew = rd.Skew
+			rep.Straggler.MaxSkewEpoch = e
+		}
+		rep.Rounds = append(rep.Rounds, rd)
+		rep.GammaTrajectory = append(rep.GammaTrajectory, TrajPoint{Epoch: e, Value: rd.Gamma})
+		if gapSeen[e] {
+			rep.GapTrajectory = append(rep.GapTrajectory, TrajPoint{Epoch: e, Value: gapByEpoch[e]})
+		}
+	}
+	rep.Straggler.MeanSkew = skewSum / float64(len(epochs))
+
+	// Gap evaluations reported against epochs without rounds (e.g. a final
+	// gap after the last round) still belong on the trajectory.
+	for e := range gapByEpoch {
+		if _, hasRound := byEpoch[e]; !hasRound {
+			rep.GapTrajectory = append(rep.GapTrajectory, TrajPoint{Epoch: e, Value: gapByEpoch[e]})
+		}
+	}
+	sort.Slice(rep.GapTrajectory, func(i, j int) bool { return rep.GapTrajectory[i].Epoch < rep.GapTrajectory[j].Epoch })
+
+	for rank := range ranks {
+		rep.Ranks = append(rep.Ranks, rank)
+	}
+	sort.Ints(rep.Ranks)
+	for _, rank := range rep.Ranks {
+		agg := ranks[rank]
+		rs := RankStat{
+			Rank:          rank,
+			Rounds:        agg.rounds,
+			TotalS:        agg.totalS,
+			ComputeS:      agg.compS,
+			CommS:         agg.commS,
+			SlowestRounds: slowestCount[rank],
+		}
+		if agg.totalS > 0 {
+			rs.ComputeShare = agg.compS / agg.totalS
+			rs.CommShare = agg.commS / agg.totalS
+			rs.OtherShare = 1 - rs.ComputeShare - rs.CommShare
+		}
+		rep.RankStats = append(rep.RankStats, rs)
+	}
+	return rep, nil
+}
+
+// rankAgg accumulates one rank's time accounting while scanning events.
+type rankAgg struct {
+	rounds               int
+	totalS, compS, commS float64
+}
+
+func rankEpoch(ev obs.Event) (rank, epoch int, err error) {
+	r, ok := ev.Field("rank")
+	if !ok {
+		return 0, 0, fmt.Errorf("report: %s span at %s has no rank field", ev.Name, ev.Time.Format("15:04:05.000"))
+	}
+	e, ok := ev.Field("epoch")
+	if !ok {
+		return 0, 0, fmt.Errorf("report: %s span at %s has no epoch field", ev.Name, ev.Time.Format("15:04:05.000"))
+	}
+	return int(r), int(e), nil
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+// Field order follows the struct definitions and map keys are sorted, so
+// the bytes are a deterministic function of the report.
+func WriteJSON(w io.Writer, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteTable renders the report as a fixed-precision human-readable table
+// (also deterministic for a given report).
+func WriteTable(w io.Writer, r *Report) error {
+	label := r.Run
+	if label == "" {
+		label = "(untagged)"
+	}
+	if _, err := fmt.Fprintf(w, "run %s: %d ranks, %d rounds\n", label, len(r.Ranks), len(r.Rounds)); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nROUND TIMELINE\n")
+	fmt.Fprintf(w, "%5s %9s %9s %9s %6s %8s %6s\n", "epoch", "start_s", "wall_s", "gamma", "ranks", "slowest", "skew")
+	for _, rd := range r.Rounds {
+		fmt.Fprintf(w, "%5d %9.4f %9.4f %9.4f %6d %8d %6.2f\n",
+			rd.Epoch, rd.StartS, rd.WallS, rd.Gamma, rd.Ranks, rd.SlowestRank, rd.Skew)
+	}
+
+	fmt.Fprintf(w, "\nRANK BREAKDOWN\n")
+	fmt.Fprintf(w, "%4s %7s %9s %9s %9s %9s %8s\n", "rank", "rounds", "total_s", "compute", "comm", "other", "slowest")
+	for _, rs := range r.RankStats {
+		fmt.Fprintf(w, "%4d %7d %9.4f %8.1f%% %8.1f%% %8.1f%% %8d\n",
+			rs.Rank, rs.Rounds, rs.TotalS,
+			100*rs.ComputeShare, 100*rs.CommShare, 100*rs.OtherShare, rs.SlowestRounds)
+	}
+
+	if len(r.GapTrajectory) > 0 {
+		fmt.Fprintf(w, "\nCONVERGENCE\n")
+		fmt.Fprintf(w, "%5s %13s %9s\n", "epoch", "gap", "gamma")
+		gammaAt := map[int]float64{}
+		for _, p := range r.GammaTrajectory {
+			gammaAt[p.Epoch] = p.Value
+		}
+		for _, p := range r.GapTrajectory {
+			if g, ok := gammaAt[p.Epoch]; ok {
+				fmt.Fprintf(w, "%5d %13.6e %9.4f\n", p.Epoch, p.Value, g)
+			} else {
+				fmt.Fprintf(w, "%5d %13.6e %9s\n", p.Epoch, p.Value, "-")
+			}
+		}
+	}
+
+	_, err := fmt.Fprintf(w, "\nSTRAGGLER mean skew %.3f, max %.3f (epoch %d)\n",
+		r.Straggler.MeanSkew, r.Straggler.MaxSkew, r.Straggler.MaxSkewEpoch)
+	return err
+}

@@ -1,0 +1,189 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+func roundEv(run string, rank, epoch int, start time.Time, dur time.Duration, gamma, computeS, commS float64) obs.Event {
+	return obs.Event{
+		Name: "dist.round", Time: start, Dur: dur, Run: run,
+		Fields: []obs.Field{
+			obs.F("rank", float64(rank)),
+			obs.F("epoch", float64(epoch)),
+			obs.F("gamma", gamma),
+			obs.F("seconds", 0.5),
+			obs.F("compute_s", computeS),
+			obs.F("comm_s", commS),
+		},
+	}
+}
+
+func gapEv(run string, rank, epoch int, start time.Time, dur time.Duration, gap, commS float64) obs.Event {
+	return obs.Event{
+		Name: "dist.gap", Time: start, Dur: dur, Run: run,
+		Fields: []obs.Field{
+			obs.F("rank", float64(rank)),
+			obs.F("epoch", float64(epoch)),
+			obs.F("gap", gap),
+			obs.F("comm_s", commS),
+		},
+	}
+}
+
+func testEvents() []obs.Event {
+	t0 := time.Date(2026, 3, 1, 10, 0, 0, 0, time.UTC)
+	const run = "00000000000000ab"
+	return []obs.Event{
+		// Epoch 1: rank 1 is the straggler (200ms vs 100ms).
+		roundEv(run, 0, 1, t0, 100*time.Millisecond, 0.5, 0.06, 0.03),
+		roundEv(run, 1, 1, t0, 200*time.Millisecond, 0.5, 0.16, 0.03),
+		// Epoch 2: balanced.
+		roundEv(run, 0, 2, t0.Add(250*time.Millisecond), 100*time.Millisecond, 0.8, 0.05, 0.04),
+		roundEv(run, 1, 2, t0.Add(250*time.Millisecond), 100*time.Millisecond, 0.8, 0.05, 0.04),
+		// Collective gap evaluation after epoch 2.
+		gapEv(run, 0, 2, t0.Add(400*time.Millisecond), 50*time.Millisecond, 0.01, 0.02),
+		gapEv(run, 1, 2, t0.Add(400*time.Millisecond), 50*time.Millisecond, 0.01, 0.02),
+	}
+}
+
+func TestAnalyzeMergesRanksAndRounds(t *testing.T) {
+	rep, err := Analyze(testEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Run != "00000000000000ab" {
+		t.Fatalf("run %q", rep.Run)
+	}
+	if len(rep.Ranks) != 2 || rep.Ranks[0] != 0 || rep.Ranks[1] != 1 {
+		t.Fatalf("ranks %v", rep.Ranks)
+	}
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("%d rounds", len(rep.Rounds))
+	}
+
+	r1 := rep.Rounds[0]
+	if r1.Epoch != 1 || r1.Ranks != 2 {
+		t.Fatalf("round 1: %+v", r1)
+	}
+	if r1.StartS != 0 || r1.WallS != 0.2 {
+		t.Fatalf("round 1 timeline: start %v wall %v", r1.StartS, r1.WallS)
+	}
+	if r1.SlowestRank != 1 {
+		t.Fatalf("round 1 slowest rank %d", r1.SlowestRank)
+	}
+	// skew = 0.2 / mean(0.1, 0.2)
+	if math.Abs(r1.Skew-0.2/0.15) > 1e-12 {
+		t.Fatalf("round 1 skew %v", r1.Skew)
+	}
+	if rep.Rounds[1].Gamma != 0.8 {
+		t.Fatalf("round 2 gamma %v", rep.Rounds[1].Gamma)
+	}
+
+	if rep.Straggler.MaxSkewEpoch != 1 || rep.Straggler.MaxSkew != r1.Skew {
+		t.Fatalf("straggler %+v", rep.Straggler)
+	}
+
+	if len(rep.GapTrajectory) != 1 || rep.GapTrajectory[0].Epoch != 2 || rep.GapTrajectory[0].Value != 0.01 {
+		t.Fatalf("gap trajectory %+v", rep.GapTrajectory)
+	}
+	if len(rep.GammaTrajectory) != 2 {
+		t.Fatalf("gamma trajectory %+v", rep.GammaTrajectory)
+	}
+	if rep.SpanCounts["dist.round"] != 4 || rep.SpanCounts["dist.gap"] != 2 {
+		t.Fatalf("span counts %v", rep.SpanCounts)
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	rep, err := Analyze(testEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range rep.RankStats {
+		sum := rs.ComputeShare + rs.CommShare + rs.OtherShare
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("rank %d shares sum to %v", rs.Rank, sum)
+		}
+		if rs.ComputeShare <= 0 || rs.CommShare <= 0 || rs.OtherShare < 0 {
+			t.Fatalf("rank %d degenerate shares: %+v", rs.Rank, rs)
+		}
+		if rs.Rounds != 2 {
+			t.Fatalf("rank %d rounds %d", rs.Rank, rs.Rounds)
+		}
+	}
+	// Rank 0: rounds 0.1+0.1 plus gap 0.05 = 0.25 total; compute 0.11; comm 0.09.
+	rs := rep.RankStats[0]
+	if math.Abs(rs.TotalS-0.25) > 1e-12 || math.Abs(rs.ComputeS-0.11) > 1e-12 || math.Abs(rs.CommS-0.09) > 1e-12 {
+		t.Fatalf("rank 0 accounting: %+v", rs)
+	}
+	// Rank 1 straggles epoch 1; epoch 2 is a tie, broken toward rank 0.
+	if rs.SlowestRounds != 1 || rep.RankStats[1].SlowestRounds != 1 {
+		t.Fatalf("slowest counts: %+v", rep.RankStats)
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+
+	mixed := testEvents()
+	mixed[3].Run = "deadbeef00000000"
+	if _, err := Analyze(mixed); err == nil || !strings.Contains(err.Error(), "multiple runs") {
+		t.Fatalf("mixed runs: %v", err)
+	}
+
+	noRank := testEvents()
+	noRank[0].Fields = noRank[0].Fields[1:] // drop rank
+	if _, err := Analyze(noRank); err == nil || !strings.Contains(err.Error(), "no rank field") {
+		t.Fatalf("missing rank: %v", err)
+	}
+
+	onlyGaps := testEvents()[4:]
+	if _, err := Analyze(onlyGaps); err == nil || !strings.Contains(err.Error(), "no dist.round") {
+		t.Fatalf("round-free input: %v", err)
+	}
+}
+
+func TestWritersAreDeterministic(t *testing.T) {
+	rep, err := Analyze(testEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j1, j2, t1, t2 bytes.Buffer
+	for _, pair := range []struct {
+		buf *bytes.Buffer
+		fn  func(*bytes.Buffer) error
+	}{
+		{&j1, func(b *bytes.Buffer) error { return WriteJSON(b, rep) }},
+		{&j2, func(b *bytes.Buffer) error { return WriteJSON(b, rep) }},
+		{&t1, func(b *bytes.Buffer) error { return WriteTable(b, rep) }},
+		{&t2, func(b *bytes.Buffer) error { return WriteTable(b, rep) }},
+	} {
+		if err := pair.fn(pair.buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j1.String() != j2.String() {
+		t.Fatal("WriteJSON not deterministic")
+	}
+	if t1.String() != t2.String() {
+		t.Fatal("WriteTable not deterministic")
+	}
+	for _, want := range []string{`"run": "00000000000000ab"`, `"compute_share"`, `"gap_trajectory"`} {
+		if !strings.Contains(j1.String(), want) {
+			t.Fatalf("JSON missing %q:\n%s", want, j1.String())
+		}
+	}
+	for _, want := range []string{"ROUND TIMELINE", "RANK BREAKDOWN", "CONVERGENCE", "STRAGGLER"} {
+		if !strings.Contains(t1.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, t1.String())
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Run correlation: one distributed run produces K per-rank span streams
+// plus K per-rank metric expositions, and nothing ties them together
+// unless every record carries the run's identity. The master generates a
+// RunID, the cluster handshake propagates it to every worker, a TagSink
+// stamps it (with the emitting rank) onto every span, and ParseJSONL
+// reads the streams back so cmd/obsreport can join them.
+
+// NewRunID returns a random nonzero 64-bit run correlation ID.
+func NewRunID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively impossible; the clock still
+		// gives per-run uniqueness.
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	id := binary.BigEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// FormatRunID renders a run ID the way spans and metric labels carry it:
+// 16 lowercase hex digits.
+func FormatRunID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// TagSink stamps run/rank correlation onto every event before forwarding
+// it: Run overwrites the event's run ID (when non-empty), and a "rank"
+// field is added unless the emitter already attached one. Wrap any sink
+// with it so instrumented code deep in the stack needs no knowledge of
+// which rank or run it serves.
+type TagSink struct {
+	Run  string
+	Rank int
+	Next Sink
+}
+
+// Emit forwards the stamped event.
+func (s TagSink) Emit(ev Event) {
+	if s.Run != "" {
+		ev.Run = s.Run
+	}
+	if _, ok := ev.Field("rank"); !ok {
+		fields := make([]Field, 0, len(ev.Fields)+1)
+		fields = append(fields, ev.Fields...)
+		ev.Fields = append(fields, F("rank", float64(s.Rank)))
+	}
+	s.Next.Emit(ev)
+}
+
+// ParseJSONL reads a span stream written by JSONLSink back into events.
+// The reserved keys "name", "time", "dur_ms" and "run" map onto the
+// event envelope; every other numeric key becomes a field (JSON null —
+// how the writer encodes non-finite values — parses as NaN). JSON does
+// not preserve object-key order across tooling, so fields come back
+// sorted by key; consumers look fields up by name anyway. Blank lines
+// are skipped.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(text), &raw); err != nil {
+			return nil, fmt.Errorf("obs: span line %d: %w", line, err)
+		}
+		var ev Event
+		for k, v := range raw {
+			switch k {
+			case "name":
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("obs: span line %d: non-string name", line)
+				}
+				ev.Name = s
+			case "run":
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("obs: span line %d: non-string run", line)
+				}
+				ev.Run = s
+			case "time":
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("obs: span line %d: non-string time", line)
+				}
+				t, err := time.Parse(time.RFC3339Nano, s)
+				if err != nil {
+					return nil, fmt.Errorf("obs: span line %d: %w", line, err)
+				}
+				ev.Time = t
+			case "dur_ms":
+				if f, ok := v.(float64); ok {
+					ev.Dur = time.Duration(f * float64(time.Millisecond))
+				}
+			default:
+				switch f := v.(type) {
+				case float64:
+					ev.Fields = append(ev.Fields, F(k, f))
+				case nil:
+					ev.Fields = append(ev.Fields, F(k, math.NaN()))
+				default:
+					return nil, fmt.Errorf("obs: span line %d: non-numeric field %q", line, k)
+				}
+			}
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("obs: span line %d: missing name", line)
+		}
+		sort.Slice(ev.Fields, func(i, j int) bool { return ev.Fields[i].Key < ev.Fields[j].Key })
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: span line %d: %w", line, err)
+	}
+	return out, nil
+}

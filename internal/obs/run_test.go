@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewRunIDNonZeroAndDistinct(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == 0 || b == 0 {
+		t.Fatalf("zero run ID (%d, %d)", a, b)
+	}
+	if a == b {
+		t.Fatalf("two run IDs collided: %016x", a)
+	}
+	if s := FormatRunID(0xABCDEF); s != "0000000000abcdef" {
+		t.Fatalf("FormatRunID = %q", s)
+	}
+}
+
+func TestTagSinkStampsRunAndRank(t *testing.T) {
+	ring := NewRingSink(8)
+	tr := NewTracer(TagSink{Run: "cafe", Rank: 3, Next: ring})
+	tr.Emit("ev", time.Unix(0, 0), 0, F("gap", 0.5))
+	tr.Emit("ev2", time.Unix(0, 0), 0, F("rank", 7)) // emitter-attached rank wins
+
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Run != "cafe" {
+		t.Fatalf("run %q", evs[0].Run)
+	}
+	if r, ok := evs[0].Field("rank"); !ok || r != 3 {
+		t.Fatalf("rank field %v ok=%v", r, ok)
+	}
+	if g, ok := evs[0].Field("gap"); !ok || g != 0.5 {
+		t.Fatalf("gap field lost: %v ok=%v", g, ok)
+	}
+	if r, _ := evs[1].Field("rank"); r != 7 {
+		t.Fatalf("explicit rank overwritten: %v", r)
+	}
+}
+
+// TagSink must not mutate a fields slice the emitter may reuse.
+func TestTagSinkDoesNotAliasCallerFields(t *testing.T) {
+	ring := NewRingSink(8)
+	s := TagSink{Run: "r", Rank: 1, Next: ring}
+	fields := make([]Field, 1, 4)
+	fields[0] = F("a", 1)
+	s.Emit(Event{Name: "x", Fields: fields})
+	if cap(fields) >= 2 && len(fields) == 1 {
+		// The sink appended into its own copy; the caller's spare capacity
+		// must be untouched.
+		probe := fields[:2]
+		if probe[1].Key == "rank" {
+			t.Fatal("TagSink appended into the caller's backing array")
+		}
+	}
+}
+
+func TestJSONLRoundTripWithRun(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(TagSink{Run: "00000000000000ff", Rank: 2, Next: sink})
+	start := time.Date(2026, 1, 2, 3, 4, 5, 123456789, time.UTC)
+	tr.Emit("dist.round", start, 1500*time.Microsecond, F("epoch", 4), F("gamma", 0.25))
+	tr.Emit("dist.gap", start.Add(time.Second), 0, F("gap", math.Inf(1)))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !strings.Contains(buf.String(), `"run":"00000000000000ff"`) {
+		t.Fatalf("run missing from JSONL: %s", buf.String())
+	}
+
+	evs, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	ev := evs[0]
+	if ev.Name != "dist.round" || ev.Run != "00000000000000ff" {
+		t.Fatalf("envelope %+v", ev)
+	}
+	if !ev.Time.Equal(start) {
+		t.Fatalf("time %v != %v", ev.Time, start)
+	}
+	if ev.Dur != 1500*time.Microsecond {
+		t.Fatalf("dur %v", ev.Dur)
+	}
+	for want, val := range map[string]float64{"epoch": 4, "gamma": 0.25, "rank": 2} {
+		if got, ok := ev.Field(want); !ok || got != val {
+			t.Fatalf("field %s = %v ok=%v, want %v", want, got, ok, val)
+		}
+	}
+	// Non-finite values are written as null and come back as NaN.
+	if g, ok := evs[1].Field("gap"); !ok || !math.IsNaN(g) {
+		t.Fatalf("null field parsed as %v ok=%v", g, ok)
+	}
+}
+
+func TestParseJSONLRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not json",
+		`{"time":"2026-01-02T03:04:05Z"}`,            // missing name
+		`{"name":"x","time":"yesterday"}`,            // bad time
+		`{"name":"x","extra":"strings not allowed"}`, // non-numeric field
+	} {
+		if _, err := ParseJSONL(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseJSONL accepted %q", bad)
+		}
+	}
+	// Blank lines are fine.
+	evs, err := ParseJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank input: %v, %d events", err, len(evs))
+	}
+}
+
+func TestRegistryWithConstLabels(t *testing.T) {
+	reg := NewRegistry()
+	sub := reg.With("rank", "1", "run", "ff")
+	sub.Counter("events_total").Add(3)
+	sub.Counter(`ops_total{op="reduce"}`).Add(2)
+	reg.Counter("plain_total").Inc()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`events_total{rank="1",run="ff"} 3`,
+		`ops_total{op="reduce",rank="1",run="ff"} 2`,
+		"plain_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The view shares the parent's series: same decorated name, same handle.
+	if reg.Counter(`events_total{rank="1",run="ff"}`) != sub.Counter("events_total") {
+		t.Fatal("view and parent disagree on the series handle")
+	}
+
+	// Stacked views accumulate labels; nil stays nil.
+	if got := sub.With("extra", "x").Counter("deep_total"); got == nil {
+		t.Fatal("stacked view returned nil handle")
+	}
+	var nilReg *Registry
+	if nilReg.With("a", "b") != nil {
+		t.Fatal("nil.With must stay nil")
+	}
+}
+
+// Quantile edge cases pinned: an empty histogram reports 0, and a
+// histogram whose whole mass sits in the +Inf overflow bucket reports
+// the maximum observation instead of the (meaningless) last finite bound.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v", got)
+	}
+}
+
+func TestQuantileAllMassInOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(100)
+	h.Observe(250)
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h.Quantile(q); got != 250 {
+			t.Fatalf("Quantile(%v) = %v, want max seen 250", q, got)
+		}
+	}
+
+	// A histogram with no finite bounds at all is the degenerate form of
+	// the same case and must not panic.
+	none := NewHistogram(nil)
+	none.Observe(7)
+	if got := none.Quantile(0.9); got != 7 {
+		t.Fatalf("boundless Quantile = %v, want 7", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package runtime samples Go runtime statistics into an obs.Registry so a
+// training or serving process exposes its own health (heap pressure, GC
+// pauses, goroutine count, scheduler latency) alongside the domain metrics
+// on the same /metrics endpoint. One Collector per process is plenty; the
+// sampling cost is a runtime.ReadMemStats every interval.
+package runtime
+
+import (
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+// DefaultInterval is the sampling period used when Start is given zero.
+const DefaultInterval = 5 * time.Second
+
+// GCPauseBuckets spans the realistic Go stop-the-world range: tens of
+// microseconds for a healthy heap up to tens of milliseconds under abuse.
+var GCPauseBuckets = []float64{
+	10e-6, 50e-6, 100e-6, 500e-6, 1e-3, 5e-3, 10e-3, 50e-3, 100e-3,
+}
+
+// schedLagBuckets sizes the timer-overshoot proxy for scheduler latency:
+// the sampler asks to sleep for interval and records how late it woke up.
+var schedLagBuckets = []float64{
+	100e-6, 500e-6, 1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 500e-3,
+}
+
+// Collector periodically folds runtime statistics into a registry. The
+// zero value is unusable; construct with Start or call SampleOnce with an
+// explicit registry.
+type Collector struct {
+	reg      *obs.Registry
+	interval time.Duration
+
+	goroutines *obs.Gauge
+	heapAlloc  *obs.Gauge
+	heapSys    *obs.Gauge
+	heapObj    *obs.Gauge
+	nextGC     *obs.Gauge
+	gcCycles   *obs.Counter
+	gcPause    *obs.Histogram
+	schedLag   *obs.Histogram
+
+	mu     sync.Mutex
+	lastGC uint32 // MemStats.NumGC at the previous sample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches a sampling goroutine recording into reg every interval
+// (DefaultInterval if zero). It returns nil when reg is nil, matching the
+// package-wide convention that a nil registry is the off switch; callers
+// may invoke Stop and SampleOnce on the nil collector safely.
+func Start(reg *obs.Registry, interval time.Duration) *Collector {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	c := newCollector(reg, interval)
+	c.SampleOnce() // populate the gauges before the first tick
+	go c.loop()
+	return c
+}
+
+func newCollector(reg *obs.Registry, interval time.Duration) *Collector {
+	c := &Collector{
+		reg:        reg,
+		interval:   interval,
+		goroutines: reg.Gauge("go_goroutines"),
+		heapAlloc:  reg.Gauge("go_heap_alloc_bytes"),
+		heapSys:    reg.Gauge("go_heap_sys_bytes"),
+		heapObj:    reg.Gauge("go_heap_objects"),
+		nextGC:     reg.Gauge("go_gc_next_target_bytes"),
+		gcCycles:   reg.Counter("go_gc_cycles_total"),
+		gcPause:    reg.Histogram("go_gc_pause_seconds", GCPauseBuckets),
+		schedLag:   reg.Histogram("go_sched_latency_seconds", schedLagBuckets),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	// Prime the GC cursor so pauses from before the collector existed are
+	// not retroactively attributed to it.
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	c.lastGC = ms.NumGC
+	return c
+}
+
+func (c *Collector) loop() {
+	defer close(c.done)
+	for {
+		asked := time.Now()
+		t := time.NewTimer(c.interval)
+		select {
+		case <-c.stop:
+			t.Stop()
+			return
+		case <-t.C:
+			// Timer overshoot is a cheap proxy for scheduler latency: a
+			// starved or descheduled process wakes late.
+			if lag := time.Since(asked) - c.interval; lag > 0 {
+				c.schedLag.Observe(lag.Seconds())
+			}
+			c.SampleOnce()
+		}
+	}
+}
+
+// SampleOnce takes one sample immediately. Safe on a nil Collector.
+func (c *Collector) SampleOnce() {
+	if c == nil {
+		return
+	}
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+
+	c.goroutines.Set(float64(goruntime.NumGoroutine()))
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+	c.heapSys.Set(float64(ms.HeapSys))
+	c.heapObj.Set(float64(ms.HeapObjects))
+	c.nextGC.Set(float64(ms.NextGC))
+
+	c.mu.Lock()
+	last := c.lastGC
+	c.lastGC = ms.NumGC
+	c.mu.Unlock()
+
+	fresh := ms.NumGC - last
+	if fresh == 0 {
+		return
+	}
+	c.gcCycles.Add(int64(fresh))
+	// PauseNs is a 256-entry ring indexed by (NumGC+255)%256; replay only
+	// the cycles since the previous sample, capped at the ring size.
+	if fresh > uint32(len(ms.PauseNs)) {
+		fresh = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < fresh; i++ {
+		pause := ms.PauseNs[(ms.NumGC-i+255)%256]
+		c.gcPause.Observe(float64(pause) / 1e9)
+	}
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Safe on a
+// nil Collector; call it at most once per Collector.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+}

@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+func TestSampleOncePopulatesGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newCollector(reg, time.Second)
+	c.SampleOnce()
+
+	if g := reg.Gauge("go_goroutines").Value(); g < 1 {
+		t.Fatalf("go_goroutines = %v", g)
+	}
+	for _, name := range []string{
+		"go_heap_alloc_bytes", "go_heap_sys_bytes", "go_heap_objects",
+		"go_gc_next_target_bytes",
+	} {
+		if v := reg.Gauge(name).Value(); v <= 0 {
+			t.Fatalf("%s = %v, want > 0", name, v)
+		}
+	}
+}
+
+func TestGCPausesAttributedOnce(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newCollector(reg, time.Second)
+
+	goruntime.GC()
+	goruntime.GC()
+	c.SampleOnce()
+	cycles := reg.Counter("go_gc_cycles_total").Value()
+	if cycles < 2 {
+		t.Fatalf("go_gc_cycles_total = %d after two forced GCs", cycles)
+	}
+	pauses := reg.Histogram("go_gc_pause_seconds", GCPauseBuckets).Count()
+	if pauses != cycles {
+		t.Fatalf("%d pause observations for %d cycles", pauses, cycles)
+	}
+
+	// With no further GC activity a second sample must not re-count the
+	// same pause ring entries.
+	c.SampleOnce()
+	if again := reg.Counter("go_gc_cycles_total").Value(); again != cycles {
+		t.Fatalf("cycles grew %d -> %d without GC", cycles, again)
+	}
+}
+
+func TestStartStopAndNilSafety(t *testing.T) {
+	if c := Start(nil, time.Millisecond); c != nil {
+		t.Fatal("Start(nil) must return nil")
+	}
+	var nilC *Collector
+	nilC.SampleOnce()
+	nilC.Stop()
+
+	reg := obs.NewRegistry()
+	c := Start(reg, time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for reg.Gauge("go_goroutines").Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("collector never sampled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	c.Stop()
+
+	// The runtime series render on the shared exposition endpoint.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_pause_seconds"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, sb.String())
+		}
+	}
+}

@@ -22,12 +22,17 @@ type Field struct {
 func F(key string, value float64) Field { return Field{Key: key, Value: value} }
 
 // Event is one structured span or point event: a name, the wall-clock
-// start, the duration (zero for instantaneous events), and ordered
-// numeric fields.
+// start, the duration (zero for instantaneous events), an optional run
+// correlation ID (see TagSink), and ordered numeric fields.
 type Event struct {
-	Name   string
-	Time   time.Time
-	Dur    time.Duration
+	Name string
+	Time time.Time
+	Dur  time.Duration
+	// Run is the run correlation ID ("" when the event belongs to no
+	// correlated run). All spans of one distributed run — across every
+	// rank's sink file — carry the same value, which is what makes the
+	// per-rank JSONL streams joinable offline.
+	Run    string
 	Fields []Field
 }
 
@@ -120,10 +125,11 @@ func (s *RingSink) Len() int {
 }
 
 // JSONLSink writes one JSON object per event to an io.Writer — the
-// durable sink behind scdtrain -trace-jsonl. The reserved keys are
-// "name", "time" (RFC 3339) and "dur_ms"; fields follow in emission
-// order. Writes are buffered; call Flush (or Close) before reading the
-// output. The sink serializes concurrent emitters internally.
+// durable sink behind scdtrain/distworker -trace-jsonl. The reserved
+// keys are "name", "time" (RFC 3339), "dur_ms" and "run" (omitted when
+// empty); fields follow in emission order. Writes are buffered; call
+// Flush (or Close) before reading the output. The sink serializes
+// concurrent emitters internally. ParseJSONL reads the format back.
 type JSONLSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
@@ -145,6 +151,10 @@ func (s *JSONLSink) Emit(ev Event) {
 	b.WriteString(ev.Time.Format(time.RFC3339Nano))
 	b.WriteString(`","dur_ms":`)
 	b.WriteString(jsonFloat(float64(ev.Dur) / 1e6))
+	if ev.Run != "" {
+		b.WriteString(`,"run":`)
+		b.WriteString(strconv.Quote(ev.Run))
+	}
 	for _, f := range ev.Fields {
 		b.WriteByte(',')
 		b.WriteString(strconv.Quote(f.Key))

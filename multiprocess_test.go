@@ -3,6 +3,7 @@ package tpascd_test
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +16,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tpascd"
 )
 
 // buildDistworker compiles cmd/distworker into a temp dir and returns the
@@ -291,37 +294,136 @@ func TestMultiProcessMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	wm := waitFor(workerMetrics, `cluster_chaos_injected_total{fault="kill"}`, 1)
-	if wm["cluster_dial_retries_total"] < 1 {
-		t.Errorf("worker dial retries %v, want >= 1", wm["cluster_dial_retries_total"])
+	wm := waitFor(workerMetrics, `cluster_chaos_injected_total{fault="kill",rank="1"}`, 1)
+	if wm[`cluster_dial_retries_total{rank="1"}`] < 1 {
+		t.Errorf("worker dial retries %v, want >= 1", wm[`cluster_dial_retries_total{rank="1"}`])
 	}
-	if wm[`cluster_chaos_injected_total{fault="delay"}`] < 1 {
-		t.Errorf("worker delay injections %v, want >= 1", wm[`cluster_chaos_injected_total{fault="delay"}`])
+	if wm[`cluster_chaos_injected_total{fault="delay",rank="1"}`] < 1 {
+		t.Errorf("worker delay injections %v, want >= 1", wm[`cluster_chaos_injected_total{fault="delay",rank="1"}`])
 	}
-	if wm["cluster_peer_failures_total"] < 1 {
-		t.Errorf("worker peer failures %v, want >= 1", wm["cluster_peer_failures_total"])
+	if wm[`cluster_peer_failures_total{rank="1"}`] < 1 {
+		t.Errorf("worker peer failures %v, want >= 1", wm[`cluster_peer_failures_total{rank="1"}`])
 	}
-	if wm["cluster_bytes_sent_total"] <= 0 || wm["cluster_bytes_recv_total"] <= 0 {
+	if wm[`cluster_bytes_sent_total{rank="1"}`] <= 0 || wm[`cluster_bytes_recv_total{rank="1"}`] <= 0 {
 		t.Errorf("worker bytes sent/recv %v/%v, want > 0",
-			wm["cluster_bytes_sent_total"], wm["cluster_bytes_recv_total"])
+			wm[`cluster_bytes_sent_total{rank="1"}`], wm[`cluster_bytes_recv_total{rank="1"}`])
 	}
-	if n := wm[`cluster_collective_latency_seconds_count{op="reduce"}`]; n <= 0 {
+	if n := wm[`cluster_collective_latency_seconds_count{op="reduce",rank="1"}`]; n <= 0 {
 		t.Errorf("worker reduce latency count %v, want > 0", n)
 	}
-	if s := wm[`cluster_collective_latency_seconds_sum{op="reduce"}`]; s <= 0 {
+	if s := wm[`cluster_collective_latency_seconds_sum{op="reduce",rank="1"}`]; s <= 0 {
 		t.Errorf("worker reduce latency sum %v, want > 0 (chaos delays must land in the histogram)", s)
 	}
 
-	mm := waitFor(masterMetrics, "cluster_peer_failures_total", 1)
-	if mm["cluster_collective_errors_total"] < 1 {
-		t.Errorf("master collective errors %v, want >= 1", mm["cluster_collective_errors_total"])
+	mm := waitFor(masterMetrics, `cluster_peer_failures_total{rank="0"}`, 1)
+	if mm[`cluster_collective_errors_total{rank="0"}`] < 1 {
+		t.Errorf("master collective errors %v, want >= 1", mm[`cluster_collective_errors_total{rank="0"}`])
 	}
-	if mm["cluster_bytes_sent_total"] <= 0 || mm["cluster_bytes_recv_total"] <= 0 {
+	if mm[`cluster_bytes_sent_total{rank="0"}`] <= 0 || mm[`cluster_bytes_recv_total{rank="0"}`] <= 0 {
 		t.Errorf("master bytes sent/recv %v/%v, want > 0",
-			mm["cluster_bytes_sent_total"], mm["cluster_bytes_recv_total"])
+			mm[`cluster_bytes_sent_total{rank="0"}`], mm[`cluster_bytes_recv_total{rank="0"}`])
 	}
-	if n := mm[`cluster_collective_latency_seconds_count{op="broadcast"}`]; n <= 0 {
+	if n := mm[`cluster_collective_latency_seconds_count{op="broadcast",rank="0"}`]; n <= 0 {
 		t.Errorf("master broadcast latency count %v, want > 0", n)
+	}
+
+	// The runtime collector samples into the same rank-labeled registry.
+	if g := wm[`go_goroutines{rank="1"}`]; g < 1 {
+		t.Errorf("worker go_goroutines %v, want >= 1", g)
+	}
+
+	// Both ranks must advertise the same run correlation ID through the
+	// run_info info-metric — that is what makes their scrapes joinable.
+	runLabel := func(m map[string]float64, who string) string {
+		t.Helper()
+		for k := range m {
+			if !strings.HasPrefix(k, "run_info{") {
+				continue
+			}
+			if i := strings.Index(k, `run="`); i >= 0 {
+				rest := k[i+len(`run="`):]
+				return rest[:strings.Index(rest, `"`)]
+			}
+		}
+		t.Fatalf("%s: no run_info series in %v", who, m)
+		return ""
+	}
+	wRun, mRun := runLabel(wm, "worker"), runLabel(mm, "master")
+	if len(wRun) != 16 || wRun != mRun {
+		t.Errorf("run_info mismatch: worker %q, master %q", wRun, mRun)
+	}
+}
+
+// TestMultiProcessTraceReport runs a real 3-process chaos-delay cluster
+// with -trace-jsonl on every rank, then feeds the per-rank span files
+// through the actual obsreport binary: the merged report must cover all
+// three ranks under one run ID, with a complete monotone round timeline
+// and a nonzero communication share on every rank.
+func TestMultiProcessTraceReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := buildDistworker(t)
+	dir := t.TempDir()
+	const size, epochs = 3, 10
+	common := []string{"-size", fmt.Sprint(size), "-epochs", fmt.Sprint(epochs),
+		"-n", "1024", "-m", "512", "-nnz", "12", "-seed", "7",
+		"-chaos-delay", "0.5", "-chaos-max-delay", "2ms"}
+	tracePath := func(r int) string { return filepath.Join(dir, fmt.Sprintf("rank%d.jsonl", r)) }
+	runDistCluster(t, bin, size, common, func(r int) []string {
+		return []string{"-trace-jsonl", tracePath(r), "-chaos-seed", fmt.Sprint(11 + r)}
+	})
+
+	rbin := filepath.Join(t.TempDir(), "obsreport")
+	if out, err := exec.Command("go", "build", "-o", rbin, "./cmd/obsreport").CombinedOutput(); err != nil {
+		t.Fatalf("build obsreport: %v\n%s", err, out)
+	}
+	raw, err := exec.Command(rbin, "-json", tracePath(0), tracePath(1), tracePath(2)).Output()
+	if err != nil {
+		t.Fatalf("obsreport: %v", err)
+	}
+	var rep tpascd.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("obsreport output: %v\n%s", err, raw)
+	}
+
+	// One run, all ranks. (Analyze itself rejects mixed run IDs, so a
+	// successful report already proves the handshake propagated one ID.)
+	if len(rep.Run) != 16 {
+		t.Fatalf("run ID %q", rep.Run)
+	}
+	if len(rep.Ranks) != size {
+		t.Fatalf("ranks %v", rep.Ranks)
+	}
+
+	// Complete, monotone round timeline: every epoch present in order and
+	// reported by every rank.
+	if len(rep.Rounds) != epochs {
+		t.Fatalf("%d rounds, want %d", len(rep.Rounds), epochs)
+	}
+	prevEnd := 0.0
+	for i, rd := range rep.Rounds {
+		if rd.Epoch != i+1 {
+			t.Fatalf("round %d has epoch %d", i, rd.Epoch)
+		}
+		if rd.Ranks != size {
+			t.Fatalf("epoch %d reported by %d ranks", rd.Epoch, rd.Ranks)
+		}
+		if rd.EndS < prevEnd {
+			t.Fatalf("epoch %d ends at %v before previous round's end %v", rd.Epoch, rd.EndS, prevEnd)
+		}
+		prevEnd = rd.EndS
+	}
+
+	// Collectives (with injected delays) must show up in every rank's
+	// communication share, and the shares must account for all time.
+	for _, rs := range rep.RankStats {
+		if rs.CommShare <= 0 {
+			t.Errorf("rank %d communication share %v, want > 0", rs.Rank, rs.CommShare)
+		}
+		if sum := rs.ComputeShare + rs.CommShare + rs.OtherShare; math.Abs(sum-1) > 1e-12 {
+			t.Errorf("rank %d shares sum to %v", rs.Rank, sum)
+		}
 	}
 }
 

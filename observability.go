@@ -3,10 +3,14 @@ package tpascd
 import (
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"tpascd/internal/cluster"
 	"tpascd/internal/engine"
 	"tpascd/internal/obs"
+	"tpascd/internal/obs/report"
+	obsruntime "tpascd/internal/obs/runtime"
 )
 
 // MetricsRegistry is a named collection of counters, gauges, and
@@ -71,3 +75,57 @@ func InstrumentComm(c Comm, reg *MetricsRegistry) Comm { return cluster.Instrume
 // LatencyBuckets returns the shared latency histogram bounds (seconds)
 // used across the serving, cluster, and load-generator layers.
 func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
+
+// TraceTagSink stamps every event with a run correlation ID and a rank
+// before forwarding it, which is what makes per-rank JSONL span files
+// joinable offline (see AnalyzeRun).
+type TraceTagSink = obs.TagSink
+
+// NewRunID generates a random nonzero run correlation ID. The cluster
+// master calls this implicitly; standalone trainers wanting correlated
+// traces call it themselves.
+func NewRunID() uint64 { return obs.NewRunID() }
+
+// FormatRunID renders a run ID in its canonical 16-hex-digit form.
+func FormatRunID(id uint64) string { return obs.FormatRunID(id) }
+
+// ParseTraceJSONL reads back events written by a JSONLSink (one JSON
+// object per line, blank lines ignored).
+func ParseTraceJSONL(r io.Reader) ([]TraceEvent, error) { return obs.ParseJSONL(r) }
+
+// RuntimeCollector periodically samples Go runtime statistics (heap, GC
+// pauses, goroutines, scheduler-latency proxy) into a metrics registry.
+type RuntimeCollector = obsruntime.Collector
+
+// StartRuntimeMetrics launches a runtime collector recording into reg
+// every interval (a sensible default when zero). Returns nil — safe to
+// Stop — when reg is nil.
+func StartRuntimeMetrics(reg *MetricsRegistry, interval time.Duration) *RuntimeCollector {
+	return obsruntime.Start(reg, interval)
+}
+
+// RunReport is the merged offline analysis of one distributed run's span
+// files: round timeline, per-rank compute/communication breakdown, gap
+// and γ trajectories, straggler statistics.
+type RunReport = report.Report
+
+// AnalyzeRun merges the (parsed) events of one run into a RunReport.
+func AnalyzeRun(events []TraceEvent) (*RunReport, error) { return report.Analyze(events) }
+
+// WriteRunReportJSON renders a RunReport as deterministic indented JSON.
+func WriteRunReportJSON(w io.Writer, r *RunReport) error { return report.WriteJSON(w, r) }
+
+// WriteRunReportTable renders a RunReport as a human-readable table.
+func WriteRunReportTable(w io.Writer, r *RunReport) error { return report.WriteTable(w, r) }
+
+// RegisterPprof mounts the runtime/pprof diagnostic handlers on mux under
+// /debug/pprof/, the standard paths `go tool pprof` expects. It exists so
+// servers composing their own mux (rather than http.DefaultServeMux) can
+// opt in behind a flag.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
