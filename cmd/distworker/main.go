@@ -98,6 +98,9 @@ func main() {
 	m := flag.Int("m", 4096, "dataset features")
 	nnz := flag.Int("nnz", 32, "average non-zeros per example")
 	lambda := flag.Float64("lambda", 0.001, "regularization λ")
+	solverFlag := flag.String("solver", "scd", "local CPU solver: scd | a-scd | wild | syscd")
+	threads := flag.Int("threads", 1, "threads for a-scd/wild/syscd locals")
+	bucket := flag.Int("bucket", 0, "syscd bucket size in coordinates (0: one cache line of weights)")
 	seed := flag.Uint64("seed", 1, "shared dataset/partition seed (must agree across ranks)")
 	adaptive := flag.Bool("adaptive", true, "use adaptive aggregation (Algorithm 4)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-collective deadline; a dead peer surfaces within this budget (0 disables)")
@@ -136,6 +139,14 @@ func main() {
 	}
 	if *formFlag != "primal" && *formFlag != "dual" {
 		fatal(fmt.Errorf("-form %q (want 'primal' or 'dual')", *formFlag))
+	}
+	// Resolve the solver through the engine registry now: a typo should
+	// fail before the dataset is generated or the cluster assembles, and
+	// the canonical name feeds the checkpoint kind below (aliases must not
+	// fork a rank's resume identity).
+	solverName, err := tpascd.CanonicalDriver(*solverFlag)
+	if err != nil {
+		fatal(err)
 	}
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
@@ -270,15 +281,22 @@ func main() {
 	}
 	cfg := tpascd.ClusterConfig{Aggregation: agg, Link: tpascd.Link10GbE, Trace: tracer}
 	view := tpascd.PartitionView(p, form, parts[*rank])
-	local := tpascd.NewSequentialLocal(view, *seed+uint64(*rank))
+	local, err := tpascd.NewLocalSolver(view, tpascd.DriverSpec{
+		Name: solverName, Threads: *threads, BucketSize: *bucket, Seed: *seed + uint64(*rank),
+	})
+	if err != nil {
+		fatal(err)
+	}
 	w, err := tpascd.NewWorker(comm, local, view, cfg)
 	if err != nil {
 		fatal(err)
 	}
 
-	// The checkpoint kind ties a file to one rank of one run shape, so a
-	// rank cannot silently resume from another rank's (or run's) state.
-	ckptKind := fmt.Sprintf("distworker-%s-r%d-of%d-seed%d", *formFlag, *rank, *size, *seed)
+	// The checkpoint kind ties a file to one rank of one run shape — the
+	// local solver included, since the permutation stream a resume must
+	// replay depends on the driver — so a rank cannot silently resume from
+	// another rank's (or another configuration's) state.
+	ckptKind := fmt.Sprintf("distworker-%s-%s-r%d-of%d-seed%d", *formFlag, solverName, *rank, *size, *seed)
 	start := 0
 	if *resume {
 		model, epoch, err := loadCheckpoint(*ckptPath, ckptKind)

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"tpascd"
 	"tpascd/internal/experiments"
 	"tpascd/internal/report"
 )
@@ -26,6 +27,7 @@ import (
 func main() {
 	figFlag := flag.String("fig", "all", "comma-separated figure ids (1,2,3,4,5,6,8,9,10) or 'all'")
 	scaleFlag := flag.String("scale", "default", "experiment scale: 'default' or 'quick'")
+	cpuSolver := flag.String("cpu-solver", "", "local CPU solver of the distributed experiments (Figs. 3-6): "+tpascd.DriverList()+"; default scd")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 	chart := flag.Bool("chart", false, "render each figure as an ASCII chart")
 	verify := flag.Bool("verify", false, "check the paper's qualitative claims against each figure; nonzero exit on failures")
@@ -40,6 +42,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "repro: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+	if *cpuSolver != "" {
+		name, err := tpascd.CanonicalDriver(*cpuSolver)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(2)
+		}
+		scale.CPUSolver = name
 	}
 
 	ids := experiments.FigureIDs()

@@ -30,8 +30,10 @@ func main() {
 	objective := flag.String("objective", "ridge", "objective: ridge | elasticnet | svm | logistic")
 	alpha := flag.Float64("alpha", 0.5, "elastic-net mixing parameter (elasticnet only)")
 	formFlag := flag.String("form", "primal", "formulation: 'primal' or 'dual' (ridge only)")
-	solverFlag := flag.String("solver", "scd", "solver: scd | a-scd | wild | tpa-scd")
-	threads := flag.Int("threads", 16, "threads for a-scd/wild")
+	solverFlag := flag.String("solver", "scd", "solver: "+tpascd.DriverList())
+	threads := flag.Int("threads", 16, "threads for a-scd/wild/syscd")
+	bucket := flag.Int("bucket", 0, "syscd bucket size in coordinates (0: one cache line of weights)")
+	merge := flag.Int("merge", 0, "syscd buckets per thread between replica merges (0: auto)")
 	gpuFlag := flag.String("gpu", "m4000", "device for tpa-scd: m4000 | titanx")
 	blockSize := flag.Int("block", 64, "TPA-SCD threads per block (power of two)")
 	epochs := flag.Int("epochs", 50, "maximum epochs")
@@ -82,17 +84,37 @@ func main() {
 	tracer, flushTrace := newTracer(*traceOut, runHex)
 	defer flushTrace()
 
+	// One spec describes every driver; the engine registry resolves the
+	// name (and rejects unknown ones listing what is registered), so this
+	// command has no driver switch of its own. The simulated device is
+	// attached unconditionally — only the tpa-scd driver reads it.
+	profile := tpascd.M4000
+	if *gpuFlag == "titanx" {
+		profile = tpascd.TitanX
+	} else if *gpuFlag != "m4000" {
+		fatal(fmt.Errorf("unknown gpu %q", *gpuFlag))
+	}
+	spec := tpascd.DriverSpec{
+		Name:       *solverFlag,
+		Threads:    *threads,
+		Seed:       *seed,
+		BucketSize: *bucket,
+		MergeEvery: *merge,
+		BlockSize:  *blockSize,
+		Device:     tpascd.NewDevice(profile),
+	}
+
 	switch *objective {
 	case "ridge":
 		// handled below
 	case "elasticnet":
-		trainElasticNet(p, *alpha, *epochs, *seed, *modelOut, *savePath, tracer)
+		trainElasticNet(p, *alpha, spec, *epochs, *modelOut, *savePath, tracer)
 		return
 	case "svm":
-		trainSVM(p, *epochs, *seed, *savePath, tracer)
+		trainSVM(p, spec, *epochs, *savePath, tracer)
 		return
 	case "logistic":
-		trainLogistic(p, *epochs, *seed, *savePath, tracer)
+		trainLogistic(p, spec, *epochs, *savePath, tracer)
 		return
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
@@ -108,33 +130,11 @@ func main() {
 		fatal(fmt.Errorf("unknown form %q", *formFlag))
 	}
 
-	if *threads < 1 && (*solverFlag == "a-scd" || *solverFlag == "wild") {
-		fatal(fmt.Errorf("-threads must be >= 1, got %d", *threads))
+	solver, err := tpascd.NewSolverSpec(p, form, spec)
+	if err != nil {
+		fatal(err)
 	}
-	var solver tpascd.Solver
-	switch *solverFlag {
-	case "scd":
-		solver = tpascd.NewSequentialSolver(p, form, *seed)
-	case "a-scd":
-		solver = tpascd.NewAtomicSolver(p, form, *threads, *seed)
-	case "wild":
-		solver = tpascd.NewWildSolver(p, form, *threads, *seed)
-	case "tpa-scd":
-		profile := tpascd.M4000
-		if *gpuFlag == "titanx" {
-			profile = tpascd.TitanX
-		} else if *gpuFlag != "m4000" {
-			fatal(fmt.Errorf("unknown gpu %q", *gpuFlag))
-		}
-		g, err := tpascd.NewGPUSolver(p, form, profile, *blockSize, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		defer g.Close()
-		solver = g
-	default:
-		fatal(fmt.Errorf("unknown solver %q", *solverFlag))
-	}
+	defer closeSolver(solver)
 
 	fmt.Printf("training with %s (%s form)\n", solver.Name(), form)
 	start := time.Now()
@@ -171,6 +171,14 @@ func main() {
 	}
 }
 
+// closeSolver releases device memory for drivers that hold it (tpa-scd);
+// CPU solvers have nothing to close.
+func closeSolver(s tpascd.Solver) {
+	if c, ok := s.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
 // saveServing writes primal weights as a serving checkpoint, atomically
 // so a live predserve watching the path never sees a partial file.
 func saveServing(path, kind string, weights []float32) {
@@ -183,16 +191,20 @@ func saveServing(path, kind string, weights []float32) {
 	fmt.Printf("wrote %s serving checkpoint to %s\n", kind, path)
 }
 
-func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, modelOut, savePath string, tracer *tpascd.Tracer) {
+func trainElasticNet(p *tpascd.Problem, alpha float64, spec tpascd.DriverSpec, epochs int, modelOut, savePath string, tracer *tpascd.Tracer) {
 	en, err := tpascd.NewElasticNetProblem(p, alpha)
 	if err != nil {
 		fatal(err)
 	}
-	solver := tpascd.NewElasticNetSolver(en, seed)
-	fmt.Printf("training elastic net (α=%g)\n", alpha)
+	solver, err := tpascd.NewSolverFor(tpascd.ElasticNetLoss(en), spec)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeSolver(solver)
+	fmt.Printf("training elastic net (α=%g) with %s\n", alpha, solver.Name())
 	for e := 1; e <= epochs; e++ {
 		solver.RunEpoch()
-		obj, viol := solver.Objective(), en.OptimalityViolation(solver.Model())
+		obj, viol := en.Objective(solver.Model()), solver.Gap()
 		fmt.Printf("epoch %3d  objective %.6e  KKT violation %.3e\n", e, obj, viol)
 		tracer.Emit("scdtrain.epoch", time.Now(), 0,
 			tpascd.TraceF("epoch", float64(e)), tpascd.TraceF("objective", obj), tpascd.TraceF("kkt", viol))
@@ -222,16 +234,20 @@ func trainElasticNet(p *tpascd.Problem, alpha float64, epochs int, seed uint64, 
 	}
 }
 
-func trainSVM(p *tpascd.Problem, epochs int, seed uint64, savePath string, tracer *tpascd.Tracer) {
+func trainSVM(p *tpascd.Problem, spec tpascd.DriverSpec, epochs int, savePath string, tracer *tpascd.Tracer) {
 	sp, err := tpascd.NewSVMProblem(p.A, p.Y, p.Lambda)
 	if err != nil {
 		fatal(fmt.Errorf("svm needs ±1 labels: %w", err))
 	}
-	solver := tpascd.NewSVMSolver(sp, seed)
-	fmt.Println("training SVM via SDCA")
+	solver, err := tpascd.NewSolverFor(tpascd.SVMLoss(sp), spec)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeSolver(solver)
+	fmt.Printf("training SVM via SDCA with %s\n", solver.Name())
 	for e := 1; e <= epochs; e++ {
 		solver.RunEpoch()
-		gap, acc := solver.Gap(), solver.Accuracy()
+		gap, acc := solver.Gap(), sp.AccuracyW(sp.SharedFromAlpha(solver.Model()))
 		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n", e, gap, 100*acc)
 		tracer.Emit("scdtrain.epoch", time.Now(), 0,
 			tpascd.TraceF("epoch", float64(e)), tpascd.TraceF("gap", gap), tpascd.TraceF("accuracy", acc))
@@ -243,16 +259,20 @@ func trainSVM(p *tpascd.Problem, epochs int, seed uint64, savePath string, trace
 	}
 }
 
-func trainLogistic(p *tpascd.Problem, epochs int, seed uint64, savePath string, tracer *tpascd.Tracer) {
+func trainLogistic(p *tpascd.Problem, spec tpascd.DriverSpec, epochs int, savePath string, tracer *tpascd.Tracer) {
 	lp, err := tpascd.NewLogisticProblem(p.A, p.Y, p.Lambda)
 	if err != nil {
 		fatal(fmt.Errorf("logistic needs ±1 labels: %w", err))
 	}
-	solver := tpascd.NewLogisticSolver(lp, seed)
-	fmt.Println("training logistic regression via SDCA")
+	solver, err := tpascd.NewSolverFor(tpascd.LogisticLoss(lp), spec)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeSolver(solver)
+	fmt.Printf("training logistic regression via SDCA with %s\n", solver.Name())
 	for e := 1; e <= epochs; e++ {
 		solver.RunEpoch()
-		gap, acc := solver.Gap(), solver.Accuracy()
+		gap, acc := solver.Gap(), lp.AccuracyW(lp.SharedFromAlpha(solver.Model()))
 		fmt.Printf("epoch %3d  duality gap %.6e  train accuracy %.2f%%\n", e, gap, 100*acc)
 		tracer.Emit("scdtrain.epoch", time.Now(), 0,
 			tpascd.TraceF("epoch", float64(e)), tpascd.TraceF("gap", gap), tpascd.TraceF("accuracy", acc))

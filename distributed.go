@@ -4,6 +4,7 @@ import (
 	"tpascd/internal/cluster"
 	"tpascd/internal/coords"
 	"tpascd/internal/dist"
+	"tpascd/internal/engine"
 	"tpascd/internal/experiments"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/trace"
@@ -54,7 +55,13 @@ type Breakdown = perfmodel.Breakdown
 // NewCPUCluster builds a K-worker cluster with sequential-SCD local
 // solvers (the configuration of Figs. 3-6).
 func NewCPUCluster(p *Problem, form Form, k int, cfg ClusterConfig, seed uint64) (*Cluster, error) {
-	return dist.NewCPUGroup(p, form, k, dist.Sequential, 1, perfmodel.CPUSequential, cfg, seed)
+	return dist.NewCPUGroup(p, form, k, engine.DriverSpec{}, perfmodel.CPUSequential, cfg, seed)
+}
+
+// NewCPUClusterSpec is NewCPUCluster with the local solver selected from
+// the engine driver registry (any CPU driver: scd, a-scd, wild, syscd).
+func NewCPUClusterSpec(p *Problem, form Form, k int, spec DriverSpec, cfg ClusterConfig, seed uint64) (*Cluster, error) {
+	return dist.NewCPUGroup(p, form, k, spec, perfmodel.CPUSequential, cfg, seed)
 }
 
 // NewGPUCluster builds a K-worker cluster whose local solvers are TPA-SCD
@@ -144,7 +151,20 @@ func NewWorker(comm Comm, local dist.Local, view *CoordinateView, cfg ClusterCon
 // partition, for use with NewWorker. The concrete type additionally
 // offers SkipEpochs, the permutation fast-forward checkpoint resume uses.
 func NewSequentialLocal(view *CoordinateView, seed uint64) *dist.CPULocal {
-	return dist.NewCPULocal(view, dist.Sequential, 1, perfmodel.CPUSequential, seed)
+	l, err := dist.NewCPULocal(view, engine.DriverSpec{Seed: seed}, perfmodel.CPUSequential)
+	if err != nil {
+		// Unreachable: the sequential driver is always registered.
+		panic(err)
+	}
+	return l
+}
+
+// NewLocalSolver returns a local solver over a partition for any CPU
+// driver registered with the engine (scd, a-scd, wild, syscd), selected by
+// spec.Name. The concrete type additionally offers SkipEpochs, the
+// permutation fast-forward checkpoint resume uses.
+func NewLocalSolver(view *CoordinateView, spec DriverSpec) (*dist.CPULocal, error) {
+	return dist.NewCPULocal(view, spec, perfmodel.CPUSequential)
 }
 
 // Experiment harness re-exports.

@@ -36,6 +36,10 @@ func NewElasticNetSolver(p *ElasticNetProblem, seed uint64) *ElasticNetSolver {
 	return elasticnet.NewSequential(p, seed)
 }
 
+// ElasticNetLoss returns the engine Loss of an elastic-net problem, for
+// use with NewSolverFor — any registered driver can optimize it.
+func ElasticNetLoss(p *ElasticNetProblem) Loss { return elasticnet.NewLoss(p) }
+
 // ElasticNetGPU runs the same updates as a TPA-SCD kernel on a simulated
 // device.
 type ElasticNetGPU = elasticnet.GPU
@@ -63,6 +67,10 @@ func NewSVMSolver(p *SVMProblem, seed uint64) *SVMSolver {
 	return svm.NewSequential(p, seed)
 }
 
+// SVMLoss returns the engine Loss of an SVM problem (dual form), for use
+// with NewSolverFor — any registered driver can optimize it.
+func SVMLoss(p *SVMProblem) Loss { return svm.NewLoss(p) }
+
 // SVMGPU runs SDCA as a TPA-SCD kernel on a simulated device.
 type SVMGPU = svm.GPU
 
@@ -88,6 +96,10 @@ type LogisticSolver = logistic.Solver
 func NewLogisticSolver(p *LogisticProblem, seed uint64) *LogisticSolver {
 	return logistic.NewSolver(p, seed)
 }
+
+// LogisticLoss returns the engine Loss of a logistic problem (dual form),
+// for use with NewSolverFor — any registered driver can optimize it.
+func LogisticLoss(p *LogisticProblem) Loss { return logistic.NewLoss(p) }
 
 // Evaluation helpers (the paper's experiments use a 75/25 train/test
 // split of this kind).

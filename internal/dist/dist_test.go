@@ -5,10 +5,10 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tpascd/internal/engine"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/rng"
-	"tpascd/internal/engine"
 	"tpascd/internal/sparse"
 )
 
@@ -80,7 +80,7 @@ func TestPartitionValidateCatchesErrors(t *testing.T) {
 // like the non-distributed sequential algorithm.
 func TestSingleWorkerMatchesSequential(t *testing.T) {
 	p := testProblem(t, 1, 200, 100, 8, 0.01)
-	g, err := NewCPUGroup(p, perfmodel.Primal, 1, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 5)
+	g, err := NewCPUGroup(p, perfmodel.Primal, 1, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestSingleWorkerMatchesSequential(t *testing.T) {
 func TestDistributedGapMatchesCentralized(t *testing.T) {
 	for _, form := range []perfmodel.Form{perfmodel.Primal, perfmodel.Dual} {
 		p := testProblem(t, 2, 120, 80, 6, 0.02)
-		g, err := NewCPUGroup(p, form, 4, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 7)
+		g, err := NewCPUGroup(p, form, 4, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestDistributedGapMatchesCentralized(t *testing.T) {
 
 func TestDistributedConvergesPrimal(t *testing.T) {
 	p := testProblem(t, 3, 200, 120, 8, 0.01)
-	g, err := NewCPUGroup(p, perfmodel.Primal, 4, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 11)
+	g, err := NewCPUGroup(p, perfmodel.Primal, 4, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestDistributedConvergesPrimal(t *testing.T) {
 
 func TestDistributedConvergesDual(t *testing.T) {
 	p := testProblem(t, 4, 200, 120, 8, 0.01)
-	g, err := NewCPUGroup(p, perfmodel.Dual, 4, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 11)
+	g, err := NewCPUGroup(p, perfmodel.Dual, 4, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestDistributedConvergesDual(t *testing.T) {
 func TestMoreWorkersSlowerPerEpoch(t *testing.T) {
 	p := testProblem(t, 5, 300, 150, 8, 0.005)
 	gapAfter := func(k, epochs int) float64 {
-		g, err := NewCPUGroup(p, perfmodel.Primal, k, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 13)
+		g, err := NewCPUGroup(p, perfmodel.Primal, k, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 13)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +221,7 @@ func TestMoreWorkersSlowerPerEpoch(t *testing.T) {
 func TestAdaptiveBeatsAveragingPrimal(t *testing.T) {
 	p := testProblem(t, 6, 300, 150, 8, 0.005)
 	run := func(agg Aggregation, epochs int) float64 {
-		g, err := NewCPUGroup(p, perfmodel.Primal, 8, Sequential, 1, perfmodel.CPUSequential, defaultConfig(agg), 17)
+		g, err := NewCPUGroup(p, perfmodel.Primal, 8, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(agg), 17)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +250,7 @@ func TestAdaptiveBeatsAveragingPrimal(t *testing.T) {
 func TestAdaptiveGammaIsOptimalPrimal(t *testing.T) {
 	p := testProblem(t, 7, 150, 90, 6, 0.01)
 	const k = 4
-	g, err := NewCPUGroup(p, perfmodel.Primal, k, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Adaptive), 19)
+	g, err := NewCPUGroup(p, perfmodel.Primal, k, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Adaptive), 19)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestAdaptiveGammaIsOptimalPrimal(t *testing.T) {
 func TestAdaptiveGammaIsOptimalDual(t *testing.T) {
 	p := testProblem(t, 8, 120, 90, 6, 0.01)
 	const k = 4
-	g, err := NewCPUGroup(p, perfmodel.Dual, k, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Adaptive), 23)
+	g, err := NewCPUGroup(p, perfmodel.Dual, k, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Adaptive), 23)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestAdaptiveGammaIsOptimalDual(t *testing.T) {
 func TestGammaSettlesAboveAveraging(t *testing.T) {
 	p := testProblem(t, 9, 250, 120, 8, 0.01)
 	const k = 8
-	g, err := NewCPUGroup(p, perfmodel.Primal, k, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Adaptive), 29)
+	g, err := NewCPUGroup(p, perfmodel.Primal, k, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Adaptive), 29)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +371,7 @@ func TestGammaSettlesAboveAveraging(t *testing.T) {
 
 func TestRunEpochBreakdown(t *testing.T) {
 	p := testProblem(t, 10, 150, 80, 6, 0.01)
-	g, err := NewCPUGroup(p, perfmodel.Primal, 4, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 31)
+	g, err := NewCPUGroup(p, perfmodel.Primal, 4, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 31)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,7 @@ func TestGPUGroupConvergesAndAccountsTime(t *testing.T) {
 
 func TestGroupSizeValidation(t *testing.T) {
 	p := testProblem(t, 12, 50, 30, 4, 0.1)
-	if _, err := NewCPUGroup(p, perfmodel.Primal, 0, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 1); err == nil {
+	if _, err := NewCPUGroup(p, perfmodel.Primal, 0, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 1); err == nil {
 		t.Fatal("K=0 accepted")
 	}
 }
@@ -433,7 +433,7 @@ func TestAggregationString(t *testing.T) {
 
 func TestWildLocalSolverGroup(t *testing.T) {
 	p := testProblem(t, 13, 300, 80, 16, 0.005)
-	g, err := NewCPUGroup(p, perfmodel.Dual, 2, Wild, 8, perfmodel.CPUWild16, defaultConfig(Averaging), 41)
+	g, err := NewCPUGroup(p, perfmodel.Dual, 2, engine.DriverSpec{Name: engine.DriverWild, Threads: 8}, perfmodel.CPUWild16, defaultConfig(Averaging), 41)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,9 +453,53 @@ func TestWildLocalSolverGroup(t *testing.T) {
 	}
 }
 
+// A syscd-local distributed run must match the sequential-local gap floor:
+// the replica/merge scheme loses no updates, so unlike wild the only
+// slowdown is the aggregation's own γ damping, same as sequential locals.
+func TestSyscdLocalSolverGroup(t *testing.T) {
+	p := testProblem(t, 14, 300, 80, 16, 0.005)
+	run := func(spec engine.DriverSpec) float64 {
+		g, err := NewCPUGroup(p, perfmodel.Dual, 2, spec, perfmodel.CPUWild16,
+			defaultConfig(Averaging), 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		for e := 0; e < 40; e++ {
+			if _, err := g.RunEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gap, err := g.Gap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gap
+	}
+	seq := run(engine.DriverSpec{})
+	sys := run(engine.DriverSpec{Name: engine.DriverSyscd, Threads: 4})
+	if math.IsNaN(sys) || sys > 2*seq {
+		t.Fatalf("syscd-local gap %v does not match sequential-local floor %v", sys, seq)
+	}
+}
+
+// The locals take their vocabulary from the engine registry: unknown names
+// and drivers without a CPU epoch body must be rejected at construction.
+func TestCPULocalRejectsUnknownAndGPUDrivers(t *testing.T) {
+	p := testProblem(t, 15, 40, 20, 4, 0.1)
+	if _, err := NewCPUGroup(p, perfmodel.Primal, 2, engine.DriverSpec{Name: "hogwild"},
+		perfmodel.CPUSequential, defaultConfig(Averaging), 1); err == nil {
+		t.Fatal("unknown driver accepted")
+	}
+	if _, err := NewCPUGroup(p, perfmodel.Primal, 2, engine.DriverSpec{Name: engine.DriverGPU},
+		perfmodel.CPUSequential, defaultConfig(Averaging), 1); err == nil {
+		t.Fatal("tpa-scd accepted as a CPU local")
+	}
+}
+
 func BenchmarkDistributedEpochK4(b *testing.B) {
 	p := testProblem(b, 1, 2048, 1024, 16, 0.001)
-	g, err := NewCPUGroup(p, perfmodel.Primal, 4, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Adaptive), 1)
+	g, err := NewCPUGroup(p, perfmodel.Primal, 4, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Adaptive), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -473,7 +517,7 @@ func BenchmarkDistributedEpochK4(b *testing.B) {
 // may overshoot — we only require it not to produce NaNs.
 func TestAddingAggregation(t *testing.T) {
 	p := testProblem(t, 14, 150, 80, 6, 0.01)
-	g, err := NewCPUGroup(p, perfmodel.Primal, 4, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Adding), 43)
+	g, err := NewCPUGroup(p, perfmodel.Primal, 4, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Adding), 43)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,7 +552,7 @@ func TestCoCoAPlusAddingConverges(t *testing.T) {
 	p := testProblem(t, 15, 250, 120, 8, 0.005)
 	const k = 8
 	run := func(cfg Config, epochs int) float64 {
-		g, err := NewCPUGroup(p, perfmodel.Primal, k, Sequential, 1, perfmodel.CPUSequential, cfg, 47)
+		g, err := NewCPUGroup(p, perfmodel.Primal, k, engine.DriverSpec{}, perfmodel.CPUSequential, cfg, 47)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -545,7 +589,7 @@ func TestCoCoAPlusAddingConverges(t *testing.T) {
 func TestCoCoAPlusSharedVectorConsistency(t *testing.T) {
 	p := testProblem(t, 16, 120, 80, 6, 0.01)
 	const k = 4
-	g, err := NewCPUGroup(p, perfmodel.Primal, k, Sequential, 1, perfmodel.CPUSequential,
+	g, err := NewCPUGroup(p, perfmodel.Primal, k, engine.DriverSpec{}, perfmodel.CPUSequential,
 		Config{Aggregation: Adding, SigmaPrime: k, Link: perfmodel.Link10GbE}, 51)
 	if err != nil {
 		t.Fatal(err)

@@ -12,6 +12,7 @@ import (
 
 	"tpascd/internal/checkpoint"
 	"tpascd/internal/cluster"
+	"tpascd/internal/engine"
 	"tpascd/internal/perfmodel"
 )
 
@@ -30,7 +31,7 @@ func TestGroupSurfacesChaosKill(t *testing.T) {
 		}
 		return cluster.Chaos(c, cluster.ChaosConfig{KillAtOp: 4})
 	}
-	g, err := NewCPUGroup(p, perfmodel.Dual, 3, Sequential, 1, perfmodel.CPUSequential, cfg, 1)
+	g, err := NewCPUGroup(p, perfmodel.Dual, 3, engine.DriverSpec{}, perfmodel.CPUSequential, cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestGroupSurfacesChaosDrop(t *testing.T) {
 		}
 		return cluster.Chaos(c, cluster.ChaosConfig{Seed: 9, DropProb: 0.2})
 	}
-	g, err := NewCPUGroup(p, perfmodel.Primal, 3, Sequential, 1, perfmodel.CPUSequential, cfg, 2)
+	g, err := NewCPUGroup(p, perfmodel.Primal, 3, engine.DriverSpec{}, perfmodel.CPUSequential, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestGroupSurfacesChaosDrop(t *testing.T) {
 // configuration error every rank must detect, not silent divergence.
 func TestResumeEpochMismatchDetected(t *testing.T) {
 	p := testProblem(t, 3, 200, 100, 8, 0.01)
-	g, err := NewCPUGroup(p, perfmodel.Dual, 2, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), 3)
+	g, err := NewCPUGroup(p, perfmodel.Dual, 2, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	)
 	p := testProblem(t, 4, 400, 200, 8, 0.01)
 	newGroup := func() *Group {
-		g, err := NewCPUGroup(p, perfmodel.Dual, k, Sequential, 1, perfmodel.CPUSequential, defaultConfig(Averaging), seed)
+		g, err := NewCPUGroup(p, perfmodel.Dual, k, engine.DriverSpec{}, perfmodel.CPUSequential, defaultConfig(Averaging), seed)
 		if err != nil {
 			t.Fatal(err)
 		}

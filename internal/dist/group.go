@@ -7,6 +7,7 @@ import (
 
 	"tpascd/internal/cluster"
 	"tpascd/internal/coords"
+	"tpascd/internal/engine"
 	"tpascd/internal/gpusim"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
@@ -24,13 +25,20 @@ type Group struct {
 	closeOnce sync.Once
 }
 
-// NewCPUGroup builds a K-worker group whose local solvers run on the CPU.
-// The coordinates (features for the primal form, examples for the dual) are
-// partitioned randomly across workers.
-func NewCPUGroup(p *ridge.Problem, form perfmodel.Form, k int, mode CPUMode, threads int,
+// NewCPUGroup builds a K-worker group whose local solvers run on the CPU,
+// selected from the engine driver registry by spec.Name (empty =
+// sequential). The coordinates (features for the primal form, examples for
+// the dual) are partitioned randomly across workers; spec.Seed is ignored —
+// each rank derives its permutation seed from the group seed.
+func NewCPUGroup(p *ridge.Problem, form perfmodel.Form, k int, spec engine.DriverSpec,
 	profile perfmodel.CPUProfile, cfg Config, seed uint64) (*Group, error) {
 	return newGroup(p, form, k, nil, cfg, seed, func(rank int, view *coords.View) (Local, func(), error) {
-		l := NewCPULocal(view, mode, threads, profile, seed+uint64(rank)*7919)
+		rs := spec
+		rs.Seed = seed + uint64(rank)*7919
+		l, err := NewCPULocal(view, rs, profile)
+		if err != nil {
+			return nil, nil, err
+		}
 		l.SetSigma(cfg.SigmaPrime)
 		return l, nil, nil
 	})
@@ -40,10 +48,16 @@ func NewCPUGroup(p *ridge.Problem, form perfmodel.Form, k int, mode CPUMode, thr
 // partition instead of the default random one (used by the partitioning
 // ablation; cf. the "intelligent partitioning" discussion closing
 // Section IV of the paper).
-func NewCPUGroupWithPartition(p *ridge.Problem, form perfmodel.Form, parts Partition, mode CPUMode,
-	threads int, profile perfmodel.CPUProfile, cfg Config, seed uint64) (*Group, error) {
+func NewCPUGroupWithPartition(p *ridge.Problem, form perfmodel.Form, parts Partition, spec engine.DriverSpec,
+	profile perfmodel.CPUProfile, cfg Config, seed uint64) (*Group, error) {
 	return newGroup(p, form, len(parts), parts, cfg, seed, func(rank int, view *coords.View) (Local, func(), error) {
-		return NewCPULocal(view, mode, threads, profile, seed+uint64(rank)*7919), nil, nil
+		rs := spec
+		rs.Seed = seed + uint64(rank)*7919
+		l, err := NewCPULocal(view, rs, profile)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, nil, nil
 	})
 }
 

@@ -1,11 +1,14 @@
 package dist
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tpascd/internal/atomicf"
 	"tpascd/internal/coords"
+	"tpascd/internal/engine"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/rng"
 	"tpascd/internal/tpascd"
@@ -21,8 +24,9 @@ import (
 // solver operates in place on state owned by the distributed driver
 // (aggregated between rounds) over a coordinate partition, with CoCoA+ σ′
 // damping the engine's exact steps have no use for. The epoch bodies are
-// the engine's, specialized to that contract; whole-problem reference
-// comparisons in this package use engine.Solver directly.
+// the engine's, specialized to that contract; which body runs is selected
+// by an engine.DriverSpec so the dist layer names no drivers of its own —
+// the registry's names and aliases are the only vocabulary.
 type Local interface {
 	// Epoch mutates model (length = number of local coordinates) and
 	// shared (global shared-vector length) in place.
@@ -34,31 +38,72 @@ type Local interface {
 	NumCoords() int
 }
 
-// CPUMode selects the local CPU solver variant.
-type CPUMode int
-
-// The CPU local-solver variants evaluated in the paper.
-const (
-	// Sequential is single-threaded Algorithm 1, the local solver of the
-	// Fig. 3-6 experiments.
-	Sequential CPUMode = iota
-	// Atomic is A-SCD with lossless atomic shared-vector updates.
-	Atomic
-	// Wild is PASSCoDe-Wild with racy updates, the strongest CPU baseline
-	// in the Fig. 10 comparison.
-	Wild
-)
+// cpuEpochs maps canonical engine driver names to CPULocal epoch bodies.
+// The keys come from the engine's driver registry; the bodies are local
+// specializations carrying the σ′-damped in-place update the engine's
+// whole-problem solvers do not model. tpa-scd is absent on purpose: its
+// local solver is GPULocal, built around a device kernel.
+var cpuEpochs = map[string]func(l *CPULocal, model, shared []float32){
+	engine.DriverSequential: (*CPULocal).epochSequential,
+	engine.DriverAtomic: func(l *CPULocal, model, shared []float32) {
+		l.epochAsync(model, shared, false)
+	},
+	engine.DriverWild: func(l *CPULocal, model, shared []float32) {
+		l.epochAsync(model, shared, true)
+	},
+	engine.DriverSyscd: (*CPULocal).epochSyscd,
+}
 
 // CPULocal runs a coordinate-descent epoch over a coords.View on the host.
 type CPULocal struct {
 	view    *coords.View
-	mode    CPUMode
+	driver  string // canonical engine driver name
 	threads int
 	profile perfmodel.CPUProfile
 	rng     *rng.Xoshiro256
 	perm    []int
 	sigma   float64 // CoCoA+ subproblem-safety σ′ (1 = exact steps)
 	scratch []float32
+
+	// syscd state: bucket geometry and per-thread shared-vector replicas
+	// with their merge bases (lazily allocated on first parallel epoch).
+	bucket     int
+	mergeEvery int
+	repl       [][]float32
+	base       [][]float32
+	mu         sync.Mutex
+}
+
+// NewCPULocal builds a CPU local solver for a registered engine driver.
+// spec.Name resolves through the engine registry (empty = sequential);
+// drivers without a CPU local epoch (tpa-scd) and unknown names are
+// rejected with the registry's vocabulary in the error.
+func NewCPULocal(view *coords.View, spec engine.DriverSpec, profile perfmodel.CPUProfile) (*CPULocal, error) {
+	name, err := engine.Canonical(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	if cpuEpochs[name] == nil {
+		return nil, fmt.Errorf("dist: engine driver %q has no CPU local epoch", name)
+	}
+	threads := spec.Threads
+	if name == engine.DriverSequential || threads < 1 {
+		threads = 1
+	}
+	bucket := spec.BucketSize
+	if bucket <= 0 {
+		bucket = engine.DefaultBucketSize
+	}
+	return &CPULocal{
+		view:       view,
+		driver:     name,
+		threads:    threads,
+		profile:    profile,
+		rng:        rng.New(spec.Seed),
+		sigma:      1,
+		bucket:     bucket,
+		mergeEvery: spec.MergeEvery,
+	}, nil
 }
 
 // SetSigma sets the CoCoA+ σ′ damping of the local steps (values < 1 are
@@ -77,31 +122,29 @@ func (l *CPULocal) SetSigma(sigma float64) {
 // uninterrupted run would have.
 func (l *CPULocal) SkipEpochs(n int) {
 	for i := 0; i < n; i++ {
-		l.perm = l.rng.Perm(l.view.Num, l.perm)
+		l.perm = l.rng.Perm(l.permLen(), l.perm)
 	}
 }
 
-// NewCPULocal builds a CPU local solver. threads is ignored for Sequential.
-func NewCPULocal(view *coords.View, mode CPUMode, threads int, profile perfmodel.CPUProfile, seed uint64) *CPULocal {
-	if mode == Sequential {
-		threads = 1
+// permLen is the length of each epoch's permutation draw: the coordinate
+// count, except the parallel syscd body, which permutes buckets.
+func (l *CPULocal) permLen() int {
+	if l.driver == engine.DriverSyscd && l.threads > 1 {
+		return l.numBuckets()
 	}
-	if threads < 1 {
-		threads = 1
-	}
-	return &CPULocal{view: view, mode: mode, threads: threads, profile: profile, rng: rng.New(seed), sigma: 1}
+	return l.view.Num
 }
 
-// Epoch performs one permuted pass over the local coordinates.
+func (l *CPULocal) numBuckets() int { return (l.view.Num + l.bucket - 1) / l.bucket }
+
+// Epoch performs one permuted pass over the local coordinates with the
+// configured driver's epoch body.
 //
 // With σ′ > 1 the pass solves the CoCoA+ local subproblem: the working
 // shared vector carries the local updates scaled by σ′ (the subproblem's
 // quadratic term is σ′/(2N)·‖A_kΔβ_k‖²), and the unscaled delta is handed
 // back at the end so the driver aggregates true A_kΔβ_k contributions.
 func (l *CPULocal) Epoch(model, shared []float32) {
-	v := l.view
-	l.perm = l.rng.Perm(v.Num, l.perm)
-	sigma32 := float32(l.sigma)
 	damped := l.sigma > 1
 	if damped {
 		if cap(l.scratch) < len(shared) {
@@ -109,29 +152,46 @@ func (l *CPULocal) Epoch(model, shared []float32) {
 		}
 		copy(l.scratch[:len(shared)], shared)
 	}
-	finish := func() {
-		if !damped {
-			return
-		}
+	if l.threads == 1 {
+		// Every CPU driver degenerates to the sequential pass at one
+		// thread (no contention to manage), keeping syscd@1 and scd
+		// bitwise-identical here just as in the engine.
+		l.epochSequential(model, shared)
+	} else {
+		cpuEpochs[l.driver](l, model, shared)
+	}
+	if damped {
 		// shared currently holds w + σ′·A_kΔβ_k; rescale to w + A_kΔβ_k.
+		sigma32 := float32(l.sigma)
 		prev := l.scratch[:len(shared)]
 		for i := range shared {
 			shared[i] = prev[i] + (shared[i]-prev[i])/sigma32
 		}
 	}
-	if l.mode == Sequential || l.threads == 1 {
-		get := func(i int32) float32 { return shared[i] }
-		for _, c := range l.perm {
-			d := v.DeltaSigma(c, get, model[c], l.sigma)
-			model[c] += d
-			idx, val := v.CoordNZ(c)
-			for k := range idx {
-				shared[idx[k]] += sigma32 * val[k] * d
-			}
+}
+
+// epochSequential is the single-threaded Algorithm 1 pass.
+func (l *CPULocal) epochSequential(model, shared []float32) {
+	v := l.view
+	l.perm = l.rng.Perm(v.Num, l.perm)
+	sigma32 := float32(l.sigma)
+	get := func(i int32) float32 { return shared[i] }
+	for _, c := range l.perm {
+		d := v.DeltaSigma(c, get, model[c], l.sigma)
+		model[c] += d
+		idx, val := v.CoordNZ(c)
+		for k := range idx {
+			shared[idx[k]] += sigma32 * val[k] * d
 		}
-		finish()
-		return
 	}
+}
+
+// epochAsync is the chunked parallel pass shared by a-scd (lossless atomic
+// shared-vector updates) and wild (racy read-modify-write updates).
+func (l *CPULocal) epochAsync(model, shared []float32, wild bool) {
+	v := l.view
+	l.perm = l.rng.Perm(v.Num, l.perm)
+	sigma32 := float32(l.sigma)
 	var wg sync.WaitGroup
 	chunk := (v.Num + l.threads - 1) / l.threads
 	for t := 0; t < l.threads; t++ {
@@ -152,7 +212,7 @@ func (l *CPULocal) Epoch(model, shared []float32) {
 				d := v.DeltaSigma(c, get, model[c], l.sigma)
 				model[c] += d
 				idx, val := v.CoordNZ(c)
-				if l.mode == Wild {
+				if wild {
 					// Racy read-modify-write with the same few-core yield
 					// as engine.Async (see engine.wildYieldMask).
 					for k := range idx {
@@ -172,7 +232,88 @@ func (l *CPULocal) Epoch(model, shared []float32) {
 		}(l.perm[lo:hi])
 	}
 	wg.Wait()
-	finish()
+}
+
+// epochSyscd is the SySCD bucketed pass (cf. engine.Syscd): threads deal
+// cache-line-aligned coordinate buckets from a permuted stream, apply
+// updates to private replicas of the shared vector with plain loads and
+// stores, and periodically fold their deltas back under a mutex — no
+// atomics on the hot path and no lost updates.
+func (l *CPULocal) epochSyscd(model, shared []float32) {
+	v := l.view
+	numBuckets := l.numBuckets()
+	l.perm = l.rng.Perm(numBuckets, l.perm)
+	sigma32 := float32(l.sigma)
+	mergeEvery := l.mergeEvery
+	if mergeEvery <= 0 {
+		mergeEvery = (numBuckets + 4*l.threads - 1) / (4 * l.threads)
+		if mergeEvery < 1 {
+			mergeEvery = 1
+		}
+	}
+	if l.repl == nil {
+		l.repl = make([][]float32, l.threads)
+		l.base = make([][]float32, l.threads)
+		for t := range l.repl {
+			l.repl[t] = make([]float32, len(shared))
+			l.base[t] = make([]float32, len(shared))
+		}
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for t := 0; t < l.threads; t++ {
+		wg.Add(1)
+		go func(repl, base []float32) {
+			defer wg.Done()
+			l.mu.Lock()
+			copy(repl, shared)
+			copy(base, shared)
+			l.mu.Unlock()
+			get := func(i int32) float32 { return repl[i] }
+			sinceMerge := 0
+			for {
+				b := int(atomic.AddInt64(&next, 1)) - 1
+				if b >= numBuckets {
+					break
+				}
+				lo := l.perm[b] * l.bucket
+				hi := lo + l.bucket
+				if hi > v.Num {
+					hi = v.Num
+				}
+				for c := lo; c < hi; c++ {
+					d := v.DeltaSigma(c, get, model[c], l.sigma)
+					model[c] += d
+					idx, val := v.CoordNZ(c)
+					for k := range idx {
+						repl[idx[k]] += sigma32 * val[k] * d
+					}
+				}
+				if sinceMerge++; sinceMerge >= mergeEvery {
+					l.mergeReplica(repl, base, shared)
+					sinceMerge = 0
+				}
+			}
+			if sinceMerge > 0 {
+				l.mergeReplica(repl, base, shared)
+			}
+		}(l.repl[t], l.base[t])
+	}
+	wg.Wait()
+}
+
+// mergeReplica folds the replica's delta since its base into the shared
+// vector and re-bases the replica on the merged state.
+func (l *CPULocal) mergeReplica(repl, base, shared []float32) {
+	l.mu.Lock()
+	for i, r := range repl {
+		if d := r - base[i]; d != 0 {
+			shared[i] += d
+		}
+	}
+	copy(repl, shared)
+	copy(base, shared)
+	l.mu.Unlock()
 }
 
 // EpochTimes returns the modeled CPU seconds per local epoch.

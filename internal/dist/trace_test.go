@@ -3,6 +3,7 @@ package dist
 import (
 	"testing"
 
+	"tpascd/internal/engine"
 	"tpascd/internal/obs"
 	"tpascd/internal/perfmodel"
 )
@@ -16,7 +17,7 @@ func TestRoundSpansCarryGammaAndGap(t *testing.T) {
 	cfg := defaultConfig(Adaptive)
 	cfg.Trace = obs.NewTracer(sink)
 	const k, epochs = 2, 3
-	g, err := NewCPUGroup(p, perfmodel.Primal, k, Sequential, 1, perfmodel.CPUSequential, cfg, 13)
+	g, err := NewCPUGroup(p, perfmodel.Primal, k, engine.DriverSpec{}, perfmodel.CPUSequential, cfg, 13)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -181,10 +181,11 @@ func (s *Async) Gap() float64 { return s.loss.Gap(s.model) }
 // Form reports the formulation.
 func (s *Async) Form() perfmodel.Form { return s.loss.Form() }
 
-// Name identifies the solver.
+// Name identifies the solver. Both branches carry the loss tag: without
+// it, wild traces and bench records were indistinguishable across losses.
 func (s *Async) Name() string {
 	if s.wild {
-		return fmt.Sprintf("PASSCoDe-Wild (%d threads)", s.threads)
+		return fmt.Sprintf("PASSCoDe-Wild-%s (%d threads)", s.loss.Name(), s.threads)
 	}
 	return fmt.Sprintf("A-%s (%d threads)", s.loss.Name(), s.threads)
 }

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tpascd/internal/gpusim"
+)
+
+// Driver names. Variant selection used to be hand-rolled at every call
+// site (a switch in cmd/scdtrain, dist.CPUMode, the facade's per-variant
+// constructors, distworker's hardwired local); the registry below is the
+// single place a driver is named, so a new epoch driver registers once and
+// every layer — facade, dist locals, the cmds' -solver flags and their
+// error messages — picks it up.
+const (
+	// DriverSequential is Algorithm 1 of the paper: one thread, exact
+	// coordinate minimization, incrementally maintained shared vector.
+	DriverSequential = "scd"
+	// DriverAtomic is A-SCD (Tran et al.): parallel goroutines with
+	// lossless atomic shared-vector updates.
+	DriverAtomic = "a-scd"
+	// DriverWild is PASSCoDe-Wild (Hsieh et al.): parallel goroutines with
+	// racy read-modify-write updates that may be lost.
+	DriverWild = "wild"
+	// DriverGPU is TPA-SCD (Algorithm 2) on a simulated device.
+	DriverGPU = "tpa-scd"
+	// DriverSyscd is the SySCD-style bucketed driver (Ioannou et al.,
+	// NeurIPS 2019): per-thread replicas of the shared vector with
+	// periodic merge instead of per-update atomics, over cache-line-aware
+	// contiguous coordinate buckets.
+	DriverSyscd = "syscd"
+)
+
+// DriverSpec configures one solver driver by name. The zero value selects
+// the sequential driver with seed 0; unknown fields for a given driver are
+// ignored (Threads by the sequential driver, BucketSize by everything but
+// syscd, ...), so one spec type can describe every registered driver and
+// flow unchanged from a -solver flag through the facade and the
+// distributed locals.
+type DriverSpec struct {
+	// Name is a registered driver name or alias; empty selects the
+	// sequential driver.
+	Name string
+	// Threads is the number of worker goroutines for the parallel drivers
+	// (a-scd, wild, syscd). Values < 1 mean 1.
+	Threads int
+	// Seed seeds the driver's permutation stream.
+	Seed uint64
+	// RecomputeEvery, when positive, rebuilds the shared vector from the
+	// model every that many epochs (the drift-repair scheme of Tran et
+	// al.); honoured by the async drivers.
+	RecomputeEvery int
+	// BucketSize is the number of contiguous coordinates per syscd bucket
+	// (0 selects DefaultBucketSize, sized to one cache line of float32
+	// model weights).
+	BucketSize int
+	// MergeEvery is the number of buckets a syscd thread processes between
+	// replica merges (0 selects a per-problem default bounding staleness
+	// to a fraction of an epoch).
+	MergeEvery int
+	// BlockSize is the TPA-SCD threads-per-block (0 selects 64; must be a
+	// power of two).
+	BlockSize int
+	// Device is the simulated device the tpa-scd driver runs on
+	// (required for that driver, ignored by the CPU drivers).
+	Device *gpusim.Device
+}
+
+// DriverCtor builds a configured solver for a loss. The spec's Name is
+// guaranteed to resolve to the constructor's own registration.
+type DriverCtor func(l Loss, spec DriverSpec) (Solver, error)
+
+var (
+	driverMu      sync.RWMutex
+	driverCtors   = map[string]DriverCtor{}
+	driverAliases = map[string]string{}
+)
+
+// Register adds a driver constructor under a canonical name plus optional
+// aliases. Registering an existing name replaces it (tests use this to
+// stub drivers); aliases must not collide with canonical names.
+func Register(name string, ctor DriverCtor, aliases ...string) {
+	if name == "" || ctor == nil {
+		panic("engine: Register needs a name and a constructor")
+	}
+	driverMu.Lock()
+	defer driverMu.Unlock()
+	driverCtors[name] = ctor
+	for _, a := range aliases {
+		driverAliases[a] = name
+	}
+}
+
+// Drivers returns the canonical names of every registered driver, sorted —
+// the source of truth for -solver flag choices and error messages.
+func Drivers() []string {
+	driverMu.RLock()
+	defer driverMu.RUnlock()
+	names := make([]string, 0, len(driverCtors))
+	for n := range driverCtors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DriverList returns the registered driver names joined for flag usage
+// strings ("a-scd | scd | syscd | tpa-scd | wild").
+func DriverList() string { return strings.Join(Drivers(), " | ") }
+
+// Canonical resolves a driver name or alias to its canonical registered
+// name; the empty string resolves to the sequential driver. The error for
+// an unknown name lists the registered drivers.
+func Canonical(name string) (string, error) {
+	if name == "" {
+		return DriverSequential, nil
+	}
+	driverMu.RLock()
+	defer driverMu.RUnlock()
+	if _, ok := driverCtors[name]; ok {
+		return name, nil
+	}
+	if c, ok := driverAliases[name]; ok {
+		return c, nil
+	}
+	return "", unknownDriverErr(name)
+}
+
+func unknownDriverErr(name string) error {
+	return fmt.Errorf("engine: unknown driver %q (registered: %s)", name, DriverList())
+}
+
+// NewSolver builds a solver for the loss from the spec, resolving the
+// driver through the registry. This is the one construction path every
+// layer (facade, dist, cmds) funnels through.
+func NewSolver(l Loss, spec DriverSpec) (Solver, error) {
+	name, err := Canonical(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	spec.Name = name
+	if spec.Threads < 1 {
+		spec.Threads = 1
+	}
+	driverMu.RLock()
+	ctor := driverCtors[name]
+	driverMu.RUnlock()
+	return ctor(l, spec)
+}
+
+func init() {
+	Register(DriverSequential, func(l Loss, spec DriverSpec) (Solver, error) {
+		return NewSequential(l, spec.Seed), nil
+	}, "sequential", "seq")
+	Register(DriverAtomic, func(l Loss, spec DriverSpec) (Solver, error) {
+		s := NewAtomic(l, spec.Threads, spec.Seed)
+		s.SetRecomputeEvery(spec.RecomputeEvery)
+		return s, nil
+	}, "atomic")
+	Register(DriverWild, func(l Loss, spec DriverSpec) (Solver, error) {
+		s := NewWild(l, spec.Threads, spec.Seed)
+		s.SetRecomputeEvery(spec.RecomputeEvery)
+		return s, nil
+	})
+	Register(DriverSyscd, func(l Loss, spec DriverSpec) (Solver, error) {
+		s := NewSyscd(l, spec.Threads, spec.BucketSize, spec.Seed)
+		s.SetMergeEvery(spec.MergeEvery)
+		s.SetRecomputeEvery(spec.RecomputeEvery)
+		return s, nil
+	})
+	Register(DriverGPU, func(l Loss, spec DriverSpec) (Solver, error) {
+		if spec.Device == nil {
+			return nil, fmt.Errorf("engine: driver %q needs a Device in the spec", DriverGPU)
+		}
+		blockSize := spec.BlockSize
+		if blockSize == 0 {
+			blockSize = 64
+		}
+		return NewGPU(l, spec.Device, blockSize, spec.Seed)
+	}, "gpu")
+}

@@ -1,0 +1,135 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"tpascd/internal/engine"
+	"tpascd/internal/gpusim"
+	"tpascd/internal/perfmodel"
+	"tpascd/internal/ridge"
+)
+
+func TestDriversListsBuiltins(t *testing.T) {
+	got := strings.Join(engine.Drivers(), " ")
+	for _, name := range []string{"scd", "a-scd", "wild", "tpa-scd", "syscd"} {
+		if !strings.Contains(" "+got+" ", " "+name+" ") {
+			t.Fatalf("Drivers() = %q missing %q", got, name)
+		}
+	}
+}
+
+func TestCanonicalResolvesAliasesAndEmpty(t *testing.T) {
+	for in, want := range map[string]string{
+		"":           engine.DriverSequential,
+		"sequential": engine.DriverSequential,
+		"seq":        engine.DriverSequential,
+		"atomic":     engine.DriverAtomic,
+		"a-scd":      engine.DriverAtomic,
+		"gpu":        engine.DriverGPU,
+		"syscd":      engine.DriverSyscd,
+		"wild":       engine.DriverWild,
+	} {
+		got, err := engine.Canonical(in)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("Canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUnknownDriverErrorListsRegistry(t *testing.T) {
+	p := testProblem(t, 30, 40, 30, 4, 0.1)
+	_, err := engine.NewSolver(ridge.NewLoss(p, perfmodel.Primal), engine.DriverSpec{Name: "hogwild"})
+	if err == nil {
+		t.Fatal("unknown driver accepted")
+	}
+	for _, name := range engine.Drivers() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered driver %q", err, name)
+		}
+	}
+}
+
+func TestNewSolverBuildsEveryCPUDriver(t *testing.T) {
+	p := testProblem(t, 31, 60, 40, 4, 0.05)
+	for name, wantPrefix := range map[string]string{
+		"scd":    "SCD (1 thread)",
+		"a-scd":  "A-SCD",
+		"wild":   "PASSCoDe-Wild-SCD",
+		"syscd":  "SySCD-SCD",
+		"atomic": "A-SCD", // alias
+	} {
+		s, err := engine.NewSolver(ridge.NewLoss(p, perfmodel.Primal),
+			engine.DriverSpec{Name: name, Threads: 4, Seed: 7})
+		if err != nil {
+			t.Fatalf("NewSolver(%q): %v", name, err)
+		}
+		if !strings.HasPrefix(s.Name(), wantPrefix) {
+			t.Fatalf("driver %q name %q does not start with %q", name, s.Name(), wantPrefix)
+		}
+		s.RunEpoch()
+		if g := s.Gap(); g <= 0 {
+			t.Fatalf("driver %q gap = %v after one epoch", name, g)
+		}
+	}
+}
+
+func TestGPUDriverNeedsDevice(t *testing.T) {
+	p := testProblem(t, 32, 40, 30, 4, 0.1)
+	l := ridge.NewLoss(p, perfmodel.Primal)
+	if _, err := engine.NewSolver(l, engine.DriverSpec{Name: "tpa-scd"}); err == nil {
+		t.Fatal("tpa-scd without a device accepted")
+	}
+	dev := gpusim.NewDevice(perfmodel.GPUM4000)
+	s, err := engine.NewSolver(l, engine.DriverSpec{Name: "tpa-scd", Device: dev, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.(*engine.GPU).Close()
+	s.RunEpoch()
+	if s.Name() != "TPA-SCD (M4000)" {
+		t.Fatalf("gpu driver name = %q", s.Name())
+	}
+}
+
+func TestRegisterCustomDriver(t *testing.T) {
+	engine.Register("test-null", func(l engine.Loss, spec engine.DriverSpec) (engine.Solver, error) {
+		return engine.NewSequential(l, spec.Seed), nil
+	}, "null")
+	found := false
+	for _, n := range engine.Drivers() {
+		if n == "test-null" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered driver not listed")
+	}
+	p := testProblem(t, 33, 40, 30, 4, 0.1)
+	if _, err := engine.NewSolver(ridge.NewLoss(p, perfmodel.Primal), engine.DriverSpec{Name: "null"}); err != nil {
+		t.Fatalf("alias of registered driver: %v", err)
+	}
+}
+
+// The registry path must construct the exact same solver as the direct
+// constructor: same seed, same trajectory.
+func TestRegistryMatchesDirectConstruction(t *testing.T) {
+	p := testProblem(t, 34, 120, 80, 6, 0.02)
+	direct := engine.NewAtomic(ridge.NewLoss(p, perfmodel.Dual), 4, 11)
+	viaReg, err := engine.NewSolver(ridge.NewLoss(p, perfmodel.Dual),
+		engine.DriverSpec{Name: "a-scd", Threads: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEpochs(direct, 3)
+	runEpochs(viaReg, 3)
+	// Async interleavings differ run to run; compare the certificate's
+	// order of magnitude only.
+	gd, gr := direct.Gap(), viaReg.Gap()
+	if gr > 100*gd+1e-6 && gd > 100*gr+1e-6 {
+		t.Fatalf("registry-built solver diverged: %v vs %v", gr, gd)
+	}
+}

@@ -222,8 +222,11 @@ func TestNames(t *testing.T) {
 	if newAtomic(p, perfmodel.Primal, 16, 1).Name() != "A-SCD (16 threads)" {
 		t.Fatal("atomic name")
 	}
-	if newWild(p, perfmodel.Primal, 16, 1).Name() != "PASSCoDe-Wild (16 threads)" {
+	if newWild(p, perfmodel.Primal, 16, 1).Name() != "PASSCoDe-Wild-SCD (16 threads)" {
 		t.Fatal("wild name")
+	}
+	if engine.NewSyscd(ridge.NewLoss(p, perfmodel.Primal), 8, 0, 1).Name() != "SySCD-SCD (8 threads, bucket 16)" {
+		t.Fatal("syscd name")
 	}
 }
 

@@ -62,7 +62,7 @@ func AblationGamma(s Scale) ([]trace.Figure, error) {
 			Link:            sc.link(perfmodel.Link10GbE),
 			HostFlopsPerSec: sc.hostFlops(),
 		}
-		g, err := dist.NewCPUGroup(p, perfmodel.Primal, k, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential), cfg, s.Seed)
+		g, err := dist.NewCPUGroup(p, perfmodel.Primal, k, engine.DriverSpec{}, sc.cpu(perfmodel.CPUSequential), cfg, s.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +120,7 @@ func AblationPartition(s Scale) ([]trace.Figure, error) {
 // groupFromPartition builds a CPU group over an explicit partition (the
 // standard constructors always partition randomly).
 func groupFromPartition(p *ridge.Problem, form perfmodel.Form, parts dist.Partition, sc scaling, cfg dist.Config, seed uint64) (*dist.Group, error) {
-	return dist.NewCPUGroupWithPartition(p, form, parts, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential), cfg, seed)
+	return dist.NewCPUGroupWithPartition(p, form, parts, engine.DriverSpec{}, sc.cpu(perfmodel.CPUSequential), cfg, seed)
 }
 
 // AblationLink reruns the Fig. 9 breakdown at K=8 over 10GbE vs 100GbE —

@@ -23,6 +23,8 @@ import (
 	"fmt"
 
 	"tpascd/internal/datasets"
+	"tpascd/internal/engine"
+	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/trace"
 )
@@ -39,6 +41,11 @@ type Scale struct {
 	// Threads is the thread count of the asynchronous CPU solvers (16 in
 	// the paper).
 	Threads int
+	// CPUSolver names the engine driver used as the local solver of the
+	// distributed CPU experiments (Figs. 3-6): "scd" (default, the paper's
+	// configuration), "a-scd", "wild" or "syscd". Resolved through the
+	// engine registry, so aliases work too.
+	CPUSolver string
 	// BlockSize is the TPA-SCD threads-per-block.
 	BlockSize int
 	// Epoch budgets per figure family.
@@ -86,6 +93,40 @@ func Quick() Scale {
 	s.Epsilons = []float64{3e-2, 3e-3, 3e-4}
 	s.Fig9Target = 1e-3
 	return s
+}
+
+// cpuSpec resolves the configured CPU local solver to an engine driver
+// spec. The sequential driver ignores Threads; the others inherit the
+// scale's thread count.
+func (s Scale) cpuSpec() (engine.DriverSpec, error) {
+	name, err := engine.Canonical(s.CPUSolver)
+	if err != nil {
+		return engine.DriverSpec{}, err
+	}
+	return engine.DriverSpec{Name: name, Threads: s.Threads}, nil
+}
+
+// cpuProfiles maps each CPU driver to the wall-clock model of its closest
+// measured configuration. SySCD has no dedicated calibration; it reuses
+// the wild profile (lock-free hot path, same memory traffic pattern).
+var cpuProfiles = map[string]perfmodel.CPUProfile{
+	engine.DriverSequential: perfmodel.CPUSequential,
+	engine.DriverAtomic:     perfmodel.CPUAtomic16,
+	engine.DriverWild:       perfmodel.CPUWild16,
+	engine.DriverSyscd:      perfmodel.CPUWild16,
+}
+
+// cpuProfile returns the perfmodel profile matching cpuSpec.
+func (s Scale) cpuProfile() (perfmodel.CPUProfile, error) {
+	name, err := engine.Canonical(s.CPUSolver)
+	if err != nil {
+		return perfmodel.CPUProfile{}, err
+	}
+	prof, ok := cpuProfiles[name]
+	if !ok {
+		return perfmodel.CPUProfile{}, fmt.Errorf("experiments: no CPU profile for driver %q", name)
+	}
+	return prof, nil
 }
 
 // webspamProblem builds the webspam-like ridge problem once per experiment.

@@ -36,17 +36,26 @@ func runGroup(g *dist.Group, label string, epochs int, stopAt float64) (trace.Se
 	return series, total, nil
 }
 
-// cpuGroup builds a K-worker in-process cluster with sequential local
-// solvers over a 10GbE link model (the Figs. 3-6 configuration), with the
-// scale transformation applied (see scaling.go).
-func cpuGroup(p *ridge.Problem, form perfmodel.Form, k int, agg dist.Aggregation, seed uint64) (*dist.Group, error) {
+// cpuGroup builds a K-worker in-process cluster over a 10GbE link model
+// (the Figs. 3-6 configuration), with the scale transformation applied
+// (see scaling.go). The local solver is the scale's CPUSolver driver —
+// sequential SCD by default, matching the paper.
+func cpuGroup(s Scale, p *ridge.Problem, form perfmodel.Form, k int, agg dist.Aggregation) (*dist.Group, error) {
+	spec, err := s.cpuSpec()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.cpuProfile()
+	if err != nil {
+		return nil, err
+	}
 	sc := webspamScaling(p, form)
 	cfg := dist.Config{
 		Aggregation:     agg,
 		Link:            sc.link(perfmodel.Link10GbE),
 		HostFlopsPerSec: sc.hostFlops(),
 	}
-	return dist.NewCPUGroup(p, form, k, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential), cfg, seed)
+	return dist.NewCPUGroup(p, form, k, spec, sc.cpu(prof), cfg, s.Seed)
 }
 
 func epochsFor(s Scale, form perfmodel.Form) int {
@@ -73,7 +82,7 @@ func Fig3(s Scale) ([]trace.Figure, error) {
 			YLabel: "duality gap",
 		}
 		for _, k := range workerCounts {
-			g, err := cpuGroup(p, form, k, dist.Averaging, s.Seed)
+			g, err := cpuGroup(s, p, form, k, dist.Averaging)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +116,7 @@ func Fig4(s Scale) ([]trace.Figure, error) {
 			YLabel: "duality gap",
 		}
 		for _, agg := range []dist.Aggregation{dist.Averaging, dist.Adaptive} {
-			g, err := cpuGroup(p, form, k, agg, s.Seed)
+			g, err := cpuGroup(s, p, form, k, agg)
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +152,7 @@ func Fig5(s Scale) ([]trace.Figure, error) {
 			YLabel: "aggregation parameter γ (Gamma column)",
 		}
 		for _, k := range workerCounts {
-			g, err := cpuGroup(p, form, k, dist.Adaptive, s.Seed)
+			g, err := cpuGroup(s, p, form, k, dist.Adaptive)
 			if err != nil {
 				return nil, err
 			}
@@ -187,7 +196,7 @@ func Fig6(s Scale) ([]trace.Figure, error) {
 		var runs []run
 		for _, agg := range []dist.Aggregation{dist.Averaging, dist.Adaptive} {
 			for _, k := range workerCounts {
-				g, err := cpuGroup(p, form, k, agg, s.Seed)
+				g, err := cpuGroup(s, p, form, k, agg)
 				if err != nil {
 					return nil, err
 				}

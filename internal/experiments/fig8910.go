@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tpascd/internal/dist"
+	"tpascd/internal/engine"
 	"tpascd/internal/perfmodel"
 	"tpascd/internal/ridge"
 	"tpascd/internal/trace"
@@ -66,7 +67,7 @@ func Fig8(s Scale) ([]trace.Figure, error) {
 		var results []result
 		for _, k := range workerCounts {
 			// CPU reference: sequential SCD locals over the same link.
-			gcpu, err := dist.NewCPUGroup(p, form, k, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential),
+			gcpu, err := dist.NewCPUGroup(p, form, k, engine.DriverSpec{}, sc.cpu(perfmodel.CPUSequential),
 				dist.Config{Aggregation: dist.Averaging, Link: sc.link(c.link), HostFlopsPerSec: sc.hostFlops()}, s.Seed)
 			if err != nil {
 				return nil, err
@@ -177,7 +178,7 @@ func Fig10(s Scale) ([]trace.Figure, error) {
 	}
 
 	// Distributed SCD, 1-thread locals.
-	g1, err := dist.NewCPUGroup(p, form, k, dist.Sequential, 1, sc.cpu(perfmodel.CPUSequential),
+	g1, err := dist.NewCPUGroup(p, form, k, engine.DriverSpec{}, sc.cpu(perfmodel.CPUSequential),
 		dist.Config{Aggregation: dist.Averaging, Link: sc.link(perfmodel.Link10GbE), HostFlopsPerSec: sc.hostFlops()}, s.Seed)
 	if err != nil {
 		return nil, err
@@ -190,7 +191,7 @@ func Fig10(s Scale) ([]trace.Figure, error) {
 	fig.Add(series)
 
 	// Distributed PASSCoDe-Wild, multi-threaded locals.
-	g2, err := dist.NewCPUGroup(p, form, k, dist.Wild, s.Threads, sc.cpu(perfmodel.CPUWild16),
+	g2, err := dist.NewCPUGroup(p, form, k, engine.DriverSpec{Name: engine.DriverWild, Threads: s.Threads}, sc.cpu(perfmodel.CPUWild16),
 		dist.Config{Aggregation: dist.Averaging, Link: sc.link(perfmodel.Link10GbE), HostFlopsPerSec: sc.hostFlops()}, s.Seed)
 	if err != nil {
 		return nil, err

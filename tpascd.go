@@ -127,22 +127,88 @@ type EpochEvent = engine.EpochEvent
 // EpochHook observes one training epoch (see Train).
 type EpochHook = engine.Hook
 
+// DriverSpec selects and configures a solver driver by its engine-registry
+// name ("scd", "a-scd", "wild", "syscd", "tpa-scd", or a registered alias;
+// empty = sequential). One spec type describes every driver — fields a
+// driver does not use are ignored — so it can flow unchanged from a
+// -solver flag through the facade and the distributed locals.
+type DriverSpec = engine.DriverSpec
+
+// Drivers returns the canonical names of every registered solver driver,
+// sorted — the source of truth for flag choices and error messages.
+func Drivers() []string { return engine.Drivers() }
+
+// DriverList returns the registered driver names joined for flag usage
+// strings.
+func DriverList() string { return engine.DriverList() }
+
+// CanonicalDriver resolves a driver name or alias to its canonical
+// registered name (empty = the sequential driver); the error for an
+// unknown name lists what is registered.
+func CanonicalDriver(name string) (string, error) { return engine.Canonical(name) }
+
+// Device is a simulated GPU device. Put one in DriverSpec.Device to make
+// the tpa-scd driver constructible through NewSolverSpec/NewSolverFor;
+// CPU drivers ignore it.
+type Device = gpusim.Device
+
+// NewDevice returns a fresh simulated device of the given profile.
+func NewDevice(profile GPUProfile) *Device { return gpusim.NewDevice(profile) }
+
+// NewSolverSpec builds a ridge solver for the given formulation with the
+// driver named in the spec, resolved through the engine registry. Solvers
+// that hold device memory additionally implement interface{ Close() }.
+func NewSolverSpec(p *Problem, form Form, spec DriverSpec) (Solver, error) {
+	return engine.NewSolver(ridge.NewLoss(p, form), spec)
+}
+
+// NewSolverFor builds a solver for any Loss (ridge, elastic net, SVM,
+// logistic, or user-implemented) with the driver named in the spec — the
+// single construction path every layer funnels through.
+func NewSolverFor(l Loss, spec DriverSpec) (Solver, error) {
+	return engine.NewSolver(l, spec)
+}
+
+// RidgeLoss returns the engine Loss of a ridge problem in the given
+// formulation, for use with NewSolverFor.
+func RidgeLoss(p *Problem, form Form) Loss { return ridge.NewLoss(p, form) }
+
+// mustSolver unwraps registry construction for the always-registered
+// built-in drivers the legacy constructors name.
+func mustSolver(s Solver, err error) Solver {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // NewSequentialSolver returns sequential SCD (Algorithm 1 of the paper).
 func NewSequentialSolver(p *Problem, form Form, seed uint64) Solver {
-	return engine.NewSequential(ridge.NewLoss(p, form), seed)
+	return mustSolver(NewSolverSpec(p, form, DriverSpec{Name: engine.DriverSequential, Seed: seed}))
 }
 
 // NewAtomicSolver returns A-SCD: threads goroutines with atomic (lossless)
 // shared-vector updates.
 func NewAtomicSolver(p *Problem, form Form, threads int, seed uint64) Solver {
-	return engine.NewAtomic(ridge.NewLoss(p, form), threads, seed)
+	return mustSolver(NewSolverSpec(p, form, DriverSpec{Name: engine.DriverAtomic, Threads: threads, Seed: seed}))
 }
 
 // NewWildSolver returns PASSCoDe-Wild: threads goroutines with racy
 // shared-vector updates; fast but converges to a solution violating the
 // optimality conditions.
 func NewWildSolver(p *Problem, form Form, threads int, seed uint64) Solver {
-	return engine.NewWild(ridge.NewLoss(p, form), threads, seed)
+	return mustSolver(NewSolverSpec(p, form, DriverSpec{Name: engine.DriverWild, Threads: threads, Seed: seed}))
+}
+
+// NewSyscdSolver returns the SySCD-style bucketed solver: threads
+// goroutines over cache-line-aware coordinate buckets (bucketSize
+// coordinates each, 0 = one cache line) with per-thread shared-vector
+// replicas merged periodically — no atomics on the hot path and no lost
+// updates.
+func NewSyscdSolver(p *Problem, form Form, threads, bucketSize int, seed uint64) Solver {
+	return mustSolver(NewSolverSpec(p, form, DriverSpec{
+		Name: engine.DriverSyscd, Threads: threads, BucketSize: bucketSize, Seed: seed,
+	}))
 }
 
 // GPUProfile describes a simulated GPU (SM count, memory bandwidth and
@@ -169,12 +235,13 @@ type GPUSolver struct {
 // fails if the dataset does not fit in device memory — the constraint that
 // motivates distributed training.
 func NewGPUSolver(p *Problem, form Form, profile GPUProfile, blockSize int, seed uint64) (*GPUSolver, error) {
-	dev := gpusim.NewDevice(profile)
-	s, err := engine.NewGPU(ridge.NewLoss(p, form), dev, blockSize, seed)
+	s, err := NewSolverSpec(p, form, DriverSpec{
+		Name: engine.DriverGPU, Device: NewDevice(profile), BlockSize: blockSize, Seed: seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &GPUSolver{GPU: s}, nil
+	return &GPUSolver{GPU: s.(*engine.GPU)}, nil
 }
 
 // Train runs epochs until the budget is exhausted or keepGoing returns
