@@ -1,6 +1,7 @@
-// Command loadgen drives a running predserve with synthetic
-// webspam-like rows and reports throughput and latency percentiles as
-// JSON, so serving changes can be compared load-test to load-test.
+// Command loadgen drives a running predserve or predrouter with
+// synthetic webspam-like rows and reports throughput, latency
+// percentiles and an error breakdown as JSON, so serving changes can be
+// compared load-test to load-test.
 //
 // Usage:
 //
@@ -9,22 +10,40 @@
 //
 // The row distribution matches the training generator (same zipf feature
 // skew), sized to the serving model's dimension read from /healthz.
+//
+// For fleet drills against predrouter:
+//
+//   - -hot-keys/-hot-frac route a fraction of requests to a fixed set
+//     of repeated bodies, shared by all workers, so the router's
+//     stale-answer cache has hot keys to cover during an outage.
+//     Responses marked X-Tpascd-Stale count as ok and are tallied
+//     separately in the report.
+//   - -burst/-idle shape traffic into on/off duty cycles instead of a
+//     steady stream, the harder case for hedging and health probing.
+//   - -kill-pid-file/-kill-after/-kill-signal kill one process (a
+//     replica, typically) mid-run, so a zero-error report is proof of a
+//     zero-downtime topology change.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"tpascd/internal/datasets"
 	"tpascd/internal/obs"
+	"tpascd/internal/rng"
 )
 
 type latencyMs struct {
@@ -41,19 +60,31 @@ type report struct {
 	RowsPerReq  int       `json:"rows_per_request"`
 	Sent        int64     `json:"sent"`
 	OK          int64     `json:"ok"`
+	Stale       int64     `json:"stale"`
 	Errors      int64     `json:"errors"`
 	QPS         float64   `json:"qps"`
 	RowsPerSec  float64   `json:"rows_per_second"`
 	Latency     latencyMs `json:"latency_ms"`
+	// ErrorBreakdown classifies failures: "http_<code>" per non-200
+	// status, "conn" for transport errors, "timeout" for deadline
+	// errors. Absent when every request succeeded.
+	ErrorBreakdown map[string]int64 `json:"error_breakdown,omitempty"`
 }
 
 func main() {
-	addr := flag.String("addr", "", "predserve address, host:port or http:// URL (required)")
+	addr := flag.String("addr", "", "predserve or predrouter address, host:port or http:// URL (required)")
 	concurrency := flag.Int("concurrency", 4, "concurrent client goroutines")
 	duration := flag.Duration("duration", 5*time.Second, "how long to generate load")
 	rowsPerReq := flag.Int("rows", 1, "rows per /predict request")
 	avgNNZ := flag.Int("nnz", 16, "average non-zeros per generated row")
 	seed := flag.Uint64("seed", 1, "base random seed (worker i uses seed+i)")
+	hotKeys := flag.Int("hot-keys", 0, "size of a shared pool of repeated request bodies; 0 disables")
+	hotFrac := flag.Float64("hot-frac", 0.5, "fraction of requests drawn from the hot-key pool")
+	burst := flag.Duration("burst", 0, "send at full rate for this long per cycle; 0 means steady load")
+	idle := flag.Duration("idle", 0, "pause between bursts (with -burst)")
+	killPidFile := flag.String("kill-pid-file", "", "file holding a PID to signal mid-run (a replica, for chaos drills)")
+	killAfter := flag.Duration("kill-after", 2*time.Second, "when to send the signal (with -kill-pid-file)")
+	killSignal := flag.String("kill-signal", "KILL", "signal to send: KILL, TERM or INT")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
 	flag.Parse()
 
@@ -73,8 +104,29 @@ func main() {
 		fatal(err)
 	}
 
+	// The hot-key pool is generated once and shared read-only by every
+	// worker, so the same bodies recur across the whole run.
+	var hotBodies [][]byte
+	if *hotKeys > 0 {
+		cfg := datasets.WebspamDefault()
+		cfg.M = dim
+		cfg.AvgNNZPerRow = *avgNNZ
+		s, err := datasets.NewRowSampler(cfg, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < *hotKeys; i++ {
+			hotBodies = append(hotBodies, requestBody(s, *rowsPerReq))
+		}
+	}
+
+	if *killPidFile != "" {
+		go killAfterDelay(*killPidFile, *killAfter, *killSignal)
+	}
+
 	type worker struct {
-		sent, ok, errs int64
+		sent, ok, stale, errs int64
+		breakdown             map[string]int64
 	}
 	workers := make([]worker, *concurrency)
 	// One shared latency histogram across all client goroutines — the
@@ -92,29 +144,46 @@ func main() {
 			cfg := datasets.WebspamDefault()
 			cfg.M = dim
 			cfg.AvgNNZPerRow = *avgNNZ
-			s, err := datasets.NewRowSampler(cfg, *seed+uint64(w))
+			s, err := datasets.NewRowSampler(cfg, *seed+uint64(w)+1)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 				return
 			}
+			pick := rng.New(*seed<<16 + uint64(w))
 			st := &workers[w]
+			st.breakdown = make(map[string]int64)
 			for time.Now().Before(stopAt) {
+				if *burst > 0 && *idle > 0 {
+					waitForBurstWindow(start, *burst, *idle, stopAt)
+					if !time.Now().Before(stopAt) {
+						return
+					}
+				}
 				body := requestBody(s, *rowsPerReq)
+				if len(hotBodies) > 0 && pick.Float64() < *hotFrac {
+					body = hotBodies[pick.Intn(len(hotBodies))]
+				}
 				t0 := time.Now()
 				resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
 				elapsed := time.Since(t0)
 				st.sent++
 				if err != nil {
 					st.errs++
+					st.breakdown[errClass(err)]++
 					continue
 				}
+				stale := resp.Header.Get("X-Tpascd-Stale") == "true"
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
 					st.errs++
+					st.breakdown["http_"+strconv.Itoa(resp.StatusCode)]++
 					continue
 				}
 				st.ok++
+				if stale {
+					st.stale++
+				}
 				hist.Observe(elapsed.Seconds())
 			}
 		}(w)
@@ -131,7 +200,14 @@ func main() {
 	for i := range workers {
 		rep.Sent += workers[i].sent
 		rep.OK += workers[i].ok
+		rep.Stale += workers[i].stale
 		rep.Errors += workers[i].errs
+		for class, n := range workers[i].breakdown {
+			if rep.ErrorBreakdown == nil {
+				rep.ErrorBreakdown = make(map[string]int64)
+			}
+			rep.ErrorBreakdown[class] += n
+		}
 	}
 	rep.QPS = float64(rep.OK) / elapsed.Seconds()
 	rep.RowsPerSec = rep.QPS * float64(*rowsPerReq)
@@ -150,9 +226,61 @@ func main() {
 		os.Stdout.Write(enc)
 	}
 	if rep.Errors > 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: %d of %d requests failed\n", rep.Errors, rep.Sent)
+		fmt.Fprintf(os.Stderr, "loadgen: %d of %d requests failed: %v\n", rep.Errors, rep.Sent, rep.ErrorBreakdown)
 		os.Exit(1)
 	}
+}
+
+// waitForBurstWindow sleeps until the duty cycle is in its burst phase
+// (cycles are aligned to the run start, shared by all workers), or
+// until the run deadline passes.
+func waitForBurstWindow(start time.Time, burst, idle time.Duration, stopAt time.Time) {
+	cycle := burst + idle
+	for time.Now().Before(stopAt) {
+		if time.Since(start)%cycle < burst {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// errClass maps a transport error to a breakdown key.
+func errClass(err error) string {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return "timeout"
+	}
+	return "conn"
+}
+
+// killAfterDelay signals the PID read from pidFile after the delay —
+// the scripted "replica dies mid-run" half of a chaos drill.
+func killAfterDelay(pidFile string, after time.Duration, sigName string) {
+	sig := map[string]syscall.Signal{
+		"KILL": syscall.SIGKILL,
+		"TERM": syscall.SIGTERM,
+		"INT":  syscall.SIGINT,
+	}[strings.ToUpper(sigName)]
+	if sig == 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -kill-signal %q, using KILL\n", sigName)
+		sig = syscall.SIGKILL
+	}
+	time.Sleep(after)
+	raw, err := os.ReadFile(pidFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: kill: %v\n", err)
+		return
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(raw)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: kill: bad pid in %s: %v\n", pidFile, err)
+		return
+	}
+	if err := syscall.Kill(pid, sig); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: kill %d: %v\n", pid, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: sent SIG%s to pid %d after %s\n", strings.ToUpper(sigName), pid, after)
 }
 
 // modelDim asks /healthz for the live model's feature count so generated

@@ -1,0 +1,179 @@
+// Command predrouter fronts a fleet of predserve replicas: it
+// health-probes every replica, load-balances POST /predict across the
+// routable ones, retries failures and hedges stragglers within explicit
+// budgets, and — when the whole fleet is down — degrades hot keys to
+// clearly-marked stale answers from a bounded cache instead of failing.
+//
+// Endpoints:
+//
+//	POST /predict  proxied to a healthy replica (same body formats as
+//	               predserve); answers carry X-Tpascd-Stale: true and a
+//	               "stale": true field when served from the degradation
+//	               cache during a full outage
+//	GET  /healthz  router liveness, replica-state census, and the live
+//	               model's identity passed through from a replica
+//	GET  /readyz   200 while at least one replica is routable
+//	GET  /replicas per-replica state and in-flight counts
+//	GET  /metrics  routing counters (retries, hedges, evictions,
+//	               reinstatements, stale answers) and latency
+//	               histograms, Prometheus text exposition
+//
+// Replica health is a state machine (healthy → suspect → evicted →
+// probation) fed by both active /readyz probes and request outcomes;
+// evicted replicas are re-probed on a jittered exponential backoff and
+// re-enter rotation through probation. The -chaos-* flags wrap the
+// outbound HTTP path with seed-deterministic fault injection (replica
+// kills, truncated responses, added latency) for resilience drills —
+// probes see the same faults requests do, so injected outages drive
+// real evictions.
+//
+// Usage:
+//
+//	predserve -model model.ckpt -listen 127.0.0.1:8081 &
+//	predserve -model model.ckpt -listen 127.0.0.1:8082 &
+//	predserve -model model.ckpt -listen 127.0.0.1:8083 &
+//	predrouter -replicas 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083 -listen :8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tpascd"
+)
+
+func main() {
+	replicas := flag.String("replicas", "", "comma-separated predserve backends, host:port each (required)")
+	listen := flag.String("listen", ":8080", "listen address; use 127.0.0.1:0 for an ephemeral port")
+	addrFile := flag.String("addr-file", "", "write the resolved listen address to this file (for scripting against :0)")
+
+	probeEvery := flag.Duration("probe-every", time.Second, "readiness probe interval for routable replicas")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe or request failures before a replica is evicted")
+	probation := flag.Int("probation", 2, "consecutive successes an evicted replica needs to be fully reinstated")
+	probeBackoff := flag.Duration("probe-backoff", 50*time.Millisecond, "initial re-probe delay for an evicted replica (doubles with jitter)")
+	probeBackoffMax := flag.Duration("probe-backoff-max", 2*time.Second, "re-probe delay ceiling")
+
+	maxAttempts := flag.Int("max-attempts", 3, "attempts per request: first try, retries and hedges together")
+	retryBudget := flag.Float64("retry-budget", 0.2, "sustained retries allowed as a fraction of request volume")
+	hedgeBudget := flag.Float64("hedge-budget", 0.1, "sustained hedged attempts as a fraction of request volume; negative disables hedging")
+	hedgeDelay := flag.Duration("hedge-delay", 30*time.Millisecond, "hedge trigger until enough latency samples exist to derive it from the live p95")
+	deadline := flag.Duration("deadline", 5*time.Second, "end-to-end deadline per client request, attempts included")
+	cacheSize := flag.Int("cache", 1024, "stale-answer cache entries for full-outage degradation; negative disables")
+	seed := flag.Uint64("seed", 1, "seed for replica picking and probe jitter")
+
+	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for fault injection on the outbound HTTP path")
+	chaosKill := flag.Float64("chaos-kill-prob", 0, "per-request probability of marking the target replica dead for -chaos-down-for")
+	chaosDownFor := flag.Duration("chaos-down-for", time.Second, "how long a chaos-killed replica stays unreachable")
+	chaosTruncate := flag.Float64("chaos-truncate-prob", 0, "per-response probability of truncating the body mid-read")
+	chaosDelay := flag.Float64("chaos-delay-prob", 0, "per-request probability of adding latency up to -chaos-max-delay")
+	chaosMaxDelay := flag.Duration("chaos-max-delay", 50*time.Millisecond, "upper bound for injected latency")
+
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers alongside the routing endpoints")
+	flag.Parse()
+
+	if *replicas == "" {
+		fmt.Fprintln(os.Stderr, "predrouter: -replicas is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	obsReg := tpascd.NewMetricsRegistry()
+	cfg := tpascd.RouterConfig{
+		Replicas: strings.Split(*replicas, ","),
+		Obs:      obsReg,
+		Probe: tpascd.RouterProbeConfig{
+			Interval:           *probeEvery,
+			Timeout:            *probeTimeout,
+			FailThreshold:      *failThreshold,
+			ProbationSuccesses: *probation,
+			Backoff:            tpascd.BackoffPolicy{Initial: *probeBackoff, Max: *probeBackoffMax},
+		},
+		MaxAttempts: *maxAttempts,
+		RetryBudget: *retryBudget,
+		HedgeBudget: *hedgeBudget,
+		HedgeDelay:  *hedgeDelay,
+		Deadline:    *deadline,
+		CacheSize:   *cacheSize,
+		Seed:        *seed,
+	}
+	if *chaosKill > 0 || *chaosTruncate > 0 || *chaosDelay > 0 {
+		// The chaos transport reports its injections into the router's
+		// registry, so drills and real recoveries share one /metrics page.
+		cfg.Transport = tpascd.RouterChaosTransport(nil, tpascd.RouterChaosConfig{
+			Seed:         *chaosSeed,
+			KillProb:     *chaosKill,
+			DownFor:      *chaosDownFor,
+			TruncateProb: *chaosTruncate,
+			DelayProb:    *chaosDelay,
+			MaxDelay:     *chaosMaxDelay,
+			Obs:          obsReg,
+		})
+		fmt.Printf("chaos enabled: seed=%d kill=%.3g truncate=%.3g delay=%.3g\n",
+			*chaosSeed, *chaosKill, *chaosTruncate, *chaosDelay)
+	}
+	router, err := tpascd.NewRouter(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer router.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("routing %d replicas on %s\n", len(cfg.Replicas), ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	collector := tpascd.StartRuntimeMetrics(router.Obs(), 0)
+	defer collector.Stop()
+
+	var handler http.Handler = router.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		tpascd.RegisterPprof(mux)
+		mux.Handle("/", router.Handler())
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %s, shutting down\n", s)
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "predrouter: shutdown: %v\n", err)
+	}
+	m := router.Metrics()
+	fmt.Printf("routed %d requests: %d retries, %d hedges (%d won), %d evictions, %d reinstatements, %d stale, %d errors\n",
+		m.Requests(), m.Retries(), m.Hedges(), m.HedgeWins(), m.Evictions(), m.Reinstatements(), m.StaleServed(), m.Errors())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "predrouter: %v\n", err)
+	os.Exit(1)
+}

@@ -8,6 +8,10 @@
 //	               JSON {"instances":[...]} batch of the same, or a
 //	               text/plain body of LIBSVM lines (1-based indices)
 //	GET  /healthz  model identity, 503 until a model is live
+//	GET  /readyz   200 only while serving: a model is loaded and the
+//	               process is not draining (SIGTERM flips it to 503
+//	               -drain-grace before the listener closes, so a router
+//	               stops routing here ahead of shutdown)
 //	GET  /metrics  request/batch counters and latency histograms,
 //	               Prometheus text exposition
 //	GET  /metrics.json  the same registry as a JSON snapshot with
@@ -51,6 +55,7 @@ func main() {
 	maxWait := flag.Duration("max-wait", 500*time.Microsecond, "how long a forming batch waits for more rows")
 	workers := flag.Int("workers", 0, "scoring goroutines per batch; 0 means GOMAXPROCS")
 	deadline := flag.Duration("deadline", 2*time.Second, "per-request scoring deadline; negative disables")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long /readyz reports draining before the listener closes on SIGTERM, so routers can stop sending traffic first")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers alongside the serving endpoints")
 	flag.Parse()
 
@@ -112,6 +117,14 @@ func main() {
 	select {
 	case s := <-sig:
 		fmt.Printf("received %s, draining\n", s)
+		// Flip /readyz to 503 first and hold the listener open for the
+		// grace window: a router probing readiness evicts this replica
+		// and drains its traffic elsewhere before we stop accepting —
+		// the zero-downtime half of a rolling restart.
+		srv.SetDraining(true)
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)

@@ -1,0 +1,96 @@
+// Package backoff is the one retry-delay policy shared across the
+// system: jittered exponential backoff with deterministic seeding and
+// context-aware sleeping. The cluster dialer retries worker→master
+// connections through it, and the serving router's health probers pace
+// re-probes of evicted replicas with it — the same schedule, tuned per
+// call site, instead of two hand-rolled copies drifting apart.
+//
+// Determinism matters here for the same reason it does in the chaos
+// layer: a retry storm found under -race must reproduce exactly, so the
+// jitter stream comes from an explicit seed, never from global
+// randomness.
+package backoff
+
+import (
+	"context"
+	"time"
+
+	"tpascd/internal/rng"
+)
+
+// Policy describes a jittered exponential schedule: the base delay
+// starts at Initial and doubles every step up to Max; each emitted delay
+// adds a uniform random extra in [0, Jitter·base) so independent
+// retriers spread out instead of thundering in lockstep.
+type Policy struct {
+	// Initial is the base delay before the first retry (default 50ms).
+	Initial time.Duration
+	// Max caps the doubling base delay (default 1s).
+	Max time.Duration
+	// Jitter is the fraction of the base delay added at random to each
+	// emitted delay. Zero selects the default 0.5; negative disables
+	// jitter entirely (exact exponential steps, used by tests).
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// New returns a backoff sequence following the policy, with the jitter
+// stream deterministically seeded. Distinct retriers (ranks, replicas)
+// should pass distinct seeds.
+func New(p Policy, seed uint64) *Backoff {
+	p = p.withDefaults()
+	return &Backoff{p: p, cur: p.Initial, rng: rng.New(seed)}
+}
+
+// Backoff is one stateful retry-delay sequence. It is not safe for
+// concurrent use; give each retrying goroutine its own.
+type Backoff struct {
+	p   Policy
+	cur time.Duration
+	rng *rng.Xoshiro256
+}
+
+// Next returns the delay to wait before the next attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	d := b.cur
+	if b.p.Jitter > 0 {
+		d += time.Duration(b.rng.Float64() * b.p.Jitter * float64(b.cur))
+	}
+	b.cur *= 2
+	if b.cur > b.p.Max {
+		b.cur = b.p.Max
+	}
+	return d
+}
+
+// Reset rewinds the schedule to the initial delay (called when the peer
+// recovers, so the next outage starts patient again).
+func (b *Backoff) Reset() { b.cur = b.p.Initial }
+
+// Sleep waits for the next delay or until ctx is done, whichever comes
+// first, returning ctx.Err() on cancellation.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

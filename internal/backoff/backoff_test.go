@@ -1,0 +1,80 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestExponentialDoublingAndCap(t *testing.T) {
+	b := New(Policy{Initial: 10 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: -1}, 1)
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("step %d: got %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("after Reset: got %v, want 10ms", got)
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	mk := func() *Backoff {
+		return New(Policy{Initial: 10 * time.Millisecond, Max: time.Second, Jitter: 0.5}, 42)
+	}
+	a, b := mk(), mk()
+	base := 10 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		hi := base + time.Duration(float64(base)/2)
+		if da < base || da > hi {
+			t.Fatalf("step %d: delay %v outside [%v, %v]", i, da, base, hi)
+		}
+		base *= 2
+		if base > time.Second {
+			base = time.Second
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	p := Policy{Initial: time.Second, Max: time.Hour, Jitter: 0.5}
+	a, b := New(p, 1), New(p, 2)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Next() != b.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical jitter streams")
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	b := New(Policy{Initial: time.Hour, Jitter: -1}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not observe cancellation")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.Initial != 50*time.Millisecond || p.Max != time.Second || p.Jitter != 0.5 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}

@@ -11,8 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tpascd/internal/backoff"
 	"tpascd/internal/obs"
-	"tpascd/internal/rng"
 )
 
 // Wire protocol: every message is a frame
@@ -333,20 +333,16 @@ func DialTCPConfig(addr string, rank, size int, cfg Config) (Comm, error) {
 	if attemptTimeout <= 0 {
 		attemptTimeout = 2 * time.Second
 	}
-	backoff := cfg.DialBackoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
-	maxBackoff := cfg.DialBackoffMax
-	if maxBackoff <= 0 {
-		maxBackoff = time.Second
-	}
 	var deadline time.Time
 	if cfg.JoinTimeout > 0 {
 		deadline = time.Now().Add(cfg.JoinTimeout)
 	}
 	met := newCommMetrics(cfg.Obs)
-	jitter := rng.New(cfg.Seed ^ uint64(rank)*0x9e3779b97f4a7c15)
+	// The shared jittered-exponential policy; Policy defaults match the
+	// documented DialBackoff/DialBackoffMax defaults (50ms doubling to 1s,
+	// up to 50% jitter), and each rank gets its own jitter stream.
+	bo := backoff.New(backoff.Policy{Initial: cfg.DialBackoff, Max: cfg.DialBackoffMax},
+		cfg.Seed^uint64(rank)*0x9e3779b97f4a7c15)
 	for attempt := 1; ; attempt++ {
 		to := attemptTimeout
 		if !deadline.IsZero() {
@@ -395,18 +391,14 @@ func DialTCPConfig(addr string, rank, size int, cfg Config) (Comm, error) {
 			return nil, err
 		}
 		met.dialRetries.Inc()
-		// Exponential backoff with up to 50% jitter, clipped to the
-		// remaining join budget.
-		sleep := backoff + time.Duration(jitter.Float64()*float64(backoff)/2)
+		// Next jittered-exponential delay, clipped to the remaining join
+		// budget.
+		sleep := bo.Next()
 		if remaining := time.Until(deadline); sleep > remaining {
 			sleep = remaining
 		}
 		if sleep > 0 {
 			time.Sleep(sleep)
-		}
-		backoff *= 2
-		if backoff > maxBackoff {
-			backoff = maxBackoff
 		}
 	}
 }

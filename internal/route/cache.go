@@ -1,0 +1,101 @@
+package route
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"tpascd/internal/obs"
+)
+
+// predCache is the graceful-degradation layer: a bounded LRU of recent
+// successful /predict responses keyed by the request body, each entry
+// stamped with the model version that produced it. When every replica
+// is down the router answers hot keys from here with an explicit
+// stale marker instead of 502ing — the documented trade: during a full
+// outage a repeated request gets a possibly-outdated answer, clearly
+// labelled, and a cold request still fails.
+//
+// The map is guarded by a plain mutex: the cache is written on the
+// response path (cheap) and read only on the outage path, where
+// contention is the least of anyone's problems.
+type predCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[uint64]*list.Element
+	order   *list.List // front = most recent
+	size    *obs.Gauge
+}
+
+type cacheEntry struct {
+	key     uint64
+	version uint64
+	body    []byte
+}
+
+func newPredCache(max int, size *obs.Gauge) *predCache {
+	if max <= 0 {
+		return nil
+	}
+	return &predCache{max: max, entries: make(map[uint64]*list.Element), order: list.New(), size: size}
+}
+
+// cacheKey hashes a request's content type and body; collisions are
+// FNV-64a-unlikely and at worst serve a mismatched stale answer during
+// an outage.
+func cacheKey(contentType string, body []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(contentType))
+	h.Write([]byte{0})
+	h.Write(body)
+	return h.Sum64()
+}
+
+// Put records a successful response body for the key, tagged with the
+// model version that produced it. Nil receivers (cache disabled) no-op.
+func (c *predCache) Put(key, version uint64, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.version, e.body = version, body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, version: version, body: body})
+	if c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+	c.size.Set(float64(c.order.Len()))
+}
+
+// Get returns the cached body and its model version for the key.
+func (c *predCache) Get(key uint64) (body []byte, version uint64, ok bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.version, true
+}
+
+// Len returns the number of cached entries.
+func (c *predCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

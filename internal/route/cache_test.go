@@ -1,0 +1,75 @@
+package route
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tpascd/internal/obs"
+)
+
+func TestCacheBoundedLRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newPredCache(2, reg.Gauge(metricCacheSize))
+	c.Put(1, 1, []byte(`{"a":1}`))
+	c.Put(2, 1, []byte(`{"b":2}`))
+	// Touch key 1 so key 2 is the LRU victim.
+	if _, _, ok := c.Get(1); !ok {
+		t.Fatal("key 1 missing")
+	}
+	c.Put(3, 2, []byte(`{"c":3}`))
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	if _, _, ok := c.Get(2); ok {
+		t.Fatal("LRU victim (key 2) still cached")
+	}
+	if body, version, ok := c.Get(3); !ok || version != 2 || string(body) != `{"c":3}` {
+		t.Fatalf("key 3: ok=%v version=%d body=%s", ok, version, body)
+	}
+	// Overwrite updates in place, no growth.
+	c.Put(1, 5, []byte(`{"a":9}`))
+	if c.Len() != 2 {
+		t.Fatalf("len after overwrite %d, want 2", c.Len())
+	}
+	if body, version, _ := c.Get(1); version != 5 || string(body) != `{"a":9}` {
+		t.Fatalf("overwrite lost: version=%d body=%s", version, body)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	var c *predCache // CacheSize <= 0 yields a nil cache
+	c.Put(1, 1, []byte("x"))
+	if _, _, ok := c.Get(1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache non-empty")
+	}
+}
+
+func TestCacheKeyDistinguishesContentType(t *testing.T) {
+	body := []byte("1:1 2:1")
+	if cacheKey("application/json", body) == cacheKey("text/plain", body) {
+		t.Fatal("content type not part of the cache key")
+	}
+	if cacheKey("a", []byte("x")) == cacheKey("a", []byte("y")) {
+		t.Fatal("body not part of the cache key")
+	}
+}
+
+func TestStaleBodyMarks(t *testing.T) {
+	out := staleBody([]byte(`{"model_version":7,"predictions":[{"score":1}]}`), 7)
+	var m map[string]any
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["stale"] != true {
+		t.Fatalf("stale marker missing: %v", m)
+	}
+	if m["stale_model_version"] != float64(7) {
+		t.Fatalf("stale version: %v", m["stale_model_version"])
+	}
+	if _, ok := m["predictions"]; !ok {
+		t.Fatalf("cached payload lost: %v", m)
+	}
+}

@@ -1,0 +1,163 @@
+package route
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tpascd/internal/obs"
+	"tpascd/internal/rng"
+)
+
+// ChaosConfig drives deterministic, seed-driven fault injection at the
+// HTTP layer — the routing tier's mirror of cluster.ChaosConfig. Every
+// decision comes from a private Xoshiro256 stream, so a given (config,
+// seed, call sequence) injects the same faults and a failure found
+// under -race reproduces exactly.
+//
+// Faults are expressed per outbound request through the wrapped
+// transport:
+//
+//   - a kill takes the target host down for DownFor: the request and
+//     every later one to that host fail instantly with a synthetic
+//     connection error until the window passes — what a crashed replica
+//     plus its eventual restart look like to the router;
+//   - a truncation cuts the response body short and ends it with
+//     io.ErrUnexpectedEOF, what a replica dying mid-response looks like;
+//   - a delay sleeps before forwarding, modelling stragglers, and is
+//     what the hedging path exists for.
+type ChaosConfig struct {
+	// Seed initializes the decision stream.
+	Seed uint64
+	// KillProb takes the request's target host down for DownFor with
+	// the given probability per request.
+	KillProb float64
+	// DownFor is how long a killed host stays dead (default 1s).
+	DownFor time.Duration
+	// TruncateProb truncates the response body with the given
+	// probability, surfacing as an unexpected-EOF read at the router.
+	TruncateProb float64
+	// DelayProb sleeps a uniform duration in [0, MaxDelay) before
+	// forwarding with the given probability.
+	DelayProb float64
+	MaxDelay  time.Duration
+	// Obs counts injected faults into
+	// route_chaos_injected_total{fault="kill"|"truncate"|"delay"}.
+	// nil disables recording.
+	Obs *obs.Registry
+}
+
+// metricChaosInject mirrors cluster_chaos_injected_total on the routing
+// tier.
+const metricChaosInject = "route_chaos_injected_total"
+
+// ChaosTransport wraps an http.RoundTripper with deterministic fault
+// injection as configured; rt nil wraps http.DefaultTransport. Probes
+// and proxied requests alike pass through it, so injected kills are
+// visible to the health state machine exactly as real ones are.
+func ChaosTransport(rt http.RoundTripper, cfg ChaosConfig) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = time.Second
+	}
+	c := &chaosTransport{
+		next:     rt,
+		cfg:      cfg,
+		rng:      rng.New(cfg.Seed),
+		downTill: make(map[string]time.Time),
+		injected: make(map[string]*obs.Counter, 3),
+	}
+	for _, fault := range []string{"kill", "truncate", "delay"} {
+		c.injected[fault] = cfg.Obs.Counter(metricChaosInject + `{fault="` + fault + `"}`)
+	}
+	return c
+}
+
+type chaosTransport struct {
+	next http.RoundTripper
+	cfg  ChaosConfig
+
+	mu       sync.Mutex // guards rng and downTill
+	rng      *rng.Xoshiro256
+	downTill map[string]time.Time
+
+	injected map[string]*obs.Counter
+}
+
+// errHostDown is the synthetic connection error a killed host answers
+// with; it satisfies the router's "replica-level failure" test the same
+// way a real dial refusal does.
+type errHostDown struct{ host string }
+
+func (e *errHostDown) Error() string {
+	return fmt.Sprintf("chaos: host %s is down", e.host)
+}
+
+func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	var delay time.Duration
+	truncate := false
+
+	c.mu.Lock()
+	if till, down := c.downTill[host]; down {
+		if time.Now().Before(till) {
+			c.mu.Unlock()
+			return nil, &errHostDown{host: host}
+		}
+		delete(c.downTill, host)
+	}
+	if c.cfg.KillProb > 0 && c.rng.Float64() < c.cfg.KillProb {
+		c.downTill[host] = time.Now().Add(c.cfg.DownFor)
+		c.mu.Unlock()
+		c.injected["kill"].Inc()
+		return nil, &errHostDown{host: host}
+	}
+	if c.cfg.TruncateProb > 0 && c.rng.Float64() < c.cfg.TruncateProb {
+		truncate = true
+	}
+	if c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb {
+		delay = time.Duration(c.rng.Float64() * float64(c.cfg.MaxDelay))
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		c.injected["delay"].Inc()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	resp, err := c.next.RoundTrip(req)
+	if err != nil || !truncate {
+		return resp, err
+	}
+	c.injected["truncate"].Inc()
+	resp.Body = &truncatedBody{rc: resp.Body}
+	return resp, nil
+}
+
+// truncatedBody yields at most half of the first read's bytes, then
+// fails with io.ErrUnexpectedEOF — a mid-body replica death.
+type truncatedBody struct {
+	rc   io.ReadCloser
+	read bool
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.read {
+		return 0, io.ErrUnexpectedEOF
+	}
+	t.read = true
+	n, err := t.rc.Read(p)
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	return n / 2, io.ErrUnexpectedEOF
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }

@@ -1,0 +1,111 @@
+package route
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+// chaosOutcome classifies one request through a chaos transport.
+func chaosOutcome(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return "kill"
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return "truncate"
+		}
+		return "error:" + err.Error()
+	}
+	return "ok"
+}
+
+func TestChaosTransportDeterministicFaults(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, `{"predictions":[{"score":1}]}`)
+	}))
+	defer backend.Close()
+
+	run := func() (string, *obs.Registry) {
+		reg := obs.NewRegistry()
+		client := &http.Client{Transport: ChaosTransport(nil, ChaosConfig{
+			Seed:         7,
+			KillProb:     0.2,
+			DownFor:      time.Nanosecond, // expire instantly: every request redraws
+			TruncateProb: 0.2,
+			DelayProb:    0.1,
+			MaxDelay:     time.Millisecond,
+			Obs:          reg,
+		})}
+		var outcomes []string
+		for i := 0; i < 100; i++ {
+			outcomes = append(outcomes, chaosOutcome(t, client, backend.URL))
+		}
+		return strings.Join(outcomes, ","), reg
+	}
+
+	seq1, reg1 := run()
+	seq2, _ := run()
+	if seq1 != seq2 {
+		t.Fatalf("same seed, different fault sequences:\n%s\n%s", seq1, seq2)
+	}
+	if !strings.Contains(seq1, "kill") || !strings.Contains(seq1, "truncate") {
+		t.Fatalf("expected kills and truncations in 100 draws: %s", seq1)
+	}
+	// The counters must agree with the observed sequence.
+	kills := int64(strings.Count(seq1, "kill"))
+	if got := reg1.Counter(metricChaosInject + `{fault="kill"}`).Value(); got != kills {
+		t.Fatalf("kill counter %d, observed %d", got, kills)
+	}
+}
+
+func TestChaosKillKeepsHostDown(t *testing.T) {
+	var hits int
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	}))
+	defer backend.Close()
+
+	client := &http.Client{Transport: ChaosTransport(nil, ChaosConfig{
+		Seed:     1,
+		KillProb: 1, // first request kills the host
+		DownFor:  time.Hour,
+	})}
+	for i := 0; i < 5; i++ {
+		if _, err := client.Get(backend.URL); err == nil {
+			t.Fatalf("request %d succeeded against a killed host", i)
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("backend saw %d requests while down", hits)
+	}
+}
+
+func TestChaosZeroConfigIsTransparent(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer backend.Close()
+	client := &http.Client{Transport: ChaosTransport(nil, ChaosConfig{Seed: 3})}
+	for i := 0; i < 20; i++ {
+		resp, err := client.Get(backend.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(b) != "payload" {
+			t.Fatalf("zero config altered the exchange: %q %v", b, err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package route
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpascd/internal/backoff"
+	"tpascd/internal/obs"
+	"tpascd/internal/serve"
+)
+
+// liveReplica is a real serve.Server on a real TCP listener, so the
+// chaos e2e can hard-kill it (listener and in-flight connections torn
+// down, not drained) and later restart it on the same address.
+type liveReplica struct {
+	addr string
+	reg  *serve.Registry
+	ssrv *serve.Server
+	hsrv *http.Server
+}
+
+// startLiveReplica binds addr ("" for an ephemeral port) and serves a
+// fresh serve.Server on it with the given model weight value installed
+// `versions` times, so its registry reports that version number.
+func startLiveReplica(t *testing.T, addr string, weightVal float32, versions int) *liveReplica {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	// A just-killed address can need a moment before rebinding succeeds.
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	reg := serve.NewRegistry()
+	for v := 0; v < versions; v++ {
+		w := make([]float32, 8)
+		for i := range w {
+			w[i] = weightVal
+		}
+		m, err := serve.NewModel(serve.KindRidge, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Set(m)
+	}
+	ssrv := serve.NewServer(reg, serve.ServerConfig{})
+	hsrv := &http.Server{Handler: ssrv.Handler()}
+	go hsrv.Serve(ln)
+	r := &liveReplica{addr: ln.Addr().String(), reg: reg, ssrv: ssrv, hsrv: hsrv}
+	t.Cleanup(r.kill)
+	return r
+}
+
+// kill is a hard stop: in-flight connections are torn down, nothing is
+// drained — the worst topology change a router can face.
+func (r *liveReplica) kill() {
+	r.hsrv.Close()
+	r.ssrv.Close()
+}
+
+// rollModel hot-swaps a new model into the replica's registry while it
+// serves traffic, as a checkpoint reload would.
+func (r *liveReplica) rollModel(t *testing.T, weightVal float32) {
+	t.Helper()
+	w := make([]float32, 8)
+	for i := range w {
+		w[i] = weightVal
+	}
+	m, err := serve.NewModel(serve.KindRidge, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.reg.Set(m)
+}
+
+// TestE2EChaosFleetZeroFailedRequests is the chaos proof for the
+// serving fleet: three real predserve replicas behind the router, a
+// chaos transport injecting delays and truncated responses, one replica
+// hard-killed mid-run and later restarted on the same address, and a
+// model version rolled on the survivors while 8 clients hammer
+// /predict. The contract under test: not one client request fails —
+// every response is 200, live or clearly marked stale — and the
+// recovery machinery (retries, hedges, evictions, reinstatements)
+// demonstrably fired.
+func TestE2EChaosFleetZeroFailedRequests(t *testing.T) {
+	reps := []*liveReplica{
+		startLiveReplica(t, "", 1, 1),
+		startLiveReplica(t, "", 1, 1),
+		startLiveReplica(t, "", 1, 1),
+	}
+	obsReg := obs.NewRegistry()
+	cfg := Config{
+		Replicas: []string{reps[0].addr, reps[1].addr, reps[2].addr},
+		Probe: ProbeConfig{
+			Interval:           10 * time.Millisecond,
+			Timeout:            500 * time.Millisecond,
+			FailThreshold:      2,
+			ProbationSuccesses: 2,
+			Backoff:            backoff.Policy{Initial: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		},
+		MaxAttempts: 3,
+		RetryBudget: 0.5,
+		HedgeBudget: 1,
+		HedgeMin:    time.Millisecond,
+		HedgeMax:    5 * time.Millisecond,
+		HedgeDelay:  2 * time.Millisecond,
+		Deadline:    5 * time.Second,
+		Transport: ChaosTransport(nil, ChaosConfig{
+			Seed:         42,
+			TruncateProb: 0.03,
+			DelayProb:    0.25,
+			MaxDelay:     20 * time.Millisecond,
+			Obs:          obsReg,
+		}),
+		Obs:  obsReg,
+		Seed: 9,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// A small hot key set, primed through the router so the stale cache
+	// can cover even an attempts-exhausted request with a marked 200.
+	keys := make([]string, 7)
+	for i := range keys {
+		keys[i] = fmt.Sprintf(`{"indices":[%d,7],"values":[1,%d]}`, i, i+1)
+		waitFor(t, "priming key "+keys[i], func() bool {
+			r := postPredict(t, front.URL, keys[i])
+			return r.status == http.StatusOK && !r.stale
+		})
+	}
+
+	const workers = 8
+	const perWorker = 60
+	var done atomic.Int64
+	var mu sync.Mutex
+	var failed []string
+	var stale int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := postPredict(t, front.URL, keys[(w+i)%len(keys)])
+				mu.Lock()
+				if r.status != http.StatusOK {
+					failed = append(failed, fmt.Sprintf("worker %d req %d: status %d body %s", w, i, r.status, r.body))
+				}
+				if r.stale {
+					stale++
+				}
+				mu.Unlock()
+				done.Add(1)
+			}
+		}(w)
+	}
+
+	// The chaos script, phased on request progress so it always lands
+	// mid-traffic: hard-kill a replica, roll the survivors to model v2,
+	// restart the killed replica (already at v2) on the same address.
+	progress := func(n int64) {
+		waitFor(t, fmt.Sprintf("%d requests", n), func() bool { return done.Load() >= n })
+	}
+	progress(workers * perWorker * 1 / 4)
+	reps[1].kill()
+	progress(workers * perWorker * 2 / 4)
+	reps[0].rollModel(t, 2)
+	reps[2].rollModel(t, 2)
+	progress(workers * perWorker * 3 / 4)
+	restarted := startLiveReplica(t, reps[1].addr, 2, 2)
+	wg.Wait()
+
+	if len(failed) > 0 {
+		t.Fatalf("%d failed requests; first: %s", len(failed), failed[0])
+	}
+	t.Logf("chaos run: %d requests, %d stale, retries=%d hedges=%d hedge_wins=%d evictions=%d reinstatements=%d",
+		done.Load(), stale, rt.Metrics().Retries(), rt.Metrics().Hedges(),
+		rt.Metrics().HedgeWins(), rt.Metrics().Evictions(), rt.Metrics().Reinstatements())
+
+	// The run must have exercised every recovery mechanism, not just
+	// survived: a chaos test that passes without firing them proves
+	// nothing.
+	if rt.Metrics().Retries() == 0 {
+		t.Fatal("no retries across a replica kill and truncated responses")
+	}
+	if rt.Metrics().Hedges() == 0 {
+		t.Fatal("no hedges across injected 20ms delays with a 5ms hedge cap")
+	}
+	if rt.Metrics().Evictions() == 0 {
+		t.Fatal("killed replica never evicted")
+	}
+
+	// Backoff-gated reinstatement: the restarted replica re-enters the
+	// rotation through probation with no router config change.
+	var rep *Replica
+	for _, x := range rt.Pool().Replicas() {
+		if x.Host == restarted.addr {
+			rep = x
+		}
+	}
+	waitFor(t, "restarted replica healthy", func() bool { return rep.State() == StateHealthy })
+	if rt.Metrics().Reinstatements() == 0 {
+		t.Fatal("reinstatement counter zero after the restart")
+	}
+
+	// The model roll is live: a fresh key (no cache entry) scored through
+	// the router answers with version 2, from whichever replica.
+	waitFor(t, "model v2 live through the router", func() bool {
+		r := postPredict(t, front.URL, `{"indices":[3,5],"values":[2,2]}`)
+		return r.status == http.StatusOK && !r.stale && r.version == 2
+	})
+
+	// And the router's exposition page carries the proof for external
+	// scrapers (the CI smoke greps exactly these).
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+	for _, metric := range []string{metricRetries, metricHedges, metricEvictions, metricReinstates} {
+		if !strings.Contains(page, metric) {
+			t.Fatalf("/metrics missing %s:\n%s", metric, page)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package route
+
+import (
+	"tpascd/internal/obs"
+)
+
+// Metric names the routing tier registers. Latency histograms share
+// obs.LatencyBuckets with the serving layer and cmd/loadgen, so
+// client-, router- and replica-side percentiles are computed over
+// identical bounds. Per-replica series carry a replica="host:port"
+// label.
+const (
+	metricRequests       = "route_requests_total"
+	metricErrors         = "route_errors_total"
+	metricRetries        = "route_retries_total"
+	metricHedges         = "route_hedges_total"
+	metricHedgeWins      = "route_hedge_wins_total"
+	metricEvictions      = "route_evictions_total"
+	metricReinstates     = "route_reinstatements_total"
+	metricStaleServed    = "route_stale_served_total"
+	metricCacheSize      = "route_cache_entries"
+	metricRequestLatency = "route_request_latency_seconds"
+	metricAttemptLatency = "route_attempt_latency_seconds"
+	metricReplicaState   = "route_replica_state"
+	metricReplicaLatency = "route_replica_latency_seconds"
+	metricProbeFailures  = "route_probe_failures_total"
+)
+
+// Metrics aggregates router instrumentation over obs primitives. As
+// everywhere else in the system, the hot path is atomic adds only and a
+// nil *obs.Registry yields fully disabled (nil, no-op) handles.
+type Metrics struct {
+	requests   *obs.Counter
+	errors     *obs.Counter
+	retries    *obs.Counter
+	hedges     *obs.Counter
+	hedgeWins  *obs.Counter
+	evictions  *obs.Counter
+	reinstates *obs.Counter
+	stale      *obs.Counter
+	cacheSize  *obs.Gauge
+	reqLat     *obs.Histogram
+	attLat     *obs.Histogram
+}
+
+// NewMetrics registers the router-wide metrics into reg (per-replica
+// series are registered by each Replica).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		requests:   reg.Counter(metricRequests),
+		errors:     reg.Counter(metricErrors),
+		retries:    reg.Counter(metricRetries),
+		hedges:     reg.Counter(metricHedges),
+		hedgeWins:  reg.Counter(metricHedgeWins),
+		evictions:  reg.Counter(metricEvictions),
+		reinstates: reg.Counter(metricReinstates),
+		stale:      reg.Counter(metricStaleServed),
+		cacheSize:  reg.Gauge(metricCacheSize),
+		reqLat:     reg.Histogram(metricRequestLatency, obs.LatencyBuckets()),
+		attLat:     reg.Histogram(metricAttemptLatency, obs.LatencyBuckets()),
+	}
+}
+
+// Retries, Hedges, HedgeWins, Evictions, Reinstatements and StaleServed
+// expose the robustness counters for tests and in-process assertions
+// (the CI smoke asserts the same series from the /metrics exposition).
+func (m *Metrics) Requests() int64       { return m.requests.Value() }
+func (m *Metrics) Retries() int64        { return m.retries.Value() }
+func (m *Metrics) Hedges() int64         { return m.hedges.Value() }
+func (m *Metrics) HedgeWins() int64      { return m.hedgeWins.Value() }
+func (m *Metrics) Evictions() int64      { return m.evictions.Value() }
+func (m *Metrics) Reinstatements() int64 { return m.reinstates.Value() }
+func (m *Metrics) StaleServed() int64    { return m.stale.Value() }
+func (m *Metrics) Errors() int64         { return m.errors.Value() }

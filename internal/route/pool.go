@@ -1,0 +1,257 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tpascd/internal/backoff"
+	"tpascd/internal/obs"
+	"tpascd/internal/rng"
+)
+
+// ProbeConfig tunes the active health prober and the state machine
+// thresholds. Zero values select the defaults noted on each field.
+type ProbeConfig struct {
+	// Interval is the steady-state probe period for routable replicas
+	// (default 1s).
+	Interval time.Duration
+	// Timeout bounds one probe HTTP exchange (default 1s).
+	Timeout time.Duration
+	// FailThreshold is how many consecutive bad signals (probe or
+	// request) evict a replica (default 3; minimum 1).
+	FailThreshold int
+	// ProbationSuccesses is how many consecutive good signals a
+	// reinstated replica needs before it is fully healthy again
+	// (default 2; minimum 1).
+	ProbationSuccesses int
+	// Backoff paces re-probes of an evicted replica: jittered
+	// exponential from Policy.Initial up to Policy.Max (defaults 50ms
+	// → 1s), reset on reinstatement. This is the same shared policy the
+	// cluster dialer retries with.
+	Backoff backoff.Policy
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.FailThreshold < 1 {
+		if c.FailThreshold < 0 {
+			c.FailThreshold = 1
+		} else {
+			c.FailThreshold = 3
+		}
+	}
+	if c.ProbationSuccesses < 1 {
+		if c.ProbationSuccesses < 0 {
+			c.ProbationSuccesses = 1
+		} else {
+			c.ProbationSuccesses = 2
+		}
+	}
+	return c
+}
+
+// Pool owns the replica set: it runs one prober goroutine per replica
+// and answers pick requests from the routing hot path.
+type Pool struct {
+	replicas []*Replica
+	client   *http.Client
+	cfg      ProbeConfig
+
+	mu  sync.Mutex // guards rng
+	rng *rng.Xoshiro256
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// normalizeBase turns "host:port" or a URL into a scheme-qualified base
+// with no trailing slash, plus the host:port metric label.
+func normalizeBase(addr string) (base, host string, err error) {
+	base = strings.TrimSpace(addr)
+	if base == "" {
+		return "", "", fmt.Errorf("route: empty replica address")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	host = strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	return base, host, nil
+}
+
+// newPool builds the replica set and starts the probers.
+func newPool(addrs []string, client *http.Client, cfg ProbeConfig, seed uint64, met *Metrics, trace *obs.Tracer, reg *obs.Registry) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		client: client,
+		cfg:    cfg,
+		rng:    rng.New(seed ^ 0xda3e39cb94b95bdb),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for _, a := range addrs {
+		base, host, err := normalizeBase(a)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		p.replicas = append(p.replicas, newReplica(base, host, cfg, met, trace, reg))
+	}
+	if len(p.replicas) == 0 {
+		cancel()
+		return nil, fmt.Errorf("route: no replicas configured")
+	}
+	for i, r := range p.replicas {
+		p.wg.Add(1)
+		go p.probeLoop(r, seed^uint64(i+1)*0x9e3779b97f4a7c15)
+	}
+	return p, nil
+}
+
+// Close stops the probers and waits for them to exit.
+func (p *Pool) Close() {
+	p.cancel()
+	p.wg.Wait()
+}
+
+// Replicas returns the pool's replicas (fixed after construction).
+func (p *Pool) Replicas() []*Replica { return p.replicas }
+
+// Pick chooses a replica for the next attempt with
+// power-of-two-choices over in-flight counts among routable replicas
+// not yet tried for this request. Preference order degrades gracefully:
+// untried routable → any routable → untried evicted (a desperation
+// attempt beats a guaranteed failure when the whole fleet looks down)
+// → nil only when everything has been tried.
+func (p *Pool) Pick(tried map[*Replica]bool) *Replica {
+	pick2 := func(keep func(*Replica) bool) *Replica {
+		var cands []*Replica
+		for _, r := range p.replicas {
+			if keep(r) {
+				cands = append(cands, r)
+			}
+		}
+		switch len(cands) {
+		case 0:
+			return nil
+		case 1:
+			return cands[0]
+		}
+		p.mu.Lock()
+		i := int(p.rng.Uint64() % uint64(len(cands)))
+		j := int(p.rng.Uint64() % uint64(len(cands)-1))
+		p.mu.Unlock()
+		if j >= i {
+			j++
+		}
+		a, b := cands[i], cands[j]
+		if b.Inflight() < a.Inflight() {
+			return b
+		}
+		return a
+	}
+	if r := pick2(func(r *Replica) bool { return r.Routable() && !tried[r] }); r != nil {
+		return r
+	}
+	if r := pick2(func(r *Replica) bool { return r.Routable() }); r != nil {
+		return r
+	}
+	return pick2(func(r *Replica) bool { return !tried[r] })
+}
+
+// AnyRoutable reports whether at least one replica may take traffic —
+// the router's own /readyz signal.
+func (p *Pool) AnyRoutable() bool {
+	for _, r := range p.replicas {
+		if r.Routable() {
+			return true
+		}
+	}
+	return false
+}
+
+// probeLoop drives one replica's health probes: every Interval while
+// the replica is routable, and on the jittered exponential backoff
+// while it is evicted (reset when it comes back). The loop exits when
+// the pool closes.
+func (p *Pool) probeLoop(r *Replica, seed uint64) {
+	defer p.wg.Done()
+	bo := backoff.New(p.cfg.Backoff, seed)
+	timer := time.NewTimer(p.probeDelay(r, bo))
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-timer.C:
+		}
+		if p.probe(r) {
+			r.RecordSuccess(true)
+			// Reset the eviction backoff only on full recovery: a
+			// flapping replica (ready probes, failing requests) keeps
+			// paying a growing re-probe delay between evictions.
+			if r.State() == StateHealthy {
+				bo.Reset()
+			}
+		} else {
+			r.probeFails.Inc()
+			r.RecordFailure(true)
+		}
+		timer.Reset(p.probeDelay(r, bo))
+	}
+}
+
+func (p *Pool) probeDelay(r *Replica, bo *backoff.Backoff) time.Duration {
+	if r.State() == StateEvicted {
+		return bo.Next()
+	}
+	return p.cfg.Interval
+}
+
+// probe asks the replica whether it can take traffic: GET /readyz must
+// answer 200. On failure it also checks /healthz so the distinction
+// between "down" and "up but unserving" (draining, no model) shows in
+// the trace — both are unroutable either way.
+func (p *Pool) probe(r *Replica) bool {
+	ctx, cancel := context.WithTimeout(p.ctx, p.cfg.Timeout)
+	defer cancel()
+	if get(ctx, p.client, r.Base+"/readyz") {
+		return true
+	}
+	if r.trace.Enabled() {
+		live := get(ctx, p.client, r.Base+"/healthz")
+		f := obs.F("live", 0)
+		if live {
+			f = obs.F("live", 1)
+		}
+		r.trace.Emit("route.probe.unready", time.Now(), 0, f)
+	}
+	return false
+}
+
+// get issues one GET and reports a 200 answer.
+func get(ctx context.Context, client *http.Client, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) // drain so the connection is reusable
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

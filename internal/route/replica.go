@@ -1,0 +1,205 @@
+// Package route is the serving fleet's routing tier: it load-balances
+// POST /predict over N predserve replicas with active health probing,
+// state-machine eviction and reinstatement, retry-with-budget,
+// tail-latency hedging, and a bounded stale-answer cache for graceful
+// degradation when every replica is down. cmd/predrouter is the
+// runnable front end.
+//
+// The robustness contract mirrors the cluster layer's: a replica dying
+// mid-run costs latency (a retry, a hedge, a probe cycle), never a
+// failed client request — and every recovery decision is observable
+// through internal/obs counters so a chaos run can prove which
+// mechanisms actually fired.
+package route
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+// State is a replica's position in the health state machine:
+//
+//	          probe/request failure            FailThreshold
+//	Healthy ───────────────────────▶ Suspect ──────────────▶ Evicted
+//	   ▲  ▲                             │                      │ ▲
+//	   │  └───────── success ───────────┘        first probe/  │ │ any
+//	   │                                         request OK    │ │ failure
+//	   │        ProbationSuccesses                ▼            │ │
+//	   └────────────────────────────────────── Probation ──────┘─┘
+//
+// Healthy, Suspect and Probation replicas are routable; Evicted ones
+// take no traffic and are re-probed on a jittered exponential backoff
+// until they answer again. Suspect is the "one bad sign" buffer that
+// keeps a single flaky response from ejecting a replica; Probation is
+// the symmetric buffer that keeps a single good probe from instantly
+// restoring full trust.
+type State int32
+
+const (
+	StateHealthy State = iota
+	StateSuspect
+	StateEvicted
+	StateProbation
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateEvicted:
+		return "evicted"
+	case StateProbation:
+		return "probation"
+	}
+	return "unknown"
+}
+
+// Replica is one predserve backend plus its health state. The request
+// hot path reads state and in-flight count atomically; transitions run
+// under a per-replica mutex so the failure counters and the state stay
+// coherent.
+type Replica struct {
+	// Base is the replica's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Host is the host:port used as the replica label on metrics.
+	Host string
+
+	state    atomic.Int32
+	inflight atomic.Int64
+
+	// Probe and request failure streaks are tracked separately so an
+	// "up and ready but erroring" replica cannot hide behind passing
+	// health probes: probes answer "is the process serving", requests
+	// answer "is it serving correctly", and either streak crossing the
+	// threshold evicts.
+	mu              sync.Mutex
+	reqFailStreak   int
+	probeFailStreak int
+	consecOK        int
+	failThreshold   int
+	probationOK     int
+
+	met        *Metrics
+	trace      *obs.Tracer
+	stateGauge *obs.Gauge
+	lat        *obs.Histogram
+	probeFails *obs.Counter
+}
+
+func newReplica(base, host string, cfg ProbeConfig, met *Metrics, trace *obs.Tracer, reg *obs.Registry) *Replica {
+	r := &Replica{
+		Base:          base,
+		Host:          host,
+		failThreshold: cfg.FailThreshold,
+		probationOK:   cfg.ProbationSuccesses,
+		met:           met,
+		trace:         trace,
+		stateGauge:    reg.Gauge(metricReplicaState + `{replica="` + host + `"}`),
+		lat:           reg.Histogram(metricReplicaLatency+`{replica="`+host+`"}`, obs.LatencyBuckets()),
+		probeFails:    reg.Counter(metricProbeFailures + `{replica="` + host + `"}`),
+	}
+	r.stateGauge.Set(float64(StateHealthy))
+	return r
+}
+
+// State returns the replica's current state (one atomic load).
+func (r *Replica) State() State { return State(r.state.Load()) }
+
+// Routable reports whether the replica may take traffic.
+func (r *Replica) Routable() bool { return r.State() != StateEvicted }
+
+// Inflight returns the number of requests currently outstanding.
+func (r *Replica) Inflight() int64 { return r.inflight.Load() }
+
+// setState stores the new state and mirrors it onto the per-replica
+// gauge; callers hold r.mu.
+func (r *Replica) setState(s State) {
+	old := State(r.state.Swap(int32(s)))
+	r.stateGauge.Set(float64(s))
+	if old != s && r.trace.Enabled() {
+		r.trace.Emit("route.replica."+s.String(), time.Now(), 0,
+			obs.F("from", float64(old)), obs.F("to", float64(s)))
+	}
+}
+
+// RecordSuccess feeds one good signal into the state machine; probe
+// says whether it came from a health probe or a proxied request. A good
+// signal clears only its own streak — a passing /readyz must not
+// absolve failing predictions — and Suspect lifts back to Healthy only
+// once both streaks are clear.
+func (r *Replica) RecordSuccess(probe bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if probe {
+		r.probeFailStreak = 0
+	} else {
+		r.reqFailStreak = 0
+	}
+	switch r.State() {
+	case StateSuspect:
+		if r.probeFailStreak == 0 && r.reqFailStreak == 0 {
+			r.setState(StateHealthy)
+		}
+	case StateProbation:
+		r.consecOK++
+		if r.consecOK >= r.probationOK {
+			r.setState(StateHealthy)
+		}
+	case StateEvicted:
+		// First contact after eviction: back into rotation, but only on
+		// probation — full trust needs ProbationSuccesses in a row.
+		r.consecOK = 1
+		r.probeFailStreak, r.reqFailStreak = 0, 0
+		r.setState(StateProbation)
+		r.met.reinstates.Inc()
+		if r.probationOK <= 1 {
+			r.setState(StateHealthy)
+		}
+	}
+}
+
+// RecordFailure feeds one bad signal (failed probe, connection error or
+// 5xx on a proxied request) into the state machine. Either streak
+// crossing the threshold evicts.
+func (r *Replica) RecordFailure(probe bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	streak := &r.reqFailStreak
+	if probe {
+		streak = &r.probeFailStreak
+	}
+	*streak++
+	switch r.State() {
+	case StateHealthy:
+		r.setState(StateSuspect)
+		fallthrough
+	case StateSuspect:
+		if *streak >= r.failThreshold {
+			r.setState(StateEvicted)
+			r.met.evictions.Inc()
+		}
+	case StateProbation:
+		// Zero tolerance on probation: it exists to catch half-recovered
+		// replicas before they earn back full traffic.
+		r.consecOK = 0
+		r.setState(StateEvicted)
+		r.met.evictions.Inc()
+	}
+}
+
+// ReplicaStatus is the JSON shape of one replica on GET /replicas.
+type ReplicaStatus struct {
+	Base     string `json:"base"`
+	State    string `json:"state"`
+	Inflight int64  `json:"inflight"`
+}
+
+// Status snapshots the replica for the introspection endpoint.
+func (r *Replica) Status() ReplicaStatus {
+	return ReplicaStatus{Base: r.Base, State: r.State().String(), Inflight: r.Inflight()}
+}

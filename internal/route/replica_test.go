@@ -1,0 +1,136 @@
+package route
+
+import (
+	"testing"
+
+	"tpascd/internal/obs"
+)
+
+func testReplica(t *testing.T) (*Replica, *Metrics) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	cfg := ProbeConfig{FailThreshold: 3, ProbationSuccesses: 2}.withDefaults()
+	return newReplica("http://127.0.0.1:1", "127.0.0.1:1", cfg, met, nil, reg), met
+}
+
+func TestStateMachineEvictsAfterThreshold(t *testing.T) {
+	r, met := testReplica(t)
+	if r.State() != StateHealthy || !r.Routable() {
+		t.Fatalf("fresh replica: %v", r.State())
+	}
+	r.RecordFailure(false)
+	if r.State() != StateSuspect || !r.Routable() {
+		t.Fatalf("after 1 failure: %v (suspect must stay routable)", r.State())
+	}
+	r.RecordFailure(false)
+	if r.State() != StateSuspect {
+		t.Fatalf("after 2 failures: %v", r.State())
+	}
+	r.RecordFailure(false)
+	if r.State() != StateEvicted || r.Routable() {
+		t.Fatalf("after 3 failures: %v", r.State())
+	}
+	if met.Evictions() != 1 {
+		t.Fatalf("evictions %d, want 1", met.Evictions())
+	}
+}
+
+func TestStateMachineSuccessClearsSuspect(t *testing.T) {
+	r, met := testReplica(t)
+	r.RecordFailure(false)
+	r.RecordSuccess(false)
+	if r.State() != StateHealthy {
+		t.Fatalf("suspect + success: %v, want healthy", r.State())
+	}
+	// The failure streak must reset: two more failures may not evict.
+	r.RecordFailure(false)
+	r.RecordFailure(false)
+	if r.State() != StateSuspect {
+		t.Fatalf("2 failures after reset: %v, want suspect", r.State())
+	}
+	if met.Evictions() != 0 {
+		t.Fatalf("evictions %d, want 0", met.Evictions())
+	}
+}
+
+func TestStateMachineProbationPath(t *testing.T) {
+	r, met := testReplica(t)
+	for i := 0; i < 3; i++ {
+		r.RecordFailure(false)
+	}
+	if r.State() != StateEvicted {
+		t.Fatalf("setup: %v", r.State())
+	}
+
+	// First good signal: probation, routable again, reinstatement counted.
+	r.RecordSuccess(false)
+	if r.State() != StateProbation || !r.Routable() {
+		t.Fatalf("evicted + success: %v", r.State())
+	}
+	if met.Reinstatements() != 1 {
+		t.Fatalf("reinstatements %d, want 1", met.Reinstatements())
+	}
+
+	// Any failure on probation evicts immediately.
+	r.RecordFailure(false)
+	if r.State() != StateEvicted {
+		t.Fatalf("probation + failure: %v, want evicted", r.State())
+	}
+	if met.Evictions() != 2 {
+		t.Fatalf("evictions %d, want 2", met.Evictions())
+	}
+
+	// Full recovery: ProbationSuccesses consecutive good signals.
+	r.RecordSuccess(false)
+	if r.State() != StateProbation {
+		t.Fatalf("second reinstatement: %v", r.State())
+	}
+	r.RecordSuccess(false)
+	if r.State() != StateHealthy {
+		t.Fatalf("after probation successes: %v, want healthy", r.State())
+	}
+}
+
+func TestStateMachineProbeSuccessDoesNotMaskRequestFailures(t *testing.T) {
+	// A replica that answers /readyz but 500s every prediction must still
+	// be evicted: probe successes clear only the probe streak.
+	r, met := testReplica(t)
+	for i := 0; i < 3; i++ {
+		r.RecordSuccess(true) // passing probe between each failing request
+		r.RecordFailure(false)
+	}
+	if r.State() != StateEvicted {
+		t.Fatalf("ready-but-erroring replica: %v, want evicted", r.State())
+	}
+	if met.Evictions() != 1 {
+		t.Fatalf("evictions %d, want 1", met.Evictions())
+	}
+	// The converse: request successes must not mask failing probes.
+	r2, _ := testReplica(t)
+	for i := 0; i < 3; i++ {
+		r2.RecordSuccess(false)
+		r2.RecordFailure(true)
+	}
+	if r2.State() != StateEvicted {
+		t.Fatalf("erroring-probe replica: %v, want evicted", r2.State())
+	}
+}
+
+func TestStateMachineFailThresholdOne(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	cfg := ProbeConfig{FailThreshold: -1, ProbationSuccesses: -1}.withDefaults() // minimums: 1 and 1
+	r := newReplica("http://x", "x", cfg, met, nil, reg)
+	r.RecordFailure(false)
+	if r.State() != StateEvicted {
+		t.Fatalf("threshold 1: %v after one failure", r.State())
+	}
+	r.RecordSuccess(false)
+	if r.State() != StateHealthy {
+		t.Fatalf("probation 1: %v after one success, want healthy", r.State())
+	}
+	if met.Reinstatements() != 1 {
+		t.Fatalf("reinstatements %d", met.Reinstatements())
+	}
+}

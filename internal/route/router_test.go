@@ -1,0 +1,378 @@
+package route
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpascd/internal/backoff"
+	"tpascd/internal/obs"
+)
+
+// fakeReplica is a controllable predserve stand-in: readiness, predict
+// failures and predict latency are all switchable at runtime, and every
+// predict response names the replica so tests can see who answered.
+type fakeReplica struct {
+	name    string
+	srv     *httptest.Server
+	ready   atomic.Bool
+	fail    atomic.Bool  // POST /predict answers 500
+	delay   atomic.Int64 // ns slept before answering /predict
+	version atomic.Uint64
+	hits    atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{name: name}
+	f.ready.Store(true)
+	f.version.Store(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "model_dim": 4, "model_version": f.version.Load()})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !f.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		f.hits.Add(1)
+		if d := time.Duration(f.delay.Load()); d > 0 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(d):
+			}
+		}
+		if f.fail.Load() {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "induced"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"model_version": f.version.Load(),
+			"kind":          "ridge",
+			"replica":       f.name,
+			"predictions":   []map[string]float64{{"margin": 1, "score": 1}},
+		})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) addr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+// testConfig is a fast-probing config for tests.
+func testConfig(replicas ...*fakeReplica) Config {
+	addrs := make([]string, len(replicas))
+	for i, f := range replicas {
+		addrs[i] = f.addr()
+	}
+	return Config{
+		Replicas: addrs,
+		Probe: ProbeConfig{
+			Interval:           10 * time.Millisecond,
+			Timeout:            500 * time.Millisecond,
+			FailThreshold:      2,
+			ProbationSuccesses: 2,
+			Backoff:            backoff.Policy{Initial: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+		},
+		HedgeBudget: -1, // tests enable hedging explicitly
+		Deadline:    5 * time.Second,
+		Obs:         obs.NewRegistry(),
+		Seed:        1,
+	}
+}
+
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	return rt, srv
+}
+
+type predictReply struct {
+	status  int
+	stale   bool
+	replica string
+	version uint64
+	body    string
+}
+
+func postPredict(t *testing.T, base, body string) predictReply {
+	t.Helper()
+	resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /predict: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	var parsed struct {
+		Stale        bool   `json:"stale"`
+		Replica      string `json:"replica"`
+		ModelVersion uint64 `json:"model_version"`
+	}
+	json.Unmarshal(raw, &parsed)
+	return predictReply{
+		status:  resp.StatusCode,
+		stale:   parsed.Stale || resp.Header.Get("X-Tpascd-Stale") == "true",
+		replica: parsed.Replica,
+		version: parsed.ModelVersion,
+		body:    string(raw),
+	}
+}
+
+const testBody = `{"indices":[0,1],"values":[1,2]}`
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestRouterBalancesAcrossReplicas(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	_, srv := newTestRouter(t, testConfig(a, b))
+	seen := map[string]int{}
+	for i := 0; i < 40; i++ {
+		r := postPredict(t, srv.URL, testBody)
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, r.status)
+		}
+		seen[r.replica]++
+	}
+	if seen["a"] == 0 || seen["b"] == 0 {
+		t.Fatalf("traffic not balanced: %v", seen)
+	}
+}
+
+func TestRouterRetriesEvictsAndReinstates(t *testing.T) {
+	bad, good := newFakeReplica(t, "bad"), newFakeReplica(t, "good")
+	bad.fail.Store(true)
+	rt, srv := newTestRouter(t, testConfig(bad, good))
+
+	// Every request must succeed even while half the fleet 500s; the
+	// failing replica is evicted after FailThreshold bad signals.
+	for i := 0; i < 30; i++ {
+		if r := postPredict(t, srv.URL, testBody); r.status != http.StatusOK || r.replica != "good" {
+			t.Fatalf("request %d: %+v", i, r)
+		}
+	}
+	if rt.Metrics().Retries() == 0 {
+		t.Fatal("no retries recorded while a replica was failing")
+	}
+	// The failing replica crossed FailThreshold request failures even
+	// though its /readyz probes kept passing: request and probe streaks
+	// are independent. Passing probes then put it back on probation,
+	// where the next failing request re-evicts, so the flap shows up in
+	// the monotone eviction counter, not in any instantaneous state.
+	if rt.Metrics().Evictions() == 0 {
+		t.Fatal("eviction counter zero while a replica 500d every request")
+	}
+	var badRep *Replica
+	for _, rep := range rt.Pool().Replicas() {
+		if rep.Host == bad.addr() {
+			badRep = rep
+		}
+	}
+
+	// Heal the replica: backoff-gated probes reinstate it through
+	// probation back to healthy, with no config change.
+	bad.fail.Store(false)
+	waitFor(t, "reinstatement", func() bool { return badRep.State() == StateHealthy })
+	if rt.Metrics().Reinstatements() == 0 {
+		t.Fatal("reinstatement counter zero after recovery")
+	}
+	// And it takes traffic again.
+	before := bad.hits.Load()
+	for i := 0; i < 40; i++ {
+		postPredict(t, srv.URL, testBody)
+	}
+	if bad.hits.Load() == before {
+		t.Fatal("recovered replica got no traffic")
+	}
+}
+
+func TestRouterHedgesTailLatency(t *testing.T) {
+	slow, fast := newFakeReplica(t, "slow"), newFakeReplica(t, "fast")
+	slow.delay.Store(int64(200 * time.Millisecond))
+	cfg := testConfig(slow, fast)
+	cfg.HedgeBudget = 1 // every slow request may hedge
+	cfg.HedgeDelay = 5 * time.Millisecond
+	cfg.HedgeMin = 5 * time.Millisecond
+	rt, srv := newTestRouter(t, cfg)
+
+	for i := 0; i < 30; i++ {
+		if r := postPredict(t, srv.URL, testBody); r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, r.status)
+		}
+	}
+	if rt.Metrics().Hedges() == 0 {
+		t.Fatal("no hedges fired against a 200ms-tail replica with a 5ms hedge delay")
+	}
+	if rt.Metrics().HedgeWins() == 0 {
+		t.Fatal("no hedge ever won; the fast replica should beat a 200ms straggler")
+	}
+	if rt.Metrics().Errors() != 0 {
+		t.Fatalf("%d client-visible errors", rt.Metrics().Errors())
+	}
+}
+
+func TestRouterStaleCacheDegradation(t *testing.T) {
+	only := newFakeReplica(t, "only")
+	rt, srv := newTestRouter(t, testConfig(only))
+
+	// Prime the cache with a live answer.
+	if r := postPredict(t, srv.URL, testBody); r.status != http.StatusOK || r.stale {
+		t.Fatalf("prime: %+v", r)
+	}
+
+	// Take the whole fleet down.
+	only.srv.Close()
+	var rep *Replica
+	for _, x := range rt.Pool().Replicas() {
+		rep = x
+	}
+	waitFor(t, "eviction of the only replica", func() bool { return rep.State() == StateEvicted })
+
+	// The hot key degrades to a clearly-marked stale answer...
+	r := postPredict(t, srv.URL, testBody)
+	if r.status != http.StatusOK || !r.stale {
+		t.Fatalf("hot key during outage: %+v, want stale 200", r)
+	}
+	if rt.Metrics().StaleServed() == 0 {
+		t.Fatal("stale counter zero")
+	}
+	// ...a cold key still fails honestly.
+	cold := postPredict(t, srv.URL, `{"indices":[3],"values":[9]}`)
+	if cold.status != http.StatusServiceUnavailable {
+		t.Fatalf("cold key during outage: status %d, want 503", cold.status)
+	}
+	if rt.Metrics().Errors() == 0 {
+		t.Fatal("error counter zero after a cold-key outage miss")
+	}
+}
+
+func TestRouterReadyzFollowsFleet(t *testing.T) {
+	only := newFakeReplica(t, "only")
+	rt, srv := newTestRouter(t, testConfig(only))
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz with a healthy fleet: %d", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz: %d", got)
+	}
+
+	// Replica flips unready (e.g. draining): probes evict it and the
+	// router's own readiness follows.
+	only.ready.Store(false)
+	var rep *Replica
+	for _, x := range rt.Pool().Replicas() {
+		rep = x
+	}
+	waitFor(t, "eviction", func() bool { return rep.State() == StateEvicted })
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with nothing routable: %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz must stay 200 (router liveness): %d", got)
+	}
+
+	only.ready.Store(true)
+	waitFor(t, "reinstatement", func() bool { return rep.Routable() })
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz after recovery: %d", got)
+	}
+}
+
+func TestRouterReplicasEndpoint(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	_, srv := newTestRouter(t, testConfig(a, b))
+	resp, err := http.Get(srv.URL + "/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Replicas []ReplicaStatus `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Replicas) != 2 {
+		t.Fatalf("%d replicas reported", len(out.Replicas))
+	}
+	for _, r := range out.Replicas {
+		if r.State != "healthy" {
+			t.Fatalf("replica %s state %s", r.Base, r.State)
+		}
+	}
+}
+
+func TestRouterConcurrentLoadNoFailures(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	rt, srv := newTestRouter(t, testConfig(a, b, c))
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				body := fmt.Sprintf(`{"indices":[%d],"values":[1]}`, i%7)
+				resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d failures under concurrent load", n)
+	}
+	if rt.Metrics().Errors() != 0 {
+		t.Fatalf("router counted %d errors", rt.Metrics().Errors())
+	}
+}

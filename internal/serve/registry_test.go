@@ -133,6 +133,106 @@ func TestRegistryWatchReloads(t *testing.T) {
 	<-done
 }
 
+// TestRegistryRapidCheckpointRolls drives the full hot-reload path —
+// atomic checkpoint saves to one file, a fast watcher, concurrent
+// scorers — through many back-to-back rolls, the cadence a chaos drill
+// or an aggressive -checkpoint-every trainer produces. Models use the
+// sentinel-weight scheme from TestRegistryConcurrentSwap, so readers
+// detect torn models and version regressions; the test additionally
+// waits for every roll to land, so the watcher's change detection
+// (inode+mtime+size) is proven against same-size rewrites inside the
+// filesystem's timestamp granularity.
+func TestRegistryRapidCheckpointRolls(t *testing.T) {
+	const dim = 32
+	const rolls = 40
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.ckpt")
+	save := func(gen int) {
+		w := make([]float32, dim)
+		for i := range w {
+			w[i] = float32(gen)
+		}
+		// Same kind, same dim, same size every time: only the atomic
+		// rename's fresh inode distinguishes back-to-back saves.
+		c := checkpoint.Checkpoint{Kind: KindRidge, Dim: dim, Vectors: [][]float32{w}}
+		if err := checkpoint.SaveFile(path, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save(0)
+	reg := NewRegistry()
+	if _, err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		reg.Watch(ctx, time.Millisecond, func(err error) { t.Error(err) })
+	}()
+
+	stop := make(chan struct{})
+	var torn, regress atomic.Int64
+	var wg sync.WaitGroup
+	const readers = 4
+	wg.Add(readers)
+	x := []int32{0, dim - 1}
+	v := []float32{1, 1}
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := reg.Current()
+				if m.Version < lastVersion {
+					regress.Add(1)
+					return
+				}
+				lastVersion = m.Version
+				if m.Margin(x, v) != 2*float64(m.Weights[0]) {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	for gen := 1; gen <= rolls; gen++ {
+		save(gen)
+		// Wait for this roll to go live before the next save: every
+		// single rewrite must be detected, not just the last.
+		deadline := time.After(5 * time.Second)
+		for reg.Version() != uint64(gen+1) {
+			select {
+			case <-deadline:
+				t.Fatalf("roll %d never went live (version %d)", gen, reg.Version())
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	cancel()
+	<-watchDone
+
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn reads across %d rolls", n, rolls)
+	}
+	if n := regress.Load(); n != 0 {
+		t.Fatalf("%d version regressions across %d rolls", n, rolls)
+	}
+	if w := reg.Current().Weights[0]; w != rolls {
+		t.Fatalf("final weights %v, want %v", w, rolls)
+	}
+}
+
 func TestRegistryEmpty(t *testing.T) {
 	reg := NewRegistry()
 	if reg.Current() != nil || reg.Version() != 0 {

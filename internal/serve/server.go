@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tpascd/internal/obs"
@@ -46,17 +47,24 @@ func (c ServerConfig) withDefaults() ServerConfig {
 //	                 {"instances": [...]}, 0-based indices) or LIBSVM
 //	                 text body (one feature line per row, 1-based)
 //	GET  /healthz      — 200 with model identity once a model is live
+//	GET  /readyz       — 200 only when the server can usefully take
+//	                 traffic: a model is loaded AND the server is not
+//	                 draining. Liveness and readiness diverge exactly
+//	                 during shutdown: a draining replica stays healthy
+//	                 (in-flight work finishes) but flips unready so a
+//	                 router stops sending it new requests.
 //	GET  /metrics      — Prometheus text exposition (obs registry)
 //	GET  /metrics.json — legacy JSON Snapshot
 //
 // All predictions flow through the micro-batcher, so concurrent HTTP
 // requests coalesce into shared scoring batches.
 type Server struct {
-	cfg ServerConfig
-	reg *Registry
-	obs *obs.Registry
-	met *Metrics
-	bat *Batcher
+	cfg      ServerConfig
+	reg      *Registry
+	obs      *obs.Registry
+	met      *Metrics
+	bat      *Batcher
+	draining atomic.Bool
 }
 
 // NewServer wires a registry into a batcher and handler set. Call Close
@@ -84,14 +92,29 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // path; benchmarks and tests score through it directly).
 func (s *Server) Batcher() *Batcher { return s.bat }
 
+// SetDraining flips the readiness gate: while draining, /readyz returns
+// 503 (so routers evict this replica from rotation) but /healthz and
+// /predict keep working, giving in-flight and already-routed requests a
+// grace window to finish. Call with true at the start of shutdown,
+// before closing listeners.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether SetDraining(true) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close drains the batcher: accepted requests finish, new ones fail.
-func (s *Server) Close() { s.bat.Close() }
+// It also marks the server draining so /readyz fails fast.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.bat.Close()
+}
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return mux
@@ -218,6 +241,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"model_kind":        m.Kind,
 		"model_dim":         m.Dim(),
 		"model_age_seconds": time.Since(m.LoadedAt).Seconds(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	m := s.reg.Current()
+	if m == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ready",
+		"model_version": m.Version,
+		"model_kind":    m.Kind,
 	})
 }
 

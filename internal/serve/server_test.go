@@ -320,3 +320,63 @@ func TestHotSwapWhileServing(t *testing.T) {
 		t.Fatalf("final version %d", reg.Version())
 	}
 }
+
+// TestReadyzGatesOnModelAndDrain: /readyz is the router-facing gate — it
+// must fail before a model loads and again the moment draining starts,
+// while /healthz keeps answering (liveness) and /predict keeps scoring
+// (the in-flight grace window of a rolling restart).
+func TestReadyzGatesOnModelAndDrain(t *testing.T) {
+	reg := NewRegistry()
+	srv := NewServer(reg, ServerConfig{Batcher: BatcherConfig{MaxWait: time.Millisecond}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz without model: %d, want 503", got)
+	}
+	m, err := NewModel(KindRidge, []float32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Set(m)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz with model: %d, want 200", got)
+	}
+
+	srv.SetDraining(true)
+	if !srv.Draining() {
+		t.Fatal("Draining() false after SetDraining(true)")
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200 (drain must not look dead)", got)
+	}
+	resp, err := http.Post(ts.URL+"/predict", "text/plain", strings.NewReader("1:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict while draining: %d, want 200", resp.StatusCode)
+	}
+
+	srv.SetDraining(false)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz after drain cleared: %d, want 200", got)
+	}
+}

@@ -1,0 +1,52 @@
+package tpascd
+
+import (
+	"net/http"
+
+	"tpascd/internal/backoff"
+	"tpascd/internal/route"
+)
+
+// Routing: a fleet of prediction servers goes behind one front door
+// through this façade over internal/route — the Router health-probes
+// every replica, balances /predict across the routable ones, retries
+// and hedges around stragglers and failures within explicit budgets,
+// and degrades to a bounded stale-answer cache when nothing is
+// routable. See cmd/predrouter for the runnable front end and the
+// "Serving fleet" section of the README for the full topology.
+
+// Router load-balances POST /predict over predserve replicas with
+// health gating, bounded retries, tail-latency hedging and stale-cache
+// degradation.
+type Router = route.Router
+
+// RouterConfig tunes a Router; RouterProbeConfig the health prober and
+// eviction state machine inside it.
+type (
+	RouterConfig      = route.Config
+	RouterProbeConfig = route.ProbeConfig
+)
+
+// RouterReplicaStatus is one replica's state as reported on the
+// router's GET /replicas endpoint.
+type RouterReplicaStatus = route.ReplicaStatus
+
+// RouterChaosConfig drives seed-deterministic fault injection on the
+// router's outbound HTTP path (replica kills, truncated responses,
+// added latency).
+type RouterChaosConfig = route.ChaosConfig
+
+// BackoffPolicy shapes a jittered exponential backoff, shared by the
+// cluster dialer and the router's re-probing of evicted replicas.
+type BackoffPolicy = backoff.Policy
+
+// NewRouter validates the config, registers metrics and starts the
+// health probers. Serve its Handler with net/http; Close stops probing.
+func NewRouter(cfg RouterConfig) (*Router, error) { return route.New(cfg) }
+
+// RouterChaosTransport wraps an HTTP transport with seed-driven fault
+// injection; nil wraps http.DefaultTransport. Hand the result to
+// RouterConfig.Transport so probes and proxied requests share it.
+func RouterChaosTransport(rt http.RoundTripper, cfg RouterChaosConfig) http.RoundTripper {
+	return route.ChaosTransport(rt, cfg)
+}
