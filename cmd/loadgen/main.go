@@ -284,7 +284,9 @@ func killAfterDelay(pidFile string, after time.Duration, sigName string) {
 }
 
 // modelDim asks /healthz for the live model's feature count so generated
-// rows index real features.
+// rows index real features. global_dim wins over model_dim when both are
+// present: against a shard or a shard aggregator, requests must span the
+// whole model's coordinate space, not one shard's slice of it.
 func modelDim(base string) (int, error) {
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -292,10 +294,14 @@ func modelDim(base string) (int, error) {
 	}
 	defer resp.Body.Close()
 	var health struct {
-		Dim int `json:"model_dim"`
+		Dim       int `json:"model_dim"`
+		GlobalDim int `json:"global_dim"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		return 0, err
+	}
+	if health.GlobalDim > 0 {
+		health.Dim = health.GlobalDim
 	}
 	if resp.StatusCode != http.StatusOK || health.Dim <= 0 {
 		return 0, fmt.Errorf("server not serving a model (healthz status %d)", resp.StatusCode)

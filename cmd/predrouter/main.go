@@ -33,6 +33,21 @@
 //	predserve -model model.ckpt -listen 127.0.0.1:8082 &
 //	predserve -model model.ckpt -listen 127.0.0.1:8083 &
 //	predrouter -replicas 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083 -listen :8080
+//
+// With -shards, predrouter instead runs the sharded-serving aggregator:
+// the manifest (from shardsplit) names a K-shard plan, -groups (or the
+// manifest's groups field) names each shard group's replicas, and every
+// /predict fans out to all K groups — each behind its own health-probed,
+// retrying, hedging client — has its partial margins summed exactly, and
+// the link function applied once at the top. A lost shard group degrades
+// explicitly (stale cache or 503 with X-Tpascd-Shard-Down), never to a
+// truncated margin:
+//
+//	shardsplit -model model.ckpt -shards 3 -out shards/
+//	predserve -model shards/model.shard0-of-3.ckpt -shard 0/3 -listen 127.0.0.1:9001 &
+//	...
+//	predrouter -shards shards/manifest.json \
+//	  -groups "127.0.0.1:9001,127.0.0.1:9004;127.0.0.1:9002,127.0.0.1:9005;127.0.0.1:9003,127.0.0.1:9006"
 package main
 
 import (
@@ -52,7 +67,10 @@ import (
 )
 
 func main() {
-	replicas := flag.String("replicas", "", "comma-separated predserve backends, host:port each (required)")
+	replicas := flag.String("replicas", "", "comma-separated predserve backends, host:port each (required unless -shards)")
+	shardsManifest := flag.String("shards", "", "shard manifest (from shardsplit): run as the fan-out aggregator over K shard groups instead of a replica router")
+	groupsFlag := flag.String("groups", "", `shard group replica addresses, ";"-separated groups of ","-separated host:ports, index-aligned with the manifest (default: the manifest's groups field)`)
+	shardDeadline := flag.Duration("shard-deadline", 2*time.Second, "per-shard-group attempt deadline in aggregator mode (retries and hedges included)")
 	listen := flag.String("listen", ":8080", "listen address; use 127.0.0.1:0 for an ephemeral port")
 	addrFile := flag.String("addr-file", "", "write the resolved listen address to this file (for scripting against :0)")
 
@@ -81,8 +99,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers alongside the routing endpoints")
 	flag.Parse()
 
-	if *replicas == "" {
-		fmt.Fprintln(os.Stderr, "predrouter: -replicas is required")
+	if *replicas == "" && *shardsManifest == "" {
+		fmt.Fprintln(os.Stderr, "predrouter: -replicas or -shards is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -121,31 +139,87 @@ func main() {
 		fmt.Printf("chaos enabled: seed=%d kill=%.3g truncate=%.3g delay=%.3g\n",
 			*chaosSeed, *chaosKill, *chaosTruncate, *chaosDelay)
 	}
-	router, err := tpascd.NewRouter(cfg)
-	if err != nil {
-		fatal(err)
+	var (
+		handler http.Handler
+		closer  func()
+		summary func()
+	)
+	if *shardsManifest != "" {
+		// Aggregator mode: one health-probed client per shard group, the
+		// router flags become the per-group template.
+		man, err := tpascd.LoadShardManifest(*shardsManifest)
+		if err != nil {
+			fatal(err)
+		}
+		var groups [][]string
+		if *groupsFlag != "" {
+			for _, g := range strings.Split(*groupsFlag, ";") {
+				groups = append(groups, strings.Split(g, ","))
+			}
+		}
+		rcfg := cfg
+		rcfg.Replicas = nil
+		rcfg.Obs = nil
+		rcfg.Deadline = *shardDeadline
+		agg, err := tpascd.NewShardAggregator(tpascd.ShardAggregatorConfig{
+			Manifest:  man,
+			Groups:    groups,
+			Route:     rcfg,
+			Deadline:  *deadline,
+			CacheSize: *cacheSize,
+			Obs:       obsReg,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("aggregating %d shard groups: %s model, %d features, plan %s\n",
+			man.Shards, man.Kind, man.Dim, man.Fingerprint)
+		handler = agg.Handler()
+		closer = agg.Close
+		summary = func() {
+			var ev, ret int64
+			for i := 0; i < man.Shards; i++ {
+				m := agg.Group(i).Metrics()
+				ev += m.Evictions()
+				ret += m.Retries()
+			}
+			fmt.Printf("aggregated requests done: %d retries, %d evictions across %d groups\n", ret, ev, man.Shards)
+		}
+	} else {
+		router, err := tpascd.NewRouter(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		handler = router.Handler()
+		closer = router.Close
+		summary = func() {
+			m := router.Metrics()
+			fmt.Printf("routed %d requests: %d retries, %d hedges (%d won), %d evictions, %d reinstatements, %d stale, %d errors\n",
+				m.Requests(), m.Retries(), m.Hedges(), m.HedgeWins(), m.Evictions(), m.Reinstatements(), m.StaleServed(), m.Errors())
+		}
+		fmt.Printf("routing %d replicas\n", len(cfg.Replicas))
 	}
-	defer router.Close()
+	defer closer()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("routing %d replicas on %s\n", len(cfg.Replicas), ln.Addr())
+	fmt.Printf("listening on %s\n", ln.Addr())
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			fatal(err)
 		}
 	}
 
-	collector := tpascd.StartRuntimeMetrics(router.Obs(), 0)
+	collector := tpascd.StartRuntimeMetrics(obsReg, 0)
 	defer collector.Stop()
 
-	var handler http.Handler = router.Handler()
 	if *pprofOn {
 		mux := http.NewServeMux()
 		tpascd.RegisterPprof(mux)
-		mux.Handle("/", router.Handler())
+		mux.Handle("/", handler)
 		handler = mux
 	}
 	httpSrv := &http.Server{Handler: handler}
@@ -168,9 +242,7 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "predrouter: shutdown: %v\n", err)
 	}
-	m := router.Metrics()
-	fmt.Printf("routed %d requests: %d retries, %d hedges (%d won), %d evictions, %d reinstatements, %d stale, %d errors\n",
-		m.Requests(), m.Retries(), m.Hedges(), m.HedgeWins(), m.Evictions(), m.Reinstatements(), m.StaleServed(), m.Errors())
+	summary()
 }
 
 func fatal(err error) {

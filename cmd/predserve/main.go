@@ -56,6 +56,8 @@ func main() {
 	workers := flag.Int("workers", 0, "scoring goroutines per batch; 0 means GOMAXPROCS")
 	deadline := flag.Duration("deadline", 2*time.Second, "per-request scoring deadline; negative disables")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "how long /readyz reports draining before the listener closes on SIGTERM, so routers can stop sending traffic first")
+	shardFlag := flag.String("shard", "", `expected shard identity as "k/K" (0-based): refuse to start unless the checkpoint is exactly shard k of a K-shard plan`)
+	manifestPath := flag.String("manifest", "", "shard manifest to verify the checkpoint's plan fingerprint against")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers alongside the serving endpoints")
 	flag.Parse()
 
@@ -70,7 +72,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("loaded %s model: %d features, version %d\n", m.Kind, m.Dim(), m.Version)
+	if err := verifyShard(m, *shardFlag, *manifestPath); err != nil {
+		fatal(err)
+	}
+	if m.Sharded() {
+		fmt.Printf("loaded %s model shard %d/%d: coordinates [%d,%d) of %d, plan %s, version %d\n",
+			m.Kind, m.ShardIndex, m.ShardCount, m.ShardLo, m.ShardLo+m.Dim(), m.GlobalDim, m.PlanFingerprint, m.Version)
+	} else {
+		fmt.Printf("loaded %s model: %d features, version %d\n", m.Kind, m.Dim(), m.Version)
+	}
 
 	srv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{
 		Batcher:  tpascd.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, Workers: *workers},
@@ -142,6 +152,44 @@ func main() {
 	srv.Close()
 	snap := srv.Metrics().Snapshot(reg)
 	fmt.Printf("served %d requests in %d batches, %d errors\n", snap.Requests, snap.Batches, snap.Errors)
+}
+
+// verifyShard cross-checks the loaded model against the operator's
+// declared shard identity (-shard k/K) and the plan manifest
+// (-manifest). Mis-deployment — the wrong shard file behind a group's
+// address, or a shard of a stale model — fails here at startup instead
+// of surfacing as an aggregation refusal under traffic.
+func verifyShard(m *tpascd.ServingModel, shardFlag, manifestPath string) error {
+	if shardFlag != "" {
+		var k, n int
+		if _, err := fmt.Sscanf(shardFlag, "%d/%d", &k, &n); err != nil {
+			return fmt.Errorf(`-shard wants "k/K", got %q`, shardFlag)
+		}
+		if !m.Sharded() {
+			return fmt.Errorf("-shard %s given but the checkpoint is not a shard", shardFlag)
+		}
+		if m.ShardIndex != k || m.ShardCount != n {
+			return fmt.Errorf("-shard %s given but the checkpoint is shard %d/%d", shardFlag, m.ShardIndex, m.ShardCount)
+		}
+	}
+	if manifestPath != "" {
+		man, err := tpascd.LoadShardManifest(manifestPath)
+		if err != nil {
+			return err
+		}
+		if !m.Sharded() {
+			return fmt.Errorf("-manifest given but the checkpoint is not a shard")
+		}
+		if m.PlanFingerprint != man.Fingerprint {
+			return fmt.Errorf("checkpoint plan fingerprint %s does not match manifest %s — a shard of a different model",
+				m.PlanFingerprint, man.Fingerprint)
+		}
+		if m.ShardCount != man.Shards || m.GlobalDim != man.Dim || m.Kind != man.Kind {
+			return fmt.Errorf("checkpoint shard identity (%s, dim %d, %d shards) disagrees with manifest (%s, dim %d, %d shards)",
+				m.Kind, m.GlobalDim, m.ShardCount, man.Kind, man.Dim, man.Shards)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

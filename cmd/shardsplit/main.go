@@ -1,0 +1,71 @@
+// Command shardsplit cuts a serving checkpoint into K shard
+// checkpoints plus a manifest, for the sharded serving tier: each shard
+// holds one contiguous coordinate range of the weight vector and the
+// MetaShard* identity block (index, range, plan fingerprint) that lets
+// predserve report — and the aggregator verify — exactly which slice of
+// which model it is serving. The reverse direction (-merge) reassembles
+// the original checkpoint bitwise, which doubles as an integrity check
+// on a shard set.
+//
+// Usage:
+//
+//	scdtrain -data train.svm -save model.ckpt
+//	shardsplit -model model.ckpt -shards 3 -out shards/
+//	predserve -model shards/model.shard0-of-3.ckpt -shard 0/3 -manifest shards/manifest.json &
+//	...
+//	predrouter -shards shards/manifest.json -groups "...;...;..."
+//
+//	shardsplit -merge merged.ckpt shards/model.shard*.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tpascd"
+)
+
+func main() {
+	model := flag.String("model", "", "serving checkpoint to split")
+	shards := flag.Int("shards", 0, "number of contiguous coordinate ranges to cut")
+	out := flag.String("out", ".", "directory for the shard checkpoints and manifest.json")
+	merge := flag.String("merge", "", "reassemble: write the merged checkpoint here from the shard files given as arguments")
+	flag.Parse()
+
+	if *merge != "" {
+		if flag.NArg() == 0 {
+			fatal(fmt.Errorf("-merge needs the shard checkpoint files as arguments"))
+		}
+		if err := tpascd.MergeShardCheckpoints(*merge, flag.Args()...); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged %d shards into %s\n", flag.NArg(), *merge)
+		return
+	}
+
+	if *model == "" || *shards < 1 {
+		fmt.Fprintln(os.Stderr, "shardsplit: -model and -shards are required (or -merge)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	m, err := tpascd.SplitServingCheckpoint(*model, *out, *shards)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("split %s (%s, %d features) into %d shards, plan %s\n",
+		*model, m.Kind, m.Dim, m.Shards, m.Fingerprint)
+	for i, f := range m.Files {
+		lo, hi := m.Range(i)
+		fmt.Printf("  shard %d: [%d,%d) -> %s\n", i, lo, hi, f)
+	}
+	fmt.Printf("manifest: %s/manifest.json\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "shardsplit: %v\n", err)
+	os.Exit(1)
+}

@@ -5,10 +5,17 @@
 //
 //	magic "TPAS" | version u32 | kind-length u32 | kind bytes |
 //	model dim u32 (v2+) |
+//	meta count u32, per entry: key-length u32, key, value-length u32,
+//	value — sorted by key (v3 only) |
 //	vector count u32 | per vector: length u32, float32 data | crc32(IEEE)
 //
-// Version 1 files (no dim field) remain readable; Save always writes the
-// current version. Coordinate-descent state is fully captured by the model
+// Version 1 files (no dim field) remain readable; Save writes version 2
+// unless the checkpoint carries metadata, in which case it writes
+// version 3 — so a checkpoint without metadata round-trips bitwise
+// through older and newer code alike. Metadata is how shard checkpoints
+// (see Split) carry their identity: coordinate range, shard count and
+// the plan fingerprint that guards aggregation against mixing shards of
+// different models. Coordinate-descent state is fully captured by the model
 // vector(s): the shared vector is recomputable from the model and data
 // (the repair path the solvers already expose), so checkpoints stay small
 // and transferable between machines of either endianness.
@@ -22,11 +29,18 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 )
 
 var magic = [4]byte{'T', 'P', 'A', 'S'}
 
-const version = 2
+// version 2 is the default on-disk format; version 3 adds the metadata
+// block and is written only when Meta is non-empty, so metadata-free
+// checkpoints stay bitwise-stable across this change.
+const (
+	version     = 2
+	versionMeta = 3
+)
 
 // ErrCorrupt is returned when the checksum or structure does not verify.
 var ErrCorrupt = errors.New("checkpoint: corrupt or truncated data")
@@ -41,6 +55,11 @@ type Checkpoint struct {
 	// means "unknown" (version-1 files load with Dim zero); when non-zero
 	// both Save and Load verify it against len(Vectors[0]).
 	Dim int
+	// Meta carries free-form key/value metadata (version-3 files only;
+	// nil or empty for earlier versions and ordinary checkpoints). Shard
+	// checkpoints use the MetaShard* keys; everything is CRC-protected
+	// with the rest of the payload.
+	Meta map[string]string
 	// Vectors holds the model state, e.g. [β] or [α, epoch].
 	Vectors [][]float32
 }
@@ -70,7 +89,11 @@ func Save(w io.Writer, c Checkpoint) error {
 	if _, err := mw.Write(magic[:]); err != nil {
 		return err
 	}
-	if err := writeU32(mw, version); err != nil {
+	ver := uint32(version)
+	if len(c.Meta) > 0 {
+		ver = versionMeta
+	}
+	if err := writeU32(mw, ver); err != nil {
 		return err
 	}
 	if len(c.Kind) > 1<<16 {
@@ -84,6 +107,11 @@ func Save(w io.Writer, c Checkpoint) error {
 	}
 	if err := writeU32(mw, uint32(c.Dim)); err != nil {
 		return err
+	}
+	if ver >= versionMeta {
+		if err := writeMeta(mw, c.Meta); err != nil {
+			return err
+		}
 	}
 	if err := writeU32(mw, uint32(len(c.Vectors))); err != nil {
 		return err
@@ -123,7 +151,7 @@ func Load(r io.Reader, expectKind string) (Checkpoint, error) {
 	if err != nil {
 		return c, err
 	}
-	if ver < 1 || ver > version {
+	if ver < 1 || ver > versionMeta {
 		return c, fmt.Errorf("checkpoint: unsupported version %d", ver)
 	}
 	kindLen, err := readU32(tr)
@@ -150,6 +178,13 @@ func Load(r io.Reader, expectKind string) (Checkpoint, error) {
 			return c, fmt.Errorf("%w: dim %d", ErrCorrupt, dim)
 		}
 		c.Dim = int(dim)
+	}
+	if ver >= versionMeta {
+		meta, err := readMeta(tr)
+		if err != nil {
+			return c, err
+		}
+		c.Meta = meta
 	}
 	nVec, err := readU32(tr)
 	if err != nil {
@@ -226,6 +261,63 @@ func LoadFile(path, expectKind string) (Checkpoint, error) {
 	}
 	defer f.Close()
 	return Load(f, expectKind)
+}
+
+// writeMeta serializes the metadata block in sorted key order, so the
+// same Meta map always produces the same bytes (and the same CRC).
+func writeMeta(w io.Writer, meta map[string]string) error {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if err := writeU32(w, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		for _, s := range [2]string{k, meta[k]} {
+			if len(s) > 1<<16 {
+				return fmt.Errorf("checkpoint: meta entry too long (%d bytes)", len(s))
+			}
+			if err := writeU32(w, uint32(len(s))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readMeta(r io.Reader) (map[string]string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("%w: meta count %d", ErrCorrupt, n)
+	}
+	meta := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		var kv [2]string
+		for j := range kv {
+			l, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if l > 1<<16 {
+				return nil, fmt.Errorf("%w: meta entry length %d", ErrCorrupt, l)
+			}
+			b := make([]byte, l)
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			kv[j] = string(b)
+		}
+		meta[kv[0]] = kv[1]
+	}
+	return meta, nil
 }
 
 func writeU32(w io.Writer, v uint32) error {

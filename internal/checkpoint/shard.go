@@ -1,0 +1,261 @@
+// Shard split/merge: a serving checkpoint's weight vector is cut into K
+// contiguous coordinate ranges, each saved as its own checkpoint whose
+// metadata records which slice of which model it is. Because a linear
+// model's margin is a sum of per-coordinate products, a prediction
+// against the full vector decomposes exactly into per-range partial dot
+// products — the property the serving aggregator relies on. The split is
+// deterministic (ShardRange) and reversible (Merge reproduces the
+// original checkpoint bitwise), and every shard carries the plan
+// fingerprint so shards of different models, or of different shard
+// counts of the same model, can never be aggregated together.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Meta keys a shard checkpoint carries. Index and count identify the
+// shard within its plan; lo and dim place its weight slice in the global
+// coordinate space; the fingerprint ties it to the exact model content
+// and shard count it was cut from.
+const (
+	MetaShardIndex       = "shard.index"
+	MetaShardCount       = "shard.count"
+	MetaShardLo          = "shard.lo"
+	MetaShardDim         = "shard.dim"
+	MetaShardFingerprint = "shard.fingerprint"
+)
+
+// ShardRange is the deterministic assignment of coordinates to shards:
+// shard i of k over dim coordinates owns [i·dim/k, (i+1)·dim/k). Ranges
+// are contiguous, tile [0, dim) exactly, and differ in size by at most
+// one when dim does not divide evenly.
+func ShardRange(dim, shards, i int) (lo, hi int) {
+	return i * dim / shards, (i + 1) * dim / shards
+}
+
+// Fingerprint hashes the checkpoint's identity and content together with
+// the shard count: kind, dim, shards, and every weight bit. Two shard
+// sets may be aggregated only if their fingerprints agree, which rules
+// out mixing shards of different models, of different versions of the
+// same model, and of different shard counts of identical content.
+func Fingerprint(c Checkpoint, shards int) string {
+	h := sha256.New()
+	h.Write([]byte(c.Kind))
+	h.Write([]byte{0})
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(c.Dim))
+	binary.LittleEndian.PutUint32(b[4:], uint32(shards))
+	h.Write(b[:])
+	for _, v := range c.Vectors {
+		binary.LittleEndian.PutUint32(b[:4], uint32(len(v)))
+		h.Write(b[:4])
+		for _, x := range v {
+			binary.LittleEndian.PutUint32(b[:4], math.Float32bits(x))
+			h.Write(b[:4])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// Split cuts a serving checkpoint (exactly one vector, the primal
+// weights) into shards checkpoints, each holding its ShardRange slice
+// and the MetaShard* identity entries. The original is not modified.
+func Split(c Checkpoint, shards int) ([]Checkpoint, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("checkpoint: shard count %d", shards)
+	}
+	if len(c.Vectors) != 1 {
+		return nil, fmt.Errorf("checkpoint: split wants a serving checkpoint with one vector, got %d", len(c.Vectors))
+	}
+	w := c.Vectors[0]
+	dim := len(w)
+	if c.Dim != 0 && c.Dim != dim {
+		return nil, fmt.Errorf("checkpoint: dim %d disagrees with vector length %d", c.Dim, dim)
+	}
+	if shards > dim {
+		return nil, fmt.Errorf("checkpoint: %d shards over %d coordinates would leave empty shards", shards, dim)
+	}
+	fp := Fingerprint(c, shards)
+	parts := make([]Checkpoint, shards)
+	for i := range parts {
+		lo, hi := ShardRange(dim, shards, i)
+		slice := make([]float32, hi-lo)
+		copy(slice, w[lo:hi])
+		parts[i] = Checkpoint{
+			Kind:    c.Kind,
+			Dim:     hi - lo,
+			Vectors: [][]float32{slice},
+			Meta: map[string]string{
+				MetaShardIndex:       strconv.Itoa(i),
+				MetaShardCount:       strconv.Itoa(shards),
+				MetaShardLo:          strconv.Itoa(lo),
+				MetaShardDim:         strconv.Itoa(dim),
+				MetaShardFingerprint: fp,
+			},
+		}
+	}
+	return parts, nil
+}
+
+// ShardIdentity is the parsed MetaShard* block of one shard checkpoint.
+type ShardIdentity struct {
+	Index       int
+	Count       int
+	Lo          int
+	Dim         int // global model dimension
+	Fingerprint string
+}
+
+// ShardInfo parses and validates a checkpoint's shard metadata. ok is
+// false (with no error) for an ordinary, unsharded checkpoint.
+func ShardInfo(c Checkpoint) (id ShardIdentity, ok bool, err error) {
+	if len(c.Meta) == 0 {
+		return id, false, nil
+	}
+	if _, present := c.Meta[MetaShardCount]; !present {
+		return id, false, nil
+	}
+	atoi := func(key string) int {
+		if err != nil {
+			return 0
+		}
+		var v int
+		if v, err = strconv.Atoi(c.Meta[key]); err != nil {
+			err = fmt.Errorf("checkpoint: bad %s %q", key, c.Meta[key])
+		}
+		return v
+	}
+	id.Index = atoi(MetaShardIndex)
+	id.Count = atoi(MetaShardCount)
+	id.Lo = atoi(MetaShardLo)
+	id.Dim = atoi(MetaShardDim)
+	id.Fingerprint = c.Meta[MetaShardFingerprint]
+	if err != nil {
+		return id, false, err
+	}
+	if id.Count < 1 || id.Index < 0 || id.Index >= id.Count {
+		return id, false, fmt.Errorf("checkpoint: shard %d/%d out of range", id.Index, id.Count)
+	}
+	lo, hi := ShardRange(id.Dim, id.Count, id.Index)
+	vecLen := -1
+	if len(c.Vectors) > 0 {
+		vecLen = len(c.Vectors[0])
+	}
+	if id.Lo != lo || vecLen != hi-lo {
+		return id, false, fmt.Errorf("checkpoint: shard %d/%d claims [%d,+%d) but the plan assigns [%d,%d)",
+			id.Index, id.Count, id.Lo, vecLen, lo, hi)
+	}
+	if id.Fingerprint == "" {
+		return id, false, fmt.Errorf("checkpoint: shard %d/%d has no plan fingerprint", id.Index, id.Count)
+	}
+	return id, true, nil
+}
+
+// Merge reassembles the original checkpoint from a complete shard set,
+// in any order. It refuses mixed fingerprints, duplicate or missing
+// shards, and mismatched kinds; the result is bitwise identical to the
+// checkpoint that was split (Merge verifies the reassembled content
+// against the shards' shared fingerprint).
+func Merge(parts []Checkpoint) (Checkpoint, error) {
+	if len(parts) == 0 {
+		return Checkpoint{}, fmt.Errorf("checkpoint: nothing to merge")
+	}
+	type shardPart struct {
+		id ShardIdentity
+		c  Checkpoint
+	}
+	sp := make([]shardPart, 0, len(parts))
+	for i, p := range parts {
+		id, ok, err := ShardInfo(p)
+		if err != nil {
+			return Checkpoint{}, err
+		}
+		if !ok {
+			return Checkpoint{}, fmt.Errorf("checkpoint: part %d is not a shard checkpoint", i)
+		}
+		sp = append(sp, shardPart{id: id, c: p})
+	}
+	ref := sp[0].id
+	if len(sp) != ref.Count {
+		return Checkpoint{}, fmt.Errorf("checkpoint: %d shards given, plan has %d", len(sp), ref.Count)
+	}
+	sort.Slice(sp, func(a, b int) bool { return sp[a].id.Index < sp[b].id.Index })
+	w := make([]float32, 0, ref.Dim)
+	for i, p := range sp {
+		if p.id.Fingerprint != ref.Fingerprint {
+			return Checkpoint{}, fmt.Errorf("checkpoint: shard fingerprint %s does not match %s — shards of different models",
+				p.id.Fingerprint, ref.Fingerprint)
+		}
+		if p.id.Index != i {
+			return Checkpoint{}, fmt.Errorf("checkpoint: duplicate or missing shard index %d", p.id.Index)
+		}
+		if p.c.Kind != sp[0].c.Kind || p.id.Count != ref.Count || p.id.Dim != ref.Dim {
+			return Checkpoint{}, fmt.Errorf("checkpoint: shard %d disagrees on kind/count/dim", p.id.Index)
+		}
+		w = append(w, p.c.Vectors[0]...)
+	}
+	merged := Checkpoint{Kind: sp[0].c.Kind, Dim: ref.Dim, Vectors: [][]float32{w}}
+	if got := Fingerprint(merged, ref.Count); got != ref.Fingerprint {
+		return Checkpoint{}, fmt.Errorf("%w: merged content fingerprint %s, shards claim %s", ErrCorrupt, got, ref.Fingerprint)
+	}
+	return merged, nil
+}
+
+// ShardFileName names shard i of shards for a checkpoint at path:
+// "model.ckpt" → "model.shard0-of-3.ckpt".
+func ShardFileName(path string, i, shards int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.shard%d-of-%d%s", strings.TrimSuffix(path, ext), i, shards, ext)
+}
+
+// SplitFile loads a serving checkpoint, splits it and writes one
+// checkpoint file per shard into outDir (ShardFileName naming, atomic
+// saves). It returns the written paths and the loaded original, whose
+// kind/dim/fingerprint the caller typically records in a manifest.
+func SplitFile(path, outDir string, shards int) (files []string, orig Checkpoint, err error) {
+	orig, err = LoadFile(path, "")
+	if err != nil {
+		return nil, orig, err
+	}
+	parts, err := Split(orig, shards)
+	if err != nil {
+		return nil, orig, err
+	}
+	base := filepath.Base(path)
+	for i, p := range parts {
+		out := filepath.Join(outDir, ShardFileName(base, i, shards))
+		if err := SaveFile(out, p); err != nil {
+			return nil, orig, err
+		}
+		files = append(files, out)
+	}
+	return files, orig, nil
+}
+
+// MergeFiles loads shard checkpoint files, merges them and writes the
+// reassembled original to outPath (atomically). The round trip
+// SplitFile → MergeFiles reproduces the input file bitwise.
+func MergeFiles(outPath string, paths ...string) error {
+	parts := make([]Checkpoint, 0, len(paths))
+	for _, p := range paths {
+		c, err := LoadFile(p, "")
+		if err != nil {
+			return err
+		}
+		parts = append(parts, c)
+	}
+	merged, err := Merge(parts)
+	if err != nil {
+		return err
+	}
+	return SaveFile(outPath, merged)
+}

@@ -1,0 +1,254 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpascd/internal/rng"
+)
+
+func servingCheckpoint(kind string, dim int, seed uint64) Checkpoint {
+	r := rng.New(seed)
+	w := make([]float32, dim)
+	for i := range w {
+		w[i] = float32(r.Float64()*2 - 1)
+	}
+	return Checkpoint{Kind: kind, Dim: dim, Vectors: [][]float32{w}}
+}
+
+// The satellite contract: split → merge is bitwise-identical to the
+// original checkpoint file for every model kind, including dimensions
+// that do not divide evenly by the shard count.
+func TestSplitMergeFileRoundTripBitwise(t *testing.T) {
+	kinds := []string{"ridge", "elasticnet", "svm", "logistic"}
+	cases := []struct{ dim, shards int }{
+		{7, 3},   // odd split: ranges 2/2/3
+		{10, 4},  // 2/2/3/3
+		{5, 5},   // one coordinate per shard
+		{64, 1},  // degenerate single shard
+		{129, 2}, // odd dim, even shards
+	}
+	for _, kind := range kinds {
+		for _, tc := range cases {
+			dir := t.TempDir()
+			orig := filepath.Join(dir, "model.ckpt")
+			if err := SaveFile(orig, servingCheckpoint(kind, tc.dim, 42)); err != nil {
+				t.Fatal(err)
+			}
+			files, loaded, err := SplitFile(orig, dir, tc.shards)
+			if err != nil {
+				t.Fatalf("%s dim=%d k=%d: split: %v", kind, tc.dim, tc.shards, err)
+			}
+			if len(files) != tc.shards {
+				t.Fatalf("%d shard files, want %d", len(files), tc.shards)
+			}
+			if loaded.Kind != kind || loaded.Dim != tc.dim {
+				t.Fatalf("loaded original %q dim %d", loaded.Kind, loaded.Dim)
+			}
+			merged := filepath.Join(dir, "merged.ckpt")
+			if err := MergeFiles(merged, files...); err != nil {
+				t.Fatalf("%s dim=%d k=%d: merge: %v", kind, tc.dim, tc.shards, err)
+			}
+			a, err := os.ReadFile(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s dim=%d k=%d: merged file differs from original (%d vs %d bytes)",
+					kind, tc.dim, tc.shards, len(a), len(b))
+			}
+		}
+	}
+}
+
+// Merge must accept shards in any order — the files may arrive from a
+// glob or a manifest in either.
+func TestMergeOrderIndependent(t *testing.T) {
+	c := servingCheckpoint("logistic", 11, 7)
+	parts, err := Split(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []Checkpoint{parts[2], parts[0], parts[1]}
+	merged, err := Merge(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Kind != c.Kind || merged.Dim != c.Dim {
+		t.Fatalf("merged %q dim %d", merged.Kind, merged.Dim)
+	}
+	for i, w := range merged.Vectors[0] {
+		if w != c.Vectors[0][i] {
+			t.Fatalf("weight %d: %v != %v", i, w, c.Vectors[0][i])
+		}
+	}
+}
+
+func TestShardRangesTile(t *testing.T) {
+	for _, dim := range []int{1, 2, 7, 100, 101} {
+		for shards := 1; shards <= dim && shards <= 9; shards++ {
+			next := 0
+			for i := 0; i < shards; i++ {
+				lo, hi := ShardRange(dim, shards, i)
+				if lo != next || hi <= lo {
+					t.Fatalf("dim=%d k=%d shard %d: [%d,%d) after %d", dim, shards, i, lo, hi, next)
+				}
+				next = hi
+			}
+			if next != dim {
+				t.Fatalf("dim=%d k=%d: ranges end at %d", dim, shards, next)
+			}
+		}
+	}
+}
+
+func TestShardMetaIdentity(t *testing.T) {
+	c := servingCheckpoint("svm", 10, 3)
+	parts, err := Split(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint(c, 3)
+	for i, p := range parts {
+		id, ok, err := ShardInfo(p)
+		if err != nil || !ok {
+			t.Fatalf("shard %d: %v ok=%v", i, err, ok)
+		}
+		lo, hi := ShardRange(10, 3, i)
+		if id.Index != i || id.Count != 3 || id.Lo != lo || id.Dim != 10 || id.Fingerprint != fp {
+			t.Fatalf("shard %d identity: %+v (want lo=%d)", i, id, lo)
+		}
+		if p.Dim != hi-lo || len(p.Vectors[0]) != hi-lo {
+			t.Fatalf("shard %d holds %d weights, want %d", i, len(p.Vectors[0]), hi-lo)
+		}
+	}
+	// An unsharded checkpoint is not mistaken for a shard.
+	if _, ok, err := ShardInfo(c); ok || err != nil {
+		t.Fatalf("unsharded: ok=%v err=%v", ok, err)
+	}
+}
+
+// Shard checkpoints survive the file round trip with metadata intact —
+// the v3 format is what predserve loads shard identity from.
+func TestShardCheckpointFileRoundTrip(t *testing.T) {
+	parts, err := Split(servingCheckpoint("ridge", 9, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.ckpt")
+	if err := SaveFile(path, parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path, "ridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Meta) != len(parts[1].Meta) {
+		t.Fatalf("meta lost: %v", back.Meta)
+	}
+	for k, v := range parts[1].Meta {
+		if back.Meta[k] != v {
+			t.Fatalf("meta[%s] = %q, want %q", k, back.Meta[k], v)
+		}
+	}
+}
+
+func TestMergeRefusals(t *testing.T) {
+	a := servingCheckpoint("ridge", 12, 1)
+	b := servingCheckpoint("ridge", 12, 2) // same shape, different weights
+	pa, _ := Split(a, 3)
+	pb, _ := Split(b, 3)
+
+	// Mixed models: fingerprints disagree.
+	if _, err := Merge([]Checkpoint{pa[0], pb[1], pa[2]}); err == nil {
+		t.Fatal("merge accepted shards of two different models")
+	}
+	// Missing shard.
+	if _, err := Merge([]Checkpoint{pa[0], pa[2]}); err == nil {
+		t.Fatal("merge accepted an incomplete shard set")
+	}
+	// Duplicate shard.
+	if _, err := Merge([]Checkpoint{pa[0], pa[0], pa[2]}); err == nil {
+		t.Fatal("merge accepted a duplicate shard")
+	}
+	// Different shard counts of the same model: also distinct plans.
+	pa4, _ := Split(a, 4)
+	if _, err := Merge([]Checkpoint{pa[0], pa[1], pa4[2]}); err == nil {
+		t.Fatal("merge accepted shards from two different plans")
+	}
+	// Not a shard at all.
+	if _, err := Merge([]Checkpoint{a}); err == nil {
+		t.Fatal("merge accepted an unsharded checkpoint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	c := servingCheckpoint("ridge", 8, 1)
+	base := Fingerprint(c, 2)
+	if Fingerprint(c, 3) == base {
+		t.Fatal("fingerprint ignores shard count")
+	}
+	d := servingCheckpoint("ridge", 8, 1)
+	d.Vectors[0][3] += 1
+	if Fingerprint(d, 2) == base {
+		t.Fatal("fingerprint ignores weight content")
+	}
+	e := servingCheckpoint("svm", 8, 1)
+	e.Vectors = c.Vectors
+	e.Dim = c.Dim
+	if Fingerprint(e, 2) == base {
+		t.Fatal("fingerprint ignores kind")
+	}
+}
+
+func TestSplitRefusals(t *testing.T) {
+	c := servingCheckpoint("ridge", 4, 1)
+	if _, err := Split(c, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Split(c, 5); err == nil {
+		t.Fatal("more shards than coordinates accepted")
+	}
+	c.Vectors = append(c.Vectors, []float32{1})
+	if _, err := Split(c, 2); err == nil {
+		t.Fatal("multi-vector checkpoint accepted")
+	}
+}
+
+// A checkpoint with metadata round-trips through the stream format, and
+// a metadata-free one still writes the version-2 bytes older readers
+// expect.
+func TestMetaStreamRoundTrip(t *testing.T) {
+	c := servingCheckpoint("ridge", 4, 1)
+	c.Meta = map[string]string{"b": "2", "a": "1"}
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta["a"] != "1" || back.Meta["b"] != "2" || len(back.Meta) != 2 {
+		t.Fatalf("meta: %v", back.Meta)
+	}
+
+	var v2, v2again bytes.Buffer
+	plain := servingCheckpoint("ridge", 4, 1)
+	if err := Save(&v2, plain); err != nil {
+		t.Fatal(err)
+	}
+	plain.Meta = map[string]string{} // empty map, not nil: still v2
+	if err := Save(&v2again, plain); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2.Bytes(), v2again.Bytes()) {
+		t.Fatal("empty Meta changed the serialized bytes")
+	}
+}

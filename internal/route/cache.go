@@ -8,7 +8,7 @@ import (
 	"tpascd/internal/obs"
 )
 
-// predCache is the graceful-degradation layer: a bounded LRU of recent
+// Cache is the graceful-degradation layer: a bounded LRU of recent
 // successful /predict responses keyed by the request body, each entry
 // stamped with the model version that produced it. When every replica
 // is down the router answers hot keys from here with an explicit
@@ -19,7 +19,7 @@ import (
 // The map is guarded by a plain mutex: the cache is written on the
 // response path (cheap) and read only on the outage path, where
 // contention is the least of anyone's problems.
-type predCache struct {
+type Cache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[uint64]*list.Element
@@ -33,17 +33,17 @@ type cacheEntry struct {
 	body    []byte
 }
 
-func newPredCache(max int, size *obs.Gauge) *predCache {
+func NewCache(max int, size *obs.Gauge) *Cache {
 	if max <= 0 {
 		return nil
 	}
-	return &predCache{max: max, entries: make(map[uint64]*list.Element), order: list.New(), size: size}
+	return &Cache{max: max, entries: make(map[uint64]*list.Element), order: list.New(), size: size}
 }
 
-// cacheKey hashes a request's content type and body; collisions are
+// CacheKey hashes a request's content type and body; collisions are
 // FNV-64a-unlikely and at worst serve a mismatched stale answer during
 // an outage.
-func cacheKey(contentType string, body []byte) uint64 {
+func CacheKey(contentType string, body []byte) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(contentType))
 	h.Write([]byte{0})
@@ -53,7 +53,7 @@ func cacheKey(contentType string, body []byte) uint64 {
 
 // Put records a successful response body for the key, tagged with the
 // model version that produced it. Nil receivers (cache disabled) no-op.
-func (c *predCache) Put(key, version uint64, body []byte) {
+func (c *Cache) Put(key, version uint64, body []byte) {
 	if c == nil {
 		return
 	}
@@ -75,7 +75,7 @@ func (c *predCache) Put(key, version uint64, body []byte) {
 }
 
 // Get returns the cached body and its model version for the key.
-func (c *predCache) Get(key uint64) (body []byte, version uint64, ok bool) {
+func (c *Cache) Get(key uint64) (body []byte, version uint64, ok bool) {
 	if c == nil {
 		return nil, 0, false
 	}
@@ -91,7 +91,7 @@ func (c *predCache) Get(key uint64) (body []byte, version uint64, ok bool) {
 }
 
 // Len returns the number of cached entries.
-func (c *predCache) Len() int {
+func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}

@@ -9,7 +9,7 @@ import (
 
 func TestCacheBoundedLRU(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := newPredCache(2, reg.Gauge(metricCacheSize))
+	c := NewCache(2, reg.Gauge(metricCacheSize))
 	c.Put(1, 1, []byte(`{"a":1}`))
 	c.Put(2, 1, []byte(`{"b":2}`))
 	// Touch key 1 so key 2 is the LRU victim.
@@ -37,7 +37,7 @@ func TestCacheBoundedLRU(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	var c *predCache // CacheSize <= 0 yields a nil cache
+	var c *Cache // CacheSize <= 0 yields a nil cache
 	c.Put(1, 1, []byte("x"))
 	if _, _, ok := c.Get(1); ok {
 		t.Fatal("nil cache returned a hit")
@@ -49,16 +49,16 @@ func TestCacheDisabled(t *testing.T) {
 
 func TestCacheKeyDistinguishesContentType(t *testing.T) {
 	body := []byte("1:1 2:1")
-	if cacheKey("application/json", body) == cacheKey("text/plain", body) {
+	if CacheKey("application/json", body) == CacheKey("text/plain", body) {
 		t.Fatal("content type not part of the cache key")
 	}
-	if cacheKey("a", []byte("x")) == cacheKey("a", []byte("y")) {
+	if CacheKey("a", []byte("x")) == CacheKey("a", []byte("y")) {
 		t.Fatal("body not part of the cache key")
 	}
 }
 
 func TestStaleBodyMarks(t *testing.T) {
-	out := staleBody([]byte(`{"model_version":7,"predictions":[{"score":1}]}`), 7)
+	out := StaleBody([]byte(`{"model_version":7,"predictions":[{"score":1}]}`), 7)
 	var m map[string]any
 	if err := json.Unmarshal(out, &m); err != nil {
 		t.Fatal(err)

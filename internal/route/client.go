@@ -1,0 +1,282 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+// ErrNoReplicas is returned when a request finds nothing to try.
+var ErrNoReplicas = errors.New("route: no replica available")
+
+// budget is a token bucket in millitokens, updated with atomics only:
+// requests earn fractional tokens, retries/hedges spend whole ones. It
+// bounds how much extra load failure handling may add, so a fleet-wide
+// brownout cannot amplify itself through retries.
+type budget struct {
+	tokens atomic.Int64
+	earnMT int64 // millitokens earned per request
+	capMT  int64
+}
+
+func newBudget(ratio float64, capTokens int) *budget {
+	b := &budget{earnMT: int64(ratio * 1000), capMT: int64(capTokens) * 1000}
+	b.tokens.Store(b.capMT) // start full: absorb faults from request one
+	return b
+}
+
+func (b *budget) earn() {
+	if b.tokens.Add(b.earnMT) > b.capMT {
+		b.tokens.Store(b.capMT) // benign race: worst case a few extra tokens
+	}
+}
+
+func (b *budget) spend() bool {
+	if b.tokens.Add(-1000) >= 0 {
+		return true
+	}
+	b.tokens.Add(1000)
+	return false
+}
+
+// Outcome is one request's result from the attempt loop. Final marks
+// outcomes that must go back to the caller as-is (2xx-4xx upstream
+// responses); everything else is a replica-level failure that exhausted
+// its retries — the caller decides how to degrade.
+type Outcome struct {
+	// Rep is the replica that produced the outcome (nil when nothing was
+	// routable).
+	Rep *Replica
+	// Status and Body are the upstream HTTP answer when one was received.
+	Status int
+	Body   []byte
+	// ContentType is the upstream response content type.
+	ContentType string
+	// Err is the transport-level failure, when there was one.
+	Err error
+	// Hedged marks the winning attempt as a hedge.
+	Hedged bool
+	// Final reports whether this outcome is authoritative (an upstream
+	// answer below 500) rather than a retryable failure.
+	Final bool
+}
+
+// Client is the replica-fleet request core shared by the Router and the
+// shard aggregator: a health-probed pool, budgeted retries, tail-latency
+// hedging, and per-attempt instrumentation — everything the routing tier
+// does except the HTTP handler surface and the stale cache. A Router
+// wraps one Client over its whole fleet; a shard aggregator embeds one
+// Client per shard group, typically with a per-group metric label
+// (cfg.Obs = reg.With("shard", "2")) so eviction and retry counters stay
+// attributable to the group that earned them.
+type Client struct {
+	cfg    Config
+	pool   *Pool
+	client *http.Client
+	met    *Metrics
+	obs    *obs.Registry
+
+	retryBudget *budget
+	hedgeBudget *budget
+	hedgeOn     bool
+}
+
+// NewClient validates the config, registers metrics and starts the
+// health probers. Close stops them.
+func NewClient(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	met := NewMetrics(cfg.Obs)
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	// No client-level timeout: per-attempt lifetimes come from request
+	// contexts, so a hedged loser is cancelled rather than timed out.
+	client := &http.Client{Transport: transport}
+	pool, err := newPool(cfg.Replicas, client, cfg.Probe, cfg.Seed, met, cfg.Trace, cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:         cfg,
+		pool:        pool,
+		client:      client,
+		met:         met,
+		obs:         cfg.Obs,
+		retryBudget: newBudget(cfg.RetryBudget, cfg.BudgetCap),
+		hedgeBudget: newBudget(cfg.HedgeBudget, cfg.BudgetCap),
+		hedgeOn:     cfg.HedgeBudget > 0,
+	}, nil
+}
+
+// Close stops the health probers. In-flight requests finish.
+func (c *Client) Close() { c.pool.Close() }
+
+// Pool exposes the replica pool (tests and introspection endpoints).
+func (c *Client) Pool() *Pool { return c.pool }
+
+// Metrics exposes the client metrics for in-process assertions.
+func (c *Client) Metrics() *Metrics { return c.met }
+
+// Obs returns the client's metric registry.
+func (c *Client) Obs() *obs.Registry { return c.obs }
+
+// HTTPClient returns the underlying HTTP client (probes and requests
+// share its transport, so chaos injection hits both).
+func (c *Client) HTTPClient() *http.Client { return c.client }
+
+// Do runs the attempt loop for one logical request against the pool:
+// earn budget, launch on one replica, retry on a different one after
+// replica-level failures (connection error, truncated body, 5xx) while
+// the retry budget lasts, and fire one hedged attempt when the first is
+// slower than the hedge delay. First final outcome wins; losers are
+// cancelled through their contexts. The request counter and budgets are
+// fed here, so every caller path pays and earns uniformly.
+func (c *Client) Do(ctx context.Context, path, ctype string, body []byte) Outcome {
+	c.met.requests.Inc()
+	c.retryBudget.earn()
+	c.hedgeBudget.earn()
+
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
+	defer cancel()
+
+	results := make(chan Outcome, c.cfg.MaxAttempts)
+	tried := make(map[*Replica]bool, c.cfg.MaxAttempts)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cn := range cancels {
+			cn()
+		}
+	}()
+	outstanding, attempts := 0, 0
+	launch := func(hedged bool) bool {
+		if attempts >= c.cfg.MaxAttempts {
+			return false
+		}
+		rep := c.pool.Pick(tried)
+		if rep == nil {
+			return false
+		}
+		tried[rep] = true
+		actx, acancel := context.WithCancel(ctx)
+		cancels = append(cancels, acancel)
+		outstanding++
+		attempts++
+		go func() { results <- c.attempt(actx, rep, path, ctype, body, hedged) }()
+		return true
+	}
+
+	if !launch(false) {
+		return Outcome{Err: ErrNoReplicas}
+	}
+	var hedgeC <-chan time.Time
+	if c.hedgeOn && c.cfg.MaxAttempts > 1 {
+		t := time.NewTimer(c.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var lastFail Outcome
+	for {
+		select {
+		case out := <-results:
+			outstanding--
+			if out.Final {
+				if out.Hedged {
+					c.met.hedgeWins.Inc()
+				}
+				return out
+			}
+			lastFail = out
+			if c.retryBudget.spend() {
+				if launch(false) {
+					c.met.retries.Inc()
+					continue
+				}
+			}
+			if outstanding > 0 {
+				continue // a sibling attempt may still succeed
+			}
+			return lastFail
+		case <-hedgeC:
+			hedgeC = nil
+			if c.hedgeBudget.spend() && launch(true) {
+				c.met.hedges.Inc()
+			}
+		case <-ctx.Done():
+			return Outcome{Err: ctx.Err()}
+		}
+	}
+}
+
+// attempt sends the request to one replica and classifies the outcome.
+// Replica-level failures (transport error, short body, 5xx) feed the
+// health state machine; cancellation of a hedged loser is neutral and
+// counts for nothing.
+func (c *Client) attempt(ctx context.Context, rep *Replica, path, ctype string, body []byte, hedged bool) Outcome {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	t0 := time.Now()
+	out := Outcome{Rep: rep, Hedged: hedged}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.Base+path, bytes.NewReader(body))
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	req.Header.Set("Content-Type", ctype)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		out.Err = err
+		if ctx.Err() == nil {
+			rep.RecordFailure(false)
+		}
+		return out
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		out.Err = fmt.Errorf("route: reading %s response: %w", rep.Host, err)
+		if ctx.Err() == nil {
+			rep.RecordFailure(false)
+		}
+		return out
+	}
+	out.Status = resp.StatusCode
+	out.Body = respBody
+	out.ContentType = resp.Header.Get("Content-Type")
+	if resp.StatusCode >= http.StatusInternalServerError {
+		rep.RecordFailure(false)
+		return out
+	}
+	elapsed := time.Since(t0).Seconds()
+	rep.RecordSuccess(false)
+	rep.lat.Observe(elapsed)
+	c.met.attLat.Observe(elapsed)
+	out.Final = true
+	return out
+}
+
+// hedgeDelay derives the hedge trigger from the live attempt-latency
+// distribution once it has enough mass, clamped to [HedgeMin,
+// HedgeMax]; before that it is the configured static delay.
+func (c *Client) hedgeDelay() time.Duration {
+	if c.met.attLat.Count() >= 50 {
+		d := time.Duration(c.met.attLat.Quantile(c.cfg.HedgeQuantile) * float64(time.Second))
+		if d < c.cfg.HedgeMin {
+			d = c.cfg.HedgeMin
+		}
+		if d > c.cfg.HedgeMax {
+			d = c.cfg.HedgeMax
+		}
+		return d
+	}
+	return c.cfg.HedgeDelay
+}

@@ -1,24 +1,18 @@
 package route
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"sync/atomic"
 	"time"
 
 	"tpascd/internal/obs"
 )
 
-// ErrNoReplicas is returned when a request finds nothing to try.
-var ErrNoReplicas = errors.New("route: no replica available")
-
-// Config tunes the router. Zero values select the defaults noted on
-// each field.
+// Config tunes a Client (and the Router wrapping one). Zero values
+// select the defaults noted on each field.
 type Config struct {
 	// Replicas are the predserve backends, as host:port or URLs. At
 	// least one is required.
@@ -60,7 +54,9 @@ type Config struct {
 	// injection — probes and proxied requests share it.
 	Transport http.RoundTripper
 	// Obs is the metric registry; nil gets a private registry so
-	// /metrics always works.
+	// /metrics always works. Derive it with With("shard", "2") to label
+	// every route_* series a Client registers — how the shard aggregator
+	// keeps per-group eviction counters apart.
 	Obs *obs.Registry
 	// Trace receives replica state-transition and probe events; nil
 	// drops them.
@@ -110,92 +106,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// budget is a token bucket in millitokens, updated with atomics only:
-// requests earn fractional tokens, retries/hedges spend whole ones. It
-// bounds how much extra load failure handling may add, so a fleet-wide
-// brownout cannot amplify itself through retries.
-type budget struct {
-	tokens atomic.Int64
-	earnMT int64 // millitokens earned per request
-	capMT  int64
-}
-
-func newBudget(ratio float64, capTokens int) *budget {
-	b := &budget{earnMT: int64(ratio * 1000), capMT: int64(capTokens) * 1000}
-	b.tokens.Store(b.capMT) // start full: absorb faults from request one
-	return b
-}
-
-func (b *budget) earn() {
-	if b.tokens.Add(b.earnMT) > b.capMT {
-		b.tokens.Store(b.capMT) // benign race: worst case a few extra tokens
-	}
-}
-
-func (b *budget) spend() bool {
-	if b.tokens.Add(-1000) >= 0 {
-		return true
-	}
-	b.tokens.Add(1000)
-	return false
-}
-
 // Router load-balances /predict over the replica pool with health
 // gating, bounded retries, tail-latency hedging and stale-cache
-// degradation. Build with New, serve Handler, Close to stop probing.
+// degradation. It is the HTTP handler surface over a Client — the
+// attempt loop itself lives there, shared with the shard aggregator.
+// Build with New, serve Handler, Close to stop probing.
 type Router struct {
-	cfg    Config
-	pool   *Pool
-	client *http.Client
-	cache  *predCache
-	met    *Metrics
-	obs    *obs.Registry
-
-	retryBudget *budget
-	hedgeBudget *budget
-	hedgeOn     bool
+	*Client
+	cfg   Config
+	cache *Cache
 }
 
 // New validates the config, registers metrics and starts the health
 // probers.
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
-	met := NewMetrics(cfg.Obs)
-	transport := cfg.Transport
-	if transport == nil {
-		transport = http.DefaultTransport
-	}
-	// No client-level timeout: per-attempt lifetimes come from request
-	// contexts, so a hedged loser is cancelled rather than timed out.
-	client := &http.Client{Transport: transport}
-	pool, err := newPool(cfg.Replicas, client, cfg.Probe, cfg.Seed, met, cfg.Trace, cfg.Obs)
+	cl, err := NewClient(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Router{
-		cfg:         cfg,
-		pool:        pool,
-		client:      client,
-		cache:       newPredCache(cfg.CacheSize, met.cacheSize),
-		met:         met,
-		obs:         cfg.Obs,
-		retryBudget: newBudget(cfg.RetryBudget, cfg.BudgetCap),
-		hedgeBudget: newBudget(cfg.HedgeBudget, cfg.BudgetCap),
-		hedgeOn:     cfg.HedgeBudget > 0,
+		Client: cl,
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheSize, cl.met.cacheSize),
 	}, nil
 }
-
-// Close stops the health probers. In-flight proxied requests finish.
-func (r *Router) Close() { r.pool.Close() }
-
-// Pool exposes the replica pool (tests and the introspection endpoint).
-func (r *Router) Pool() *Pool { return r.pool }
-
-// Metrics exposes the router metrics for in-process assertions.
-func (r *Router) Metrics() *Metrics { return r.met }
-
-// Obs returns the router's metric registry.
-func (r *Router) Obs() *obs.Registry { return r.obs }
 
 // Handler returns the route table:
 //
@@ -214,24 +149,8 @@ func (r *Router) Handler() http.Handler {
 	return mux
 }
 
-// attemptOut is one attempt's outcome. final marks outcomes that must
-// go back to the client as-is (2xx-4xx upstream responses); everything
-// else is a replica-level failure the router may retry.
-type attemptOut struct {
-	rep    *Replica
-	status int
-	body   []byte
-	ctype  string
-	err    error
-	hedged bool
-	final  bool
-}
-
 func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
-	r.met.requests.Inc()
-	r.retryBudget.earn()
-	r.hedgeBudget.earn()
 
 	body, err := io.ReadAll(io.LimitReader(req.Body, r.cfg.MaxBodyBytes+1))
 	if err != nil {
@@ -246,186 +165,43 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 	}
 	ctype := req.Header.Get("Content-Type")
 
-	out := r.do(req.Context(), ctype, body)
-	if out.final {
-		if out.status == http.StatusOK {
+	out := r.Do(req.Context(), "/predict", ctype, body)
+	if out.Final {
+		if out.Status == http.StatusOK {
 			r.met.reqLat.Observe(time.Since(start).Seconds())
-			r.cache.Put(cacheKey(ctype, body), responseVersion(out.body), out.body)
+			r.cache.Put(CacheKey(ctype, body), ResponseVersion(out.Body), out.Body)
 		}
-		if out.ctype != "" {
-			w.Header().Set("Content-Type", out.ctype)
+		if out.ContentType != "" {
+			w.Header().Set("Content-Type", out.ContentType)
 		}
-		w.WriteHeader(out.status)
-		w.Write(out.body)
+		w.WriteHeader(out.Status)
+		w.Write(out.Body)
 		return
 	}
 
 	// Every attempt failed (or nothing was routable): degrade to the
 	// stale cache before admitting defeat.
-	if cached, version, ok := r.cache.Get(cacheKey(ctype, body)); ok {
+	if cached, version, ok := r.cache.Get(CacheKey(ctype, body)); ok {
 		r.met.stale.Inc()
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Tpascd-Stale", "true")
 		w.WriteHeader(http.StatusOK)
-		w.Write(staleBody(cached, version))
+		w.Write(StaleBody(cached, version))
 		return
 	}
 	r.met.errors.Inc()
 	reason := ErrNoReplicas
-	if out.err != nil {
-		reason = out.err
-	} else if out.status != 0 {
-		reason = fmt.Errorf("route: replica answered %d", out.status)
+	if out.Err != nil {
+		reason = out.Err
+	} else if out.Status != 0 {
+		reason = fmt.Errorf("route: replica answered %d", out.Status)
 	}
 	httpError(w, http.StatusServiceUnavailable, reason)
 }
 
-// do runs the attempt loop: launch on one replica, retry on a different
-// one after replica-level failures (connection error, truncated body,
-// 5xx) while the retry budget lasts, and fire one hedged attempt when
-// the first is slower than the hedge delay. First final outcome wins;
-// losers are cancelled through their contexts.
-func (r *Router) do(ctx context.Context, ctype string, body []byte) attemptOut {
-	ctx, cancel := context.WithTimeout(ctx, r.cfg.Deadline)
-	defer cancel()
-
-	results := make(chan attemptOut, r.cfg.MaxAttempts)
-	tried := make(map[*Replica]bool, r.cfg.MaxAttempts)
-	var cancels []context.CancelFunc
-	defer func() {
-		for _, c := range cancels {
-			c()
-		}
-	}()
-	outstanding, attempts := 0, 0
-	launch := func(hedged bool) bool {
-		if attempts >= r.cfg.MaxAttempts {
-			return false
-		}
-		rep := r.pool.Pick(tried)
-		if rep == nil {
-			return false
-		}
-		tried[rep] = true
-		actx, acancel := context.WithCancel(ctx)
-		cancels = append(cancels, acancel)
-		outstanding++
-		attempts++
-		go func() { results <- r.attempt(actx, rep, ctype, body, hedged) }()
-		return true
-	}
-
-	if !launch(false) {
-		return attemptOut{err: ErrNoReplicas}
-	}
-	var hedgeC <-chan time.Time
-	if r.hedgeOn && r.cfg.MaxAttempts > 1 {
-		t := time.NewTimer(r.hedgeDelay())
-		defer t.Stop()
-		hedgeC = t.C
-	}
-
-	var lastFail attemptOut
-	for {
-		select {
-		case out := <-results:
-			outstanding--
-			if out.final {
-				if out.hedged {
-					r.met.hedgeWins.Inc()
-				}
-				return out
-			}
-			lastFail = out
-			if r.retryBudget.spend() {
-				if launch(false) {
-					r.met.retries.Inc()
-					continue
-				}
-			}
-			if outstanding > 0 {
-				continue // a sibling attempt may still succeed
-			}
-			return lastFail
-		case <-hedgeC:
-			hedgeC = nil
-			if r.hedgeBudget.spend() && launch(true) {
-				r.met.hedges.Inc()
-			}
-		case <-ctx.Done():
-			return attemptOut{err: ctx.Err()}
-		}
-	}
-}
-
-// attempt proxies the request to one replica and classifies the
-// outcome. Replica-level failures (transport error, short body, 5xx)
-// feed the health state machine; cancellation of a hedged loser is
-// neutral and counts for nothing.
-func (r *Router) attempt(ctx context.Context, rep *Replica, ctype string, body []byte, hedged bool) attemptOut {
-	rep.inflight.Add(1)
-	defer rep.inflight.Add(-1)
-	t0 := time.Now()
-	out := attemptOut{rep: rep, hedged: hedged}
-
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.Base+"/predict", bytes.NewReader(body))
-	if err != nil {
-		out.err = err
-		return out
-	}
-	req.Header.Set("Content-Type", ctype)
-	resp, err := r.client.Do(req)
-	if err != nil {
-		out.err = err
-		if ctx.Err() == nil {
-			rep.RecordFailure(false)
-		}
-		return out
-	}
-	defer resp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, r.cfg.MaxBodyBytes))
-	if err != nil {
-		out.err = fmt.Errorf("route: reading %s response: %w", rep.Host, err)
-		if ctx.Err() == nil {
-			rep.RecordFailure(false)
-		}
-		return out
-	}
-	out.status = resp.StatusCode
-	out.body = respBody
-	out.ctype = resp.Header.Get("Content-Type")
-	if resp.StatusCode >= http.StatusInternalServerError {
-		rep.RecordFailure(false)
-		return out
-	}
-	elapsed := time.Since(t0).Seconds()
-	rep.RecordSuccess(false)
-	rep.lat.Observe(elapsed)
-	r.met.attLat.Observe(elapsed)
-	out.final = true
-	return out
-}
-
-// hedgeDelay derives the hedge trigger from the live attempt-latency
-// distribution once it has enough mass, clamped to [HedgeMin,
-// HedgeMax]; before that it is the configured static delay.
-func (r *Router) hedgeDelay() time.Duration {
-	if r.met.attLat.Count() >= 50 {
-		d := time.Duration(r.met.attLat.Quantile(r.cfg.HedgeQuantile) * float64(time.Second))
-		if d < r.cfg.HedgeMin {
-			d = r.cfg.HedgeMin
-		}
-		if d > r.cfg.HedgeMax {
-			d = r.cfg.HedgeMax
-		}
-		return d
-	}
-	return r.cfg.HedgeDelay
-}
-
-// responseVersion extracts model_version from a /predict response body
+// ResponseVersion extracts model_version from a /predict response body
 // for the cache's version stamp; zero when unparseable.
-func responseVersion(body []byte) uint64 {
+func ResponseVersion(body []byte) uint64 {
 	var v struct {
 		ModelVersion uint64 `json:"model_version"`
 	}
@@ -435,9 +211,9 @@ func responseVersion(body []byte) uint64 {
 	return v.ModelVersion
 }
 
-// staleBody rewrites a cached response with the stale marker so a
+// StaleBody rewrites a cached response with the stale marker so a
 // degraded answer can never be mistaken for a live one.
-func staleBody(cached []byte, version uint64) []byte {
+func StaleBody(cached []byte, version uint64) []byte {
 	var m map[string]any
 	if err := json.Unmarshal(cached, &m); err != nil {
 		// Non-JSON cache content (should not happen): wrap it verbatim.

@@ -53,9 +53,16 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 
 // Prediction is one scored request.
 type Prediction struct {
-	// Margin is the raw sparse dot product ⟨w, x⟩.
+	// Margin is the raw sparse dot product ⟨w, x⟩ — partial (this shard's
+	// coordinate range only) when the serving model is a shard.
 	Margin float64 `json:"margin"`
-	// Score is the kind-transformed output (see Model.Score).
+	// MarginComp is the compensated-summation residue of Margin, present
+	// only on shard responses: the aggregator sums (Margin, MarginComp)
+	// pairs across shards so the combined margin matches the unsharded
+	// model bit for bit (see CombineMargins).
+	MarginComp float64 `json:"margin_comp,omitempty"`
+	// Score is the kind-transformed output (see Model.Score); meaningless
+	// on a shard response, where only the aggregated margin has a score.
 	Score float64 `json:"score"`
 	// ModelVersion identifies the registry version that scored this
 	// request; within one batch it is uniform.
@@ -217,6 +224,10 @@ func (b *Batcher) scoreBatch(batch []*pending) {
 	numCols := 0
 	if m != nil {
 		numCols = m.Dim()
+		if m.Sharded() {
+			// Shard rows carry global indices; the CSR spans global space.
+			numCols = m.GlobalDim
+		}
 	}
 	for _, p := range batch {
 		colIdx = append(colIdx, p.idx...)
@@ -234,7 +245,11 @@ func (b *Batcher) scoreBatch(batch []*pending) {
 			r.err = context.DeadlineExceeded
 		default:
 			idx, val := rows.Row(i)
-			r.pred.Margin, r.pred.Score = m.Score(idx, val)
+			if m.Sharded() {
+				r.pred.Margin, r.pred.MarginComp, r.pred.Score = m.ScoreParts(idx, val)
+			} else {
+				r.pred.Margin, r.pred.Score = m.Score(idx, val)
+			}
 			r.pred.ModelVersion = m.Version
 		}
 		p.done <- r

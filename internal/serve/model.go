@@ -57,18 +57,39 @@ var ErrUnknownKind = errors.New("serve: unknown model kind")
 // is what makes the Registry's lock-free hot swap safe — a scorer that
 // holds a *Model sees one consistent version for as long as it keeps the
 // pointer, no matter how many swaps happen meanwhile.
+//
+// A Model may also be one shard of a larger model (loaded from a
+// checkpoint written by the shardsplit operation): it then holds only
+// the weights for the contiguous coordinate range [ShardLo,
+// ShardLo+len(Weights)) of a GlobalDim-wide model, scores requests by
+// their global feature indices, and its margins are *partial* — the
+// aggregator tier sums them across the shard set and applies the output
+// transform at the top.
 type Model struct {
 	// Kind is one of the Kind* constants.
 	Kind string
 	// Weights is the primal model vector; len(Weights) is the feature
-	// count. Treat as read-only.
+	// count (for a shard: the shard's slice of it). Treat as read-only.
 	Weights []float32
 	// Version is the registry-assigned monotone version, zero for a model
 	// that never passed through a Registry.
 	Version uint64
 	// LoadedAt is when the model was installed, for age reporting.
 	LoadedAt time.Time
+
+	// Shard identity, all zero/empty for a whole-model checkpoint.
+	// ShardCount > 0 marks a shard: index ShardIndex of ShardCount,
+	// owning global coordinates [ShardLo, ShardLo+len(Weights)) of a
+	// GlobalDim-dimensional model cut under the plan PlanFingerprint.
+	ShardIndex      int
+	ShardCount      int
+	ShardLo         int
+	GlobalDim       int
+	PlanFingerprint string
 }
+
+// Sharded reports whether this model is one shard of a larger model.
+func (m *Model) Sharded() bool { return m.ShardCount > 0 }
 
 // NewModel validates kind and weights into a servable model.
 func NewModel(kind string, weights []float32) (*Model, error) {
@@ -112,42 +133,131 @@ func modelFromCheckpoint(c checkpoint.Checkpoint) (*Model, error) {
 	if c.Dim > 0 && c.Dim != len(c.Vectors[0]) {
 		return nil, fmt.Errorf("serve: checkpoint dim %d, model vector length %d", c.Dim, len(c.Vectors[0]))
 	}
-	return NewModel(c.Kind, c.Vectors[0])
+	m, err := NewModel(c.Kind, c.Vectors[0])
+	if err != nil {
+		return nil, err
+	}
+	if id, ok, err := checkpoint.ShardInfo(c); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	} else if ok {
+		m.ShardIndex, m.ShardCount = id.Index, id.Count
+		m.ShardLo, m.GlobalDim = id.Lo, id.Dim
+		m.PlanFingerprint = id.Fingerprint
+	}
+	return m, nil
 }
 
 // Dim returns the feature count the model scores over.
 func (m *Model) Dim() int { return len(m.Weights) }
 
-// Margin computes the sparse dot product ⟨w, x⟩ in float64, matching the
-// precision discipline of the training-side gap computations. Indices at
-// or beyond Dim are features the model never saw in training and
-// contribute nothing (their weight is implicitly zero).
+// Margin computes the sparse dot product ⟨w, x⟩ in float64 with
+// Neumaier-compensated summation, matching the precision discipline of
+// the training-side gap computations and — crucially for the sharded
+// serving tier — making the sum effectively exact: each f32·f32 product
+// is exact in float64, and the compensation tracks every rounding
+// residue, so a blocked (per-shard) evaluation combined through
+// CombineMargins reproduces the whole-model margin bit for bit. Indices
+// outside the model's coordinate range (beyond Dim, or outside a
+// shard's [ShardLo, ShardLo+Dim) slice) contribute nothing.
 func (m *Model) Margin(idx []int32, val []float32) float64 {
-	w := m.Weights
-	var dp float64
-	for k, j := range idx {
-		if int(j) < len(w) {
-			dp += float64(w[j]) * float64(val[k])
-		}
-	}
-	return dp
+	hi, _ := m.MarginParts(idx, val)
+	return hi
 }
 
-// Score maps the margin through the kind's output transform: identity for
-// the regression kinds, sign for SVM, sigmoid for logistic.
-func (m *Model) Score(idx []int32, val []float32) (margin, score float64) {
-	margin = m.Margin(idx, val)
-	switch m.Kind {
+// MarginParts returns the compensated dot product as an unevaluated pair
+// (hi, lo): hi is the rounded margin (what Margin returns) and lo the
+// summation residue with hi + lo ≈ the exact sum to second order. A
+// shard ships both halves to the aggregator so no precision is lost at
+// the shard boundary.
+func (m *Model) MarginParts(idx []int32, val []float32) (hi, lo float64) {
+	w := m.Weights
+	off := m.ShardLo
+	var sum, comp float64
+	for k, j := range idx {
+		jj := int(j) - off
+		if jj < 0 || jj >= len(w) {
+			continue
+		}
+		t := float64(w[jj]) * float64(val[k]) // exact: f32·f32 fits f64
+		s := sum + t
+		if math.Abs(sum) >= math.Abs(t) {
+			comp += (sum - s) + t
+		} else {
+			comp += (t - s) + sum
+		}
+		sum = s
+	}
+	return twoSum(sum, comp)
+}
+
+// MarginPart is one shard's contribution to a margin, as the (hi, lo)
+// pair its MarginParts produced.
+type MarginPart struct {
+	Hi float64
+	Lo float64
+}
+
+// CombineMargins sums per-shard partial margins (in shard order) with
+// the same compensated accumulation MarginParts uses, returning the
+// rounded total. Because every input pair carries its residue and the
+// combination is compensated again, the result equals the margin the
+// unsharded model computes — the "margins shard exactly" contract the
+// e2e parity test pins bitwise.
+func CombineMargins(parts []MarginPart) float64 {
+	var sum, comp float64
+	for _, p := range parts {
+		for _, t := range [2]float64{p.Hi, p.Lo} {
+			s := sum + t
+			if math.Abs(sum) >= math.Abs(t) {
+				comp += (sum - s) + t
+			} else {
+				comp += (t - s) + sum
+			}
+			sum = s
+		}
+	}
+	hi, _ := twoSum(sum, comp)
+	return hi
+}
+
+// twoSum renormalizes a compensated accumulator into (hi, lo) with
+// hi = fl(sum+comp) and lo the exact remainder (Fast2Sum is valid here:
+// |comp| is a sum of rounding residues, far below |sum| whenever the
+// remainder matters).
+func twoSum(sum, comp float64) (hi, lo float64) {
+	hi = sum + comp
+	lo = comp - (hi - sum)
+	return hi, lo
+}
+
+// Link maps a margin through a kind's output transform: identity for
+// the regression kinds, sign for SVM, sigmoid for logistic. It is
+// exported so the shard aggregator can apply the transform exactly once,
+// at the top, after summing partial margins.
+func Link(kind string, margin float64) float64 {
+	switch kind {
 	case KindSVM:
 		if margin >= 0 {
-			score = 1
-		} else {
-			score = -1
+			return 1
 		}
+		return -1
 	case KindLogistic:
-		score = 1 / (1 + math.Exp(-margin))
-	default:
-		score = margin
+		return 1 / (1 + math.Exp(-margin))
 	}
-	return margin, score
+	return margin
+}
+
+// Score maps the margin through the kind's output transform. For a
+// shard, the margin is partial and the score is meaningless on its own —
+// the aggregator recomputes it from the summed margin.
+func (m *Model) Score(idx []int32, val []float32) (margin, score float64) {
+	margin = m.Margin(idx, val)
+	return margin, Link(m.Kind, margin)
+}
+
+// ScoreParts is Score plus the compensation residue, for the batcher's
+// sharded path.
+func (m *Model) ScoreParts(idx []int32, val []float32) (hi, lo, score float64) {
+	hi, lo = m.MarginParts(idx, val)
+	return hi, lo, Link(m.Kind, hi)
 }

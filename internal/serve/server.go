@@ -120,30 +120,36 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// instance is one sparse row in the JSON request format, with 0-based
+// Instance is one sparse row in the JSON request format, with 0-based
 // feature indices (the LIBSVM text format stays 1-based, matching its
-// file convention).
-type instance struct {
+// file convention). Exported so the shard aggregator can parse a request
+// once and fan the same rows out to every shard group.
+type Instance struct {
 	Indices []int32   `json:"indices"`
 	Values  []float32 `json:"values"`
 }
 
 type predictRequest struct {
-	instance
-	Instances []instance `json:"instances"`
+	Instance
+	Instances []Instance `json:"instances"`
 }
 
 // predictResponse is the /predict reply; predictions are in request
-// order.
+// order. The shard fields are present only when the model is one shard
+// of a larger plan — they let an aggregator (or an operator with curl)
+// verify which slice it is talking to.
 type predictResponse struct {
-	ModelVersion uint64       `json:"model_version"`
-	Kind         string       `json:"kind"`
-	Predictions  []Prediction `json:"predictions"`
+	ModelVersion    uint64       `json:"model_version"`
+	Kind            string       `json:"kind"`
+	Shard           *int         `json:"shard,omitempty"`
+	Shards          int          `json:"shards,omitempty"`
+	PlanFingerprint string       `json:"plan_fingerprint,omitempty"`
+	Predictions     []Prediction `json:"predictions"`
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes)
-	rows, err := parseRows(r.Header.Get("Content-Type"), body)
+	rows, err := ParseRows(r.Header.Get("Content-Type"), body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -184,13 +190,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if m := s.reg.Current(); m != nil {
 		resp.ModelVersion = m.Version
 		resp.Kind = m.Kind
+		if m.Sharded() {
+			idx := m.ShardIndex
+			resp.Shard = &idx
+			resp.Shards = m.ShardCount
+			resp.PlanFingerprint = m.PlanFingerprint
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// parseRows decodes the request body into validated sparse rows: JSON for
-// application/json content, LIBSVM feature lines otherwise.
-func parseRows(contentType string, body io.Reader) ([]instance, error) {
+// ParseRows decodes a /predict request body into validated sparse rows:
+// JSON for application/json content, LIBSVM feature lines otherwise.
+func ParseRows(contentType string, body io.Reader) ([]Instance, error) {
 	if strings.Contains(contentType, "json") {
 		var req predictRequest
 		dec := json.NewDecoder(body)
@@ -200,7 +212,7 @@ func parseRows(contentType string, body io.Reader) ([]instance, error) {
 		}
 		insts := req.Instances
 		if len(insts) == 0 {
-			insts = []instance{req.instance}
+			insts = []Instance{req.Instance}
 		}
 		for i := range insts {
 			idx, val, err := sparse.NewRow(insts[i].Indices, insts[i].Values, 0)
@@ -215,7 +227,7 @@ func parseRows(contentType string, body io.Reader) ([]instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	var insts []instance
+	var insts []Instance
 	for lineNo, line := range strings.Split(string(data), "\n") {
 		if strings.TrimSpace(line) == "" {
 			continue
@@ -224,7 +236,7 @@ func parseRows(contentType string, body io.Reader) ([]instance, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 		}
-		insts = append(insts, instance{Indices: idx, Values: val})
+		insts = append(insts, Instance{Indices: idx, Values: val})
 	}
 	return insts, nil
 }
@@ -235,13 +247,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no model"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	h := map[string]any{
 		"status":            "ok",
 		"model_version":     m.Version,
 		"model_kind":        m.Kind,
 		"model_dim":         m.Dim(),
 		"model_age_seconds": time.Since(m.LoadedAt).Seconds(),
-	})
+		// Shard identity: zero/empty for a whole-model server. A sharded
+		// server reports which slice it holds and the plan fingerprint the
+		// aggregator checks before summing its margins with anyone else's.
+		"shard":            m.ShardIndex,
+		"shards":           m.ShardCount,
+		"plan_fingerprint": m.PlanFingerprint,
+	}
+	if m.Sharded() {
+		h["global_dim"] = m.GlobalDim
+		h["shard_lo"] = m.ShardLo
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -255,9 +278,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ready",
-		"model_version": m.Version,
-		"model_kind":    m.Kind,
+		"status":           "ready",
+		"model_version":    m.Version,
+		"model_kind":       m.Kind,
+		"shard":            m.ShardIndex,
+		"shards":           m.ShardCount,
+		"plan_fingerprint": m.PlanFingerprint,
 	})
 }
 

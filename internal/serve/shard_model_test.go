@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"tpascd/internal/checkpoint"
+	"tpascd/internal/rng"
+)
+
+// randomRow draws a sparse row over [0, dim) global indices, sorted,
+// with values spanning magnitudes so the compensated summation actually
+// has rounding residues to track.
+func randomRow(r *rng.Xoshiro256, dim, nnz int) (idx []int32, val []float32) {
+	seen := map[int32]bool{}
+	for len(idx) < nnz {
+		j := int32(r.Float64() * float64(dim))
+		if j >= int32(dim) || seen[j] {
+			continue
+		}
+		seen[j] = true
+		idx = append(idx, j)
+	}
+	// Insertion sort: nnz is small.
+	for i := 1; i < len(idx); i++ {
+		for k := i; k > 0 && idx[k] < idx[k-1]; k-- {
+			idx[k], idx[k-1] = idx[k-1], idx[k]
+		}
+	}
+	val = make([]float32, len(idx))
+	for i := range val {
+		val[i] = float32((r.Float64()*2 - 1) * math.Pow(10, r.Float64()*8-4))
+	}
+	return idx, val
+}
+
+func shardModels(t *testing.T, kind string, w []float32, shards int) (*Model, []*Model) {
+	t.Helper()
+	full, err := NewModel(kind, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := checkpoint.Split(checkpoint.Checkpoint{Kind: kind, Dim: len(w), Vectors: [][]float32{w}}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*Model, len(parts))
+	for i, p := range parts {
+		m, err := modelFromCheckpoint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Sharded() || m.ShardIndex != i || m.ShardCount != shards || m.GlobalDim != len(w) {
+			t.Fatalf("shard %d identity: %+v", i, m)
+		}
+		ms[i] = m
+	}
+	return full, ms
+}
+
+// The core parity property of the sharded serving tier: summing per-shard
+// compensated partial margins in shard order reproduces the whole-model
+// margin bit for bit, for every kind, odd dims, and rows that hit any
+// subset of shards.
+func TestShardMarginCombinesBitwise(t *testing.T) {
+	r := rng.New(99)
+	for _, kind := range []string{KindRidge, KindElasticNet, KindSVM, KindLogistic} {
+		for _, tc := range []struct{ dim, shards int }{{7, 3}, {101, 4}, {1000, 7}} {
+			w := make([]float32, tc.dim)
+			for i := range w {
+				w[i] = float32((r.Float64()*2 - 1) * math.Pow(10, r.Float64()*6-3))
+			}
+			full, ms := shardModels(t, kind, w, tc.shards)
+			for trial := 0; trial < 50; trial++ {
+				nnz := 1 + int(r.Float64()*float64(tc.dim-1))
+				idx, val := randomRow(r, tc.dim, nnz)
+				want, wantScore := full.Score(idx, val)
+				parts := make([]MarginPart, len(ms))
+				for i, m := range ms {
+					parts[i].Hi, parts[i].Lo = m.MarginParts(idx, val)
+				}
+				got := CombineMargins(parts)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s dim=%d k=%d trial %d: combined %x, full %x",
+						kind, tc.dim, tc.shards, trial, math.Float64bits(got), math.Float64bits(want))
+				}
+				if Link(kind, got) != wantScore {
+					t.Fatalf("%s: link(%v) = %v, full score %v", kind, got, Link(kind, got), wantScore)
+				}
+			}
+		}
+	}
+}
+
+// A shard only sees its own coordinate range: indices outside [ShardLo,
+// ShardLo+dim) contribute nothing, and a row touching no shard
+// coordinate yields an exact zero part.
+func TestShardMarginRange(t *testing.T) {
+	w := []float32{1, 2, 3, 4, 5, 6}
+	_, ms := shardModels(t, KindRidge, w, 3)
+	mid := ms[1] // owns global [2, 4)
+	hi, lo := mid.MarginParts([]int32{0, 2, 3, 5}, []float32{10, 10, 10, 10})
+	if hi != 70 || lo != 0 { // 3·10 + 4·10
+		t.Fatalf("mid shard margin (%v, %v), want (70, 0)", hi, lo)
+	}
+	hi, lo = mid.MarginParts([]int32{0, 5}, []float32{10, 10})
+	if hi != 0 || lo != 0 {
+		t.Fatalf("out-of-range row margin (%v, %v), want zero", hi, lo)
+	}
+}
+
+func TestLink(t *testing.T) {
+	if Link(KindSVM, 0.3) != 1 || Link(KindSVM, -0.3) != -1 {
+		t.Fatal("svm sign")
+	}
+	if got := Link(KindLogistic, 0); got != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", got)
+	}
+	if Link(KindRidge, 1.25) != 1.25 || Link(KindElasticNet, -2) != -2 {
+		t.Fatal("identity kinds")
+	}
+}
+
+// Loading a shard checkpoint through the public loader yields a shard
+// model whose batcher responses carry the compensation term.
+func TestShardModelFromCheckpoint(t *testing.T) {
+	w := make([]float32, 10)
+	for i := range w {
+		w[i] = float32(i + 1)
+	}
+	parts, err := checkpoint.Split(checkpoint.Checkpoint{Kind: KindLogistic, Dim: 10, Vectors: [][]float32{w}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := modelFromCheckpoint(parts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := checkpoint.ShardRange(10, 3, 2)
+	if m.ShardLo != lo || m.Dim() != hi-lo || m.GlobalDim != 10 || m.PlanFingerprint == "" {
+		t.Fatalf("shard model: %+v", m)
+	}
+}

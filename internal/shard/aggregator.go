@@ -1,0 +1,475 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tpascd/internal/obs"
+	"tpascd/internal/route"
+	"tpascd/internal/serve"
+)
+
+// HeaderShardDown is set on 503 responses caused by an unreachable
+// shard group; its value lists the lost group indices. An explicit
+// failure marker is the degradation contract: a client never receives a
+// margin computed from fewer than all K shards.
+const HeaderShardDown = "X-Tpascd-Shard-Down"
+
+// HeaderStale marks an answer served from the aggregator's stale cache
+// during a shard-group outage (same convention as the router tier).
+const HeaderStale = "X-Tpascd-Stale"
+
+// AggregatorConfig tunes the fan-out tier.
+type AggregatorConfig struct {
+	// Manifest carries the plan and, unless Groups overrides it, the
+	// shard groups' replica addresses.
+	Manifest Manifest
+	// Groups overrides Manifest.Groups (index-aligned with the plan):
+	// Groups[i] is shard i's replica address list.
+	Groups [][]string
+	// Route is the per-group client template: probe cadence, retry and
+	// hedge budgets, transport, chaos, and the per-shard attempt
+	// deadline all come from here. Replicas, Obs and Seed are set per
+	// group by the aggregator.
+	Route route.Config
+	// Deadline bounds one aggregated request end to end, all shard
+	// fan-outs included (default 5s). The per-shard deadline is
+	// Route.Deadline (its usual default 5s; set it lower than Deadline
+	// to leave room for degradation).
+	Deadline time.Duration
+	// MaxBodyBytes caps the client request body (default 4 MiB).
+	MaxBodyBytes int64
+	// CacheSize bounds the stale-answer cache in entries (default 1024;
+	// negative disables degradation).
+	CacheSize int
+	// Obs is the metric registry; nil gets a private registry. Each
+	// shard group's route_* series are registered into a With("shard",
+	// i) view of it.
+	Obs *obs.Registry
+	// Trace receives replica state-transition events; nil drops them.
+	Trace *obs.Tracer
+	// Seed drives each group's pick tie-breaking and probe jitter.
+	Seed uint64
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.Deadline <= 0 {
+		c.Deadline = 5 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	return c
+}
+
+// Metric names the aggregator registers. Per-group route_* series carry
+// a shard="i" label on top of these.
+const (
+	metricRequests        = "shard_requests_total"
+	metricErrors          = "shard_errors_total"
+	metricPartialRequests = "shard_partial_requests_total"
+	metricPartialFailures = "shard_partial_failures_total"
+	metricRefusals        = "shard_refusals_total"
+	metricDown            = "shard_down_total"
+	metricStaleServed     = "shard_stale_served_total"
+	metricCacheEntries    = "shard_cache_entries"
+	metricGroups          = "shard_groups"
+	metricRequestLatency  = "shard_request_latency_seconds"
+	metricPartialLatency  = "shard_partial_latency_seconds"
+)
+
+// aggMetrics instruments the fan-out tier.
+type aggMetrics struct {
+	requests        *obs.Counter
+	errors          *obs.Counter
+	partialRequests *obs.Counter
+	partialFailures *obs.Counter
+	refusals        *obs.Counter
+	down            *obs.Counter
+	stale           *obs.Counter
+	cacheEntries    *obs.Gauge
+	groups          *obs.Gauge
+	reqLat          *obs.Histogram
+	partLat         *obs.Histogram
+}
+
+func newAggMetrics(reg *obs.Registry) *aggMetrics {
+	return &aggMetrics{
+		requests:        reg.Counter(metricRequests),
+		errors:          reg.Counter(metricErrors),
+		partialRequests: reg.Counter(metricPartialRequests),
+		partialFailures: reg.Counter(metricPartialFailures),
+		refusals:        reg.Counter(metricRefusals),
+		down:            reg.Counter(metricDown),
+		stale:           reg.Counter(metricStaleServed),
+		cacheEntries:    reg.Gauge(metricCacheEntries),
+		groups:          reg.Gauge(metricGroups),
+		reqLat:          reg.Histogram(metricRequestLatency, obs.LatencyBuckets()),
+		partLat:         reg.Histogram(metricPartialLatency, obs.LatencyBuckets()),
+	}
+}
+
+// group is one shard's replicated serving group: a route.Client over
+// its replicas, with every route_* series labelled shard="index".
+type group struct {
+	index  int
+	client *route.Client
+}
+
+// Aggregator fans POST /predict out to all K shard groups, verifies
+// every partial response against the plan fingerprint, sums the partial
+// margins in shard order with compensated summation, and applies the
+// link function once at the top. Build with NewAggregator, serve
+// Handler, Close to stop the probers.
+type Aggregator struct {
+	cfg    AggregatorConfig
+	plan   Plan
+	groups []*group
+	cache  *route.Cache
+	met    *aggMetrics
+	obs    *obs.Registry
+}
+
+// NewAggregator validates the plan/group wiring and starts one
+// route.Client per shard group.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	plan := cfg.Manifest.Plan
+	groups := cfg.Groups
+	if len(groups) == 0 {
+		groups = cfg.Manifest.Groups
+	}
+	if len(groups) != plan.Shards {
+		return nil, fmt.Errorf("shard: %d replica groups for a %d-shard plan", len(groups), plan.Shards)
+	}
+	met := newAggMetrics(cfg.Obs)
+	met.groups.Set(float64(plan.Shards))
+	a := &Aggregator{
+		cfg:   cfg,
+		plan:  plan,
+		cache: route.NewCache(cfg.CacheSize, met.cacheEntries),
+		met:   met,
+		obs:   cfg.Obs,
+	}
+	for i, addrs := range groups {
+		rcfg := cfg.Route
+		rcfg.Replicas = addrs
+		rcfg.Obs = cfg.Obs.With("shard", strconv.Itoa(i))
+		rcfg.Trace = cfg.Trace
+		rcfg.Seed = cfg.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15
+		cl, err := route.NewClient(rcfg)
+		if err != nil {
+			a.Close()
+			return nil, fmt.Errorf("shard group %d: %w", i, err)
+		}
+		a.groups = append(a.groups, &group{index: i, client: cl})
+	}
+	return a, nil
+}
+
+// Close stops every group's health probers.
+func (a *Aggregator) Close() {
+	for _, g := range a.groups {
+		g.client.Close()
+	}
+}
+
+// Plan returns the aggregator's shard plan.
+func (a *Aggregator) Plan() Plan { return a.plan }
+
+// Group returns shard group i's route client (tests and introspection).
+func (a *Aggregator) Group(i int) *route.Client { return a.groups[i].client }
+
+// Obs returns the aggregator's metric registry.
+func (a *Aggregator) Obs() *obs.Registry { return a.obs }
+
+// Handler returns the route table:
+//
+//	POST /predict  — fan out to all shard groups, sum margins, link once
+//	GET  /healthz  — plan identity plus per-group replica census; reports
+//	                 model_dim as the GLOBAL dim so clients (loadgen)
+//	                 size requests for the whole model
+//	GET  /readyz   — 200 only while every shard group has a routable
+//	                 replica (a plan with a lost group cannot answer live)
+//	GET  /shards   — per-group, per-replica state for debugging
+//	GET  /metrics  — Prometheus text exposition (obs registry)
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", a.handlePredict)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /readyz", a.handleReadyz)
+	mux.HandleFunc("GET /shards", a.handleShards)
+	mux.Handle("GET /metrics", a.obs.Handler())
+	return mux
+}
+
+// shardResponse is the slice of a predserve /predict reply the
+// aggregator consumes.
+type shardResponse struct {
+	ModelVersion    uint64 `json:"model_version"`
+	Kind            string `json:"kind"`
+	Shard           *int   `json:"shard"`
+	Shards          int    `json:"shards"`
+	PlanFingerprint string `json:"plan_fingerprint"`
+	Predictions     []struct {
+		Margin     float64 `json:"margin"`
+		MarginComp float64 `json:"margin_comp"`
+	} `json:"predictions"`
+}
+
+// partial is one group's verified contribution.
+type partial struct {
+	group int
+	resp  shardResponse
+	err   error
+}
+
+func (a *Aggregator) handlePredict(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	a.met.requests.Inc()
+
+	body, err := io.ReadAll(io.LimitReader(req.Body, a.cfg.MaxBodyBytes+1))
+	if err != nil {
+		a.met.errors.Inc()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if int64(len(body)) > a.cfg.MaxBodyBytes {
+		a.met.errors.Inc()
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("shard: body exceeds %d bytes", a.cfg.MaxBodyBytes))
+		return
+	}
+	ctype := req.Header.Get("Content-Type")
+
+	// Parse locally first: a malformed request fails here, once, instead
+	// of K times downstream; and the row count validates every partial.
+	rows, err := serve.ParseRows(ctype, bytes.NewReader(body))
+	if err != nil {
+		a.met.errors.Inc()
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(rows) == 0 {
+		a.met.errors.Inc()
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no rows in request"))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(req.Context(), a.cfg.Deadline)
+	defer cancel()
+
+	// Fan the identical body out to every shard group concurrently; each
+	// group's Client handles its own retries, hedging and eviction.
+	parts := make([]partial, len(a.groups))
+	var wg sync.WaitGroup
+	wg.Add(len(a.groups))
+	for i, g := range a.groups {
+		go func(i int, g *group) {
+			defer wg.Done()
+			parts[i] = a.partial(ctx, g, ctype, body, len(rows))
+		}(i, g)
+	}
+	wg.Wait()
+
+	var down []string
+	for _, p := range parts {
+		if p.err != nil {
+			down = append(down, strconv.Itoa(p.group))
+		}
+	}
+	if len(down) > 0 {
+		a.degrade(w, ctype, body, down, parts)
+		return
+	}
+
+	// All K partials verified: sum margins in shard order, link once.
+	preds := make([]serve.Prediction, len(rows))
+	mp := make([]serve.MarginPart, len(parts))
+	for i := range rows {
+		for gi, p := range parts {
+			mp[gi] = serve.MarginPart{Hi: p.resp.Predictions[i].Margin, Lo: p.resp.Predictions[i].MarginComp}
+		}
+		margin := serve.CombineMargins(mp)
+		preds[i] = serve.Prediction{
+			Margin:       margin,
+			Score:        serve.Link(a.plan.Kind, margin),
+			ModelVersion: parts[0].resp.ModelVersion,
+		}
+	}
+	resp := map[string]any{
+		"model_version":    parts[0].resp.ModelVersion,
+		"kind":             a.plan.Kind,
+		"shards":           a.plan.Shards,
+		"plan_fingerprint": a.plan.Fingerprint,
+		"predictions":      preds,
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		a.met.errors.Inc()
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	a.met.reqLat.Observe(time.Since(start).Seconds())
+	a.cache.Put(route.CacheKey(ctype, body), parts[0].resp.ModelVersion, out)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
+// partial sends the request to one shard group and verifies the answer
+// belongs to this plan. Any verification failure is treated exactly
+// like a lost group: it must never be summed.
+func (a *Aggregator) partial(ctx context.Context, g *group, ctype string, body []byte, rows int) partial {
+	t0 := time.Now()
+	a.met.partialRequests.Inc()
+	out := g.client.Do(ctx, "/predict", ctype, body)
+	p := partial{group: g.index}
+	switch {
+	case !out.Final:
+		p.err = out.Err
+		if p.err == nil {
+			p.err = fmt.Errorf("shard %d: replica answered %d", g.index, out.Status)
+		}
+	case out.Status != http.StatusOK:
+		p.err = fmt.Errorf("shard %d: status %d", g.index, out.Status)
+	default:
+		if err := json.Unmarshal(out.Body, &p.resp); err != nil {
+			p.err = fmt.Errorf("shard %d: bad response: %w", g.index, err)
+			break
+		}
+		switch {
+		case p.resp.PlanFingerprint != a.plan.Fingerprint:
+			a.met.refusals.Inc()
+			p.err = fmt.Errorf("shard %d: plan fingerprint %q, want %q — refusing to sum margins across plans",
+				g.index, p.resp.PlanFingerprint, a.plan.Fingerprint)
+		case p.resp.Shard == nil || *p.resp.Shard != g.index || p.resp.Shards != a.plan.Shards:
+			a.met.refusals.Inc()
+			p.err = fmt.Errorf("shard %d: replica identifies as shard %v of %d", g.index, p.resp.Shard, p.resp.Shards)
+		case len(p.resp.Predictions) != rows:
+			p.err = fmt.Errorf("shard %d: %d predictions for %d rows", g.index, len(p.resp.Predictions), rows)
+		}
+	}
+	if p.err != nil {
+		a.met.partialFailures.Inc()
+	} else {
+		a.met.partLat.Observe(time.Since(t0).Seconds())
+	}
+	return p
+}
+
+// degrade answers a request that lost at least one shard group: a stale
+// cached aggregate when one exists (explicitly marked), otherwise a 503
+// naming the lost groups. A partial margin is never an option.
+func (a *Aggregator) degrade(w http.ResponseWriter, ctype string, body []byte, down []string, parts []partial) {
+	a.met.down.Inc()
+	if cached, version, ok := a.cache.Get(route.CacheKey(ctype, body)); ok {
+		a.met.stale.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(HeaderStale, "true")
+		w.Header().Set(HeaderShardDown, strings.Join(down, ","))
+		w.WriteHeader(http.StatusOK)
+		w.Write(route.StaleBody(cached, version))
+		return
+	}
+	a.met.errors.Inc()
+	var reasons []string
+	for _, p := range parts {
+		if p.err != nil {
+			reasons = append(reasons, p.err.Error())
+		}
+	}
+	w.Header().Set(HeaderShardDown, strings.Join(down, ","))
+	httpError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("shard groups down: %s", strings.Join(reasons, "; ")))
+}
+
+// handleHealthz reports the plan and a per-group replica census. It
+// intentionally reports model_dim as the plan's global dimension: a
+// client sizing requests from /healthz (cmd/loadgen) must generate
+// whole-model rows, not shard-local ones.
+func (a *Aggregator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	groups := make([]map[string]any, len(a.groups))
+	for i, g := range a.groups {
+		counts := make(map[string]int, 4)
+		for _, rep := range g.client.Pool().Replicas() {
+			counts[rep.State().String()]++
+		}
+		lo, hi := a.plan.Range(i)
+		groups[i] = map[string]any{
+			"shard":    i,
+			"range":    []int{lo, hi},
+			"replicas": counts,
+			"routable": g.client.Pool().AnyRoutable(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"model_kind":       a.plan.Kind,
+		"model_dim":        a.plan.Dim,
+		"global_dim":       a.plan.Dim,
+		"shards":           a.plan.Shards,
+		"plan_fingerprint": a.plan.Fingerprint,
+		"groups":           groups,
+	})
+}
+
+// handleReadyz is 200 only while every shard group has a routable
+// replica: a plan missing any group cannot produce a complete margin,
+// so the aggregator reports itself unready rather than degrade-by-default.
+func (a *Aggregator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	var down []string
+	for i, g := range a.groups {
+		if !g.client.Pool().AnyRoutable() {
+			down = append(down, strconv.Itoa(i))
+		}
+	}
+	if len(down) > 0 {
+		w.Header().Set(HeaderShardDown, strings.Join(down, ","))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":      "shard groups down",
+			"shards_down": down,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+func (a *Aggregator) handleShards(w http.ResponseWriter, _ *http.Request) {
+	out := make([]map[string]any, len(a.groups))
+	for i, g := range a.groups {
+		reps := make([]route.ReplicaStatus, 0, len(g.client.Pool().Replicas()))
+		for _, rep := range g.client.Pool().Replicas() {
+			reps = append(reps, rep.Status())
+		}
+		lo, hi := a.plan.Range(i)
+		out[i] = map[string]any{"shard": i, "range": []int{lo, hi}, "replicas": reps}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"groups": out})
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,422 @@
+// The sharded-serving acceptance tests: train a real model, serve it
+// unsharded and as a 3-shard × 2-replica sharded fleet, and prove
+//
+//  1. sharded predictions are bitwise-identical to unsharded ones over a
+//     fixed request corpus,
+//  2. a mid-run replica hard-kill costs zero failed requests and fires
+//     the per-shard eviction/retry machinery,
+//  3. losing a whole shard group degrades explicitly — stale cache or a
+//     503 carrying X-Tpascd-Shard-Down — never a truncated margin, and
+//  4. a shard from a different plan is refused at aggregation time.
+package shard_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpascd"
+	"tpascd/internal/backoff"
+	"tpascd/internal/obs"
+	"tpascd/internal/rng"
+	"tpascd/internal/route"
+	"tpascd/internal/shard"
+)
+
+// trainCheckpoint trains a small ridge model on synthetic webspam-like
+// data and saves it as a serving checkpoint, returning its path and dim.
+func trainCheckpoint(t *testing.T, dir string) (path string, dim int) {
+	t.Helper()
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: 400, M: 101, AvgNNZPerRow: 12, Skew: 1, NoiseRate: 0.05, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tpascd.NewSequentialSolver(p, tpascd.Primal, 1)
+	tpascd.Train(s, 3, nil)
+	w := make([]float32, len(s.Model()))
+	copy(w, s.Model())
+	path = filepath.Join(dir, "model.ckpt")
+	if err := tpascd.SaveCheckpointFile(path, tpascd.Checkpoint{
+		Kind: tpascd.KindRidge, Dim: len(w), Vectors: [][]float32{w},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(w)
+}
+
+// replica is one real predserve-equivalent on a TCP listener, so the
+// chaos runs can hard-kill it (connections torn down, nothing drained).
+type replica struct {
+	addr string
+	hsrv *http.Server
+	ssrv *tpascd.PredictionServer
+}
+
+func startReplica(t *testing.T, ckptPath string) *replica {
+	t.Helper()
+	reg := tpascd.NewModelRegistry()
+	if _, err := reg.LoadFile(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	ssrv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv := &http.Server{Handler: ssrv.Handler()}
+	go hsrv.Serve(ln)
+	r := &replica{addr: ln.Addr().String(), hsrv: hsrv, ssrv: ssrv}
+	t.Cleanup(r.kill)
+	return r
+}
+
+// kill is the in-process equivalent of SIGKILL: listener and in-flight
+// connections torn down immediately.
+func (r *replica) kill() {
+	r.hsrv.Close()
+	r.ssrv.Close()
+}
+
+// shardedFleet is the full K=3 × M=2 topology plus its aggregator.
+type shardedFleet struct {
+	agg      *shard.Aggregator
+	front    *httptest.Server
+	replicas [][]*replica // [shard][replica]
+}
+
+func startShardedFleet(t *testing.T, man shard.Manifest, dir string) *shardedFleet {
+	t.Helper()
+	f := &shardedFleet{}
+	groups := make([][]string, man.Shards)
+	for i := 0; i < man.Shards; i++ {
+		var reps []*replica
+		for m := 0; m < 2; m++ {
+			reps = append(reps, startReplica(t, filepath.Join(dir, man.Files[i])))
+		}
+		f.replicas = append(f.replicas, reps)
+		groups[i] = []string{reps[0].addr, reps[1].addr}
+	}
+	agg, err := shard.NewAggregator(shard.AggregatorConfig{
+		Manifest: man,
+		Groups:   groups,
+		Route: route.Config{
+			Probe: route.ProbeConfig{
+				Interval:           10 * time.Millisecond,
+				Timeout:            500 * time.Millisecond,
+				FailThreshold:      2,
+				ProbationSuccesses: 2,
+				Backoff:            backoff.Policy{Initial: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+			},
+			MaxAttempts: 3,
+			RetryBudget: 0.5,
+			HedgeBudget: 1,
+			HedgeDelay:  5 * time.Millisecond,
+			HedgeMin:    time.Millisecond,
+			HedgeMax:    10 * time.Millisecond,
+			Deadline:    2 * time.Second,
+		},
+		Deadline: 5 * time.Second,
+		Obs:      obs.NewRegistry(),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agg.Close)
+	f.agg = agg
+	f.front = httptest.NewServer(agg.Handler())
+	t.Cleanup(f.front.Close)
+	return f
+}
+
+// corpus builds a fixed set of request bodies spanning the global
+// coordinate space.
+func corpus(dim, n int) []string {
+	r := rng.New(31)
+	bodies := make([]string, n)
+	for i := range bodies {
+		nnz := 1 + int(r.Float64()*20)
+		seen := map[int]bool{}
+		var idx []int
+		for len(idx) < nnz {
+			j := int(r.Float64() * float64(dim))
+			if j >= dim || seen[j] {
+				continue
+			}
+			seen[j] = true
+			idx = append(idx, j)
+		}
+		for a := 1; a < len(idx); a++ {
+			for b := a; b > 0 && idx[b] < idx[b-1]; b-- {
+				idx[b], idx[b-1] = idx[b-1], idx[b]
+			}
+		}
+		is := make([]string, len(idx))
+		vs := make([]string, len(idx))
+		for k, j := range idx {
+			is[k] = fmt.Sprint(j)
+			vs[k] = fmt.Sprintf("%.6g", r.Float64()*4-2)
+		}
+		bodies[i] = fmt.Sprintf(`{"indices":[%s],"values":[%s]}`,
+			strings.Join(is, ","), strings.Join(vs, ","))
+	}
+	return bodies
+}
+
+type reply struct {
+	status    int
+	stale     bool
+	shardDown string
+	margins   []float64
+	scores    []float64
+	body      string
+}
+
+func post(t *testing.T, base, body string) reply {
+	t.Helper()
+	resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /predict: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	var parsed struct {
+		Stale       bool `json:"stale"`
+		Predictions []struct {
+			Margin float64 `json:"margin"`
+			Score  float64 `json:"score"`
+		} `json:"predictions"`
+	}
+	json.Unmarshal(raw, &parsed)
+	r := reply{
+		status:    resp.StatusCode,
+		stale:     parsed.Stale || resp.Header.Get(shard.HeaderStale) == "true",
+		shardDown: resp.Header.Get(shard.HeaderShardDown),
+		body:      string(raw),
+	}
+	for _, p := range parsed.Predictions {
+		r.margins = append(r.margins, p.Margin)
+		r.scores = append(r.scores, p.Score)
+	}
+	return r
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestE2EShardedParityAndChaos(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, dim := trainCheckpoint(t, dir)
+
+	man, err := tpascd.SplitServingCheckpoint(ckpt, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsharded reference server.
+	whole := startReplica(t, ckpt)
+	// Sharded fleet: 3 shard groups × 2 replicas + aggregator.
+	fleet := startShardedFleet(t, man, dir)
+
+	// --- Acceptance 1: bitwise parity over a fixed corpus. ---
+	bodies := corpus(dim, 40)
+	for i, body := range bodies {
+		ref := post(t, "http://"+whole.addr, body)
+		got := post(t, fleet.front.URL, body)
+		if ref.status != http.StatusOK || got.status != http.StatusOK {
+			t.Fatalf("corpus %d: status unsharded=%d sharded=%d (%s)", i, ref.status, got.status, got.body)
+		}
+		if len(ref.margins) != 1 || len(got.margins) != 1 {
+			t.Fatalf("corpus %d: prediction counts %d/%d", i, len(ref.margins), len(got.margins))
+		}
+		if math.Float64bits(ref.margins[0]) != math.Float64bits(got.margins[0]) {
+			t.Fatalf("corpus %d: margin differs — unsharded %x (%v), sharded %x (%v)",
+				i, math.Float64bits(ref.margins[0]), ref.margins[0],
+				math.Float64bits(got.margins[0]), got.margins[0])
+		}
+		if math.Float64bits(ref.scores[0]) != math.Float64bits(got.scores[0]) {
+			t.Fatalf("corpus %d: score differs: %v vs %v", i, ref.scores[0], got.scores[0])
+		}
+	}
+
+	// --- Acceptance 2: hard-kill one replica of one shard mid-run; zero
+	// failed requests, nonzero per-shard eviction and retry counters. ---
+	const workers = 8
+	const perWorker = 50
+	var done atomic.Int64
+	var mu sync.Mutex
+	var failed []string
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := post(t, fleet.front.URL, bodies[(w+i)%len(bodies)])
+				if r.status != http.StatusOK {
+					mu.Lock()
+					failed = append(failed, fmt.Sprintf("worker %d req %d: status %d body %s", w, i, r.status, r.body))
+					mu.Unlock()
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+	waitFor(t, "a quarter of the chaos traffic", func() bool { return done.Load() >= workers*perWorker/4 })
+	fleet.replicas[1][0].kill() // one replica of shard group 1, mid-run
+	wg.Wait()
+
+	if len(failed) > 0 {
+		t.Fatalf("%d failed requests after a single-replica kill; first: %s", len(failed), failed[0])
+	}
+	gm := fleet.agg.Group(1).Metrics()
+	if gm.Evictions() == 0 {
+		t.Fatal("killed replica of shard group 1 never evicted")
+	}
+	var retries int64
+	for i := 0; i < man.Shards; i++ {
+		retries += fleet.agg.Group(i).Metrics().Retries()
+	}
+	if retries == 0 {
+		t.Fatal("no retries across a mid-run replica kill")
+	}
+	t.Logf("chaos run: %d requests, 0 failed, group1 evictions=%d, total retries=%d",
+		done.Load(), gm.Evictions(), retries)
+
+	// The per-shard series are visible on the exposition page for
+	// external scrapers (the CI smoke greps exactly these).
+	resp, err := http.Get(fleet.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`route_evictions_total{shard="1"}`, "shard_partial_requests_total"} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+
+	// --- Acceptance 3: losing a WHOLE shard group degrades explicitly.
+	// A primed key answers stale and marked; a cold key answers 503 with
+	// X-Tpascd-Shard-Down. Neither ever yields a partial margin. ---
+	fleet.replicas[2][0].kill()
+	fleet.replicas[2][1].kill()
+	waitFor(t, "shard group 2 fully evicted", func() bool {
+		return !fleet.agg.Group(2).Pool().AnyRoutable()
+	})
+	hot := post(t, fleet.front.URL, bodies[0])
+	if hot.status != http.StatusOK || !hot.stale || hot.shardDown == "" {
+		t.Fatalf("hot key during group loss: status=%d stale=%v shard-down=%q body=%s",
+			hot.status, hot.stale, hot.shardDown, hot.body)
+	}
+	cold := post(t, fleet.front.URL, fmt.Sprintf(`{"indices":[%d],"values":[123.0]}`, dim-1))
+	if cold.status != http.StatusServiceUnavailable || cold.shardDown == "" {
+		t.Fatalf("cold key during group loss: status=%d shard-down=%q body=%s", cold.status, cold.shardDown, cold.body)
+	}
+	// Readiness reflects the lost group.
+	rz, err := http.Get(fleet.front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rz.Body)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable || rz.Header.Get(shard.HeaderShardDown) == "" {
+		t.Fatalf("/readyz with a lost group: status=%d shard-down=%q", rz.StatusCode, rz.Header.Get(shard.HeaderShardDown))
+	}
+}
+
+// TestE2EAggregatorRefusesForeignShard proves the fingerprint rail: an
+// aggregator whose group serves a shard of a DIFFERENT model (same kind,
+// same dim, same shard count — only the weights differ) refuses to sum
+// its margins rather than produce plausible garbage.
+func TestE2EAggregatorRefusesForeignShard(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, dim := trainCheckpoint(t, dir)
+	man, err := tpascd.SplitServingCheckpoint(ckpt, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second model of identical shape, split under its own plan.
+	r := rng.New(5)
+	w := make([]float32, dim)
+	for i := range w {
+		w[i] = float32(r.Float64()*2 - 1)
+	}
+	foreignDir := t.TempDir()
+	foreign := filepath.Join(foreignDir, "model.ckpt")
+	if err := tpascd.SaveCheckpointFile(foreign, tpascd.Checkpoint{
+		Kind: tpascd.KindRidge, Dim: dim, Vectors: [][]float32{w},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fman, err := tpascd.SplitServingCheckpoint(foreign, foreignDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fman.Fingerprint == man.Fingerprint {
+		t.Fatal("distinct models share a plan fingerprint")
+	}
+
+	// Groups 0/1 serve the right shards; group 2 serves the foreign one.
+	groups := [][]string{
+		{startReplica(t, filepath.Join(dir, man.Files[0])).addr},
+		{startReplica(t, filepath.Join(dir, man.Files[1])).addr},
+		{startReplica(t, filepath.Join(foreignDir, fman.Files[2])).addr},
+	}
+	agg, err := shard.NewAggregator(shard.AggregatorConfig{
+		Manifest: man,
+		Groups:   groups,
+		Route:    route.Config{Deadline: time.Second},
+		Obs:      obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	front := httptest.NewServer(agg.Handler())
+	defer front.Close()
+
+	got := post(t, front.URL, `{"indices":[0,1],"values":[1,1]}`)
+	if got.status != http.StatusServiceUnavailable {
+		t.Fatalf("foreign shard accepted: status=%d body=%s", got.status, got.body)
+	}
+	if got.shardDown != "2" {
+		t.Fatalf("X-Tpascd-Shard-Down = %q, want \"2\"", got.shardDown)
+	}
+	if !strings.Contains(got.body, "fingerprint") {
+		t.Fatalf("refusal does not name the fingerprint mismatch: %s", got.body)
+	}
+}

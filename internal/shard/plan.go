@@ -1,0 +1,162 @@
+// Package shard is the model-parallel serving tier: it partitions a
+// checkpoint's weight vector into K contiguous coordinate ranges, serves
+// each range from its own predserve shard group (each group replicated
+// and health-managed by an internal/route Client), and aggregates
+// predictions by fanning a request out to every group, summing the
+// partial margins, and applying the model kind's link function only at
+// the top.
+//
+// Why this is exact and not an approximation: a linear model's margin is
+// ⟨w, x⟩ = Σ_j w_j·x_j, and a partition of the coordinates partitions
+// the sum — each shard computes its range's partial dot product and the
+// aggregator adds them. With compensated summation on both sides (see
+// serve.MarginParts / serve.CombineMargins) the sharded margin equals
+// the unsharded one bit for bit, which the e2e parity test pins.
+//
+// The safety rail is the plan fingerprint: every shard checkpoint
+// carries a hash of (kind, dim, shard count, all weight bits), every
+// shard server reports it, and the aggregator refuses to sum margins
+// from mismatched fingerprints — mixing shards of two models, or of two
+// versions of one model, fails loudly instead of producing a plausible
+// garbage margin. Losing a whole shard group mid-request degrades
+// explicitly too: a stale cached answer (marked X-Tpascd-Stale) or a 503
+// with X-Tpascd-Shard-Down, never a silently truncated margin.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tpascd/internal/checkpoint"
+)
+
+// Plan is the deterministic assignment of model coordinates to shards:
+// shard i of Shards owns checkpoint.ShardRange(Dim, Shards, i). The
+// fingerprint ties a plan to the exact model content it partitioned, so
+// shard sets from different models or different cuts refuse to mix.
+type Plan struct {
+	// Kind is the model kind every shard serves (the link function the
+	// aggregator applies at the top).
+	Kind string `json:"kind"`
+	// Dim is the global model dimension — what clients size requests
+	// against, not any one shard's slice.
+	Dim int `json:"dim"`
+	// Shards is the number of coordinate ranges.
+	Shards int `json:"shards"`
+	// Fingerprint is checkpoint.Fingerprint of the original model under
+	// this shard count.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// NewPlan computes the plan for cutting a serving checkpoint into
+// shards ranges.
+func NewPlan(c checkpoint.Checkpoint, shards int) (Plan, error) {
+	if len(c.Vectors) != 1 {
+		return Plan{}, fmt.Errorf("shard: plan wants a serving checkpoint with one vector, got %d", len(c.Vectors))
+	}
+	dim := len(c.Vectors[0])
+	if shards < 1 || shards > dim {
+		return Plan{}, fmt.Errorf("shard: %d shards over %d coordinates", shards, dim)
+	}
+	return Plan{
+		Kind:        c.Kind,
+		Dim:         dim,
+		Shards:      shards,
+		Fingerprint: checkpoint.Fingerprint(c, shards),
+	}, nil
+}
+
+// Range returns shard i's coordinate range [lo, hi).
+func (p Plan) Range(i int) (lo, hi int) {
+	return checkpoint.ShardRange(p.Dim, p.Shards, i)
+}
+
+// Manifest is the on-disk record of one shardsplit: the plan, the shard
+// checkpoint files (in shard order, relative to the manifest's
+// directory), and optionally the replica addresses of each shard group
+// for the aggregator.
+type Manifest struct {
+	Plan
+	// Files are the shard checkpoint paths, index-aligned with the plan.
+	Files []string `json:"files"`
+	// Groups holds each shard group's replica addresses (host:port or
+	// URL), index-aligned with the plan; may be empty at split time and
+	// filled in by deployment, or supplied to the aggregator directly.
+	Groups [][]string `json:"groups,omitempty"`
+}
+
+// Validate checks the manifest's internal consistency.
+func (m Manifest) Validate() error {
+	if m.Shards < 1 {
+		return fmt.Errorf("shard: manifest has %d shards", m.Shards)
+	}
+	if m.Fingerprint == "" {
+		return fmt.Errorf("shard: manifest has no plan fingerprint")
+	}
+	if len(m.Files) != 0 && len(m.Files) != m.Shards {
+		return fmt.Errorf("shard: manifest lists %d files for %d shards", len(m.Files), m.Shards)
+	}
+	if len(m.Groups) != 0 && len(m.Groups) != m.Shards {
+		return fmt.Errorf("shard: manifest lists %d groups for %d shards", len(m.Groups), m.Shards)
+	}
+	return nil
+}
+
+// WriteManifest writes the manifest as JSON (atomically, tmp+rename,
+// matching checkpoint.SaveFile's crash discipline).
+func WriteManifest(path string, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("shard: parsing manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// SplitCheckpoint cuts the checkpoint at ckptPath into shards shard
+// checkpoints in outDir and writes the manifest alongside them as
+// "manifest.json". This is the shardsplit operation cmd/shardsplit
+// fronts; the shard files land via checkpoint.SplitFile (atomic saves,
+// MetaShard* identity on each).
+func SplitCheckpoint(ckptPath, outDir string, shards int) (Manifest, error) {
+	files, orig, err := checkpoint.SplitFile(ckptPath, outDir, shards)
+	if err != nil {
+		return Manifest{}, err
+	}
+	plan, err := NewPlan(orig, shards)
+	if err != nil {
+		return Manifest{}, err
+	}
+	m := Manifest{Plan: plan}
+	for _, f := range files {
+		m.Files = append(m.Files, filepath.Base(f))
+	}
+	if err := WriteManifest(filepath.Join(outDir, "manifest.json"), m); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,65 @@
+package tpascd
+
+import (
+	"tpascd/internal/checkpoint"
+	"tpascd/internal/shard"
+)
+
+// Sharding: when the model outgrows one process, its weight vector is
+// partitioned into K contiguous coordinate ranges through this façade
+// over internal/shard — shardsplit cuts a checkpoint into K shard
+// checkpoints plus a manifest, each shard group serves its range from
+// ordinary predserve replicas, and a ShardAggregator fans every
+// /predict out to all groups, sums the partial margins exactly, and
+// applies the model kind's link function once at the top. See
+// cmd/shardsplit and predrouter -shards for the runnable pieces and
+// DESIGN.md §11 for the plan/fingerprint/degradation contract.
+
+// ShardPlan is the deterministic coordinate partition: shard i of K
+// owns [i·dim/K, (i+1)·dim/K), fingerprinted against the exact model
+// content so mismatched shard sets refuse to aggregate.
+type ShardPlan = shard.Plan
+
+// ShardManifest records one shardsplit: the plan, the shard checkpoint
+// files, and optionally each shard group's replica addresses.
+type ShardManifest = shard.Manifest
+
+// ShardAggregator is the fan-out serving tier over K shard groups.
+type ShardAggregator = shard.Aggregator
+
+// ShardAggregatorConfig tunes the aggregator; its Route field is the
+// per-group RouterConfig template (probes, budgets, chaos transport).
+type ShardAggregatorConfig = shard.AggregatorConfig
+
+// Degradation markers on aggregator responses: HeaderShardDown lists
+// lost shard groups on a 503 (or alongside a stale answer), HeaderStale
+// marks an answer served from the stale cache.
+const (
+	HeaderShardDown = shard.HeaderShardDown
+	HeaderStale     = shard.HeaderStale
+)
+
+// SplitServingCheckpoint cuts the checkpoint file into shards shard
+// checkpoints in outDir and writes manifest.json alongside them.
+func SplitServingCheckpoint(ckptPath, outDir string, shards int) (ShardManifest, error) {
+	return shard.SplitCheckpoint(ckptPath, outDir, shards)
+}
+
+// MergeShardCheckpoints reassembles shard checkpoint files into the
+// original checkpoint at outPath — bitwise identical to what was split.
+func MergeShardCheckpoints(outPath string, paths ...string) error {
+	return checkpoint.MergeFiles(outPath, paths...)
+}
+
+// LoadShardManifest reads and validates a manifest file.
+func LoadShardManifest(path string) (ShardManifest, error) { return shard.LoadManifest(path) }
+
+// WriteShardManifest writes a manifest atomically.
+func WriteShardManifest(path string, m ShardManifest) error { return shard.WriteManifest(path, m) }
+
+// NewShardAggregator starts one health-probed replica-group client per
+// shard and returns the fan-out tier. Serve its Handler with net/http;
+// Close stops the probers.
+func NewShardAggregator(cfg ShardAggregatorConfig) (*ShardAggregator, error) {
+	return shard.NewAggregator(cfg)
+}
