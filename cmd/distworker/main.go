@@ -47,6 +47,23 @@
 // dist.gap) as JSON lines, each stamped with the run ID and rank. Point
 // obsreport at the per-rank files of one run for a merged timeline and
 // compute/communication breakdown.
+//
+// Shard-native output: with -form primal -partition contiguous, rank r
+// of K owns exactly the coordinate range serving shard r-of-K covers,
+// so -shard-out DIR publishes each rank's trained slice directly as a
+// serving shard checkpoint — atomic save, MetaShard* identity, the plan
+// fingerprint computed cooperatively over the cluster (no process ever
+// holds the whole weight vector) — and rank 0 writes manifest.json
+// after a barrier confirms every shard file is on disk. The directory
+// is immediately servable by predserve -shard/-manifest and
+// predrouter -shards, with no shardsplit step:
+//
+//	distworker -rank 0 -size 3 -listen 127.0.0.1:7777 \
+//	  -form primal -partition contiguous -shard-out /srv/model
+//	distworker -rank 1 -size 3 -addr 127.0.0.1:7777 \
+//	  -form primal -partition contiguous -shard-out /srv/model
+//	...
+//	predrouter -shards /srv/model/manifest.json ...
 package main
 
 import (
@@ -55,6 +72,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"tpascd"
@@ -99,6 +117,8 @@ func main() {
 	nnz := flag.Int("nnz", 32, "average non-zeros per example")
 	lambda := flag.Float64("lambda", 0.001, "regularization λ")
 	solverFlag := flag.String("solver", "scd", "local CPU solver: scd | a-scd | wild | syscd")
+	partitionFlag := flag.String("partition", "random", "coordinate partition: random | contiguous")
+	shardOut := flag.String("shard-out", "", "directory to publish this rank's trained slice as serving shard rank-of-size (requires -form primal -partition contiguous); rank 0 also writes manifest.json")
 	threads := flag.Int("threads", 1, "threads for a-scd/wild/syscd locals")
 	bucket := flag.Int("bucket", 0, "syscd bucket size in coordinates (0: one cache line of weights)")
 	seed := flag.Uint64("seed", 1, "shared dataset/partition seed (must agree across ranks)")
@@ -139,6 +159,27 @@ func main() {
 	}
 	if *formFlag != "primal" && *formFlag != "dual" {
 		fatal(fmt.Errorf("-form %q (want 'primal' or 'dual')", *formFlag))
+	}
+	if *partitionFlag != "random" && *partitionFlag != "contiguous" {
+		fatal(fmt.Errorf("-partition %q: supported partitions are 'random', 'contiguous'", *partitionFlag))
+	}
+	if *shardOut != "" {
+		// Shard-out publishes each rank's local model as serving shard
+		// rank-of-size, which is only meaningful when that model IS a
+		// contiguous slice of the serving weight vector: the primal form
+		// (model = β over features; the dual form's serving weights live
+		// in the shared vector, which every rank holds whole) under the
+		// contiguous partition (a random partition's slice is not a shard
+		// range). Reject everything else up front.
+		if *formFlag != "primal" || *partitionFlag != "contiguous" {
+			fatal(fmt.Errorf("-shard-out requires -form primal -partition contiguous (got -form %s -partition %s); no other combination maps a rank's model onto a serving shard range", *formFlag, *partitionFlag))
+		}
+		// Same atomic-save discipline as -checkpoint: shard files land via
+		// temp+fsync+rename inside a directory. A path that exists as a
+		// plain file cannot get those semantics.
+		if fi, err := os.Stat(*shardOut); err == nil && !fi.IsDir() {
+			fatal(fmt.Errorf("-shard-out %s exists and is not a directory (shard checkpoints are saved atomically into a directory)", *shardOut))
+		}
 	}
 	// Resolve the solver through the engine registry now: a typo should
 	// fail before the dataset is generated or the cluster assembles, and
@@ -209,6 +250,9 @@ func main() {
 		numCoords = p.M
 	}
 	parts := tpascd.PartitionRandom(numCoords, *size, *seed)
+	if *partitionFlag == "contiguous" {
+		parts = tpascd.PartitionContiguous(numCoords, *size)
+	}
 
 	commCfg := tpascd.DefaultCommConfig()
 	commCfg.CollectiveTimeout = *timeout
@@ -293,13 +337,14 @@ func main() {
 	}
 
 	// The checkpoint kind ties a file to one rank of one run shape — the
-	// local solver included, since the permutation stream a resume must
-	// replay depends on the driver — so a rank cannot silently resume from
-	// another rank's (or another configuration's) state.
-	ckptKind := fmt.Sprintf("distworker-%s-%s-r%d-of%d-seed%d", *formFlag, solverName, *rank, *size, *seed)
+	// local solver and partition included, since the permutation stream a
+	// resume must replay and the coordinates a rank owns depend on them —
+	// so a rank cannot silently resume from another rank's (or another
+	// configuration's) state.
+	ckptKind := fmt.Sprintf("distworker-%s-%s-%s-r%d-of%d-seed%d", *formFlag, solverName, *partitionFlag, *rank, *size, *seed)
 	start := 0
 	if *resume {
-		model, epoch, err := loadCheckpoint(*ckptPath, ckptKind)
+		model, epoch, err := loadCheckpoint(*ckptPath, ckptKind, *rank)
 		if err != nil {
 			fatal(fmt.Errorf("resume: %w", err))
 		}
@@ -319,7 +364,7 @@ func main() {
 		}
 		if *ckptPath != "" && (e%*ckptEvery == 0 || e == *epochs) {
 			model, epoch := w.Snapshot()
-			if err := saveCheckpoint(*ckptPath, ckptKind, model, epoch); err != nil {
+			if err := saveCheckpoint(*ckptPath, ckptKind, model, epoch, *rank, runHex); err != nil {
 				fatal(fmt.Errorf("checkpoint at epoch %d: %w", e, err))
 			}
 		}
@@ -327,6 +372,11 @@ func main() {
 	gap, err := w.Gap()
 	if err != nil {
 		fatal(err)
+	}
+	if *shardOut != "" {
+		if err := publishShard(comm, w, *shardOut, numCoords, *rank, *size); err != nil {
+			fatal(fmt.Errorf("shard-out: %w", err))
+		}
 	}
 	// One machine-parseable result line per rank.
 	fmt.Printf("RESULT rank=%d gap=%.6e gamma=%.4f\n", *rank, gap, w.Gamma())
@@ -339,23 +389,75 @@ func main() {
 	}
 }
 
-// saveCheckpoint persists model+epoch through checkpoint.SaveFile (atomic
+// saveCheckpoint persists the model through checkpoint.SaveFile (atomic
 // temp file + fsync + rename, so a crash mid-save leaves the previous
-// checkpoint intact).
-func saveCheckpoint(path, kind string, model []float32, epoch int) error {
-	c := checkpoint.Checkpoint{Kind: kind, Dim: len(model), Vectors: [][]float32{model, {float32(epoch)}}}
+// checkpoint intact), with the resume position — epoch, rank, run ID —
+// stamped into the v3 meta block rather than smuggled as extra vectors.
+func saveCheckpoint(path, kind string, model []float32, epoch, rank int, run string) error {
+	c := checkpoint.Checkpoint{Kind: kind, Dim: len(model), Vectors: [][]float32{model}}
+	checkpoint.TrainState{Epoch: epoch, Rank: rank, Run: run}.Stamp(&c)
 	return checkpoint.SaveFile(path, c)
 }
 
-func loadCheckpoint(path, kind string) (model []float32, epoch int, err error) {
+func loadCheckpoint(path, kind string, rank int) (model []float32, epoch int, err error) {
 	c, err := checkpoint.LoadFile(path, kind)
 	if err != nil {
 		return nil, 0, err
 	}
-	if len(c.Vectors) != 2 || len(c.Vectors[1]) != 1 {
-		return nil, 0, fmt.Errorf("checkpoint %s: unexpected layout (%d vectors)", path, len(c.Vectors))
+	st, ok, err := checkpoint.TrainStateOf(c)
+	if err != nil {
+		return nil, 0, err
 	}
-	return c.Vectors[0], int(c.Vectors[1][0]), nil
+	if !ok || len(c.Vectors) != 1 {
+		return nil, 0, fmt.Errorf("checkpoint %s: no train state in the meta block (%d vectors, %d meta entries)", path, len(c.Vectors), len(c.Meta))
+	}
+	if st.Rank != rank {
+		return nil, 0, fmt.Errorf("checkpoint %s was written by rank %d, this is rank %d", path, st.Rank, rank)
+	}
+	return c.Vectors[0], st.Epoch, nil
+}
+
+// publishShard saves this rank's trained primal slice as serving shard
+// rank-of-size in dir, fingerprinting the (never-materialized) full
+// model cooperatively, and has rank 0 write the manifest once a barrier
+// confirms every shard file is on disk — so a reader that sees
+// manifest.json can load every file it names.
+func publishShard(comm tpascd.Comm, w *tpascd.Worker, dir string, dim, rank, size int) error {
+	model, _ := w.Snapshot()
+	fp, err := tpascd.CooperativeShardFingerprint(comm, tpascd.KindRidge, dim, model)
+	if err != nil {
+		return err
+	}
+	sc, err := tpascd.NewShardCheckpoint(tpascd.KindRidge, dim, size, rank, model, fp)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file := tpascd.ShardCheckpointFileName("model.ckpt", rank, size)
+	if err := checkpoint.SaveFile(filepath.Join(dir, file), sc); err != nil {
+		return err
+	}
+	fmt.Printf("SHARD rank=%d file=%s fingerprint=%s\n", rank, file, fp)
+	if err := comm.Barrier(); err != nil {
+		return fmt.Errorf("awaiting peer shards: %w", err)
+	}
+	if rank != 0 {
+		return nil
+	}
+	m := tpascd.ShardManifest{
+		Plan: tpascd.ShardPlan{Kind: tpascd.KindRidge, Dim: dim, Shards: size, Fingerprint: fp},
+	}
+	for i := 0; i < size; i++ {
+		m.Files = append(m.Files, tpascd.ShardCheckpointFileName("model.ckpt", i, size))
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := tpascd.WriteShardManifest(path, m); err != nil {
+		return err
+	}
+	fmt.Printf("MANIFEST %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

@@ -141,6 +141,24 @@ func PartitionRandom(n, k int, seed uint64) [][]int {
 	return dist.PartitionRandom(n, k, seed)
 }
 
+// PartitionContiguous assigns n coordinates to k workers as contiguous
+// near-equal ranges — rank r owns [r·n/k, (r+1)·n/k), exactly the range
+// serving shard r of k covers, which is what lets distworker -shard-out
+// publish each rank's primal model slice directly as a serving shard.
+func PartitionContiguous(n, k int) [][]int {
+	return dist.PartitionContiguous(n, k)
+}
+
+// CooperativeShardFingerprint computes the shard-plan fingerprint of a
+// model partitioned contiguously across the comm's ranks, each rank
+// contributing only the digest of its own slice — no process ever holds
+// the whole vector. All ranks must call it collectively; the result
+// equals the Fingerprint a single process would compute from the merged
+// model.
+func CooperativeShardFingerprint(comm Comm, kind string, dim int, slice []float32) (string, error) {
+	return dist.CooperativeFingerprint(comm, kind, dim, slice)
+}
+
 // NewWorker builds one distributed rank from a communicator, a local
 // solver over its partition and the matching view.
 func NewWorker(comm Comm, local dist.Local, view *CoordinateView, cfg ClusterConfig) (*Worker, error) {

@@ -11,15 +11,13 @@
 package checkpoint
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"fmt"
-	"math"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"tpascd/internal/partition"
 )
 
 // Meta keys a shard checkpoint carries. Index and count identify the
@@ -35,35 +33,66 @@ const (
 )
 
 // ShardRange is the deterministic assignment of coordinates to shards:
-// shard i of k over dim coordinates owns [i·dim/k, (i+1)·dim/k). Ranges
-// are contiguous, tile [0, dim) exactly, and differ in size by at most
-// one when dim does not divide evenly.
+// shard i of k over dim coordinates owns [i·dim/k, (i+1)·dim/k). It is
+// partition.Range — the same cut distributed training uses — so a rank
+// that trained part i of k holds exactly shard i of k's coordinates.
 func ShardRange(dim, shards, i int) (lo, hi int) {
-	return i * dim / shards, (i + 1) * dim / shards
+	return partition.Range(dim, shards, i)
 }
 
-// Fingerprint hashes the checkpoint's identity and content together with
-// the shard count: kind, dim, shards, and every weight bit. Two shard
-// sets may be aggregated only if their fingerprints agree, which rules
-// out mixing shards of different models, of different versions of the
-// same model, and of different shard counts of identical content.
+// Fingerprint hashes a serving checkpoint's identity and content
+// together with the shard count: kind, dim, shards, and every weight
+// bit. Two shard sets may be aggregated only if their fingerprints
+// agree, which rules out mixing shards of different models, of
+// different versions of the same model, and of different shard counts
+// of identical content.
+//
+// The hash is two-level — one partition.SliceDigest per ShardRange,
+// combined by partition.Fingerprint — so distributed ranks that each
+// hold only their own range compute the identical value cooperatively
+// (see dist.CooperativeFingerprint) without any process materializing
+// the whole vector.
 func Fingerprint(c Checkpoint, shards int) string {
-	h := sha256.New()
-	h.Write([]byte(c.Kind))
-	h.Write([]byte{0})
-	var b [8]byte
-	binary.LittleEndian.PutUint32(b[:4], uint32(c.Dim))
-	binary.LittleEndian.PutUint32(b[4:], uint32(shards))
-	h.Write(b[:])
-	for _, v := range c.Vectors {
-		binary.LittleEndian.PutUint32(b[:4], uint32(len(v)))
-		h.Write(b[:4])
-		for _, x := range v {
-			binary.LittleEndian.PutUint32(b[:4], math.Float32bits(x))
-			h.Write(b[:4])
-		}
+	var w []float32
+	if len(c.Vectors) > 0 {
+		w = c.Vectors[0]
 	}
-	return hex.EncodeToString(h.Sum(nil)[:8])
+	dim := len(w)
+	digests := make([][partition.DigestSize]byte, shards)
+	for i := range digests {
+		lo, hi := partition.Range(dim, shards, i)
+		digests[i] = partition.SliceDigest(w[lo:hi])
+	}
+	return partition.Fingerprint(c.Kind, dim, digests)
+}
+
+// NewShard builds shard i of shards for a model of the given kind and
+// global dimension: the checkpoint carrying slice (the coordinates of
+// ShardRange(dim, shards, i)) and the MetaShard* identity block tied to
+// the plan fingerprint fp. Split and distworker -shard-out both
+// construct shards through here, which is what makes a rank-written
+// shard file bitwise identical to one cut from the merged checkpoint.
+func NewShard(kind string, dim, shards, i int, slice []float32, fp string) (Checkpoint, error) {
+	lo, hi := ShardRange(dim, shards, i)
+	if len(slice) != hi-lo {
+		return Checkpoint{}, fmt.Errorf("checkpoint: shard %d/%d of dim %d wants %d weights, got %d",
+			i, shards, dim, hi-lo, len(slice))
+	}
+	if fp == "" {
+		return Checkpoint{}, fmt.Errorf("checkpoint: shard %d/%d has no plan fingerprint", i, shards)
+	}
+	return Checkpoint{
+		Kind:    kind,
+		Dim:     hi - lo,
+		Vectors: [][]float32{slice},
+		Meta: map[string]string{
+			MetaShardIndex:       strconv.Itoa(i),
+			MetaShardCount:       strconv.Itoa(shards),
+			MetaShardLo:          strconv.Itoa(lo),
+			MetaShardDim:         strconv.Itoa(dim),
+			MetaShardFingerprint: fp,
+		},
+	}, nil
 }
 
 // Split cuts a serving checkpoint (exactly one vector, the primal
@@ -90,18 +119,11 @@ func Split(c Checkpoint, shards int) ([]Checkpoint, error) {
 		lo, hi := ShardRange(dim, shards, i)
 		slice := make([]float32, hi-lo)
 		copy(slice, w[lo:hi])
-		parts[i] = Checkpoint{
-			Kind:    c.Kind,
-			Dim:     hi - lo,
-			Vectors: [][]float32{slice},
-			Meta: map[string]string{
-				MetaShardIndex:       strconv.Itoa(i),
-				MetaShardCount:       strconv.Itoa(shards),
-				MetaShardLo:          strconv.Itoa(lo),
-				MetaShardDim:         strconv.Itoa(dim),
-				MetaShardFingerprint: fp,
-			},
+		p, err := NewShard(c.Kind, dim, shards, i, slice, fp)
+		if err != nil {
+			return nil, err
 		}
+		parts[i] = p
 	}
 	return parts, nil
 }

@@ -1,0 +1,58 @@
+package checkpoint
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Meta keys a training/resume checkpoint carries (the v3 meta block,
+// CRC-protected like everything else). They replace the old trick of
+// smuggling the epoch as a one-element second vector, which was
+// invisible to tooling and ambiguous next to real model vectors.
+const (
+	MetaTrainEpoch = "train.epoch"
+	MetaTrainRank  = "train.rank"
+	MetaTrainRun   = "train.run"
+)
+
+// TrainState is the resume position a training checkpoint records:
+// which epoch the model vector is from, which rank wrote it, and the
+// run ID that minted it (empty when the run has none).
+type TrainState struct {
+	Epoch int
+	Rank  int
+	Run   string
+}
+
+// Stamp writes the state into the checkpoint's meta block, upgrading it
+// to a v3 file on save.
+func (s TrainState) Stamp(c *Checkpoint) {
+	if c.Meta == nil {
+		c.Meta = make(map[string]string, 3)
+	}
+	c.Meta[MetaTrainEpoch] = strconv.Itoa(s.Epoch)
+	c.Meta[MetaTrainRank] = strconv.Itoa(s.Rank)
+	if s.Run != "" {
+		c.Meta[MetaTrainRun] = s.Run
+	}
+}
+
+// TrainStateOf parses a checkpoint's training metadata. ok is false
+// (with no error) for checkpoints that carry none — serving output,
+// shard files, pre-meta formats.
+func TrainStateOf(c Checkpoint) (s TrainState, ok bool, err error) {
+	raw, present := c.Meta[MetaTrainEpoch]
+	if !present {
+		return s, false, nil
+	}
+	if s.Epoch, err = strconv.Atoi(raw); err != nil || s.Epoch < 0 {
+		return s, false, fmt.Errorf("checkpoint: bad %s %q", MetaTrainEpoch, raw)
+	}
+	if raw, present = c.Meta[MetaTrainRank]; present {
+		if s.Rank, err = strconv.Atoi(raw); err != nil || s.Rank < 0 {
+			return s, false, fmt.Errorf("checkpoint: bad %s %q", MetaTrainRank, raw)
+		}
+	}
+	s.Run = c.Meta[MetaTrainRun]
+	return s, true, nil
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
@@ -163,7 +164,8 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	ref.Close()
 
 	// Interrupted run: train to mid, checkpoint every rank through the
-	// serialized format, tear the whole group down.
+	// serialized format (epoch/rank/run in the v3 meta block, exactly as
+	// distworker stamps real checkpoints), tear the whole group down.
 	first := newGroup()
 	runEpochs(first, mid)
 	blobs := make([][]byte, k)
@@ -173,7 +175,8 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 			t.Fatalf("rank %d snapshot epoch %d, want %d", r, epoch, mid)
 		}
 		var buf bytes.Buffer
-		c := checkpoint.Checkpoint{Kind: "dist-test", Vectors: [][]float32{model, {float32(epoch)}}}
+		c := checkpoint.Checkpoint{Kind: "dist-test", Dim: len(model), Vectors: [][]float32{model}}
+		checkpoint.TrainState{Epoch: epoch, Rank: r, Run: "fault-test"}.Stamp(&c)
 		if err := checkpoint.Save(&buf, c); err != nil {
 			t.Fatal(err)
 		}
@@ -197,9 +200,17 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 				errs[r] = err
 				return
 			}
-			epoch := int(c.Vectors[1][0])
-			w.local.(*CPULocal).SkipEpochs(epoch)
-			errs[r] = w.ResumeFrom(c.Vectors[0], epoch)
+			st, ok, err := checkpoint.TrainStateOf(c)
+			if err != nil || !ok {
+				errs[r] = fmt.Errorf("train state: ok=%v err=%v", ok, err)
+				return
+			}
+			if st.Rank != r || st.Run != "fault-test" {
+				errs[r] = fmt.Errorf("train state %+v, want rank %d run fault-test", st, r)
+				return
+			}
+			w.local.(*CPULocal).SkipEpochs(st.Epoch)
+			errs[r] = w.ResumeFrom(c.Vectors[0], st.Epoch)
 		}(r, w)
 	}
 	wg.Wait()

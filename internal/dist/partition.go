@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tpascd/internal/partition"
 	"tpascd/internal/rng"
 )
 
@@ -47,12 +48,14 @@ func (p Partition) Validate(n int) error {
 }
 
 // PartitionContiguous splits 0..n-1 into k contiguous ranges of near-equal
-// size.
+// size. Rank r owns partition.Range(n, k, r) — the same cut
+// checkpoint.ShardRange makes when a serving checkpoint is sharded, which
+// is what lets -shard-out training save each rank's slice directly as
+// serving shard r of k.
 func PartitionContiguous(n, k int) Partition {
 	parts := make(Partition, k)
 	for r := 0; r < k; r++ {
-		lo := r * n / k
-		hi := (r + 1) * n / k
+		lo, hi := partition.Range(n, k, r)
 		part := make([]int, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			part = append(part, i)
@@ -70,8 +73,7 @@ func PartitionRandom(n, k int, seed uint64) Partition {
 	perm := r.Perm(n, nil)
 	parts := make(Partition, k)
 	for rank := 0; rank < k; rank++ {
-		lo := rank * n / k
-		hi := (rank + 1) * n / k
+		lo, hi := partition.Range(n, k, rank)
 		part := make([]int, hi-lo)
 		copy(part, perm[lo:hi])
 		sort.Ints(part)

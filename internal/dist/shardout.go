@@ -1,0 +1,61 @@
+// Shard-native training output: a rank that trained the contiguous
+// coordinate range partition.Range(dim, K, rank) can publish its model
+// slice directly as serving shard rank-of-K — same cut, same file format
+// as checkpoint.Split — provided every shard carries the plan
+// fingerprint of the full model. No single process holds that model, so
+// the fingerprint is computed cooperatively: each rank digests its own
+// slice, the fixed-size digests are exchanged over the existing
+// sum-Allreduce using per-rank slots (digest bytes are 0..255, exactly
+// representable as float64, so the collective is lossless), and every
+// rank combines the K digests identically.
+package dist
+
+import (
+	"fmt"
+
+	"tpascd/internal/cluster"
+	"tpascd/internal/partition"
+)
+
+// CooperativeFingerprint computes checkpoint.Fingerprint(model, K) for
+// the model of the given kind and global dimension whose coordinates are
+// partitioned contiguously across the comm's K ranks, with this rank
+// holding slice — its partition.Range(dim, K, rank) coordinates — and no
+// rank ever holding the whole vector. All ranks must call it
+// collectively; all receive the same fingerprint, which each can verify
+// against its own slice digest. Slot values outside 0..255 or
+// non-integral after the collective indicate a corrupt or inconsistent
+// exchange and fail loudly.
+func CooperativeFingerprint(comm cluster.Comm, kind string, dim int, slice []float32) (string, error) {
+	K := comm.Size()
+	rank := comm.Rank()
+	lo, hi := partition.Range(dim, K, rank)
+	if len(slice) != hi-lo {
+		return "", fmt.Errorf("dist: rank %d owns [%d,%d) of dim %d but offered %d weights",
+			rank, lo, hi, dim, len(slice))
+	}
+	mine := partition.SliceDigest(slice)
+	slots := make([]float64, K*partition.DigestSize)
+	for i, b := range mine {
+		slots[rank*partition.DigestSize+i] = float64(b)
+	}
+	summed, err := comm.AllreduceScalars(slots)
+	if err != nil {
+		return "", err
+	}
+	digests := make([][partition.DigestSize]byte, K)
+	for r := 0; r < K; r++ {
+		for i := 0; i < partition.DigestSize; i++ {
+			v := summed[r*partition.DigestSize+i]
+			b := byte(v)
+			if v != float64(b) {
+				return "", fmt.Errorf("dist: digest exchange corrupt: rank %d byte %d = %v", r, i, v)
+			}
+			digests[r][i] = b
+		}
+	}
+	if digests[rank] != mine {
+		return "", fmt.Errorf("dist: rank %d digest came back altered", rank)
+	}
+	return partition.Fingerprint(kind, dim, digests), nil
+}

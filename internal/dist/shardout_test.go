@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"tpascd/internal/checkpoint"
+	"tpascd/internal/cluster"
+	"tpascd/internal/partition"
+)
+
+// Three ranks, each holding only its contiguous slice, must produce the
+// exact fingerprint checkpoint.Fingerprint computes from the whole
+// vector — the contract that lets -shard-out training stamp shard files
+// a later merge (or an aggregator fleet) verifies against.
+func TestCooperativeFingerprintMatchesWholeVector(t *testing.T) {
+	const K, dim = 3, 257 // 257 % 3 != 0: exercises uneven ranges (85/86/86)
+	w := make([]float32, dim)
+	for i := range w {
+		w[i] = float32(i%17)*0.5 - 3.25
+	}
+	want := checkpoint.Fingerprint(checkpoint.Checkpoint{
+		Kind: "ridge", Dim: dim, Vectors: [][]float32{w},
+	}, K)
+
+	comms, err := cluster.InProc(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, K)
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	for r := 0; r < K; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lo, hi := partition.Range(dim, K, r)
+			got[r], errs[r] = CooperativeFingerprint(comms[r], "ridge", dim, w[lo:hi])
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < K; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if got[r] != want {
+			t.Fatalf("rank %d fingerprint %s, want %s", r, got[r], want)
+		}
+	}
+
+	// A wrong-length slice is a partition-protocol violation, not a
+	// silent wrong fingerprint.
+	if _, err := CooperativeFingerprint(comms[0], "ridge", dim, w[:10]); err == nil {
+		t.Fatal("short slice accepted")
+	}
+}

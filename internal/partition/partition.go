@@ -1,0 +1,89 @@
+// Package partition is the single source of truth for how a coordinate
+// space [0, n) is cut into k contiguous parts, shared by distributed
+// training (internal/dist), checkpoint sharding (internal/checkpoint)
+// and the serving shard plans built on top of it (internal/shard).
+// Having exactly one implementation makes the trainer's per-rank ranges
+// and the serving tier's shard ranges provably the same cut: a rank that
+// trains part i of k can save its weight slice directly as shard i of k.
+//
+// Part i of k over n coordinates owns [i·n/k, (i+1)·n/k). Ranges are
+// contiguous, tile [0, n) exactly, and differ in size by at most one.
+// When k does not divide n, the remainder goes to the LATER parts: for
+// n=10, k=3 the sizes are 3, 3, 4 (not 4, 3, 3). Both pre-existing
+// copies of this formula (dist.PartitionContiguous and
+// checkpoint.ShardRange) already distributed the remainder this way, so
+// unifying them changes no cut.
+//
+// The package also owns the fingerprint primitives that tie a shard set
+// to the exact model content it was cut from. The fingerprint is
+// deliberately two-level — per-slice digests combined into one hash —
+// so that k distributed ranks can compute it cooperatively: each rank
+// digests only its own slice, the 32-byte digests are exchanged over
+// the cluster collectives, and every rank combines them identically.
+// No process ever needs the whole weight vector to fingerprint it.
+package partition
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// DigestSize is the byte length of a per-slice digest (SHA-256).
+const DigestSize = sha256.Size
+
+// Range is the deterministic assignment of coordinates to parts: part i
+// of k over n coordinates owns [i·n/k, (i+1)·n/k).
+func Range(n, k, i int) (lo, hi int) {
+	return i * n / k, (i + 1) * n / k
+}
+
+// Owner is the inverse of Range: the part of k that owns coordinate
+// coord in [0, n). For every i and every coord in Range(n, k, i),
+// Owner(n, k, coord) == i.
+//
+// Derivation: coord is owned by the largest i with i·n/k ≤ coord, i.e.
+// the largest i with i·n ≤ (coord+1)·k - 1, which is
+// ⌊((coord+1)·k - 1) / n⌋.
+func Owner(n, k, coord int) int {
+	return ((coord+1)*k - 1) / n
+}
+
+// SliceDigest hashes one weight slice: its length as a little-endian
+// uint32 followed by each coordinate's float32 bits. The length prefix
+// keeps slice boundaries unambiguous when digests are combined.
+func SliceDigest(w []float32) [DigestSize]byte {
+	h := sha256.New()
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(w)))
+	h.Write(b[:])
+	for _, x := range w {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(x))
+		h.Write(b[:])
+	}
+	var d [DigestSize]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Fingerprint combines k per-slice digests (digests[i] must be the
+// SliceDigest of Range(dim, k, i)'s coordinates, k = len(digests)) with
+// the model's kind, dimension and shard count into the 16-hex-digit
+// plan fingerprint. Two shard sets may be mixed only if their
+// fingerprints agree, which rules out different models, different
+// versions of the same model, and different shard counts of identical
+// content.
+func Fingerprint(kind string, dim int, digests [][DigestSize]byte) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(dim))
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(digests)))
+	h.Write(b[:])
+	for _, d := range digests {
+		h.Write(d[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}

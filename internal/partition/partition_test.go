@@ -1,0 +1,138 @@
+package partition_test
+
+import (
+	"testing"
+
+	"tpascd/internal/checkpoint"
+	"tpascd/internal/dist"
+	"tpascd/internal/partition"
+)
+
+// The tentpole property: the unified partition layer reproduces both of
+// the formerly independent cuts. For a sweep of (n, k),
+// dist.PartitionContiguous's per-rank index lists and
+// checkpoint.ShardRange's per-shard ranges are exactly partition.Range —
+// a rank that trains part i of k owns precisely serving shard i of k's
+// coordinates. Both old copies distributed the remainder to the LATER
+// parts (n=10, k=3 → sizes 3, 3, 4), so there was no mismatch to fix;
+// this test keeps it that way.
+func TestRangeReproducesBothOldCuts(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 10, 16, 17, 64, 100, 101, 257, 1000, 1023} {
+		for k := 1; k <= n && k <= 12; k++ {
+			parts := dist.PartitionContiguous(n, k)
+			if len(parts) != k {
+				t.Fatalf("n=%d k=%d: %d parts", n, k, len(parts))
+			}
+			for i := 0; i < k; i++ {
+				lo, hi := partition.Range(n, k, i)
+				clo, chi := checkpoint.ShardRange(n, k, i)
+				if lo != clo || hi != chi {
+					t.Fatalf("n=%d k=%d i=%d: partition.Range [%d,%d) != checkpoint.ShardRange [%d,%d)",
+						n, k, i, lo, hi, clo, chi)
+				}
+				part := parts[i]
+				if len(part) != hi-lo {
+					t.Fatalf("n=%d k=%d i=%d: dist part has %d ids, range [%d,%d)", n, k, i, len(part), lo, hi)
+				}
+				for j, id := range part {
+					if id != lo+j {
+						t.Fatalf("n=%d k=%d i=%d: dist part[%d]=%d, want %d", n, k, i, j, id, lo+j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Ranges tile [0, n) exactly and sizes differ by at most one.
+func TestRangeTilesAndBalances(t *testing.T) {
+	for _, n := range []int{1, 5, 10, 100, 257, 1024} {
+		for k := 1; k <= n && k <= 16; k++ {
+			next, minSz, maxSz := 0, n, 0
+			for i := 0; i < k; i++ {
+				lo, hi := partition.Range(n, k, i)
+				if lo != next || hi < lo {
+					t.Fatalf("n=%d k=%d i=%d: [%d,%d) after %d", n, k, i, lo, hi, next)
+				}
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d k=%d: ranges end at %d", n, k, next)
+			}
+			if maxSz > 0 && maxSz-minSz > 1 {
+				t.Fatalf("n=%d k=%d: sizes span [%d,%d]", n, k, minSz, maxSz)
+			}
+		}
+	}
+}
+
+// The remainder goes to the later parts: n=10, k=3 cuts 3, 3, 4.
+func TestRangeRemainderGoesToLaterParts(t *testing.T) {
+	want := [][2]int{{0, 3}, {3, 6}, {6, 10}}
+	for i, w := range want {
+		if lo, hi := partition.Range(10, 3, i); lo != w[0] || hi != w[1] {
+			t.Fatalf("Range(10,3,%d) = [%d,%d), want [%d,%d)", i, lo, hi, w[0], w[1])
+		}
+	}
+}
+
+// Owner inverts Range on every coordinate.
+func TestOwnerInvertsRange(t *testing.T) {
+	for _, n := range []int{1, 3, 10, 17, 100, 257} {
+		for k := 1; k <= n && k <= 12; k++ {
+			for i := 0; i < k; i++ {
+				lo, hi := partition.Range(n, k, i)
+				for c := lo; c < hi; c++ {
+					if got := partition.Owner(n, k, c); got != i {
+						t.Fatalf("Owner(%d,%d,%d) = %d, want %d", n, k, c, got, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The combined fingerprint matches checkpoint.Fingerprint of the whole
+// vector, and reacts to every identity component — this is the contract
+// that lets distributed ranks fingerprint a model they never hold whole.
+func TestFingerprintMatchesWholeVectorAndIsSensitive(t *testing.T) {
+	w := make([]float32, 257)
+	for i := range w {
+		w[i] = float32(i)*0.25 - 31
+	}
+	const k = 3
+	digests := make([][partition.DigestSize]byte, k)
+	for i := range digests {
+		lo, hi := partition.Range(len(w), k, i)
+		digests[i] = partition.SliceDigest(w[lo:hi])
+	}
+	base := partition.Fingerprint("ridge", len(w), digests)
+	whole := checkpoint.Fingerprint(checkpoint.Checkpoint{
+		Kind: "ridge", Dim: len(w), Vectors: [][]float32{w},
+	}, k)
+	if base != whole {
+		t.Fatalf("combined %s != whole-vector %s", base, whole)
+	}
+	if partition.Fingerprint("svm", len(w), digests) == base {
+		t.Fatal("fingerprint ignores kind")
+	}
+	if partition.Fingerprint("ridge", len(w)+1, digests) == base {
+		t.Fatal("fingerprint ignores dim")
+	}
+	if partition.Fingerprint("ridge", len(w), digests[:2]) == base {
+		t.Fatal("fingerprint ignores shard count")
+	}
+	w2 := append([]float32(nil), w...)
+	w2[100] += 1
+	lo, hi := partition.Range(len(w), k, partition.Owner(len(w), k, 100))
+	altered := append([][partition.DigestSize]byte(nil), digests...)
+	altered[partition.Owner(len(w), k, 100)] = partition.SliceDigest(w2[lo:hi])
+	if partition.Fingerprint("ridge", len(w), altered) == base {
+		t.Fatal("fingerprint ignores weight content")
+	}
+}

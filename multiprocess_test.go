@@ -9,8 +9,11 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -425,6 +428,376 @@ func TestMultiProcessTraceReport(t *testing.T) {
 			t.Errorf("rank %d shares sum to %v", rs.Rank, sum)
 		}
 	}
+}
+
+// TestMultiProcessShardOutParity is the shard-native training
+// acceptance test. A real 3-process TCP cluster trains the primal form
+// over the contiguous partition with -shard-out, so each rank writes
+// serving shard rank-of-3 directly — no process ever holds the full
+// weight vector, and the plan fingerprint is computed cooperatively.
+// Then:
+//
+//  1. every rank-written shard file is bitwise identical to the one
+//     shardsplit cuts from the single-process reference checkpoint
+//     (identical training replayed in-process with the same per-rank
+//     seeds — both transports reduce in rank order, so the models agree
+//     bit for bit),
+//  2. shardsplit -merge over the rank-written shards reassembles that
+//     reference checkpoint bitwise, and
+//  3. a fleet serving the rank-written shards behind the fan-out
+//     aggregator returns Float64bits-identical margins to an unsharded
+//     server loading the reference checkpoint, over a fixed corpus,
+//     with zero failed requests.
+func TestMultiProcessShardOutParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := buildDistworker(t)
+	dir := t.TempDir()
+	shardDir := filepath.Join(dir, "shards")
+	const (
+		size   = 3
+		epochs = 10
+		seed   = 7
+		nRows  = 1024
+		dim    = 517 // 517 % 3 != 0: uneven shard sizes (172/172/173)
+		nnz    = 12
+		lambda = 0.001
+	)
+	common := []string{"-size", fmt.Sprint(size), "-epochs", fmt.Sprint(epochs),
+		"-form", "primal", "-partition", "contiguous", "-adaptive=false",
+		"-n", fmt.Sprint(nRows), "-m", fmt.Sprint(dim), "-nnz", fmt.Sprint(nnz),
+		"-lambda", fmt.Sprint(lambda), "-seed", fmt.Sprint(seed),
+		"-shard-out", shardDir}
+	outs := runDistCluster(t, bin, size, common, nil)
+	for r := 0; r < size; r++ {
+		if !strings.Contains(outs[r], fmt.Sprintf("SHARD rank=%d ", r)) {
+			t.Fatalf("rank %d output missing SHARD line:\n%s", r, outs[r])
+		}
+	}
+	if !strings.Contains(outs[0], "MANIFEST ") {
+		t.Fatalf("rank 0 output missing MANIFEST line:\n%s", outs[0])
+	}
+
+	// Single-process reference: the same training replayed over in-process
+	// collectives with distworker's exact per-rank configuration (seed +
+	// rank, contiguous partition, averaging). This process MAY hold the
+	// full vector — it is the checker, not the trainer under test.
+	ref := referenceShardOutModel(t, size, epochs, seed, nRows, dim, nnz, lambda)
+	if len(ref) != dim {
+		t.Fatalf("reference model dim %d, want %d", len(ref), dim)
+	}
+	refPath := filepath.Join(dir, "model.ckpt")
+	if err := tpascd.SaveCheckpointFile(refPath, tpascd.Checkpoint{
+		Kind: tpascd.KindRidge, Dim: dim, Vectors: [][]float32{ref},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// (1) Rank-written shard files == shardsplit output, byte for byte.
+	splitDir := filepath.Join(dir, "split")
+	if err := os.MkdirAll(splitDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	splitMan, err := tpascd.SplitServingCheckpoint(refPath, splitDir, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rankFiles []string
+	for i := 0; i < size; i++ {
+		name := tpascd.ShardCheckpointFileName("model.ckpt", i, size)
+		trained, err := os.ReadFile(filepath.Join(shardDir, name))
+		if err != nil {
+			t.Fatalf("rank-written shard %d: %v", i, err)
+		}
+		split, err := os.ReadFile(filepath.Join(splitDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(trained, split) {
+			t.Fatalf("shard %d: rank-written file differs from shardsplit output (%d vs %d bytes)",
+				i, len(trained), len(split))
+		}
+		rankFiles = append(rankFiles, filepath.Join(shardDir, name))
+	}
+
+	// The cooperatively computed manifest matches the one shardsplit
+	// derives from the whole vector.
+	man, err := tpascd.LoadShardManifest(filepath.Join(shardDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Fingerprint != splitMan.Fingerprint || man.Kind != splitMan.Kind ||
+		man.Dim != splitMan.Dim || man.Shards != splitMan.Shards {
+		t.Fatalf("manifest plan %+v != shardsplit plan %+v", man.Plan, splitMan.Plan)
+	}
+
+	// (2) Merging the rank-written shards reassembles the reference
+	// checkpoint bitwise.
+	mergedPath := filepath.Join(dir, "merged.ckpt")
+	if err := tpascd.MergeShardCheckpoints(mergedPath, rankFiles...); err != nil {
+		t.Fatal(err)
+	}
+	mergedBytes, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedBytes, refBytes) {
+		t.Fatalf("merged rank shards differ from the single-process checkpoint (%d vs %d bytes)",
+			len(mergedBytes), len(refBytes))
+	}
+
+	// (3) Serving parity: fleet over the rank-written shards vs an
+	// unsharded server on the single-process checkpoint.
+	whole := startServingReplica(t, refPath)
+	groups := make([][]string, size)
+	for i, f := range rankFiles {
+		groups[i] = []string{startServingReplica(t, f)}
+	}
+	agg, err := tpascd.NewShardAggregator(tpascd.ShardAggregatorConfig{
+		Manifest: man,
+		Groups:   groups,
+		Route: tpascd.RouterConfig{
+			Probe: tpascd.RouterProbeConfig{
+				Interval:           10 * time.Millisecond,
+				Timeout:            500 * time.Millisecond,
+				FailThreshold:      2,
+				ProbationSuccesses: 2,
+				Backoff:            tpascd.BackoffPolicy{Initial: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+			},
+			MaxAttempts: 3,
+			Deadline:    2 * time.Second,
+		},
+		Deadline: 5 * time.Second,
+		Obs:      tpascd.NewMetricsRegistry(),
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agg.Close)
+	front := httptest.NewServer(agg.Handler())
+	t.Cleanup(front.Close)
+
+	// Wait for the aggregator's health probes to admit every group.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := postPredict(t, front.URL, `{"indices":[0],"values":[1]}`); st == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("aggregator never turned healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for i, body := range predictCorpus(dim, 40) {
+		refSt, refMargin := postPredict(t, "http://"+whole, body)
+		gotSt, gotMargin := postPredict(t, front.URL, body)
+		if refSt != http.StatusOK || gotSt != http.StatusOK {
+			t.Fatalf("corpus %d: status unsharded=%d sharded=%d", i, refSt, gotSt)
+		}
+		if math.Float64bits(refMargin) != math.Float64bits(gotMargin) {
+			t.Fatalf("corpus %d: sharded margin %v (bits %x) != unsharded %v (bits %x)",
+				i, gotMargin, math.Float64bits(gotMargin), refMargin, math.Float64bits(refMargin))
+		}
+	}
+}
+
+// TestDistworkerShardOutFlagValidation: unsupported -shard-out combos
+// must be rejected before the cluster assembles, with errors that name
+// what IS supported — not surface as a hang or a garbage shard set.
+func TestDistworkerShardOutFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := buildDistworker(t)
+	dir := t.TempDir()
+	notADir := filepath.Join(dir, "file.ckpt")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"dual form", []string{"-form", "dual", "-partition", "contiguous", "-shard-out", dir},
+			"requires -form primal -partition contiguous"},
+		{"random partition", []string{"-form", "primal", "-partition", "random", "-shard-out", dir},
+			"requires -form primal -partition contiguous"},
+		{"unknown partition", []string{"-partition", "striped"},
+			"supported partitions are 'random', 'contiguous'"},
+		{"shard-out onto a file", []string{"-form", "primal", "-partition", "contiguous", "-shard-out", notADir},
+			"not a directory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-rank", "0", "-size", "3", "-listen", "127.0.0.1:0"}, tc.args...)
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("accepted %v:\n%s", tc.args, out)
+			}
+			if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+				t.Fatalf("exit: %v, want code 1", err)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("error %q does not explain what is supported (want %q)", out, tc.want)
+			}
+		})
+	}
+}
+
+// referenceShardOutModel replays distworker's -shard-out training
+// in-process: K workers over in-proc collectives, contiguous partition,
+// primal form, averaging aggregation, and distworker's per-rank solver
+// seeds (seed + rank). Both transports reduce contributions in rank
+// order, so the resulting models are bitwise identical to the TCP run's.
+func referenceShardOutModel(t *testing.T, size, epochs int, seed uint64, nRows, dim, nnz int, lambda float64) []float32 {
+	t.Helper()
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: nRows, M: dim, AvgNNZPerRow: nnz, Skew: 1, NoiseRate: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solverName, err := tpascd.CanonicalDriver("scd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := tpascd.PartitionContiguous(dim, size)
+	comms, err := tpascd.InProcComms(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tpascd.ClusterConfig{Aggregation: tpascd.Averaging, Link: tpascd.Link10GbE}
+	workers := make([]*tpascd.Worker, size)
+	for r := 0; r < size; r++ {
+		view := tpascd.PartitionView(p, tpascd.Primal, parts[r])
+		local, err := tpascd.NewLocalSolver(view, tpascd.DriverSpec{
+			Name: solverName, Threads: 1, Seed: seed + uint64(r),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers[r], err = tpascd.NewWorker(comms[r], local, view, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	models := make([][]float32, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for e := 0; e < epochs; e++ {
+				if _, err := workers[r].RunEpoch(); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+			models[r], _ = workers[r].Snapshot()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("reference rank %d: %v", r, err)
+		}
+	}
+	var full []float32
+	for _, m := range models {
+		full = append(full, m...)
+	}
+	return full
+}
+
+// startServingReplica serves one checkpoint file (whole model or shard)
+// over HTTP on loopback and returns its address.
+func startServingReplica(t *testing.T, ckptPath string) string {
+	t.Helper()
+	reg := tpascd.NewModelRegistry()
+	if _, err := reg.LoadFile(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	srv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go hsrv.Serve(ln)
+	t.Cleanup(func() { hsrv.Close(); srv.Close() })
+	return ln.Addr().String()
+}
+
+// predictCorpus builds a fixed set of single-example request bodies
+// spanning the global coordinate space (deterministic LCG, sorted
+// indices).
+func predictCorpus(dim, n int) []string {
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	bodies := make([]string, n)
+	for i := range bodies {
+		nnz := 1 + int(next()*20)
+		seen := map[int]bool{}
+		var idx []int
+		for len(idx) < nnz {
+			j := int(next() * float64(dim))
+			if j >= dim || seen[j] {
+				continue
+			}
+			seen[j] = true
+			idx = append(idx, j)
+		}
+		sort.Ints(idx)
+		is := make([]string, len(idx))
+		vs := make([]string, len(idx))
+		for k, j := range idx {
+			is[k] = fmt.Sprint(j)
+			vs[k] = fmt.Sprintf("%.6g", next()*4-2)
+		}
+		bodies[i] = fmt.Sprintf(`{"indices":[%s],"values":[%s]}`,
+			strings.Join(is, ","), strings.Join(vs, ","))
+	}
+	return bodies
+}
+
+// postPredict posts one body to a prediction endpoint and returns the
+// status and the (single) returned margin.
+func postPredict(t *testing.T, base, body string) (status int, margin float64) {
+	t.Helper()
+	resp, err := http.Post(base+"/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /predict: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Predictions []struct {
+			Margin float64 `json:"margin"`
+		} `json:"predictions"`
+	}
+	json.Unmarshal(raw, &parsed)
+	if len(parsed.Predictions) == 1 {
+		margin = parsed.Predictions[0].Margin
+	}
+	return resp.StatusCode, margin
 }
 
 // TestMultiProcessMasterJoinTimeout starts a master whose workers never

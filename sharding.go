@@ -51,6 +51,23 @@ func MergeShardCheckpoints(outPath string, paths ...string) error {
 	return checkpoint.MergeFiles(outPath, paths...)
 }
 
+// NewShardCheckpoint builds shard i of shards for a model of the given
+// kind and global dimension: slice must be exactly the coordinates of
+// shard i's range and fp the plan fingerprint (for distributed writers,
+// CooperativeShardFingerprint). Constructing shards only through here —
+// shardsplit and distworker -shard-out both do — is what makes a
+// rank-written shard file bitwise identical to one cut from the merged
+// checkpoint.
+func NewShardCheckpoint(kind string, dim, shards, i int, slice []float32, fp string) (Checkpoint, error) {
+	return checkpoint.NewShard(kind, dim, shards, i, slice, fp)
+}
+
+// ShardCheckpointFileName names shard i of shards for a checkpoint at
+// path: "model.ckpt" → "model.shard0-of-3.ckpt".
+func ShardCheckpointFileName(path string, i, shards int) string {
+	return checkpoint.ShardFileName(path, i, shards)
+}
+
 // LoadShardManifest reads and validates a manifest file.
 func LoadShardManifest(path string) (ShardManifest, error) { return shard.LoadManifest(path) }
 
