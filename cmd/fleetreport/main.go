@@ -1,0 +1,83 @@
+// Command fleetreport merges the span JSONL files of the serving fleet
+// — predrouter roots, per-replica predserve server and batch spans,
+// shard-aggregator fan-out legs — into a single critical-path report:
+// attempt trees per traced request, latency decomposed into queue,
+// compute, network and hedge-wait, retry and hedge-win attribution per
+// replica, and the slowest-N request timelines.
+//
+// Usage:
+//
+//	fleetreport [-json] [-o report.out] [-slowest N] router.jsonl serve0.jsonl ...
+//
+// The files are produced by predrouter/predserve -trace-jsonl (loadgen
+// -trace-sample decides which requests carry trace IDs). The default
+// output is a human-readable table; -json emits the machine-readable
+// form. Training-run span files belong to cmd/obsreport, not here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tpascd/internal/obs"
+	"tpascd/internal/obs/report"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	outPath := flag.String("o", "", "write the report to this file (default stdout)")
+	slowest := flag.Int("slowest", 5, "how many slowest-request timelines to include")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fleetreport [-json] [-o out] [-slowest N] spans.jsonl...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var events []obs.Event
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := obs.ParseJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		events = append(events, evs...)
+	}
+
+	rep, err := report.AnalyzeFleet(events, *slowest)
+	if err != nil {
+		fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *jsonOut {
+		err = report.WriteFleetJSON(out, rep)
+	} else {
+		err = report.WriteFleetTable(out, rep)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetreport:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +46,13 @@ import (
 	"tpascd/internal/obs"
 	"tpascd/internal/rng"
 )
+
+// tracedSample is one traced request's identity and client-observed
+// latency — the join key into fleetreport's per-request timelines.
+type tracedSample struct {
+	Trace string  `json:"trace"`
+	Ms    float64 `json:"ms"`
+}
 
 type latencyMs struct {
 	P50 float64 `json:"p50"`
@@ -69,6 +77,12 @@ type report struct {
 	// status, "conn" for transport errors, "timeout" for deadline
 	// errors. Absent when every request succeeded.
 	ErrorBreakdown map[string]int64 `json:"error_breakdown,omitempty"`
+	// Traced counts requests sent with an X-Tpascd-Trace header (with
+	// -trace-sample); SlowestTraced holds the slowest of them by
+	// client-observed latency, so their trace IDs can be looked up in
+	// the fleetreport timelines.
+	Traced        int64          `json:"traced,omitempty"`
+	SlowestTraced []tracedSample `json:"slowest_traced,omitempty"`
 }
 
 func main() {
@@ -85,6 +99,8 @@ func main() {
 	killPidFile := flag.String("kill-pid-file", "", "file holding a PID to signal mid-run (a replica, for chaos drills)")
 	killAfter := flag.Duration("kill-after", 2*time.Second, "when to send the signal (with -kill-pid-file)")
 	killSignal := flag.String("kill-signal", "KILL", "signal to send: KILL, TERM or INT")
+	traceSample := flag.Float64("trace-sample", 0, "probability of stamping a request with a fresh X-Tpascd-Trace ID (fleet tracing; the serving processes need -trace-jsonl)")
+	traceSlowest := flag.Int("trace-slowest", 10, "how many slowest traced requests to list in the report (with -trace-sample)")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
 	flag.Parse()
 
@@ -125,8 +141,9 @@ func main() {
 	}
 
 	type worker struct {
-		sent, ok, stale, errs int64
-		breakdown             map[string]int64
+		sent, ok, stale, errs, traced int64
+		breakdown                     map[string]int64
+		slow                          []tracedSample
 	}
 	workers := make([]worker, *concurrency)
 	// One shared latency histogram across all client goroutines — the
@@ -163,10 +180,31 @@ func main() {
 				if len(hotBodies) > 0 && pick.Float64() < *hotFrac {
 					body = hotBodies[pick.Intn(len(hotBodies))]
 				}
+				trace := ""
+				if *traceSample > 0 && pick.Float64() < *traceSample {
+					trace = obs.FormatTraceID(obs.NewTraceID())
+				}
+				req, err := http.NewRequest(http.MethodPost, base+"/predict", bytes.NewReader(body))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if trace != "" {
+					req.Header.Set(obs.TraceHeader, trace)
+					st.traced++
+				}
 				t0 := time.Now()
-				resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+				resp, err := http.DefaultClient.Do(req)
 				elapsed := time.Since(t0)
 				st.sent++
+				if trace != "" {
+					st.slow = append(st.slow, tracedSample{Trace: trace, Ms: 1000 * elapsed.Seconds()})
+					if len(st.slow) > 8*(*traceSlowest)+8 {
+						sortTraced(st.slow)
+						st.slow = st.slow[:*traceSlowest+1]
+					}
+				}
 				if err != nil {
 					st.errs++
 					st.breakdown[errClass(err)]++
@@ -197,17 +235,27 @@ func main() {
 		DurationSec: elapsed.Seconds(),
 		RowsPerReq:  *rowsPerReq,
 	}
+	var slow []tracedSample
 	for i := range workers {
 		rep.Sent += workers[i].sent
 		rep.OK += workers[i].ok
 		rep.Stale += workers[i].stale
 		rep.Errors += workers[i].errs
+		rep.Traced += workers[i].traced
+		slow = append(slow, workers[i].slow...)
 		for class, n := range workers[i].breakdown {
 			if rep.ErrorBreakdown == nil {
 				rep.ErrorBreakdown = make(map[string]int64)
 			}
 			rep.ErrorBreakdown[class] += n
 		}
+	}
+	if len(slow) > 0 && *traceSlowest > 0 {
+		sortTraced(slow)
+		if len(slow) > *traceSlowest {
+			slow = slow[:*traceSlowest]
+		}
+		rep.SlowestTraced = slow
 	}
 	rep.QPS = float64(rep.OK) / elapsed.Seconds()
 	rep.RowsPerSec = rep.QPS * float64(*rowsPerReq)
@@ -242,6 +290,17 @@ func waitForBurstWindow(start time.Time, burst, idle time.Duration, stopAt time.
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// sortTraced orders traced samples slowest first, trace ID breaking
+// ties so equal latencies order deterministically.
+func sortTraced(s []tracedSample) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Ms != s[j].Ms {
+			return s[i].Ms > s[j].Ms
+		}
+		return s[i].Trace < s[j].Trace
+	})
 }
 
 // errClass maps a transport error to a breakdown key.

@@ -97,6 +97,8 @@ func main() {
 	chaosMaxDelay := flag.Duration("chaos-max-delay", 50*time.Millisecond, "upper bound for injected latency")
 
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers alongside the routing endpoints")
+	traceJSONL := flag.String("trace-jsonl", "", "append router.request/route.attempt (and shard.leg) spans for traced requests to this JSONL file (feed it to fleetreport)")
+	traceSample := flag.Float64("trace-sample", 0, "probability of minting a trace ID for requests without an X-Tpascd-Trace header; header-carrying requests are always traced")
 	flag.Parse()
 
 	if *replicas == "" && *shardsManifest == "" {
@@ -106,6 +108,30 @@ func main() {
 	}
 
 	obsReg := tpascd.NewMetricsRegistry()
+
+	var tracer *tpascd.Tracer
+	var traceFlush func()
+	if *traceJSONL != "" {
+		tf, err := os.Create(*traceJSONL)
+		if err != nil {
+			fatal(err)
+		}
+		sink := tpascd.NewJSONLSink(tf)
+		tracer = tpascd.NewTracer(&tpascd.TraceTagSink{
+			OmitRank: true,
+			Attrs:    []tpascd.TraceAttr{tpascd.TraceA("service", "predrouter")},
+			Next:     sink,
+		})
+		traceFlush = func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "predrouter: trace flush: %v\n", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "predrouter: trace flush: %v\n", err)
+			}
+		}
+	}
+
 	cfg := tpascd.RouterConfig{
 		Replicas: strings.Split(*replicas, ","),
 		Obs:      obsReg,
@@ -123,6 +149,8 @@ func main() {
 		Deadline:    *deadline,
 		CacheSize:   *cacheSize,
 		Seed:        *seed,
+		Trace:       tracer,
+		TraceSample: *traceSample,
 	}
 	if *chaosKill > 0 || *chaosTruncate > 0 || *chaosDelay > 0 {
 		// The chaos transport reports its injections into the router's
@@ -162,13 +190,15 @@ func main() {
 		rcfg.Obs = nil
 		rcfg.Deadline = *shardDeadline
 		agg, err := tpascd.NewShardAggregator(tpascd.ShardAggregatorConfig{
-			Manifest:  man,
-			Groups:    groups,
-			Route:     rcfg,
-			Deadline:  *deadline,
-			CacheSize: *cacheSize,
-			Obs:       obsReg,
-			Seed:      *seed,
+			Manifest:    man,
+			Groups:      groups,
+			Route:       rcfg,
+			Deadline:    *deadline,
+			CacheSize:   *cacheSize,
+			Obs:         obsReg,
+			Seed:        *seed,
+			Trace:       tracer,
+			TraceSample: *traceSample,
 		})
 		if err != nil {
 			fatal(err)
@@ -241,6 +271,10 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "predrouter: shutdown: %v\n", err)
+	}
+	closer()
+	if traceFlush != nil {
+		traceFlush()
 	}
 	summary()
 }

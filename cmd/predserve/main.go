@@ -59,6 +59,7 @@ func main() {
 	shardFlag := flag.String("shard", "", `expected shard identity as "k/K" (0-based): refuse to start unless the checkpoint is exactly shard k of a K-shard plan`)
 	manifestPath := flag.String("manifest", "", "shard manifest to verify the checkpoint's plan fingerprint against")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ handlers alongside the serving endpoints")
+	traceJSONL := flag.String("trace-jsonl", "", "append serve.request/serve.batch spans for traced requests to this JSONL file (feed it to fleetreport)")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -82,19 +83,9 @@ func main() {
 		fmt.Printf("loaded %s model: %d features, version %d\n", m.Kind, m.Dim(), m.Version)
 	}
 
-	srv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{
-		Batcher:  tpascd.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, Workers: *workers},
-		Deadline: *deadline,
-	})
-
-	watchCtx, stopWatch := context.WithCancel(context.Background())
-	defer stopWatch()
-	if *watchEvery > 0 {
-		go tpascd.WatchCheckpoint(watchCtx, reg, *watchEvery, func(err error) {
-			fmt.Fprintf(os.Stderr, "predserve: reload failed, keeping previous model: %v\n", err)
-		})
-	}
-
+	// Listen before building the server: the trace sink stamps every
+	// span with the resolved listen address, which is how fleetreport
+	// joins a router's attempt spans to the replica that served them.
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
@@ -104,6 +95,46 @@ func main() {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+
+	var tracer *tpascd.Tracer
+	var traceFlush func()
+	if *traceJSONL != "" {
+		tf, err := os.Create(*traceJSONL)
+		if err != nil {
+			fatal(err)
+		}
+		sink := tpascd.NewJSONLSink(tf)
+		tracer = tpascd.NewTracer(&tpascd.TraceTagSink{
+			OmitRank: true,
+			Attrs: []tpascd.TraceAttr{
+				tpascd.TraceA("service", "predserve"),
+				tpascd.TraceA("addr", ln.Addr().String()),
+			},
+			Next: sink,
+		})
+		traceFlush = func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "predserve: trace flush: %v\n", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "predserve: trace flush: %v\n", err)
+			}
+		}
+	}
+
+	srv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{
+		Batcher:  tpascd.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, Workers: *workers},
+		Deadline: *deadline,
+		Trace:    tracer,
+	})
+
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if *watchEvery > 0 {
+		go tpascd.WatchCheckpoint(watchCtx, reg, *watchEvery, func(err error) {
+			fmt.Fprintf(os.Stderr, "predserve: reload failed, keeping previous model: %v\n", err)
+		})
 	}
 
 	// Go runtime stats (heap, GC pauses, goroutines) join the serving
@@ -150,6 +181,9 @@ func main() {
 	}
 	stopWatch()
 	srv.Close()
+	if traceFlush != nil {
+		traceFlush()
+	}
 	snap := srv.Metrics().Snapshot(reg)
 	fmt.Printf("served %d requests in %d batches, %d errors\n", snap.Requests, snap.Batches, snap.Errors)
 }

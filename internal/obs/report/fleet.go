@@ -1,0 +1,699 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+// Fleet tracing: every process of the serving fleet (predrouter,
+// predserve replicas) writes request-scoped spans to its own JSONL file,
+// correlated by the 64-bit trace ID each request carries in its
+// X-Tpascd-Trace header. AnalyzeFleet merges those files back into one
+// attempt tree per request — root span, routed attempts (first try /
+// budgeted retry / hedge), shard fan-out legs, and the replica-side
+// server and batcher spans — and reduces them to the critical-path view
+// a tail-latency investigation needs. Like Analyze, it is a pure
+// function of its input events, so fixtures reproduce reports byte for
+// byte.
+
+// Span names the serving fleet emits for traced requests.
+const (
+	spanRoot    = "router.request" // root: one per request, at router or aggregator
+	spanAttempt = "route.attempt"  // one per routed attempt
+	spanLeg     = "shard.leg"      // one per shard-group fan-out
+	spanServe   = "serve.request"  // replica-side request span
+	spanBatch   = "serve.batch"    // batcher span, linked to coalesced traces
+)
+
+// servingSpan reports whether name belongs to the serving fleet's trace
+// vocabulary (request spans or the route tier's health/probe events).
+func servingSpan(name string) bool {
+	for _, p := range []string{"router.", "route.", "serve.", "shard."} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// trainingSpan reports whether name belongs to the distributed-training
+// vocabulary obsreport analyzes.
+func trainingSpan(name string) bool {
+	return strings.HasPrefix(name, "dist.")
+}
+
+// FleetReport is the merged view of the serving fleet's traced requests.
+type FleetReport struct {
+	// SpanCounts tallies all ingested span names, so instrumentation the
+	// analyzer does not consume stays visible rather than silent.
+	SpanCounts map[string]int `json:"span_counts"`
+	// Shards is the fan-out width when the root spans came from a shard
+	// aggregator (0 for a plain router fleet).
+	Shards int `json:"shards,omitempty"`
+	// Requests counts traced requests (root spans); Complete how many
+	// reconstructed into full attempt trees. Incomplete lists the trace
+	// IDs that did not, so nothing is silently dropped.
+	Requests   int      `json:"requests"`
+	Complete   int      `json:"complete"`
+	Incomplete []string `json:"incomplete,omitempty"`
+	// OrphanSpans counts spans that reference a trace with no root span
+	// (typically a process whose span file was lost); OrphanTraces lists
+	// the rootless trace IDs.
+	OrphanSpans  int      `json:"orphan_spans"`
+	OrphanTraces []string `json:"orphan_traces,omitempty"`
+	// Outcomes tallies root-span outcomes (ok / stale / error).
+	Outcomes map[string]int `json:"outcomes"`
+	// Attempts aggregates the attempt kinds across all rooted traces.
+	Attempts AttemptStats `json:"attempts"`
+	// Latency decomposes complete ok requests into critical-path
+	// components, one row per component.
+	Latency []ComponentLatency `json:"latency"`
+	// Replicas attributes attempts, failures, retries, hedges and hedge
+	// wins to the replica that served them, ascending by address.
+	Replicas []ReplicaFleetStat `json:"replicas"`
+	// ShardGroups summarizes fan-out legs per shard group (aggregator
+	// fleets only).
+	ShardGroups []ShardGroupStat `json:"shard_groups,omitempty"`
+	// Slowest holds the N slowest requests' full span timelines,
+	// descending by total duration.
+	Slowest []RequestTimeline `json:"slowest"`
+}
+
+// AttemptStats tallies routed attempts by kind. HedgeWins counts hedged
+// attempts that produced the winning answer.
+type AttemptStats struct {
+	Total     int `json:"total"`
+	First     int `json:"first"`
+	Retries   int `json:"retries"`
+	Hedges    int `json:"hedges"`
+	HedgeWins int `json:"hedge_wins"`
+}
+
+// ComponentLatency is one critical-path component's distribution over
+// complete ok requests, in milliseconds.
+type ComponentLatency struct {
+	// Component is one of total, queue, compute, network, hedge_wait:
+	// queue is batcher queue wait on the winning replica, compute the
+	// rest of the replica's server time, network the winning attempt's
+	// time outside the replica, hedge_wait how long the request ran
+	// before its winning hedge was even launched.
+	Component string  `json:"component"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+// ReplicaFleetStat is one replica's attempt attribution.
+type ReplicaFleetStat struct {
+	Replica   string `json:"replica"`
+	Attempts  int    `json:"attempts"`
+	OK        int    `json:"ok"`
+	Failed    int    `json:"failed"`
+	Cancelled int    `json:"cancelled"`
+	Retries   int    `json:"retries"`
+	Hedges    int    `json:"hedges"`
+	// HedgeWins counts hedges against this replica that won their
+	// request; Wins/Hedges is the replica's hedge win rate.
+	HedgeWins int `json:"hedge_wins"`
+}
+
+// ShardGroupStat summarizes one shard group's fan-out legs.
+type ShardGroupStat struct {
+	Shard  int     `json:"shard"`
+	Legs   int     `json:"legs"`
+	Failed int     `json:"failed"`
+	P95Ms  float64 `json:"p95_ms"`
+}
+
+// RequestTimeline is one request's span timeline, offsets relative to
+// its root span.
+type RequestTimeline struct {
+	Trace   string         `json:"trace"`
+	TotalMs float64        `json:"total_ms"`
+	Outcome string         `json:"outcome"`
+	Spans   []TimelineSpan `json:"spans"`
+}
+
+// TimelineSpan is one span on a request timeline. Critical marks the
+// spans on the request's critical path: the root, the winning attempt,
+// its replica's server span, and (sharded) the slowest fan-out leg.
+type TimelineSpan struct {
+	OffsetMs float64 `json:"offset_ms"`
+	DurMs    float64 `json:"dur_ms"`
+	Name     string  `json:"name"`
+	Detail   string  `json:"detail,omitempty"`
+	Critical bool    `json:"critical,omitempty"`
+}
+
+// traceSpans is everything ingested for one trace ID.
+type traceSpans struct {
+	root     *obs.Event
+	attempts []obs.Event
+	legs     []obs.Event
+	serves   []obs.Event
+	batches  []obs.Event
+	other    []obs.Event // traced spans the analyzer has no model for
+}
+
+func (t *traceSpans) count() int {
+	n := len(t.attempts) + len(t.legs) + len(t.serves) + len(t.batches) + len(t.other)
+	if t.root != nil {
+		n++
+	}
+	return n
+}
+
+// AnalyzeFleet merges serving-fleet span streams (the concatenation of
+// the router's and every replica's JSONL file) into a FleetReport.
+// slowest bounds the per-request timelines kept (default 5). Training
+// spans are rejected — those belong to cmd/obsreport.
+func AnalyzeFleet(events []obs.Event, slowest int) (*FleetReport, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("report: no events")
+	}
+	if slowest <= 0 {
+		slowest = 5
+	}
+	rep := &FleetReport{
+		SpanCounts: map[string]int{},
+		Outcomes:   map[string]int{},
+		Latency:    []ComponentLatency{},
+		Replicas:   []ReplicaFleetStat{},
+		Slowest:    []RequestTimeline{},
+	}
+
+	byTrace := map[string]*traceSpans{}
+	forTrace := func(id string) *traceSpans {
+		t := byTrace[id]
+		if t == nil {
+			t = &traceSpans{}
+			byTrace[id] = t
+		}
+		return t
+	}
+	for i := range events {
+		ev := events[i]
+		rep.SpanCounts[ev.Name]++
+		if trainingSpan(ev.Name) {
+			return nil, fmt.Errorf("report: %s is a training-run span — cmd/fleetreport analyzes serving traces; run cmd/obsreport on training span files", ev.Name)
+		}
+		if ev.Name == spanBatch {
+			if list, ok := ev.Attr("traces"); ok {
+				for _, id := range strings.Split(list, ",") {
+					if id != "" {
+						forTrace(id).batches = append(forTrace(id).batches, ev)
+					}
+				}
+			}
+			continue
+		}
+		id, ok := ev.Attr("trace")
+		if !ok || id == "" {
+			continue // health/probe spans carry no trace
+		}
+		t := forTrace(id)
+		switch ev.Name {
+		case spanRoot:
+			// Duplicate roots should not happen; keep the earliest
+			// deterministically.
+			if t.root == nil || ev.Time.Before(t.root.Time) {
+				t.root = &events[i]
+			}
+		case spanAttempt:
+			t.attempts = append(t.attempts, ev)
+		case spanLeg:
+			t.legs = append(t.legs, ev)
+		case spanServe:
+			t.serves = append(t.serves, ev)
+		default:
+			t.other = append(t.other, ev)
+		}
+	}
+
+	traces := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		traces = append(traces, id)
+	}
+	sort.Strings(traces)
+
+	rootless := 0
+	for _, id := range traces {
+		t := byTrace[id]
+		if t.root == nil {
+			rep.OrphanSpans += t.count()
+			rep.OrphanTraces = append(rep.OrphanTraces, id)
+			continue
+		}
+		rootless++
+	}
+	if rootless == 0 {
+		return nil, fmt.Errorf("report: no %s spans among %d events — nothing to reconstruct (training span files go to cmd/obsreport)", spanRoot, len(events))
+	}
+
+	// Deterministic span ordering within each trace.
+	orderSpans := func(evs []obs.Event) {
+		sort.Slice(evs, func(i, j int) bool {
+			if !evs[i].Time.Equal(evs[j].Time) {
+				return evs[i].Time.Before(evs[j].Time)
+			}
+			return evs[i].Dur < evs[j].Dur
+		})
+	}
+
+	var samples struct{ total, queue, compute, network, hedgeWait []float64 }
+	replicas := map[string]*ReplicaFleetStat{}
+	replicaFor := func(host string) *ReplicaFleetStat {
+		r := replicas[host]
+		if r == nil {
+			r = &ReplicaFleetStat{Replica: host}
+			replicas[host] = r
+		}
+		return r
+	}
+	shardStats := map[int]*ShardGroupStat{}
+	legDurs := map[int][]float64{}
+	type analyzed struct {
+		trace    string
+		tree     *traceSpans
+		outcome  string
+		totalMs  float64
+		complete bool
+		// critical-path spans, matched by identity for timeline marking
+		winner *obs.Event
+		serve  *obs.Event
+		leg    *obs.Event
+	}
+	var reqs []analyzed
+
+	for _, id := range traces {
+		t := byTrace[id]
+		if t.root == nil {
+			continue
+		}
+		orderSpans(t.attempts)
+		orderSpans(t.legs)
+		orderSpans(t.serves)
+		orderSpans(t.batches)
+		orderSpans(t.other)
+
+		rep.Requests++
+		outcome, ok := t.root.Attr("outcome")
+		if !ok {
+			outcome = "unknown"
+		}
+		rep.Outcomes[outcome]++
+		shards := 0
+		if k, ok := t.root.Field("shards"); ok {
+			shards = int(k)
+		}
+		if shards > rep.Shards {
+			rep.Shards = shards
+		}
+
+		a := analyzed{trace: id, tree: t, outcome: outcome, totalMs: durMs(t.root.Dur)}
+
+		for i := range t.attempts {
+			at := &t.attempts[i]
+			kind, _ := at.Attr("kind")
+			res, _ := at.Attr("outcome")
+			host, _ := at.Attr("replica")
+			rs := replicaFor(host)
+			rs.Attempts++
+			rep.Attempts.Total++
+			switch res {
+			case "ok":
+				rs.OK++
+			case "cancel":
+				rs.Cancelled++
+			default:
+				rs.Failed++
+			}
+			switch kind {
+			case "retry":
+				rs.Retries++
+				rep.Attempts.Retries++
+			case "hedge":
+				rs.Hedges++
+				rep.Attempts.Hedges++
+				if res == "ok" {
+					rs.HedgeWins++
+					rep.Attempts.HedgeWins++
+				}
+			default:
+				rep.Attempts.First++
+			}
+		}
+		for i := range t.legs {
+			lg := &t.legs[i]
+			sh := -1
+			if v, ok := lg.Field("shard"); ok {
+				sh = int(v)
+			}
+			st := shardStats[sh]
+			if st == nil {
+				st = &ShardGroupStat{Shard: sh}
+				shardStats[sh] = st
+			}
+			st.Legs++
+			if res, _ := lg.Attr("outcome"); res != "ok" {
+				st.Failed++
+			}
+			legDurs[sh] = append(legDurs[sh], durMs(lg.Dur))
+		}
+
+		a.complete, a.winner, a.serve, a.leg = reconstruct(t, outcome, shards)
+		if a.complete {
+			rep.Complete++
+		} else {
+			rep.Incomplete = append(rep.Incomplete, id)
+		}
+
+		if a.complete && outcome == "ok" && a.winner != nil {
+			total := a.totalMs
+			attemptMs := durMs(a.winner.Dur)
+			serveMs, queue := 0.0, 0.0
+			if a.serve != nil {
+				serveMs = durMs(a.serve.Dur)
+				queue, _ = a.serve.Field("queue_wait_ms")
+			}
+			compute := math.Max(0, serveMs-queue)
+			network := math.Max(0, attemptMs-serveMs)
+			hedgeWait := 0.0
+			if kind, _ := a.winner.Attr("kind"); kind == "hedge" {
+				first := a.winner.Time
+				for _, at := range t.attempts {
+					if at.Time.Before(first) {
+						first = at.Time
+					}
+				}
+				hedgeWait = math.Max(0, durMs(a.winner.Time.Sub(first)))
+			}
+			samples.total = append(samples.total, total)
+			samples.queue = append(samples.queue, queue)
+			samples.compute = append(samples.compute, compute)
+			samples.network = append(samples.network, network)
+			samples.hedgeWait = append(samples.hedgeWait, hedgeWait)
+		}
+		reqs = append(reqs, a)
+	}
+
+	for _, c := range []struct {
+		name string
+		vals []float64
+	}{
+		{"total", samples.total},
+		{"queue", samples.queue},
+		{"compute", samples.compute},
+		{"network", samples.network},
+		{"hedge_wait", samples.hedgeWait},
+	} {
+		rep.Latency = append(rep.Latency, componentLatency(c.name, c.vals))
+	}
+
+	hosts := make([]string, 0, len(replicas))
+	for h := range replicas {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		rep.Replicas = append(rep.Replicas, *replicas[h])
+	}
+
+	shardIdx := make([]int, 0, len(shardStats))
+	for sh := range shardStats {
+		shardIdx = append(shardIdx, sh)
+	}
+	sort.Ints(shardIdx)
+	for _, sh := range shardIdx {
+		st := shardStats[sh]
+		st.P95Ms = percentile(legDurs[sh], 0.95)
+		rep.ShardGroups = append(rep.ShardGroups, *st)
+	}
+
+	// Slowest-N timelines: descending total, trace ID breaks ties.
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].totalMs != reqs[j].totalMs {
+			return reqs[i].totalMs > reqs[j].totalMs
+		}
+		return reqs[i].trace < reqs[j].trace
+	})
+	if len(reqs) > slowest {
+		reqs = reqs[:slowest]
+	}
+	for _, a := range reqs {
+		rep.Slowest = append(rep.Slowest, timeline(a.trace, a.tree, a.outcome, a.totalMs, a.winner, a.serve, a.leg))
+	}
+	return rep, nil
+}
+
+// reconstruct decides whether one trace's spans form a complete attempt
+// tree and identifies its critical path. For an ok request that means: a
+// winning attempt, the replica-side server span it produced, and — in a
+// sharded fleet — all K fan-out legs, the critical path running through
+// the slowest. Degraded requests (stale/error) are complete from the
+// root and whatever attempts were made; nothing downstream is owed.
+func reconstruct(t *traceSpans, outcome string, shards int) (complete bool, winner, serve, leg *obs.Event) {
+	if outcome != "ok" {
+		return true, nil, nil, nil
+	}
+	if shards > 0 {
+		seen := map[int]bool{}
+		for i := range t.legs {
+			if v, ok := t.legs[i].Field("shard"); ok {
+				seen[int(v)] = true
+				if leg == nil || t.legs[i].Dur > leg.Dur {
+					leg = &t.legs[i]
+				}
+			}
+		}
+		if len(seen) != shards || leg == nil {
+			return false, nil, nil, nil
+		}
+		legShard, _ := leg.Field("shard")
+		winner = winningAttempt(t.attempts, int(legShard))
+	} else {
+		winner = winningAttempt(t.attempts, -1)
+	}
+	if winner == nil {
+		return false, nil, nil, nil
+	}
+	serve = serveSpanFor(t.serves, winner)
+	return serve != nil, winner, serve, leg
+}
+
+// winningAttempt picks the attempt that produced the answer: the
+// earliest-finishing ok attempt, filtered to one shard group when the
+// fleet is sharded (shard < 0 matches attempts regardless).
+func winningAttempt(attempts []obs.Event, shard int) *obs.Event {
+	var win *obs.Event
+	for i := range attempts {
+		at := &attempts[i]
+		if res, _ := at.Attr("outcome"); res != "ok" {
+			continue
+		}
+		if shard >= 0 {
+			sh, ok := at.Attr("shard")
+			if !ok || sh != fmt.Sprintf("%d", shard) {
+				continue
+			}
+		}
+		if win == nil || at.Time.Add(at.Dur).Before(win.Time.Add(win.Dur)) {
+			win = at
+		}
+	}
+	return win
+}
+
+// serveSpanFor matches a winning attempt to the replica-side server span
+// it produced, by the addr attr the replica's TagSink stamps. Span files
+// written without identity stamping fall back to any server span of the
+// trace (unambiguous in a single-replica setup).
+func serveSpanFor(serves []obs.Event, winner *obs.Event) *obs.Event {
+	host, _ := winner.Attr("replica")
+	var fallback *obs.Event
+	for i := range serves {
+		sv := &serves[i]
+		addr, ok := sv.Attr("addr")
+		if !ok {
+			if fallback == nil {
+				fallback = sv
+			}
+			continue
+		}
+		if addr == host {
+			return sv
+		}
+	}
+	return fallback
+}
+
+// timeline renders one request's spans relative to its root.
+func timeline(trace string, t *traceSpans, outcome string, totalMs float64, winner, serve, leg *obs.Event) RequestTimeline {
+	tl := RequestTimeline{Trace: trace, TotalMs: roundMs(totalMs), Outcome: outcome}
+	origin := t.root.Time
+	add := func(ev *obs.Event, detail string, critical bool) {
+		tl.Spans = append(tl.Spans, TimelineSpan{
+			OffsetMs: roundMs(durMs(ev.Time.Sub(origin))),
+			DurMs:    roundMs(durMs(ev.Dur)),
+			Name:     ev.Name,
+			Detail:   detail,
+			Critical: critical,
+		})
+	}
+	add(t.root, kvDetail(t.root, "outcome", "status", "shards"), true)
+	for i := range t.legs {
+		lg := &t.legs[i]
+		add(lg, kvDetail(lg, "shard", "outcome"), lg == leg)
+	}
+	for i := range t.attempts {
+		at := &t.attempts[i]
+		add(at, kvDetail(at, "kind", "replica", "shard", "tier", "status", "outcome"), at == winner)
+	}
+	for i := range t.serves {
+		sv := &t.serves[i]
+		add(sv, kvDetail(sv, "addr", "rows", "batch", "queue_wait_ms", "outcome"), sv == serve)
+	}
+	for i := range t.batches {
+		add(&t.batches[i], kvDetail(&t.batches[i], "addr", "batch", "queue_wait_ms"), false)
+	}
+	for i := range t.other {
+		add(&t.other[i], "", false)
+	}
+	sort.SliceStable(tl.Spans, func(i, j int) bool {
+		if tl.Spans[i].OffsetMs != tl.Spans[j].OffsetMs {
+			return tl.Spans[i].OffsetMs < tl.Spans[j].OffsetMs
+		}
+		if tl.Spans[i].Name != tl.Spans[j].Name {
+			return tl.Spans[i].Name < tl.Spans[j].Name
+		}
+		return tl.Spans[i].Detail < tl.Spans[j].Detail
+	})
+	return tl
+}
+
+// kvDetail renders the named fields/attrs of a span that are present, in
+// the order given, as "k=v" pairs.
+func kvDetail(ev *obs.Event, keys ...string) string {
+	var parts []string
+	for _, k := range keys {
+		if v, ok := ev.Attr(k); ok {
+			parts = append(parts, k+"="+v)
+		} else if f, ok := ev.Field(k); ok {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, roundMs(f)))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func componentLatency(name string, vals []float64) ComponentLatency {
+	c := ComponentLatency{Component: name}
+	if len(vals) == 0 {
+		return c
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	c.P50Ms = roundMs(percentileSorted(sorted, 0.50))
+	c.P95Ms = roundMs(percentileSorted(sorted, 0.95))
+	c.P99Ms = roundMs(percentileSorted(sorted, 0.99))
+	c.MaxMs = roundMs(sorted[len(sorted)-1])
+	return c
+}
+
+// percentile is the nearest-rank percentile of vals (not yet sorted).
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return roundMs(percentileSorted(sorted, p))
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// roundMs rounds to microsecond precision so report numbers are stable
+// and readable; the underlying spans carry nanoseconds.
+func roundMs(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// WriteFleetJSON renders the report as indented JSON with a trailing
+// newline — deterministic for a given report.
+func WriteFleetJSON(w io.Writer, r *FleetReport) error {
+	return writeJSONValue(w, r)
+}
+
+// WriteFleetTable renders the report as a fixed-precision human-readable
+// table (also deterministic for a given report).
+func WriteFleetTable(w io.Writer, r *FleetReport) error {
+	fmt.Fprintf(w, "FLEET TRACE REPORT\n")
+	fmt.Fprintf(w, "requests %d traced, %d complete, %d incomplete, %d orphan spans (%d traces)\n",
+		r.Requests, r.Complete, len(r.Incomplete), r.OrphanSpans, len(r.OrphanTraces))
+	outcomes := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		outcomes = append(outcomes, k)
+	}
+	sort.Strings(outcomes)
+	parts := make([]string, 0, len(outcomes))
+	for _, k := range outcomes {
+		parts = append(parts, fmt.Sprintf("%s %d", k, r.Outcomes[k]))
+	}
+	fmt.Fprintf(w, "outcomes: %s\n", strings.Join(parts, ", "))
+	if r.Shards > 0 {
+		fmt.Fprintf(w, "shards: %d groups\n", r.Shards)
+	}
+	fmt.Fprintf(w, "attempts: %d total — %d first, %d retries, %d hedges (%d won)\n",
+		r.Attempts.Total, r.Attempts.First, r.Attempts.Retries, r.Attempts.Hedges, r.Attempts.HedgeWins)
+
+	fmt.Fprintf(w, "\nLATENCY DECOMPOSITION (complete ok requests, ms)\n")
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %9s\n", "component", "p50", "p95", "p99", "max")
+	for _, c := range r.Latency {
+		fmt.Fprintf(w, "%-10s %9.3f %9.3f %9.3f %9.3f\n", c.Component, c.P50Ms, c.P95Ms, c.P99Ms, c.MaxMs)
+	}
+
+	fmt.Fprintf(w, "\nREPLICA ATTRIBUTION\n")
+	fmt.Fprintf(w, "%-22s %8s %5s %5s %7s %7s %7s %9s\n",
+		"replica", "attempts", "ok", "fail", "cancel", "retry", "hedge", "hedgewin")
+	for _, rs := range r.Replicas {
+		fmt.Fprintf(w, "%-22s %8d %5d %5d %7d %7d %7d %9d\n",
+			rs.Replica, rs.Attempts, rs.OK, rs.Failed, rs.Cancelled, rs.Retries, rs.Hedges, rs.HedgeWins)
+	}
+
+	if len(r.ShardGroups) > 0 {
+		fmt.Fprintf(w, "\nSHARD GROUPS\n")
+		fmt.Fprintf(w, "%5s %6s %7s %9s\n", "shard", "legs", "failed", "p95_ms")
+		for _, sg := range r.ShardGroups {
+			fmt.Fprintf(w, "%5d %6d %7d %9.3f\n", sg.Shard, sg.Legs, sg.Failed, sg.P95Ms)
+		}
+	}
+
+	fmt.Fprintf(w, "\nSLOWEST REQUESTS (* = critical path)\n")
+	for i, tl := range r.Slowest {
+		fmt.Fprintf(w, "#%d trace %s  %.3f ms  %s\n", i+1, tl.Trace, tl.TotalMs, tl.Outcome)
+		for _, sp := range tl.Spans {
+			mark := " "
+			if sp.Critical {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "  %s %9.3f %9.3f  %-14s %s\n", mark, sp.OffsetMs, sp.DurMs, sp.Name, sp.Detail)
+		}
+	}
+	_, err := fmt.Fprintf(w, "\nEND %d/%d complete\n", r.Complete, r.Requests)
+	return err
+}

@@ -1,0 +1,331 @@
+// The fleet-tracing acceptance test: train a real model, serve it as a
+// 2-shard × 2-replica fleet behind the shard aggregator with chaos
+// fault injection on the outbound path, trace every request end to end,
+// and prove that AnalyzeFleet reconstructs at least 99% of the traced
+// requests into complete attempt trees with at least one retry and one
+// hedge correctly attributed to real replicas.
+//
+// Setting TPASCD_FLEET_FIXTURE_DIR dumps each process's span file into
+// that directory — how testdata/fleet/*.jsonl (the golden fixture) was
+// produced.
+package report_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"tpascd"
+	"tpascd/internal/backoff"
+	"tpascd/internal/obs"
+	"tpascd/internal/obs/report"
+	"tpascd/internal/route"
+	"tpascd/internal/shard"
+)
+
+// trainCheckpoint trains a small ridge model on synthetic webspam-like
+// data and saves it as a serving checkpoint, returning its path and dim.
+func trainCheckpoint(t *testing.T, dir string) (path string, dim int) {
+	t.Helper()
+	a, y, err := tpascd.GenerateWebspam(tpascd.WebspamConfig{
+		N: 400, M: 101, AvgNNZPerRow: 12, Skew: 1, NoiseRate: 0.05, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tpascd.NewProblem(a, y, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tpascd.NewSequentialSolver(p, tpascd.Primal, 1)
+	tpascd.Train(s, 3, nil)
+	w := make([]float32, len(s.Model()))
+	copy(w, s.Model())
+	path = filepath.Join(dir, "model.ckpt")
+	if err := tpascd.SaveCheckpointFile(path, tpascd.Checkpoint{
+		Kind: tpascd.KindRidge, Dim: len(w), Vectors: [][]float32{w},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(w)
+}
+
+// tracedProc is one fleet process's span stream: a JSONL sink over an
+// in-memory buffer, stamped with the process identity exactly as the
+// -trace-jsonl flags stamp the real files.
+type tracedProc struct {
+	name   string
+	buf    bytes.Buffer
+	sink   *obs.JSONLSink
+	tracer *obs.Tracer
+}
+
+func newTracedProc(name, service, addr string) *tracedProc {
+	p := &tracedProc{name: name}
+	p.sink = obs.NewJSONLSink(&p.buf)
+	attrs := []obs.Attr{obs.A("service", service)}
+	if addr != "" {
+		attrs = append(attrs, obs.A("addr", addr))
+	}
+	p.tracer = obs.NewTracer(&obs.TagSink{OmitRank: true, Attrs: attrs, Next: p.sink})
+	return p
+}
+
+// events flushes the sink and parses the stream back, the offline half
+// of the -trace-jsonl → fleetreport pipeline.
+func (p *tracedProc) events(t *testing.T) []obs.Event {
+	t.Helper()
+	if err := p.sink.Flush(); err != nil {
+		t.Fatalf("%s: flush: %v", p.name, err)
+	}
+	evs, err := obs.ParseJSONL(bytes.NewReader(p.buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: parse: %v", p.name, err)
+	}
+	return evs
+}
+
+// tracedReplica is one predserve-equivalent on a real TCP listener with
+// span emission wired the way cmd/predserve wires it: the listener
+// comes up first so the tracer can stamp the resolved address.
+type tracedReplica struct {
+	addr string
+	proc *tracedProc
+	hsrv *http.Server
+	ssrv *tpascd.PredictionServer
+	once sync.Once
+}
+
+func startTracedReplica(t *testing.T, name, ckptPath string) *tracedReplica {
+	t.Helper()
+	reg := tpascd.NewModelRegistry()
+	if _, err := reg.LoadFile(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := newTracedProc(name, "predserve", ln.Addr().String())
+	ssrv := tpascd.NewPredictionServer(reg, tpascd.ServerConfig{Trace: proc.tracer})
+	hsrv := &http.Server{Handler: ssrv.Handler()}
+	go hsrv.Serve(ln)
+	r := &tracedReplica{addr: ln.Addr().String(), proc: proc, hsrv: hsrv, ssrv: ssrv}
+	t.Cleanup(r.stop)
+	return r
+}
+
+func (r *tracedReplica) stop() {
+	r.once.Do(func() {
+		r.hsrv.Close()
+		r.ssrv.Close()
+	})
+}
+
+func TestE2EFleetTracingUnderChaos(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, dim := trainCheckpoint(t, dir)
+	man, err := tpascd.SplitServingCheckpoint(ckpt, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2 shard groups × 2 replicas, every process with its own span file.
+	var replicas [][]*tracedReplica
+	groups := make([][]string, man.Shards)
+	for i := 0; i < man.Shards; i++ {
+		var reps []*tracedReplica
+		for m := 0; m < 2; m++ {
+			reps = append(reps, startTracedReplica(t,
+				fmt.Sprintf("serve-%d-%d", i, m), filepath.Join(dir, man.Files[i])))
+		}
+		replicas = append(replicas, reps)
+		groups[i] = []string{reps[0].addr, reps[1].addr}
+	}
+
+	// The aggregator is the fleet's root-span emitter; chaos on the
+	// outbound transport injects the delays (hedge fuel) and truncated
+	// responses (retry fuel) the report must attribute.
+	router := newTracedProc("router", "predrouter", "")
+	chaosReg := obs.NewRegistry()
+	agg, err := shard.NewAggregator(shard.AggregatorConfig{
+		Manifest: man,
+		Groups:   groups,
+		Route: route.Config{
+			Probe: route.ProbeConfig{
+				Interval:           10 * time.Millisecond,
+				Timeout:            500 * time.Millisecond,
+				FailThreshold:      2,
+				ProbationSuccesses: 2,
+				Backoff:            backoff.Policy{Initial: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+			},
+			MaxAttempts: 3,
+			RetryBudget: 0.5,
+			HedgeBudget: 1,
+			HedgeDelay:  5 * time.Millisecond,
+			HedgeMin:    time.Millisecond,
+			HedgeMax:    10 * time.Millisecond,
+			Deadline:    2 * time.Second,
+			Transport: route.ChaosTransport(nil, route.ChaosConfig{
+				Seed:         43,
+				TruncateProb: 0.08,
+				DelayProb:    0.25,
+				MaxDelay:     25 * time.Millisecond,
+				Obs:          chaosReg,
+			}),
+		},
+		Deadline: 5 * time.Second,
+		Obs:      obs.NewRegistry(),
+		Seed:     7,
+		Trace:    router.tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(agg.Close)
+	front := httptest.NewServer(agg.Handler())
+	t.Cleanup(front.Close)
+
+	// Drive traced traffic — client-minted trace IDs in the request
+	// header, the loadgen -trace-sample path — until chaos has forced at
+	// least one retry and one hedge, so the report has something to
+	// attribute. The cap keeps a pathological run from spinning forever.
+	var metrics = func() (retries, hedges int64) {
+		for i := 0; i < man.Shards; i++ {
+			m := agg.Group(i).Metrics()
+			retries += m.Retries()
+			hedges += m.Hedges()
+		}
+		return
+	}
+	sent := 0
+	nextTrace := uint64(0x1000)
+	sendOne := func() {
+		body := fmt.Sprintf(`{"indices":[%d,%d],"values":[1,-0.5]}`, sent%dim, (sent*7+1)%dim)
+		req, err := http.NewRequest(http.MethodPost, front.URL+"/predict", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceID(nextTrace))
+		nextTrace++
+		sent++
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", sent, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	for sent < 80 {
+		sendOne()
+	}
+	for r, h := metrics(); (r == 0 || h == 0) && sent < 400; r, h = metrics() {
+		sendOne()
+	}
+	if r, h := metrics(); r == 0 || h == 0 {
+		t.Fatalf("chaos never forced the attempt machinery: %d retries, %d hedges after %d requests", r, h, sent)
+	}
+
+	// Stop the fleet so batcher spans drain, then collect every
+	// process's stream — the offline merge fleetreport performs.
+	for _, reps := range replicas {
+		for _, r := range reps {
+			r.stop()
+		}
+	}
+	var events []obs.Event
+	procs := []*tracedProc{router}
+	for _, reps := range replicas {
+		for _, r := range reps {
+			procs = append(procs, r.proc)
+		}
+	}
+	for _, p := range procs {
+		events = append(events, p.events(t)...)
+	}
+	if fixDir := os.Getenv("TPASCD_FLEET_FIXTURE_DIR"); fixDir != "" {
+		for _, p := range procs {
+			if err := os.WriteFile(filepath.Join(fixDir, p.name+".jsonl"), p.buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("fixture dumped to %s", fixDir)
+	}
+
+	rep, err := report.AnalyzeFleet(events, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Acceptance: every traced request has a root, ≥99% reconstruct
+	// into complete attempt trees, and the remainder is accounted. ---
+	if rep.Requests != sent {
+		t.Fatalf("traced %d requests but the report reconstructed %d roots", sent, rep.Requests)
+	}
+	if rep.OrphanSpans != 0 || len(rep.OrphanTraces) != 0 {
+		t.Fatalf("orphan spans in an all-files-present merge: %d spans, traces %v", rep.OrphanSpans, rep.OrphanTraces)
+	}
+	if rep.Complete+len(rep.Incomplete) != rep.Requests {
+		t.Fatalf("accounting leak: %d complete + %d incomplete != %d requests",
+			rep.Complete, len(rep.Incomplete), rep.Requests)
+	}
+	if min := (rep.Requests*99 + 99) / 100; rep.Complete < min {
+		t.Fatalf("only %d/%d requests reconstructed completely (want >= %d); incomplete: %v",
+			rep.Complete, rep.Requests, min, rep.Incomplete)
+	}
+
+	// --- Acceptance: at least one retry and one hedge, attributed to
+	// real replicas, and the attribution sums to the fleet totals. ---
+	if rep.Attempts.Retries < 1 || rep.Attempts.Hedges < 1 {
+		t.Fatalf("attempt attribution: %+v — wanted >=1 retry and >=1 hedge", rep.Attempts)
+	}
+	real := map[string]bool{}
+	for _, reps := range replicas {
+		for _, r := range reps {
+			real[r.addr] = true
+		}
+	}
+	var sumAttempts, sumRetries, sumHedges int
+	for _, rs := range rep.Replicas {
+		if !real[rs.Replica] {
+			t.Fatalf("attempts attributed to unknown replica %q", rs.Replica)
+		}
+		sumAttempts += rs.Attempts
+		sumRetries += rs.Retries
+		sumHedges += rs.Hedges
+	}
+	if sumAttempts != rep.Attempts.Total || sumRetries != rep.Attempts.Retries || sumHedges != rep.Attempts.Hedges {
+		t.Fatalf("per-replica attribution (%d/%d/%d) does not sum to the fleet totals %+v",
+			sumAttempts, sumRetries, sumHedges, rep.Attempts)
+	}
+
+	// --- Structure: both shard groups fanned out on every request, and
+	// the critical-path decomposition is populated. ---
+	if rep.Shards != man.Shards {
+		t.Fatalf("report shards %d, fleet has %d", rep.Shards, man.Shards)
+	}
+	if len(rep.ShardGroups) != man.Shards {
+		t.Fatalf("shard groups %v", rep.ShardGroups)
+	}
+	if len(rep.Latency) == 0 || rep.Latency[0].Component != "total" || rep.Latency[0].MaxMs <= 0 {
+		t.Fatalf("latency decomposition missing or empty: %+v", rep.Latency)
+	}
+	if len(rep.Slowest) != 5 {
+		t.Fatalf("slowest timelines: %d, want 5", len(rep.Slowest))
+	}
+	for _, tl := range rep.Slowest {
+		if len(tl.Spans) == 0 || !tl.Spans[0].Critical {
+			t.Fatalf("timeline %s has no critical root span: %+v", tl.Trace, tl.Spans)
+		}
+	}
+	t.Logf("fleet trace: %d requests, %d complete, attempts %+v", rep.Requests, rep.Complete, rep.Attempts)
+}

@@ -1,0 +1,107 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"tpascd/internal/obs"
+)
+
+// loadFleetFixture parses the checked-in per-process span files of a
+// real 2-shard × 2-replica chaos run (testdata/fleet/*.jsonl, dumped by
+// the fleet-tracing e2e test with TPASCD_FLEET_FIXTURE_DIR set).
+func loadFleetFixture(t *testing.T) []obs.Event {
+	t.Helper()
+	paths, err := filepath.Glob("testdata/fleet/*.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no fleet fixture files in testdata/fleet")
+	}
+	sort.Strings(paths)
+	var events []obs.Event
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs, err := obs.ParseJSONL(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		events = append(events, evs...)
+	}
+	return events
+}
+
+// The fleet analyzer must reproduce the committed reference reports byte
+// for byte from the committed fixture: the report is a pure function of
+// the span files, with no clocks or environment leaking in.
+func TestFleetFixtureReproducesReferenceReports(t *testing.T) {
+	rep, err := AnalyzeFleet(loadFleetFixture(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []struct {
+		path  string
+		write func(*bytes.Buffer) error
+	}{
+		{"../../../results/fleetreport.json", func(b *bytes.Buffer) error { return WriteFleetJSON(b, rep) }},
+		{"../../../results/fleetreport.txt", func(b *bytes.Buffer) error { return WriteFleetTable(b, rep) }},
+	} {
+		want, err := os.ReadFile(ref.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := ref.write(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s diverges from a fresh analysis of the fixture;\ngot:\n%s\nwant:\n%s",
+				ref.path, got.String(), want)
+		}
+	}
+}
+
+// Structural invariants of the fixture run, independent of the exact
+// reference bytes: a 2-shard fleet, four replicas, every request rooted
+// and complete, chaos visible as retries and hedges, and orphan
+// accounting empty for an all-files-present merge.
+func TestFleetFixtureInvariants(t *testing.T) {
+	rep, err := AnalyzeFleet(loadFleetFixture(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 2 {
+		t.Fatalf("fixture shards %d", rep.Shards)
+	}
+	if len(rep.Replicas) != 4 {
+		t.Fatalf("fixture replicas %v", rep.Replicas)
+	}
+	if rep.Requests == 0 || rep.Complete != rep.Requests {
+		t.Fatalf("fixture requests %d, complete %d", rep.Requests, rep.Complete)
+	}
+	if rep.OrphanSpans != 0 || len(rep.OrphanTraces) != 0 {
+		t.Fatalf("fixture orphans: %d spans, %v", rep.OrphanSpans, rep.OrphanTraces)
+	}
+	if rep.Attempts.Retries == 0 || rep.Attempts.Hedges == 0 {
+		t.Fatalf("fixture attempts %+v — the chaos run should carry retries and hedges", rep.Attempts)
+	}
+	if rep.Attempts.Total != rep.Attempts.First+rep.Attempts.Retries+rep.Attempts.Hedges {
+		t.Fatalf("attempt kinds do not sum: %+v", rep.Attempts)
+	}
+	for _, sg := range rep.ShardGroups {
+		if sg.Legs < rep.Requests {
+			t.Fatalf("shard %d has %d legs for %d requests", sg.Shard, sg.Legs, rep.Requests)
+		}
+	}
+	if len(rep.Slowest) != 5 {
+		t.Fatalf("slowest timelines %d", len(rep.Slowest))
+	}
+}

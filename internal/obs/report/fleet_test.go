@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tpascd/internal/obs"
+)
+
+func at(ms int) time.Time {
+	return time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC).Add(time.Duration(ms) * time.Millisecond)
+}
+
+func rootSpan(trace string, start, dur int, outcome string) obs.Event {
+	return obs.Event{
+		Name: "router.request", Time: at(start), Dur: time.Duration(dur) * time.Millisecond,
+		Fields: []obs.Field{obs.F("status", 200)},
+		Attrs:  []obs.Attr{obs.A("trace", trace), obs.A("outcome", outcome)},
+	}
+}
+
+func attemptSpan(trace, replica, kind, outcome string, start, dur int) obs.Event {
+	return obs.Event{
+		Name: "route.attempt", Time: at(start), Dur: time.Duration(dur) * time.Millisecond,
+		Fields: []obs.Field{obs.F("status", 200)},
+		Attrs: []obs.Attr{
+			obs.A("trace", trace), obs.A("replica", replica),
+			obs.A("kind", kind), obs.A("outcome", outcome),
+		},
+	}
+}
+
+func serveSpan(trace, addr string, start, dur int) obs.Event {
+	return obs.Event{
+		Name: "serve.request", Time: at(start), Dur: time.Duration(dur) * time.Millisecond,
+		Fields: []obs.Field{obs.F("rows", 1), obs.F("queue_wait_ms", 0.5), obs.F("batch", 1)},
+		Attrs:  []obs.Attr{obs.A("trace", trace), obs.A("outcome", "ok"), obs.A("addr", addr)},
+	}
+}
+
+// A minimal single-replica trace reconstructs completely, and spans of a
+// trace with no root are counted as orphans — never silently dropped.
+func TestAnalyzeFleetOrphanAccounting(t *testing.T) {
+	events := []obs.Event{
+		rootSpan("aaaa", 0, 10, "ok"),
+		attemptSpan("aaaa", "127.0.0.1:9001", "first", "ok", 1, 8),
+		serveSpan("aaaa", "127.0.0.1:9001", 2, 6),
+		// A rootless trace: the router's span file was lost.
+		attemptSpan("bbbb", "127.0.0.1:9001", "first", "ok", 20, 3),
+		serveSpan("bbbb", "127.0.0.1:9001", 21, 2),
+	}
+	rep, err := AnalyzeFleet(events, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 || rep.Complete != 1 {
+		t.Fatalf("requests %d complete %d", rep.Requests, rep.Complete)
+	}
+	if rep.OrphanSpans != 2 || len(rep.OrphanTraces) != 1 || rep.OrphanTraces[0] != "bbbb" {
+		t.Fatalf("orphans: %d spans, traces %v", rep.OrphanSpans, rep.OrphanTraces)
+	}
+	// Orphaned attempts stay in the orphan tally — attributing them
+	// without a root would skew the per-request statistics.
+	if rep.Attempts.Total != 1 {
+		t.Fatalf("attempts %+v", rep.Attempts)
+	}
+}
+
+// An ok root whose winning attempt has no matching server span is
+// incomplete: the tree is missing its replica half.
+func TestAnalyzeFleetIncompleteTree(t *testing.T) {
+	events := []obs.Event{
+		rootSpan("cccc", 0, 10, "ok"),
+		attemptSpan("cccc", "127.0.0.1:9001", "first", "ok", 1, 8),
+	}
+	rep, err := AnalyzeFleet(events, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete != 0 || len(rep.Incomplete) != 1 || rep.Incomplete[0] != "cccc" {
+		t.Fatalf("complete %d incomplete %v", rep.Complete, rep.Incomplete)
+	}
+	// A degraded root owes nothing downstream and is complete as-is.
+	rep, err = AnalyzeFleet([]obs.Event{rootSpan("dddd", 0, 5, "stale")}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete != 1 {
+		t.Fatalf("stale root not complete: %+v", rep)
+	}
+}
+
+// The two analyzers reject each other's vocabulary by name, each error
+// pointing at the right command.
+func TestAnalyzersRejectEachOthersSpans(t *testing.T) {
+	_, err := AnalyzeFleet([]obs.Event{{Name: "dist.epoch", Time: at(0)}}, 0)
+	if err == nil || !strings.Contains(err.Error(), "obsreport") {
+		t.Fatalf("AnalyzeFleet on a training span: %v", err)
+	}
+	_, err = Analyze([]obs.Event{rootSpan("eeee", 0, 1, "ok")})
+	if err == nil || !strings.Contains(err.Error(), "fleetreport") {
+		t.Fatalf("Analyze on a serving span: %v", err)
+	}
+	// Serving spans with no root at all: an actionable error, not a
+	// zero-filled report.
+	_, err = AnalyzeFleet([]obs.Event{attemptSpan("ffff", "h", "first", "ok", 0, 1)}, 0)
+	if err == nil || !strings.Contains(err.Error(), "router.request") {
+		t.Fatalf("AnalyzeFleet with no roots: %v", err)
+	}
+}

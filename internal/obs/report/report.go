@@ -113,6 +113,9 @@ func Analyze(events []obs.Event) (*Report, error) {
 	}
 	run := events[0].Run
 	for _, ev := range events {
+		if servingSpan(ev.Name) {
+			return nil, fmt.Errorf("report: %s is a serving-fleet span — cmd/obsreport analyzes training runs; run cmd/fleetreport on serving trace files", ev.Name)
+		}
 		if ev.Run != run {
 			return nil, fmt.Errorf("report: events from multiple runs (%q and %q); analyze one run at a time", run, ev.Run)
 		}
@@ -297,7 +300,11 @@ func rankEpoch(ev obs.Event) (rank, epoch int, err error) {
 // Field order follows the struct definitions and map keys are sorted, so
 // the bytes are a deterministic function of the report.
 func WriteJSON(w io.Writer, r *Report) error {
-	b, err := json.MarshalIndent(r, "", "  ")
+	return writeJSONValue(w, r)
+}
+
+func writeJSONValue(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/json"
@@ -39,15 +40,58 @@ func NewRunID() uint64 {
 // 16 lowercase hex digits.
 func FormatRunID(id uint64) string { return fmt.Sprintf("%016x", id) }
 
+// Request tracing reuses the run-ID shape: a 64-bit ID minted per
+// request (at the router, or upstream by loadgen) rides the
+// X-Tpascd-Trace header and a context value, and every span a traced
+// request touches carries it as a "trace" attr. fleetreport joins the
+// per-process span files on it, exactly as obsreport joins training
+// streams on the run ID.
+
+// TraceHeader is the HTTP header carrying a request's trace ID across
+// process hops (loadgen -> predrouter -> predserve).
+const TraceHeader = "X-Tpascd-Trace"
+
+// NewTraceID returns a random nonzero 64-bit trace ID.
+func NewTraceID() uint64 { return NewRunID() }
+
+// FormatTraceID renders a trace ID as spans carry it: 16 lowercase hex
+// digits.
+func FormatTraceID(id uint64) string { return FormatRunID(id) }
+
+type traceKey struct{}
+
+// ContextWithTrace returns ctx carrying the formatted trace ID; a blank
+// id returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFromContext returns the trace ID carried by ctx, or "" when the
+// request is untraced.
+func TraceFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
 // TagSink stamps run/rank correlation onto every event before forwarding
-// it: Run overwrites the event's run ID (when non-empty), and a "rank"
-// field is added unless the emitter already attached one. Wrap any sink
-// with it so instrumented code deep in the stack needs no knowledge of
-// which rank or run it serves.
+// it: Run overwrites the event's run ID (when non-empty), a "rank"
+// field is added unless the emitter already attached one (suppressed by
+// OmitRank — serving processes have no rank), and Attrs are appended
+// unless the emitter already set the same key. Wrap any sink with it so
+// instrumented code deep in the stack needs no knowledge of which rank,
+// run, or process identity it serves.
 type TagSink struct {
-	Run  string
-	Rank int
-	Next Sink
+	Run      string
+	Rank     int
+	OmitRank bool
+	// Attrs is the process identity stamped onto every span — e.g.
+	// service=predserve plus the listen address, which is how fleetreport
+	// joins a router's attempt spans to the replica that served them.
+	Attrs []Attr
+	Next  Sink
 }
 
 // Emit forwards the stamped event.
@@ -55,10 +99,22 @@ func (s TagSink) Emit(ev Event) {
 	if s.Run != "" {
 		ev.Run = s.Run
 	}
-	if _, ok := ev.Field("rank"); !ok {
-		fields := make([]Field, 0, len(ev.Fields)+1)
-		fields = append(fields, ev.Fields...)
-		ev.Fields = append(fields, F("rank", float64(s.Rank)))
+	if !s.OmitRank {
+		if _, ok := ev.Field("rank"); !ok {
+			fields := make([]Field, 0, len(ev.Fields)+1)
+			fields = append(fields, ev.Fields...)
+			ev.Fields = append(fields, F("rank", float64(s.Rank)))
+		}
+	}
+	if len(s.Attrs) > 0 {
+		attrs := make([]Attr, 0, len(ev.Attrs)+len(s.Attrs))
+		attrs = append(attrs, ev.Attrs...)
+		for _, a := range s.Attrs {
+			if _, ok := ev.Attr(a.Key); !ok {
+				attrs = append(attrs, a)
+			}
+		}
+		ev.Attrs = attrs
 	}
 	s.Next.Emit(ev)
 }
@@ -66,10 +122,12 @@ func (s TagSink) Emit(ev Event) {
 // ParseJSONL reads a span stream written by JSONLSink back into events.
 // The reserved keys "name", "time", "dur_ms" and "run" map onto the
 // event envelope; every other numeric key becomes a field (JSON null —
-// how the writer encodes non-finite values — parses as NaN). JSON does
-// not preserve object-key order across tooling, so fields come back
-// sorted by key; consumers look fields up by name anyway. Blank lines
-// are skipped.
+// how the writer encodes non-finite values — parses as NaN) and every
+// other string key becomes an attr. Old span files carry no string
+// attrs and parse exactly as they did before attrs existed. JSON does
+// not preserve object-key order across tooling, so fields and attrs
+// come back sorted by key; consumers look them up by name anyway.
+// Blank lines are skipped.
 func ParseJSONL(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -120,8 +178,10 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 					ev.Fields = append(ev.Fields, F(k, f))
 				case nil:
 					ev.Fields = append(ev.Fields, F(k, math.NaN()))
+				case string:
+					ev.Attrs = append(ev.Attrs, A(k, f))
 				default:
-					return nil, fmt.Errorf("obs: span line %d: non-numeric field %q", line, k)
+					return nil, fmt.Errorf("obs: span line %d: non-scalar field %q", line, k)
 				}
 			}
 		}
@@ -129,6 +189,7 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 			return nil, fmt.Errorf("obs: span line %d: missing name", line)
 		}
 		sort.Slice(ev.Fields, func(i, j int) bool { return ev.Fields[i].Key < ev.Fields[j].Key })
+		sort.Slice(ev.Attrs, func(i, j int) bool { return ev.Attrs[i].Key < ev.Attrs[j].Key })
 		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {

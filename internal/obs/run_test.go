@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"math"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -108,9 +109,10 @@ func TestJSONLRoundTripWithRun(t *testing.T) {
 func TestParseJSONLRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"not json",
-		`{"time":"2026-01-02T03:04:05Z"}`,            // missing name
-		`{"name":"x","time":"yesterday"}`,            // bad time
-		`{"name":"x","extra":"strings not allowed"}`, // non-numeric field
+		`{"time":"2026-01-02T03:04:05Z"}`, // missing name
+		`{"name":"x","time":"yesterday"}`, // bad time
+		`{"name":"x","extra":[1,2]}`,      // non-scalar field
+		`{"name":"x","extra":{"k":"v"}}`,  // nested object
 	} {
 		if _, err := ParseJSONL(strings.NewReader(bad + "\n")); err == nil {
 			t.Errorf("ParseJSONL accepted %q", bad)
@@ -120,6 +122,142 @@ func TestParseJSONLRejectsGarbage(t *testing.T) {
 	evs, err := ParseJSONL(strings.NewReader("\n\n"))
 	if err != nil || len(evs) != 0 {
 		t.Fatalf("blank input: %v, %d events", err, len(evs))
+	}
+}
+
+func TestJSONLRoundTripWithAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tr.EmitEvent(Event{
+		Name:   "route.attempt",
+		Time:   start,
+		Dur:    2 * time.Millisecond,
+		Fields: []Field{F("status", 200)},
+		Attrs:  []Attr{A("trace", "00000000000000aa"), A("replica", "127.0.0.1:9001"), A("kind", "hedge")},
+	})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("%d events", len(evs))
+	}
+	ev := evs[0]
+	if s, ok := ev.Field("status"); !ok || s != 200 {
+		t.Fatalf("status field %v ok=%v", s, ok)
+	}
+	for key, want := range map[string]string{
+		"trace": "00000000000000aa", "replica": "127.0.0.1:9001", "kind": "hedge",
+	} {
+		if got, ok := ev.Attr(key); !ok || got != want {
+			t.Fatalf("attr %s = %q ok=%v, want %q", key, got, ok, want)
+		}
+	}
+	// Attrs come back sorted by key.
+	for i := 1; i < len(ev.Attrs); i++ {
+		if ev.Attrs[i-1].Key >= ev.Attrs[i].Key {
+			t.Fatalf("attrs not sorted: %+v", ev.Attrs)
+		}
+	}
+	if _, ok := ev.Attr("absent"); ok {
+		t.Fatal("absent attr reported present")
+	}
+}
+
+func TestTagSinkStampsAttrsAndOmitsRank(t *testing.T) {
+	ring := NewRingSink(8)
+	s := TagSink{
+		OmitRank: true,
+		Attrs:    []Attr{A("service", "predserve"), A("addr", "127.0.0.1:9001")},
+		Next:     ring,
+	}
+	s.Emit(Event{Name: "serve.request", Attrs: []Attr{A("addr", "emitter-wins")}})
+	evs := ring.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events", len(evs))
+	}
+	ev := evs[0]
+	if _, ok := ev.Field("rank"); ok {
+		t.Fatal("OmitRank sink stamped a rank field")
+	}
+	if svc, _ := ev.Attr("service"); svc != "predserve" {
+		t.Fatalf("service attr %q", svc)
+	}
+	if addr, _ := ev.Attr("addr"); addr != "emitter-wins" {
+		t.Fatalf("emitter attr overwritten: %q", addr)
+	}
+
+	// A TagSink must not mutate an attrs slice the emitter may reuse.
+	attrs := make([]Attr, 1, 4)
+	attrs[0] = A("a", "1")
+	s.Emit(Event{Name: "x", Attrs: attrs})
+	if cap(attrs) >= 2 && len(attrs) == 1 {
+		probe := attrs[:2]
+		if probe[1].Key == "service" {
+			t.Fatal("TagSink appended into the caller's attr backing array")
+		}
+	}
+}
+
+// Backward compatibility (ISSUE 10 satellite): numeric-field-only span
+// files written before string attrs existed — the committed
+// results/runreport fixture format — must still parse bitwise-identically
+// and re-encode into lines the parser maps back to the same events.
+func TestParseJSONLBackwardCompatNumericOnly(t *testing.T) {
+	f, err := os.Open("report/testdata/rank0.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := ParseJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("fixture parsed to zero events")
+	}
+	for i, ev := range evs {
+		if len(ev.Attrs) != 0 {
+			t.Fatalf("event %d: pre-attr fixture grew attrs: %+v", i, ev.Attrs)
+		}
+	}
+
+	// Round-trip through the extended writer: every envelope value and
+	// every field must come back bit-identical (NaN compared by bits).
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for _, ev := range evs {
+		sink.Emit(ev)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round trip %d -> %d events", len(evs), len(back))
+	}
+	for i := range evs {
+		a, b := evs[i], back[i]
+		if a.Name != b.Name || a.Run != b.Run || !a.Time.Equal(b.Time) || a.Dur != b.Dur {
+			t.Fatalf("event %d envelope drifted:\n%+v\n%+v", i, a, b)
+		}
+		if len(a.Fields) != len(b.Fields) {
+			t.Fatalf("event %d fields %d -> %d", i, len(a.Fields), len(b.Fields))
+		}
+		for j := range a.Fields {
+			if a.Fields[j].Key != b.Fields[j].Key ||
+				math.Float64bits(a.Fields[j].Value) != math.Float64bits(b.Fields[j].Value) {
+				t.Fatalf("event %d field %d drifted: %+v -> %+v", i, j, a.Fields[j], b.Fields[j])
+			}
+		}
 	}
 }
 

@@ -21,6 +21,18 @@ type Field struct {
 // F builds a Field.
 func F(key string, value float64) Field { return Field{Key: key, Value: value} }
 
+// Attr is one string key/value attribute of an Event. Numeric data
+// belongs in Fields; Attrs carry the identity strings request tracing
+// needs — trace IDs, replica addresses, outcome labels — that have no
+// numeric encoding.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A builds an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
 // Event is one structured span or point event: a name, the wall-clock
 // start, the duration (zero for instantaneous events), an optional run
 // correlation ID (see TagSink), and ordered numeric fields.
@@ -34,6 +46,12 @@ type Event struct {
 	// per-rank JSONL streams joinable offline.
 	Run    string
 	Fields []Field
+	// Attrs are ordered string attributes (trace IDs, replica addresses,
+	// outcome labels). Events predating the tracing layer carry none, and
+	// the JSONL encoding emits them exactly like fields (just with string
+	// values), so old span files and old parsers interoperate with new
+	// ones as long as no attrs are present.
+	Attrs []Attr
 }
 
 // Field returns the named field's value; ok is false when absent.
@@ -44,6 +62,16 @@ func (e Event) Field(key string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Attr returns the named attribute's value; ok is false when absent.
+func (e Event) Attr(key string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
 }
 
 // Sink consumes events. Implementations must be safe for concurrent use;
@@ -71,6 +99,15 @@ func (t *Tracer) Emit(name string, start time.Time, dur time.Duration, fields ..
 		return
 	}
 	t.sink.Emit(Event{Name: name, Time: start, Dur: dur, Fields: fields})
+}
+
+// EmitEvent records a fully-built event — the entry point for spans that
+// carry string attributes. No-op on a nil or sinkless tracer.
+func (t *Tracer) EmitEvent(ev Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Emit(ev)
 }
 
 // RingSink retains the most recent events in a fixed-capacity ring —
@@ -127,7 +164,8 @@ func (s *RingSink) Len() int {
 // JSONLSink writes one JSON object per event to an io.Writer — the
 // durable sink behind scdtrain/distworker -trace-jsonl. The reserved
 // keys are "name", "time" (RFC 3339), "dur_ms" and "run" (omitted when
-// empty); fields follow in emission order. Writes are buffered; call
+// empty); fields follow in emission order, then attrs (string-valued
+// keys). Writes are buffered; call
 // Flush (or Close) before reading the output. The sink serializes
 // concurrent emitters internally. ParseJSONL reads the format back.
 type JSONLSink struct {
@@ -160,6 +198,12 @@ func (s *JSONLSink) Emit(ev Event) {
 		b.WriteString(strconv.Quote(f.Key))
 		b.WriteByte(':')
 		b.WriteString(jsonFloat(f.Value))
+	}
+	for _, a := range ev.Attrs {
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(a.Key))
+		b.WriteByte(':')
+		b.WriteString(strconv.Quote(a.Value))
 	}
 	b.WriteString("}\n")
 	s.mu.Lock()

@@ -144,6 +144,8 @@ func (c *Client) Do(ctx context.Context, path, ctype string, body []byte) Outcom
 	c.retryBudget.earn()
 	c.hedgeBudget.earn()
 
+	trace := obs.TraceFromContext(ctx)
+
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.Deadline)
 	defer cancel()
 
@@ -165,11 +167,19 @@ func (c *Client) Do(ctx context.Context, path, ctype string, body []byte) Outcom
 			return false
 		}
 		tried[rep] = true
+		kind := "first"
+		switch {
+		case hedged:
+			kind = "hedge"
+		case attempts > 0:
+			kind = "retry"
+		}
+		tier := rep.State()
 		actx, acancel := context.WithCancel(ctx)
 		cancels = append(cancels, acancel)
 		outstanding++
 		attempts++
-		go func() { results <- c.attempt(actx, rep, path, ctype, body, hedged) }()
+		go func() { results <- c.attempt(actx, rep, path, ctype, body, hedged, trace, kind, tier) }()
 		return true
 	}
 
@@ -216,14 +226,45 @@ func (c *Client) Do(ctx context.Context, path, ctype string, body []byte) Outcom
 	}
 }
 
-// attempt sends the request to one replica and classifies the outcome.
-// Replica-level failures (transport error, short body, 5xx) feed the
-// health state machine; cancellation of a hedged loser is neutral and
-// counts for nothing.
-func (c *Client) attempt(ctx context.Context, rep *Replica, path, ctype string, body []byte, hedged bool) Outcome {
+// attempt sends the request to one replica and classifies the outcome,
+// emitting a route.attempt span for traced requests. Replica-level
+// failures (transport error, short body, 5xx) feed the health state
+// machine; cancellation of a hedged loser is neutral and counts for
+// nothing.
+func (c *Client) attempt(ctx context.Context, rep *Replica, path, ctype string, body []byte, hedged bool, trace, kind string, tier State) Outcome {
+	t0 := time.Now()
+	out := c.attemptOnce(ctx, rep, path, ctype, body, hedged, trace, t0)
+	if trace != "" && c.cfg.Trace.Enabled() {
+		outcome := "fail"
+		switch {
+		case out.Final:
+			outcome = "ok"
+		case ctx.Err() != nil:
+			outcome = "cancel"
+		}
+		attrs := make([]obs.Attr, 0, 5+len(c.cfg.TraceAttrs))
+		attrs = append(attrs,
+			obs.A("trace", trace),
+			obs.A("replica", rep.Host),
+			obs.A("kind", kind),
+			obs.A("tier", tier.String()),
+			obs.A("outcome", outcome),
+		)
+		attrs = append(attrs, c.cfg.TraceAttrs...)
+		c.cfg.Trace.EmitEvent(obs.Event{
+			Name:   "route.attempt",
+			Time:   t0,
+			Dur:    time.Since(t0),
+			Fields: []obs.Field{obs.F("status", float64(out.Status))},
+			Attrs:  attrs,
+		})
+	}
+	return out
+}
+
+func (c *Client) attemptOnce(ctx context.Context, rep *Replica, path, ctype string, body []byte, hedged bool, trace string, t0 time.Time) Outcome {
 	rep.inflight.Add(1)
 	defer rep.inflight.Add(-1)
-	t0 := time.Now()
 	out := Outcome{Rep: rep, Hedged: hedged}
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.Base+path, bytes.NewReader(body))
@@ -232,6 +273,9 @@ func (c *Client) attempt(ctx context.Context, rep *Replica, path, ctype string, 
 		return out
 	}
 	req.Header.Set("Content-Type", ctype)
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		out.Err = err

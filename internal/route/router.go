@@ -58,9 +58,19 @@ type Config struct {
 	// every route_* series a Client registers — how the shard aggregator
 	// keeps per-group eviction counters apart.
 	Obs *obs.Registry
-	// Trace receives replica state-transition and probe events; nil
-	// drops them.
+	// Trace receives replica state-transition and probe events, and — for
+	// traced requests — per-attempt route.attempt spans plus the Router's
+	// router.request root spans; nil drops them.
 	Trace *obs.Tracer
+	// TraceSample is the probability ([0,1]) that the Router mints a
+	// trace ID for a request arriving without an X-Tpascd-Trace header
+	// (default 0: only upstream-traced requests are traced). Requests
+	// that arrive with the header are always traced when Trace is set.
+	TraceSample float64
+	// TraceAttrs are stamped onto every route.attempt span this client
+	// emits — how the shard aggregator marks each group's attempts with
+	// shard="k" so fleetreport can assign them to fan-out legs.
+	TraceAttrs []obs.Attr
 	// Seed drives the pool's pick tie-breaking and probe jitter.
 	Seed uint64
 }
@@ -113,8 +123,9 @@ func (c Config) withDefaults() Config {
 // Build with New, serve Handler, Close to stop probing.
 type Router struct {
 	*Client
-	cfg   Config
-	cache *Cache
+	cfg     Config
+	cache   *Cache
+	sampler *TraceSampler
 }
 
 // New validates the config, registers metrics and starts the health
@@ -126,9 +137,10 @@ func New(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	return &Router{
-		Client: cl,
-		cfg:    cfg,
-		cache:  NewCache(cfg.CacheSize, cl.met.cacheSize),
+		Client:  cl,
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize, cl.met.cacheSize),
+		sampler: NewTraceSampler(cfg.TraceSample, cfg.Seed),
 	}, nil
 }
 
@@ -165,12 +177,24 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 	}
 	ctype := req.Header.Get("Content-Type")
 
-	out := r.Do(req.Context(), "/predict", ctype, body)
+	ctx := req.Context()
+	trace := ""
+	if r.cfg.Trace.Enabled() {
+		trace = r.sampler.Trace(req.Header.Get(obs.TraceHeader))
+		ctx = obs.ContextWithTrace(ctx, trace)
+	}
+
+	out := r.Do(ctx, "/predict", ctype, body)
 	if out.Final {
 		if out.Status == http.StatusOK {
 			r.met.reqLat.Observe(time.Since(start).Seconds())
 			r.cache.Put(CacheKey(ctype, body), ResponseVersion(out.Body), out.Body)
 		}
+		outcome := "ok"
+		if out.Status != http.StatusOK {
+			outcome = "error"
+		}
+		r.emitRootSpan(trace, start, outcome, out.Status)
 		if out.ContentType != "" {
 			w.Header().Set("Content-Type", out.ContentType)
 		}
@@ -183,6 +207,7 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 	// stale cache before admitting defeat.
 	if cached, version, ok := r.cache.Get(CacheKey(ctype, body)); ok {
 		r.met.stale.Inc()
+		r.emitRootSpan(trace, start, "stale", http.StatusOK)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Tpascd-Stale", "true")
 		w.WriteHeader(http.StatusOK)
@@ -190,6 +215,7 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.met.errors.Inc()
+	r.emitRootSpan(trace, start, "error", http.StatusServiceUnavailable)
 	reason := ErrNoReplicas
 	if out.Err != nil {
 		reason = out.Err
@@ -197,6 +223,22 @@ func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
 		reason = fmt.Errorf("route: replica answered %d", out.Status)
 	}
 	httpError(w, http.StatusServiceUnavailable, reason)
+}
+
+// emitRootSpan records the router.request root span for a traced
+// request — the anchor every route.attempt and downstream serve.request
+// span of the same trace hangs off in fleetreport's attempt tree.
+func (r *Router) emitRootSpan(trace string, start time.Time, outcome string, status int) {
+	if trace == "" || !r.cfg.Trace.Enabled() {
+		return
+	}
+	r.cfg.Trace.EmitEvent(obs.Event{
+		Name:   "router.request",
+		Time:   start,
+		Dur:    time.Since(start),
+		Fields: []obs.Field{obs.F("status", float64(status))},
+		Attrs:  []obs.Attr{obs.A("trace", trace), obs.A("outcome", outcome)},
+	})
 }
 
 // ResponseVersion extracts model_version from a /predict response body

@@ -1,0 +1,54 @@
+package route
+
+import (
+	"sync"
+
+	"tpascd/internal/obs"
+	"tpascd/internal/rng"
+)
+
+// TraceSampler decides which requests get a trace ID at a fleet entry
+// point (the Router, or the shard aggregator). An upstream-supplied ID
+// always wins — the caller already decided to trace — otherwise an ID is
+// minted with the configured probability. The mint stream is seeded, so
+// a fixed-seed process traces a reproducible subset of its request
+// sequence.
+type TraceSampler struct {
+	mu   sync.Mutex
+	rng  *rng.Xoshiro256
+	rate float64
+}
+
+// NewTraceSampler returns a sampler minting IDs with probability rate
+// (clamped to [0,1]) from the seeded stream.
+func NewTraceSampler(rate float64, seed uint64) *TraceSampler {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &TraceSampler{rng: rng.New(seed ^ 0x5bf0_3635_dcd1_d997), rate: rate}
+}
+
+// Trace returns the request's trace ID: incoming (the upstream header
+// value) when non-empty, a freshly minted ID with probability rate, or
+// "" for an unsampled request.
+func (s *TraceSampler) Trace(incoming string) string {
+	if incoming != "" {
+		return incoming
+	}
+	if s.rate <= 0 {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rate < 1 && s.rng.Float64() >= s.rate {
+		return ""
+	}
+	id := s.rng.Uint64()
+	if id == 0 {
+		id = 1
+	}
+	return obs.FormatTraceID(id)
+}

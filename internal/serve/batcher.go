@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tpascd/internal/obs"
 	"tpascd/internal/sparse"
 )
 
@@ -33,6 +35,11 @@ type BatcherConfig struct {
 	// it, Predict callers block — the back-pressure that keeps an
 	// overloaded server from buffering unboundedly.
 	Queue int
+	// Trace receives one "serve.batch" span per scored batch that
+	// contains at least one traced request, carrying the batch size, the
+	// worst queue wait in the batch, and a "traces" attr linking every
+	// coalesced request's trace ID. Nil disables batch spans.
+	Trace *obs.Tracer
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -67,6 +74,12 @@ type Prediction struct {
 	// ModelVersion identifies the registry version that scored this
 	// request; within one batch it is uniform.
 	ModelVersion uint64 `json:"model_version"`
+	// QueueWait is how long this row sat in the batcher queue before its
+	// batch was scored, and Batched is how many rows shared that batch.
+	// Server-side only (they feed the serve.request span); never part of
+	// the wire response.
+	QueueWait time.Duration `json:"-"`
+	Batched   int           `json:"-"`
 }
 
 type result struct {
@@ -79,6 +92,7 @@ type pending struct {
 	val      []float32
 	deadline time.Time // zero means none
 	enqueued time.Time
+	trace    string      // trace ID of the request, "" when untraced
 	done     chan result // buffered so a scorer never blocks on fan-out
 }
 
@@ -96,6 +110,7 @@ type Batcher struct {
 	in            chan *pending
 	gate          sync.RWMutex // guards in against close during Predict's send
 	closed        bool         // under gate
+	depth         atomic.Int64 // accepted but not yet scored
 	collectorDone chan struct{}
 	closeOnce     sync.Once
 }
@@ -130,7 +145,7 @@ func (b *Batcher) Predict(ctx context.Context, idx []int32, val []float32) (Pred
 }
 
 func (b *Batcher) predict(ctx context.Context, idx []int32, val []float32, start time.Time) (Prediction, error) {
-	p := &pending{idx: idx, val: val, enqueued: start, done: make(chan result, 1)}
+	p := &pending{idx: idx, val: val, enqueued: start, trace: obs.TraceFromContext(ctx), done: make(chan result, 1)}
 	if dl, ok := ctx.Deadline(); ok {
 		p.deadline = dl
 	}
@@ -145,6 +160,7 @@ func (b *Batcher) predict(ctx context.Context, idx []int32, val []float32, start
 	}
 	select {
 	case b.in <- p:
+		b.met.SetQueueDepth(b.depth.Add(1))
 		b.gate.RUnlock()
 	case <-ctx.Done():
 		b.gate.RUnlock()
@@ -214,6 +230,21 @@ func (b *Batcher) scoreBatch(batch []*pending) {
 	m := b.reg.Current()
 	now := time.Now()
 
+	// Every row in the batch has left the queue; its wait ended now.
+	b.met.SetQueueDepth(b.depth.Add(int64(-len(batch))))
+	var maxWait time.Duration
+	for _, p := range batch {
+		if w := now.Sub(p.enqueued); w > 0 {
+			b.met.ObserveQueueWait(w)
+			if w > maxWait {
+				maxWait = w
+			}
+		} else {
+			b.met.ObserveQueueWait(0)
+		}
+	}
+	defer b.emitBatchSpan(batch, now, maxWait)
+
 	n := len(batch)
 	rowPtr := make([]int, n+1)
 	for i, p := range batch {
@@ -251,6 +282,10 @@ func (b *Batcher) scoreBatch(batch []*pending) {
 				r.pred.Margin, r.pred.Score = m.Score(idx, val)
 			}
 			r.pred.ModelVersion = m.Version
+			if w := now.Sub(p.enqueued); w > 0 {
+				r.pred.QueueWait = w
+			}
+			r.pred.Batched = n
 		}
 		p.done <- r
 	}
@@ -281,4 +316,33 @@ func (b *Batcher) scoreBatch(batch []*pending) {
 		}()
 	}
 	wg.Wait()
+}
+
+// emitBatchSpan records one serve.batch span when the batch contains
+// traced requests: the span links every coalesced request's trace ID via
+// a comma-joined "traces" attr, so fleetreport can show which requests
+// shared a batch and what the batch's worst queue wait was.
+func (b *Batcher) emitBatchSpan(batch []*pending, start time.Time, maxWait time.Duration) {
+	if !b.cfg.Trace.Enabled() {
+		return
+	}
+	var traces []string
+	for _, p := range batch {
+		if p.trace != "" {
+			traces = append(traces, p.trace)
+		}
+	}
+	if len(traces) == 0 {
+		return
+	}
+	b.cfg.Trace.EmitEvent(obs.Event{
+		Name: "serve.batch",
+		Time: start,
+		Dur:  time.Since(start),
+		Fields: []obs.Field{
+			obs.F("batch", float64(len(batch))),
+			obs.F("queue_wait_ms", float64(maxWait)/1e6),
+		},
+		Attrs: []obs.Attr{obs.A("traces", strings.Join(traces, ","))},
+	})
 }

@@ -18,6 +18,8 @@ const (
 	metricBatchSize = "serve_batch_size"
 	metricModelVer  = "serve_model_version"
 	metricModelAge  = "serve_model_age_seconds"
+	metricQueueWait = "serve_queue_wait_seconds"
+	metricQueueLen  = "serve_queue_depth"
 )
 
 // batchBuckets are batch-size histogram upper bounds: powers of two to
@@ -36,6 +38,8 @@ type Metrics struct {
 	rows     *obs.Counter
 	lat      *obs.Histogram
 	bsz      *obs.Histogram
+	qwait    *obs.Histogram
+	qdepth   *obs.Gauge
 	modelVer *obs.Gauge
 	modelAge *obs.Gauge
 }
@@ -50,6 +54,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		rows:     reg.Counter(metricRows),
 		lat:      reg.Histogram(metricLatency, obs.LatencyBuckets()),
 		bsz:      reg.Histogram(metricBatchSize, batchBuckets()),
+		qwait:    reg.Histogram(metricQueueWait, obs.LatencyBuckets()),
+		qdepth:   reg.Gauge(metricQueueLen),
 		modelVer: reg.Gauge(metricModelVer),
 		modelAge: reg.Gauge(metricModelAge),
 	}
@@ -77,6 +83,24 @@ func (m *Metrics) ObserveBatch(n int) {
 	m.batches.Inc()
 	m.rows.Add(int64(n))
 	m.bsz.Observe(float64(n))
+}
+
+// ObserveQueueWait records how long one request sat in the batcher queue
+// before its batch was scored.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.qwait.Observe(d.Seconds())
+}
+
+// SetQueueDepth mirrors the batcher's live queue depth (requests
+// accepted but not yet scored) into the exposition gauge.
+func (m *Metrics) SetQueueDepth(n int64) {
+	if m == nil {
+		return
+	}
+	m.qdepth.Set(float64(n))
 }
 
 // SyncModel refreshes the model-identity gauges from the live registry —

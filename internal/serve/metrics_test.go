@@ -23,6 +23,9 @@ func TestMetricsPrometheusGolden(t *testing.T) {
 	m.ObserveRequest(0, errors.New("boom")) // errors skip the latency histogram
 	m.ObserveBatch(2)
 	m.ObserveBatch(2000) // lands in +Inf
+	m.ObserveQueueWait(200 * time.Microsecond)
+	m.ObserveQueueWait(2 * time.Millisecond)
+	m.SetQueueDepth(3)
 	m.modelVer.Set(7)
 
 	var b strings.Builder
@@ -87,6 +90,32 @@ serve_errors_total 1
 serve_model_age_seconds 0
 # TYPE serve_model_version gauge
 serve_model_version 7
+# TYPE serve_queue_depth gauge
+serve_queue_depth 3
+# TYPE serve_queue_wait_seconds histogram
+serve_queue_wait_seconds_bucket{le="5e-05"} 0
+serve_queue_wait_seconds_bucket{le="0.0001"} 0
+serve_queue_wait_seconds_bucket{le="0.0002"} 1
+serve_queue_wait_seconds_bucket{le="0.0004"} 1
+serve_queue_wait_seconds_bucket{le="0.0008"} 1
+serve_queue_wait_seconds_bucket{le="0.0016"} 1
+serve_queue_wait_seconds_bucket{le="0.0032"} 2
+serve_queue_wait_seconds_bucket{le="0.0064"} 2
+serve_queue_wait_seconds_bucket{le="0.0128"} 2
+serve_queue_wait_seconds_bucket{le="0.0256"} 2
+serve_queue_wait_seconds_bucket{le="0.0512"} 2
+serve_queue_wait_seconds_bucket{le="0.1024"} 2
+serve_queue_wait_seconds_bucket{le="0.2048"} 2
+serve_queue_wait_seconds_bucket{le="0.4096"} 2
+serve_queue_wait_seconds_bucket{le="0.8192"} 2
+serve_queue_wait_seconds_bucket{le="1.6384"} 2
+serve_queue_wait_seconds_bucket{le="3.2768"} 2
+serve_queue_wait_seconds_bucket{le="6.5536"} 2
+serve_queue_wait_seconds_bucket{le="13.1072"} 2
+serve_queue_wait_seconds_bucket{le="26.2144"} 2
+serve_queue_wait_seconds_bucket{le="+Inf"} 2
+serve_queue_wait_seconds_sum 0.0022
+serve_queue_wait_seconds_count 2
 # TYPE serve_request_latency_seconds histogram
 serve_request_latency_seconds_bucket{le="5e-05"} 0
 serve_request_latency_seconds_bucket{le="0.0001"} 1

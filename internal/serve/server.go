@@ -29,6 +29,12 @@ type ServerConfig struct {
 	// private registry so /metrics always works. Share one registry
 	// across subsystems to get a single exposition page.
 	Obs *obs.Registry
+	// Trace receives one "serve.request" span per request that arrives
+	// with an X-Tpascd-Trace header (queue wait, batch size, outcome),
+	// plus the batcher's serve.batch spans unless Batcher.Trace is set
+	// separately. Nil disables request spans; untraced requests never
+	// emit regardless.
+	Trace *obs.Tracer
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -73,6 +79,9 @@ func NewServer(reg *Registry, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.Batcher.Trace == nil {
+		cfg.Batcher.Trace = cfg.Trace
 	}
 	met := NewMetrics(cfg.Obs)
 	return &Server{cfg: cfg, reg: reg, obs: cfg.Obs, met: met, bat: NewBatcher(reg, met, cfg.Batcher)}
@@ -148,6 +157,7 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	body := io.LimitReader(r.Body, s.cfg.MaxBodyBytes)
 	rows, err := ParseRows(r.Header.Get("Content-Type"), body)
 	if err != nil {
@@ -160,6 +170,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
+	trace := ""
+	if s.cfg.Trace.Enabled() {
+		trace = r.Header.Get(obs.TraceHeader)
+		ctx = obs.ContextWithTrace(ctx, trace)
+	}
 	if s.cfg.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
@@ -181,10 +196,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			s.emitRequestSpan(trace, start, len(rows), preds, "error")
 			httpError(w, statusFor(err), err)
 			return
 		}
 	}
+	s.emitRequestSpan(trace, start, len(rows), preds, "ok")
 
 	resp := predictResponse{Predictions: preds}
 	if m := s.reg.Current(); m != nil {
@@ -198,6 +215,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// emitRequestSpan records the replica-side serve.request span for a
+// traced request: total server time, row count, the worst batcher queue
+// wait across the request's rows, and the batch size that row shared.
+// fleetreport subtracts these from the router's attempt span to isolate
+// network time from queue and compute time.
+func (s *Server) emitRequestSpan(trace string, start time.Time, rows int, preds []Prediction, outcome string) {
+	if trace == "" || !s.cfg.Trace.Enabled() {
+		return
+	}
+	var wait time.Duration
+	batch := 0
+	for _, p := range preds {
+		if p.QueueWait >= wait {
+			wait = p.QueueWait
+			batch = p.Batched
+		}
+	}
+	s.cfg.Trace.EmitEvent(obs.Event{
+		Name: "serve.request",
+		Time: start,
+		Dur:  time.Since(start),
+		Fields: []obs.Field{
+			obs.F("rows", float64(rows)),
+			obs.F("queue_wait_ms", float64(wait)/1e6),
+			obs.F("batch", float64(batch)),
+		},
+		Attrs: []obs.Attr{obs.A("trace", trace), obs.A("outcome", outcome)},
+	})
 }
 
 // ParseRows decodes a /predict request body into validated sparse rows:

@@ -54,8 +54,15 @@ type AggregatorConfig struct {
 	// shard group's route_* series are registered into a With("shard",
 	// i) view of it.
 	Obs *obs.Registry
-	// Trace receives replica state-transition events; nil drops them.
+	// Trace receives replica state-transition events and, for traced
+	// requests, the aggregator's router.request root spans, one shard.leg
+	// span per group fan-out, and each group client's route.attempt spans
+	// (stamped shard="i"); nil drops them.
 	Trace *obs.Tracer
+	// TraceSample is the probability that the aggregator mints a trace ID
+	// for a request arriving without an X-Tpascd-Trace header (default 0;
+	// header-carrying requests are always traced when Trace is set).
+	TraceSample float64
 	// Seed drives each group's pick tie-breaking and probe jitter.
 	Seed uint64
 }
@@ -136,12 +143,13 @@ type group struct {
 // link function once at the top. Build with NewAggregator, serve
 // Handler, Close to stop the probers.
 type Aggregator struct {
-	cfg    AggregatorConfig
-	plan   Plan
-	groups []*group
-	cache  *route.Cache
-	met    *aggMetrics
-	obs    *obs.Registry
+	cfg     AggregatorConfig
+	plan    Plan
+	groups  []*group
+	cache   *route.Cache
+	met     *aggMetrics
+	obs     *obs.Registry
+	sampler *route.TraceSampler
 }
 
 // NewAggregator validates the plan/group wiring and starts one
@@ -162,17 +170,19 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	met := newAggMetrics(cfg.Obs)
 	met.groups.Set(float64(plan.Shards))
 	a := &Aggregator{
-		cfg:   cfg,
-		plan:  plan,
-		cache: route.NewCache(cfg.CacheSize, met.cacheEntries),
-		met:   met,
-		obs:   cfg.Obs,
+		cfg:     cfg,
+		plan:    plan,
+		cache:   route.NewCache(cfg.CacheSize, met.cacheEntries),
+		met:     met,
+		obs:     cfg.Obs,
+		sampler: route.NewTraceSampler(cfg.TraceSample, cfg.Seed),
 	}
 	for i, addrs := range groups {
 		rcfg := cfg.Route
 		rcfg.Replicas = addrs
 		rcfg.Obs = cfg.Obs.With("shard", strconv.Itoa(i))
 		rcfg.Trace = cfg.Trace
+		rcfg.TraceAttrs = []obs.Attr{obs.A("shard", strconv.Itoa(i))}
 		rcfg.Seed = cfg.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15
 		cl, err := route.NewClient(rcfg)
 		if err != nil {
@@ -272,7 +282,12 @@ func (a *Aggregator) handlePredict(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(req.Context(), a.cfg.Deadline)
+	trace := ""
+	if a.cfg.Trace.Enabled() {
+		trace = a.sampler.Trace(req.Header.Get(obs.TraceHeader))
+	}
+
+	ctx, cancel := context.WithTimeout(obs.ContextWithTrace(req.Context(), trace), a.cfg.Deadline)
 	defer cancel()
 
 	// Fan the identical body out to every shard group concurrently; each
@@ -295,7 +310,8 @@ func (a *Aggregator) handlePredict(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	if len(down) > 0 {
-		a.degrade(w, ctype, body, down, parts)
+		outcome, status := a.degrade(w, ctype, body, down, parts)
+		a.emitRootSpan(trace, start, outcome, status)
 		return
 	}
 
@@ -323,10 +339,12 @@ func (a *Aggregator) handlePredict(w http.ResponseWriter, req *http.Request) {
 	out, err := json.Marshal(resp)
 	if err != nil {
 		a.met.errors.Inc()
+		a.emitRootSpan(trace, start, "error", http.StatusInternalServerError)
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	a.met.reqLat.Observe(time.Since(start).Seconds())
+	a.emitRootSpan(trace, start, "ok", http.StatusOK)
 	a.cache.Put(route.CacheKey(ctype, body), parts[0].resp.ModelVersion, out)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -371,13 +389,46 @@ func (a *Aggregator) partial(ctx context.Context, g *group, ctype string, body [
 	} else {
 		a.met.partLat.Observe(time.Since(t0).Seconds())
 	}
+	if trace := obs.TraceFromContext(ctx); trace != "" && a.cfg.Trace.Enabled() {
+		outcome := "ok"
+		if p.err != nil {
+			outcome = "error"
+		}
+		a.cfg.Trace.EmitEvent(obs.Event{
+			Name:   "shard.leg",
+			Time:   t0,
+			Dur:    time.Since(t0),
+			Fields: []obs.Field{obs.F("shard", float64(g.index))},
+			Attrs:  []obs.Attr{obs.A("trace", trace), obs.A("outcome", outcome)},
+		})
+	}
 	return p
+}
+
+// emitRootSpan records the aggregator's router.request root span for a
+// traced request. The shards field tells fleetreport the trace should
+// resolve into K fan-out legs rather than a single attempt chain.
+func (a *Aggregator) emitRootSpan(trace string, start time.Time, outcome string, status int) {
+	if trace == "" || !a.cfg.Trace.Enabled() {
+		return
+	}
+	a.cfg.Trace.EmitEvent(obs.Event{
+		Name: "router.request",
+		Time: start,
+		Dur:  time.Since(start),
+		Fields: []obs.Field{
+			obs.F("status", float64(status)),
+			obs.F("shards", float64(a.plan.Shards)),
+		},
+		Attrs: []obs.Attr{obs.A("trace", trace), obs.A("outcome", outcome)},
+	})
 }
 
 // degrade answers a request that lost at least one shard group: a stale
 // cached aggregate when one exists (explicitly marked), otherwise a 503
-// naming the lost groups. A partial margin is never an option.
-func (a *Aggregator) degrade(w http.ResponseWriter, ctype string, body []byte, down []string, parts []partial) {
+// naming the lost groups. A partial margin is never an option. It
+// reports how it answered so the caller can stamp the root span.
+func (a *Aggregator) degrade(w http.ResponseWriter, ctype string, body []byte, down []string, parts []partial) (outcome string, status int) {
 	a.met.down.Inc()
 	if cached, version, ok := a.cache.Get(route.CacheKey(ctype, body)); ok {
 		a.met.stale.Inc()
@@ -386,7 +437,7 @@ func (a *Aggregator) degrade(w http.ResponseWriter, ctype string, body []byte, d
 		w.Header().Set(HeaderShardDown, strings.Join(down, ","))
 		w.WriteHeader(http.StatusOK)
 		w.Write(route.StaleBody(cached, version))
-		return
+		return "stale", http.StatusOK
 	}
 	a.met.errors.Inc()
 	var reasons []string
@@ -398,6 +449,7 @@ func (a *Aggregator) degrade(w http.ResponseWriter, ctype string, body []byte, d
 	w.Header().Set(HeaderShardDown, strings.Join(down, ","))
 	httpError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("shard groups down: %s", strings.Join(reasons, "; ")))
+	return "error", http.StatusServiceUnavailable
 }
 
 // handleHealthz reports the plan and a per-group replica census. It

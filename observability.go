@@ -37,6 +37,11 @@ type TraceEvent = obs.Event
 // TraceField is one numeric key/value attached to a span.
 type TraceField = obs.Field
 
+// TraceAttr is one string key/value attached to a span — how serving
+// spans carry identities (trace ID, replica host, attempt kind) that
+// have no numeric encoding.
+type TraceAttr = obs.Attr
+
 // TraceSink receives completed spans from a Tracer.
 type TraceSink = obs.Sink
 
@@ -59,6 +64,9 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
 
 // TraceF constructs one span field.
 func TraceF(key string, value float64) TraceField { return obs.F(key, value) }
+
+// TraceA constructs one span attribute.
+func TraceA(key, value string) TraceAttr { return obs.A(key, value) }
 
 // EpochSpanHook returns an epoch hook emitting one named span per
 // training epoch (gap, work counters, simulated seconds) into the
@@ -89,6 +97,18 @@ func NewRunID() uint64 { return obs.NewRunID() }
 // FormatRunID renders a run ID in its canonical 16-hex-digit form.
 func FormatRunID(id uint64) string { return obs.FormatRunID(id) }
 
+// TraceHeader is the HTTP header that carries a request's trace ID
+// across the serving fleet (loadgen → predrouter → predserve).
+const TraceHeader = obs.TraceHeader
+
+// NewTraceID generates a random nonzero request trace ID. The
+// predrouter mints these for sampled requests; load generators wanting
+// end-to-end traces mint their own and send them in TraceHeader.
+func NewTraceID() uint64 { return obs.NewTraceID() }
+
+// FormatTraceID renders a trace ID in its canonical 16-hex-digit form.
+func FormatTraceID(id uint64) string { return obs.FormatTraceID(id) }
+
 // ParseTraceJSONL reads back events written by a JSONLSink (one JSON
 // object per line, blank lines ignored).
 func ParseTraceJSONL(r io.Reader) ([]TraceEvent, error) { return obs.ParseJSONL(r) }
@@ -117,6 +137,26 @@ func WriteRunReportJSON(w io.Writer, r *RunReport) error { return report.WriteJS
 
 // WriteRunReportTable renders a RunReport as a human-readable table.
 func WriteRunReportTable(w io.Writer, r *RunReport) error { return report.WriteTable(w, r) }
+
+// FleetReport is the merged offline analysis of the serving fleet's
+// span files: attempt trees per traced request, critical-path latency
+// decomposition, retry and hedge attribution per replica, shard-group
+// fan-out statistics, and the slowest-N request timelines.
+type FleetReport = report.FleetReport
+
+// AnalyzeFleet merges the (parsed) serving span events into a
+// FleetReport, keeping timelines for the slowest requests (default 5
+// when slowest <= 0).
+func AnalyzeFleet(events []TraceEvent, slowest int) (*FleetReport, error) {
+	return report.AnalyzeFleet(events, slowest)
+}
+
+// WriteFleetReportJSON renders a FleetReport as deterministic indented
+// JSON.
+func WriteFleetReportJSON(w io.Writer, r *FleetReport) error { return report.WriteFleetJSON(w, r) }
+
+// WriteFleetReportTable renders a FleetReport as a human-readable table.
+func WriteFleetReportTable(w io.Writer, r *FleetReport) error { return report.WriteFleetTable(w, r) }
 
 // RegisterPprof mounts the runtime/pprof diagnostic handlers on mux under
 // /debug/pprof/, the standard paths `go tool pprof` expects. It exists so
